@@ -1,0 +1,84 @@
+// Command dls-gantt renders the execution timing diagram of a
+// divisible-load schedule — the charts of the paper's Figures 1–3 — for
+// any instance given on the command line.
+//
+// Usage:
+//
+//	dls-gantt -net ncp-fe -z 0.2 -w 1,1.5,2,2.5,3
+//	dls-gantt -net cp -z 0.5 -w 2,2,2 -width 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dlsbl/internal/dlt"
+	"dlsbl/internal/gantt"
+)
+
+func main() {
+	netName := flag.String("net", "ncp-fe", "network class: cp, ncp-fe or ncp-nfe")
+	z := flag.Float64("z", 0.2, "per-unit communication time")
+	wList := flag.String("w", "1,1.5,2,2.5,3", "comma-separated per-unit processing times")
+	width := flag.Int("width", 72, "chart width in cells")
+	svgPath := flag.String("svg", "", "additionally write the chart as an SVG file")
+	flag.Parse()
+
+	net, err := parseNetwork(*netName)
+	if err != nil {
+		fail(err)
+	}
+	w, err := parseFloats(*wList)
+	if err != nil {
+		fail(err)
+	}
+	in := dlt.Instance{Network: net, Z: *z, W: w}
+	out, err := gantt.Figure(in, gantt.Options{Width: *width, ShowBus: true, ShowTimes: true})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(out)
+	if *svgPath != "" {
+		svg, err := gantt.FigureSVG(in, gantt.SVGOptions{ShowBus: true})
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*svgPath, []byte(svg), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *svgPath)
+	}
+}
+
+func parseNetwork(s string) (dlt.Network, error) {
+	switch strings.ToLower(s) {
+	case "cp":
+		return dlt.CP, nil
+	case "ncp-fe", "ncpfe", "fe":
+		return dlt.NCPFE, nil
+	case "ncp-nfe", "ncpnfe", "nfe":
+		return dlt.NCPNFE, nil
+	}
+	return 0, fmt.Errorf("unknown network %q (want cp, ncp-fe or ncp-nfe)", s)
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "dls-gantt: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,167 @@
+package dlsbl_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dlsbl"
+)
+
+// The facade tests exercise the public API exactly as a downstream user
+// would, including the runnable documentation examples.
+
+func TestFacadeOptimalPipeline(t *testing.T) {
+	in := dlsbl.Instance{Network: dlsbl.NCPFE, Z: 0.2, W: []float64{1, 1.5, 2, 2.5}}
+	alloc, ms, err := dlsbl.OptimalMakespan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alloc.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	ft, err := dlsbl.FinishTimes(in, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range ft {
+		if math.Abs(f-ms) > 1e-9 {
+			t.Errorf("finish %v != makespan %v", f, ms)
+		}
+	}
+	ms2, err := dlsbl.Makespan(in, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms2 != ms {
+		t.Errorf("Makespan %v != OptimalMakespan %v", ms2, ms)
+	}
+	tl, err := dlsbl.Schedule(in, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart, err := dlsbl.RenderGantt(tl, dlsbl.GanttOptions{Width: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chart, "legend:") {
+		t.Error("chart missing legend")
+	}
+	fig, err := dlsbl.RenderFigure(in, dlsbl.GanttOptions{Width: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig == "" {
+		t.Error("empty figure")
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	if s := dlsbl.EqualSplit(4).Sum(); math.Abs(s-1) > 1e-12 {
+		t.Errorf("equal split sums to %v", s)
+	}
+	if s := dlsbl.ProportionalSplit([]float64{1, 2}).Sum(); math.Abs(s-1) > 1e-12 {
+		t.Errorf("proportional split sums to %v", s)
+	}
+}
+
+func TestFacadeMechanism(t *testing.T) {
+	mech := dlsbl.Mechanism{Network: dlsbl.NCPFE, Z: 0.2}
+	w := []float64{1, 1.5, 2}
+	out, err := mech.Run(w, dlsbl.TruthfulExec(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range out.Utility {
+		if u < 0 {
+			t.Errorf("truthful utility U[%d]=%v < 0", i, u)
+		}
+	}
+	// The two payment rules are distinct constants.
+	if dlsbl.WithVerification == dlsbl.WithoutVerification {
+		t.Error("payment rules collide")
+	}
+}
+
+func TestFacadeProtocol(t *testing.T) {
+	out, err := dlsbl.RunProtocol(dlsbl.ProtocolConfig{
+		Network: dlsbl.NCPNFE,
+		Z:       0.15,
+		TrueW:   []float64{1, 2, 3},
+		Seed:    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatalf("honest run terminated in %s", out.TerminatedIn)
+	}
+	behaviors := make([]dlsbl.Behavior, 3)
+	behaviors[1] = dlsbl.Equivocator
+	out2, err := dlsbl.RunProtocol(dlsbl.ProtocolConfig{
+		Network:   dlsbl.NCPNFE,
+		Z:         0.15,
+		TrueW:     []float64{1, 2, 3},
+		Behaviors: behaviors,
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Completed {
+		t.Error("equivocator run completed")
+	}
+	if out2.Fines[1] <= 0 {
+		t.Error("equivocator not fined through the facade")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	all := dlsbl.Experiments()
+	if len(all) != 27 {
+		t.Fatalf("%d experiments, want 27", len(all))
+	}
+	e, ok := dlsbl.ExperimentByID("E1")
+	if !ok {
+		t.Fatal("E1 missing")
+	}
+	res, err := e.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Figure == "" {
+		t.Error("E1 missing figure")
+	}
+}
+
+func TestFacadeAffine(t *testing.T) {
+	in := dlsbl.AffineInstance{
+		Instance: dlsbl.Instance{Network: dlsbl.CP, Z: 0.1, W: []float64{1, 1, 1, 1}},
+		Scm:      2,
+	}
+	alloc, _, err := dlsbl.OptimalAffine(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := 0
+	for _, a := range alloc {
+		if a > 1e-12 {
+			used++
+		}
+	}
+	if used != 1 {
+		t.Errorf("heavy overhead should select one processor, got %d", used)
+	}
+}
+
+func TestFacadeNetworks(t *testing.T) {
+	if len(dlsbl.Networks) != 3 {
+		t.Fatalf("Networks = %v", dlsbl.Networks)
+	}
+	if dlsbl.CP.String() != "CP" || dlsbl.NCPFE.String() != "NCP-FE" || dlsbl.NCPNFE.String() != "NCP-NFE" {
+		t.Error("network names wrong")
+	}
+	if len(dlsbl.DeviantCatalog) < 8 {
+		t.Errorf("deviant catalog too small: %d", len(dlsbl.DeviantCatalog))
+	}
+}

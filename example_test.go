@@ -1,0 +1,77 @@
+package dlsbl_test
+
+import (
+	"fmt"
+
+	"dlsbl"
+)
+
+// ExampleOptimal computes the optimal split of Algorithm 2.1 on the
+// hand-checkable two-processor instance used throughout the test suite.
+func ExampleOptimal() {
+	in := dlsbl.Instance{Network: dlsbl.NCPFE, Z: 1, W: []float64{2, 3}}
+	alloc, makespan, err := dlsbl.OptimalMakespan(in)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("alpha = [%.4f %.4f], makespan = %.4f\n", alloc[0], alloc[1], makespan)
+	// Output: alpha = [0.6667 0.3333], makespan = 1.3333
+}
+
+// ExampleMechanism_Run prices the same schedule with DLS-BL: each
+// processor's utility equals its marginal contribution to shrinking the
+// makespan.
+func ExampleMechanism_Run() {
+	mech := dlsbl.Mechanism{Network: dlsbl.NCPFE, Z: 1}
+	out, err := mech.Run([]float64{2, 3}, []float64{2, 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("payments = [%.4f %.4f]\n", out.Payment[0], out.Payment[1])
+	fmt.Printf("utilities = [%.4f %.4f]\n", out.Utility[0], out.Utility[1])
+	// Output:
+	// payments = [4.0000 1.6667]
+	// utilities = [2.6667 0.6667]
+}
+
+// ExampleRunProtocol runs the full distributed mechanism with one
+// processor broadcasting contradictory bids; the referee fines it and
+// terminates the run.
+func ExampleRunProtocol() {
+	behaviors := make([]dlsbl.Behavior, 3)
+	behaviors[1] = dlsbl.Equivocator
+	out, err := dlsbl.RunProtocol(dlsbl.ProtocolConfig{
+		Network:   dlsbl.NCPFE,
+		Z:         0.2,
+		TrueW:     []float64{1, 2, 3},
+		Behaviors: behaviors,
+		Fine:      30,
+		Seed:      1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("completed=%v phase=%s\n", out.Completed, out.TerminatedIn)
+	fmt.Printf("fines = [%.0f %.0f %.0f]\n", out.Fines[0], out.Fines[1], out.Fines[2])
+	fmt.Printf("rewards = [%.0f %.0f %.0f]\n", out.Rewards[0], out.Rewards[1], out.Rewards[2])
+	// Output:
+	// completed=false phase=bidding
+	// fines = [0 30 0]
+	// rewards = [15 0 15]
+}
+
+// ExampleOptimalStarOrder shows the star-network extension: with
+// heterogeneous links the service order matters, and children are
+// optimally served fastest-link first.
+func ExampleOptimalStarOrder() {
+	s := dlsbl.StarInstance{
+		Z: []float64{0.8, 0.1, 0.4},
+		W: []float64{2, 2, 2},
+	}
+	order, _, makespan, err := dlsbl.OptimalStarOrder(s)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("serve children in order %v, makespan %.4f\n", order, makespan)
+	// Output: serve children in order [1 2 0], makespan 0.8647
+}

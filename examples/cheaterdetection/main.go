@@ -1,0 +1,79 @@
+// Cheater detection: inject every deviation class Section 4 of the paper
+// enumerates into a full DLS-BL-NCP run and watch the referee catch it —
+// the deviant is fined F, the informers split the proceeds, and deviation
+// never pays (Lemma 5.1, Lemma 5.2, Theorem 5.1).
+//
+//	go run ./examples/cheaterdetection
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"dlsbl"
+)
+
+func main() {
+	trueW := []float64{1.0, 1.5, 2.0, 2.5}
+
+	baseline, err := run(trueW, -1, dlsbl.Honest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("baseline (everyone honest):")
+	for i, u := range baseline.Utilities {
+		fmt.Printf("  P%d utility %8.4f\n", i+1, u)
+	}
+
+	fmt.Printf("\n%-26s %-6s %-11s %-12s %12s %12s\n",
+		"deviation", "proc", "caught in", "fined", "utility", "honest U")
+	for _, b := range dlsbl.DeviantCatalog {
+		// Originator-only deviations go on P1 (the NCP-FE originator),
+		// the rest on P2.
+		idx := 1
+		if b.MisallocateExtraBlocks != 0 || b.TamperBlocks || b.RefuseMediation {
+			idx = 0
+		}
+		out, err := run(trueW, idx, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var fined []string
+		for i, f := range out.Fines {
+			if f > 0 {
+				fined = append(fined, fmt.Sprintf("P%d", i+1))
+			}
+		}
+		caught := "completed"
+		if !out.Completed {
+			caught = out.TerminatedIn
+		}
+		finedLabel := strings.Join(fined, "+")
+		if finedLabel == "" {
+			finedLabel = "nobody"
+		}
+		fmt.Printf("%-26s %-6s %-11s %-12s %12.4f %12.4f\n",
+			b.Name, fmt.Sprintf("P%d", idx+1), caught, finedLabel,
+			out.Utilities[idx], baseline.Utilities[idx])
+	}
+
+	fmt.Println("\nevery finable deviation lands on the deviant; the cooperative")
+	fmt.Println("short-shipper is remediated through the referee without a fine,")
+	fmt.Println("exactly as the paper's mediation procedure specifies — and no")
+	fmt.Println("deviation beats honest utility.")
+}
+
+func run(trueW []float64, idx int, b dlsbl.Behavior) (*dlsbl.ProtocolOutcome, error) {
+	behaviors := make([]dlsbl.Behavior, len(trueW))
+	if idx >= 0 {
+		behaviors[idx] = b
+	}
+	return dlsbl.RunProtocol(dlsbl.ProtocolConfig{
+		Network:   dlsbl.NCPFE,
+		Z:         0.2,
+		TrueW:     trueW,
+		Behaviors: behaviors,
+		Seed:      3,
+	})
+}

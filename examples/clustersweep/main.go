@@ -1,0 +1,103 @@
+// Cluster sweep: the workload the paper's introduction motivates — a
+// large data set split across a heterogeneous bus-connected cluster. The
+// sweep shows how the optimal makespan and speedup scale with the number
+// of processors and with the communication/computation ratio, where the
+// naive splits fall behind, and where NCP-NFE distribution stops paying
+// (the z ≥ w_m boundary).
+//
+//	go run ./examples/clustersweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dlsbl"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	fmt.Println("speedup of the optimal split vs cluster size (z=0.1, w∈[1,4]):")
+	fmt.Printf("%5s %12s %12s %12s %12s\n", "m", "CP", "NCP-FE", "NCP-NFE", "equal/opt")
+	for _, m := range []int{2, 4, 8, 16, 32, 64} {
+		w := make([]float64, m)
+		for i := range w {
+			w[i] = 1 + rng.Float64()*3
+		}
+		row := []float64{}
+		var eqRatio float64
+		for _, net := range dlsbl.Networks {
+			in := dlsbl.Instance{Network: net, Z: 0.1, W: w}
+			alloc, opt, err := dlsbl.OptimalMakespan(in)
+			if err != nil {
+				log.Fatal(err)
+			}
+			_ = alloc
+			// Speedup vs the best single processor.
+			best := -1.0
+			for i := range w {
+				solo := make(dlsbl.Allocation, m)
+				solo[i] = 1
+				ms, err := dlsbl.Makespan(in, solo)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if best < 0 || ms < best {
+					best = ms
+				}
+			}
+			row = append(row, best/opt)
+			if net == dlsbl.NCPFE {
+				eq, err := dlsbl.Makespan(in, dlsbl.EqualSplit(m))
+				if err != nil {
+					log.Fatal(err)
+				}
+				eqRatio = eq / opt
+			}
+		}
+		fmt.Printf("%5d %12.3f %12.3f %12.3f %12.3f\n", m, row[0], row[1], row[2], eqRatio)
+	}
+
+	fmt.Println("\nmakespan vs communication cost z (m=8, NCP-FE vs NCP-NFE):")
+	w := []float64{1, 1.2, 1.5, 1.8, 2.1, 2.4, 2.7, 3.0}
+	fmt.Printf("%6s %12s %12s %16s\n", "z", "NCP-FE", "NCP-NFE", "NFE distributes?")
+	for _, z := range []float64{0.05, 0.2, 0.5, 1, 2, 3, 4} {
+		fe := dlsbl.Instance{Network: dlsbl.NCPFE, Z: z, W: w}
+		nfe := dlsbl.Instance{Network: dlsbl.NCPNFE, Z: z, W: w}
+		_, msFE, err := dlsbl.OptimalMakespan(fe)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, msNFE, err := dlsbl.OptimalMakespan(nfe)
+		if err != nil {
+			log.Fatal(err)
+		}
+		distributes := "yes"
+		if z >= w[len(w)-1] {
+			distributes = "no (z ≥ w_m)"
+		}
+		fmt.Printf("%6.2f %12.4f %12.4f %16s\n", z, msFE, msNFE, distributes)
+	}
+
+	fmt.Println("\naffine extension: with per-transfer overhead it pays to use fewer processors:")
+	fmt.Printf("%8s %6s %12s\n", "Scm", "used", "makespan")
+	for _, scm := range []float64{0, 0.05, 0.2, 0.5, 1} {
+		in := dlsbl.AffineInstance{
+			Instance: dlsbl.Instance{Network: dlsbl.CP, Z: 0.1, W: w},
+			Scm:      scm,
+		}
+		alloc, ms, err := dlsbl.OptimalAffine(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		used := 0
+		for _, a := range alloc {
+			if a > 1e-12 {
+				used++
+			}
+		}
+		fmt.Printf("%8.2f %6d %12.4f\n", scm, used, ms)
+	}
+}

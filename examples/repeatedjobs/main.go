@@ -1,0 +1,90 @@
+// Repeated jobs: a processor pool runs a stream of divisible-load jobs
+// under DLS-BL-NCP. One processor cheats its payment vector in round 2;
+// the referee fines it, and under a ban policy it forfeits every future
+// bonus — reputation turns the paper's one-shot fine into an escalating
+// deterrent. The run also prints the referee's hash-chained audit
+// transcript for the offending round.
+//
+//	go run ./examples/repeatedjobs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dlsbl"
+)
+
+func main() {
+	pool := &dlsbl.Session{
+		Network: dlsbl.NCPFE,
+		TrueW:   []float64{1.0, 1.5, 2.0, 2.5},
+		Fine:    20,
+		Policy:  dlsbl.BanDeviants,
+	}
+
+	jobs := make([]dlsbl.SessionJob, 6)
+	for i := range jobs {
+		jobs[i] = dlsbl.SessionJob{Z: 0.2, Seed: int64(i + 1)}
+	}
+	// Round 2 (index 1): P2 submits an inflated payment vector.
+	jobs[1].Behaviors = []dlsbl.Behavior{{}, dlsbl.PaymentCheat}
+
+	rep, err := pool.Run(jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("six jobs, P2 cheats its payment vector in job 2 (policy: ban-deviants):")
+	fmt.Printf("%5s %10s %10s %10s %10s\n", "job", "U(P1)", "U(P2)", "U(P3)", "U(P4)")
+	for r, out := range rep.Rounds {
+		marker := ""
+		if r == 1 {
+			marker = "  ← cheat caught, fined 20"
+		}
+		if r > 1 {
+			marker = "  (P2 banned)"
+		}
+		fmt.Printf("%5d %10.4f %10.4f %10.4f %10.4f%s\n",
+			r+1, out.Utilities[0], out.Utilities[1], out.Utilities[2], out.Utilities[3], marker)
+	}
+	fmt.Printf("\ncumulative utilities: %v\n", formatVec(rep.CumulativeUtility))
+	fmt.Printf("P2 banned after job %d\n\n", rep.BannedAfter[1]+1)
+
+	// Compare against full honesty to price the deviation.
+	honest := make([]dlsbl.SessionJob, 6)
+	copy(honest, jobs)
+	honest[1] = dlsbl.SessionJob{Z: 0.2, Seed: 2}
+	hrep, err := pool.Run(honest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loss := hrep.CumulativeUtility[1] - rep.CumulativeUtility[1]
+	fmt.Printf("what the single deviation cost P2 over 6 jobs: %.4f (fine 20 + forfeited bonuses %.4f)\n\n",
+		loss, loss-20)
+
+	// The referee's tamper-evident transcript of the offending round.
+	fmt.Println("audit transcript of job 2:")
+	for _, e := range rep.Rounds[1].Transcript {
+		guilty := "-"
+		if len(e.Guilty) > 0 {
+			guilty = e.Guilty[0]
+		}
+		fmt.Printf("  [%02d] %-10s %-10s guilty=%-4s %.70s\n", e.Seq, e.Action, e.Phase, guilty, e.Detail)
+	}
+	if err := dlsbl.VerifyTranscript(rep.Rounds[1].Transcript); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("transcript hash chain verifies ✓")
+}
+
+func formatVec(xs []float64) string {
+	out := "["
+	for i, x := range xs {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.4f", x)
+	}
+	return out + "]"
+}

@@ -1,0 +1,3 @@
+module dlsbl
+
+go 1.22

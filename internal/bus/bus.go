@@ -1,0 +1,193 @@
+// Package bus simulates the shared-medium network of the paper: a
+// one-port bus interconnecting all processors (and the referee), with a
+// reliable atomic broadcast primitive — the paper argues this assumption
+// is reasonable because the transmission medium is shared and equidistant
+// from all processors, and notes that with atomic broadcast no bid
+// commitments are needed.
+//
+// The bus has two planes:
+//
+//   - a control plane carrying signed protocol messages (bids, claims,
+//     payment vectors). Control messages are timeless but fully accounted:
+//     the message and unit counters behind the Θ(m²) communication-
+//     complexity measurement (Theorem 5.4) live here;
+//   - a data plane carrying load fractions, occupying the one-port medium
+//     for α·z virtual time per fraction α, reserved through a
+//     sim.Resource so transfers never overlap.
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dlsbl/internal/sig"
+	"dlsbl/internal/sim"
+)
+
+// BroadcastAddr is the destination of an atomic broadcast.
+const BroadcastAddr = "*"
+
+// Message is one control-plane delivery.
+type Message struct {
+	From string
+	To   string // BroadcastAddr for broadcasts
+	Kind string
+	Size int // abstract size units, e.g. m for an m-entry payment vector
+	Env  sig.Envelope
+}
+
+// Stats aggregates control-plane traffic for the communication-complexity
+// experiment. A broadcast to m−1 receivers counts as one transmission of
+// its size (the medium is shared: one emission reaches everyone), and
+// DeliveredUnits additionally tracks per-receiver delivered volume.
+type Stats struct {
+	Messages       int // transmissions initiated (broadcast counts once)
+	Units          int // Σ size over transmissions
+	Deliveries     int // receiver-side message arrivals
+	DeliveredUnits int // Σ size over deliveries
+	Broadcasts     int
+	Unicasts       int
+}
+
+// Bus is the simulated network. All methods are safe for concurrent use,
+// though the deterministic protocol drives it sequentially.
+type Bus struct {
+	mu      sync.Mutex
+	z       float64
+	inboxes map[string][]Message
+	stats   Stats
+	port    *sim.Resource
+}
+
+// New creates a bus with per-unit-load transfer time z ≥ 0.
+func New(z float64) (*Bus, error) {
+	if !(z >= 0) {
+		return nil, fmt.Errorf("bus: invalid transfer time z=%v", z)
+	}
+	return &Bus{
+		z:       z,
+		inboxes: make(map[string][]Message),
+		port:    sim.NewResource("bus"),
+	}, nil
+}
+
+// Z returns the per-unit transfer time.
+func (b *Bus) Z() float64 { return b.z }
+
+// Attach registers an endpoint identity on the bus.
+func (b *Bus) Attach(id string) error {
+	if id == "" || id == BroadcastAddr {
+		return fmt.Errorf("bus: invalid endpoint id %q", id)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.inboxes[id]; dup {
+		return fmt.Errorf("bus: endpoint %q already attached", id)
+	}
+	b.inboxes[id] = nil
+	return nil
+}
+
+// Endpoints returns the attached identities, sorted.
+func (b *Bus) Endpoints() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ids := make([]string, 0, len(b.inboxes))
+	for id := range b.inboxes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Broadcast atomically delivers the envelope to every endpoint except the
+// sender. By construction every receiver sees the identical message — the
+// paper's atomic-broadcast assumption. size is the abstract message size
+// in units (a scalar bid is 1, an m-vector is m).
+func (b *Bus) Broadcast(from, kind string, env sig.Envelope, size int) error {
+	if size < 0 {
+		return errors.New("bus: negative message size")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.inboxes[from]; !ok {
+		return fmt.Errorf("bus: unknown sender %q", from)
+	}
+	msg := Message{From: from, To: BroadcastAddr, Kind: kind, Size: size, Env: env}
+	b.stats.Messages++
+	b.stats.Units += size
+	b.stats.Broadcasts++
+	for id := range b.inboxes {
+		if id == from {
+			continue
+		}
+		b.inboxes[id] = append(b.inboxes[id], msg)
+		b.stats.Deliveries++
+		b.stats.DeliveredUnits += size
+	}
+	return nil
+}
+
+// Send delivers the envelope to a single endpoint.
+func (b *Bus) Send(from, to, kind string, env sig.Envelope, size int) error {
+	if size < 0 {
+		return errors.New("bus: negative message size")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.inboxes[from]; !ok {
+		return fmt.Errorf("bus: unknown sender %q", from)
+	}
+	if _, ok := b.inboxes[to]; !ok {
+		return fmt.Errorf("bus: unknown receiver %q", to)
+	}
+	msg := Message{From: from, To: to, Kind: kind, Size: size, Env: env}
+	b.stats.Messages++
+	b.stats.Units += size
+	b.stats.Unicasts++
+	b.stats.Deliveries++
+	b.stats.DeliveredUnits += size
+	b.inboxes[to] = append(b.inboxes[to], msg)
+	return nil
+}
+
+// Drain removes and returns the endpoint's queued messages in delivery
+// order.
+func (b *Bus) Drain(id string) ([]Message, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	box, ok := b.inboxes[id]
+	if !ok {
+		return nil, fmt.Errorf("bus: unknown endpoint %q", id)
+	}
+	b.inboxes[id] = nil
+	return box, nil
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (b *Bus) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// ReserveTransfer books the one-port data plane for shipping a load
+// fraction: duration frac·z, starting no earlier than `earliest`. It
+// returns the transfer's [start, end) in virtual time.
+func (b *Bus) ReserveTransfer(earliest, frac float64) (start, end float64, err error) {
+	if frac < 0 {
+		return 0, 0, fmt.Errorf("bus: negative fraction %v", frac)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.port.Reserve(earliest, frac*b.z)
+}
+
+// DataPlaneFreeAt returns the time the data plane next becomes idle.
+func (b *Bus) DataPlaneFreeAt() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.port.FreeAt()
+}

@@ -1,0 +1,227 @@
+package bus
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dlsbl/internal/sig"
+)
+
+func testEnv(t *testing.T, id string, seed int64, v any) sig.Envelope {
+	t.Helper()
+	k, err := sig.GenerateKeyPair(id, sig.DeterministicSource(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := sig.Seal(k, "test", v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func newBus(t *testing.T, z float64, ids ...string) *Bus {
+	t.Helper()
+	b, err := New(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if err := b.Attach(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func TestNewRejectsInvalidZ(t *testing.T) {
+	if _, err := New(-1); err == nil {
+		t.Error("negative z accepted")
+	}
+}
+
+func TestAttach(t *testing.T) {
+	b := newBus(t, 0.5, "P1")
+	if err := b.Attach("P1"); err == nil {
+		t.Error("duplicate attach accepted")
+	}
+	if err := b.Attach(""); err == nil {
+		t.Error("empty id accepted")
+	}
+	if err := b.Attach(BroadcastAddr); err == nil {
+		t.Error("broadcast address accepted as endpoint")
+	}
+	b2 := newBus(t, 0.5, "P2", "P1", "referee")
+	ids := b2.Endpoints()
+	want := []string{"P1", "P2", "referee"}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("endpoints = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestBroadcastReachesAllOthers(t *testing.T) {
+	b := newBus(t, 0.1, "P1", "P2", "P3")
+	env := testEnv(t, "P1", 1, map[string]float64{"bid": 2})
+	if err := b.Broadcast("P1", "bid", env, 1); err != nil {
+		t.Fatal(err)
+	}
+	own, err := b.Drain("P1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(own) != 0 {
+		t.Errorf("sender received its own broadcast: %v", own)
+	}
+	for _, id := range []string{"P2", "P3"} {
+		msgs, err := b.Drain(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) != 1 {
+			t.Fatalf("%s received %d messages, want 1", id, len(msgs))
+		}
+		m := msgs[0]
+		if m.From != "P1" || m.To != BroadcastAddr || m.Kind != "bid" || m.Size != 1 {
+			t.Errorf("%s got %+v", id, m)
+		}
+		if !m.Env.Equal(env) {
+			t.Errorf("%s received a non-identical broadcast copy", id)
+		}
+	}
+}
+
+func TestSendUnicast(t *testing.T) {
+	b := newBus(t, 0.1, "P1", "referee")
+	env := testEnv(t, "P1", 2, []float64{1, 2, 3})
+	if err := b.Send("P1", "referee", "payments", env, 3); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := b.Drain("referee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || msgs[0].To != "referee" || msgs[0].Size != 3 {
+		t.Errorf("referee inbox = %+v", msgs)
+	}
+	if err := b.Send("ghost", "referee", "x", env, 1); err == nil {
+		t.Error("unknown sender accepted")
+	}
+	if err := b.Send("P1", "ghost", "x", env, 1); err == nil {
+		t.Error("unknown receiver accepted")
+	}
+	if err := b.Send("P1", "referee", "x", env, -1); err == nil {
+		t.Error("negative size accepted")
+	}
+	if err := b.Broadcast("ghost", "x", env, 1); err == nil {
+		t.Error("unknown broadcaster accepted")
+	}
+	if err := b.Broadcast("P1", "x", env, -2); err == nil {
+		t.Error("negative broadcast size accepted")
+	}
+}
+
+func TestDrainEmptiesInbox(t *testing.T) {
+	b := newBus(t, 0, "P1", "P2")
+	env := testEnv(t, "P1", 3, 1)
+	if err := b.Broadcast("P1", "bid", env, 1); err != nil {
+		t.Fatal(err)
+	}
+	first, err := b.Drain("P2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 1 {
+		t.Fatalf("first drain = %d messages", len(first))
+	}
+	second, err := b.Drain("P2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second) != 0 {
+		t.Error("drain did not empty the inbox")
+	}
+	if _, err := b.Drain("ghost"); err == nil {
+		t.Error("unknown endpoint drained")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	b := newBus(t, 0, "P1", "P2", "P3", "referee")
+	env := testEnv(t, "P1", 4, 1)
+	if err := b.Broadcast("P1", "bid", env, 1); err != nil { // 3 deliveries
+		t.Fatal(err)
+	}
+	if err := b.Send("P2", "referee", "payments", env, 4); err != nil {
+		t.Fatal(err)
+	}
+	s := b.Stats()
+	if s.Messages != 2 || s.Units != 5 || s.Broadcasts != 1 || s.Unicasts != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Deliveries != 4 || s.DeliveredUnits != 7 {
+		t.Errorf("delivery stats = %+v", s)
+	}
+}
+
+func TestReserveTransferSerializes(t *testing.T) {
+	b := newBus(t, 2, "P1")
+	s1, e1, err := b.ReserveTransfer(0, 0.5) // 1 time unit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != 0 || e1 != 1 {
+		t.Errorf("first transfer [%v,%v), want [0,1)", s1, e1)
+	}
+	s2, e2, err := b.ReserveTransfer(0, 0.25) // 0.5 units, must queue
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != 1 || e2 != 1.5 {
+		t.Errorf("second transfer [%v,%v), want [1,1.5)", s2, e2)
+	}
+	if b.DataPlaneFreeAt() != 1.5 {
+		t.Errorf("data plane free at %v, want 1.5", b.DataPlaneFreeAt())
+	}
+	if _, _, err := b.ReserveTransfer(0, -0.1); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if b.Z() != 2 {
+		t.Errorf("Z = %v, want 2", b.Z())
+	}
+}
+
+// Property: after any sequence of broadcasts, Deliveries =
+// Messages·(endpoints−1) and every inbox except senders' holds all
+// messages.
+func TestQuickBroadcastFanout(t *testing.T) {
+	f := func(seed int64, nEndpoints, nMsgs uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nEndpoints)%8
+		k := int(nMsgs) % 20
+		b, err := New(0.1)
+		if err != nil {
+			return false
+		}
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = string(rune('A' + i))
+			if err := b.Attach(ids[i]); err != nil {
+				return false
+			}
+		}
+		for j := 0; j < k; j++ {
+			from := ids[rng.Intn(n)]
+			if err := b.Broadcast(from, "m", sig.Envelope{Sender: from}, 1); err != nil {
+				return false
+			}
+		}
+		s := b.Stats()
+		return s.Messages == k && s.Deliveries == k*(n-1) && s.Units == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

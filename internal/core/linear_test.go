@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomLinearMech(rng *rand.Rand, n int) (LinearMechanism, []float64) {
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = 0.5 + rng.Float64()*7.5
+	}
+	return LinearMechanism{Z: 0.02 + rng.Float64()*0.4}, w
+}
+
+func TestLinearMechanismValidation(t *testing.T) {
+	m := LinearMechanism{Z: 0.2}
+	if _, err := m.Run([]float64{1}, []float64{1}); err == nil {
+		t.Error("single agent accepted")
+	}
+	if _, err := m.Run([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched exec accepted")
+	}
+	if _, err := m.Run([]float64{0, 2}, []float64{1, 2}); err == nil {
+		t.Error("zero bid accepted")
+	}
+	if _, err := m.Run([]float64{1, 2}, []float64{1, math.NaN()}); err == nil {
+		t.Error("NaN exec accepted")
+	}
+	if _, err := (LinearMechanism{Z: -1}).Run([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("negative z accepted")
+	}
+}
+
+// TestLinearMechanismTwoChainMatchesBusFE: a 2-chain is the NCP-FE bus,
+// so payments coincide.
+func TestLinearMechanismTwoChainMatchesBusFE(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for trial := 0; trial < 30; trial++ {
+		chainMech, w := randomLinearMech(rng, 2)
+		busMech := Mechanism{Network: 1 /* dlt.NCPFE */, Z: chainMech.Z}
+		co, err := chainMech.Run(w, TruthfulExec(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bo, err := busMech.Run(w, TruthfulExec(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range w {
+			if relErr(co.Payment[i], bo.Payment[i]) > 1e-9 {
+				t.Errorf("Q[%d] chain %v, bus %v", i, co.Payment[i], bo.Payment[i])
+			}
+		}
+	}
+}
+
+// TestLinearMechanismStrategyproof: truth-telling dominates on the chain.
+func TestLinearMechanismStrategyproof(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(6)
+		mech, w := randomLinearMech(rng, n)
+		i := rng.Intn(n)
+		truthOut, err := mech.Run(w, TruthfulExec(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 6; k++ {
+			ratio := 0.25 + rng.Float64()*3.75
+			bids := append([]float64(nil), w...)
+			bids[i] = w[i] * ratio
+			exec := TruthfulExec(w)
+			exec[i] = math.Max(bids[i], w[i])
+			devOut, err := mech.Run(bids, exec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if devOut.Utility[i] > truthOut.Utility[i]+1e-9 {
+				t.Errorf("n=%d agent %d: ratio %.3f yields %v > truthful %v (z=%v w=%v)",
+					n, i, ratio, devOut.Utility[i], truthOut.Utility[i], mech.Z, w)
+			}
+		}
+	}
+}
+
+// TestLinearMechanismVoluntaryParticipation: truthful chain agents never
+// lose.
+func TestLinearMechanismVoluntaryParticipation(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 60; trial++ {
+		mech, w := randomLinearMech(rng, 2+rng.Intn(10))
+		out, err := mech.Run(w, TruthfulExec(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, u := range out.Utility {
+			if u < -1e-9 {
+				t.Errorf("truthful agent %d utility %v < 0 (z=%v w=%v)", i, u, mech.Z, w)
+			}
+		}
+	}
+}
+
+// TestLinearMechanismSlackPenalized: slow execution shrinks utility.
+func TestLinearMechanismSlackPenalized(t *testing.T) {
+	mech := LinearMechanism{Z: 0.2}
+	w := []float64{1, 2, 3}
+	truthOut, err := mech.Run(w, TruthfulExec(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := TruthfulExec(w)
+	exec[2] *= 2
+	slackOut, err := mech.Run(w, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slackOut.Utility[2] >= truthOut.Utility[2] {
+		t.Errorf("slacking utility %v not below truthful %v", slackOut.Utility[2], truthOut.Utility[2])
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dlsbl/internal/dlt"
+)
+
+// Property: truth-telling is a dominant strategy even when the OTHER
+// agents misreport arbitrarily — the definition of strategyproofness
+// quantifies over all b_{-i}, not just truthful ones.
+func TestQuickDominantAgainstArbitraryOthers(t *testing.T) {
+	f := func(seed int64, netIdx, mRaw, agentRaw uint8, ratioRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := dlt.Networks[int(netIdx)%len(dlt.Networks)]
+		m := 2 + int(mRaw)%8
+		i := int(agentRaw) % m
+		in := RegimeSafeInstance(rng, net, m)
+		mech := Mechanism{Network: net, Z: in.Z}
+
+		// Others misreport by arbitrary factors in [0.5, 2] but stay in
+		// the regime (bids ≥ 0.25 > z ≤ 0.49... keep ≥ 0.5).
+		bids := append([]float64(nil), in.W...)
+		for j := range bids {
+			if j != i {
+				bids[j] *= 0.5 + rng.Float64()*1.5
+			}
+		}
+		execs := make([]float64, m)
+		for j := range execs {
+			// Others execute at max(bid, true) — rational given their bid.
+			execs[j] = math.Max(bids[j], in.W[j])
+		}
+
+		// Truthful i.
+		bids[i] = in.W[i]
+		execs[i] = in.W[i]
+		truthOut, err := mech.Run(bids, execs)
+		if err != nil {
+			return false
+		}
+		truthU := truthOut.Utility[i]
+
+		// Deviating i.
+		ratio := 0.25 + math.Abs(math.Mod(ratioRaw, 4))
+		if math.IsNaN(ratio) || math.IsInf(ratio, 0) {
+			ratio = 2
+		}
+		bids[i] = in.W[i] * ratio
+		execs[i] = math.Max(bids[i], in.W[i])
+		devOut, err := mech.Run(bids, execs)
+		if err != nil {
+			return false
+		}
+		return devOut.Utility[i] <= truthU+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the realized makespan with verification is never below the
+// bid makespan when the agent executes no faster than it bid (w̃ ≥ b).
+func TestQuickRealizedAtLeastBidMakespan(t *testing.T) {
+	f := func(seed int64, netIdx, mRaw, agentRaw uint8, slackRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := dlt.Networks[int(netIdx)%len(dlt.Networks)]
+		m := 2 + int(mRaw)%8
+		i := int(agentRaw) % m
+		in := RegimeSafeInstance(rng, net, m)
+		mech := Mechanism{Network: net, Z: in.Z}
+		slack := 1 + math.Abs(math.Mod(slackRaw, 3))
+		if math.IsNaN(slack) || math.IsInf(slack, 0) {
+			slack = 1.5
+		}
+		execs := TruthfulExec(in.W)
+		execs[i] *= slack
+		out, err := mech.Run(in.W, execs)
+		if err != nil {
+			return false
+		}
+		return out.MakespanRealized[i] >= out.MakespanBid-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: payments are anonymous in the sense that the user cost is
+// finite and every compensation is non-negative (fractions and execution
+// values are non-negative).
+func TestQuickCompensationNonNegative(t *testing.T) {
+	f := func(seed int64, netIdx, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := dlt.Networks[int(netIdx)%len(dlt.Networks)]
+		m := 2 + int(mRaw)%10
+		in := RegimeSafeInstance(rng, net, m)
+		mech := Mechanism{Network: net, Z: in.Z}
+		out, err := mech.Run(in.W, TruthfulExec(in.W))
+		if err != nil {
+			return false
+		}
+		for _, c := range out.Compensation {
+			if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+				return false
+			}
+		}
+		return !math.IsNaN(out.UserCost) && !math.IsInf(out.UserCost, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dlsbl/internal/dlt"
+)
+
+func randomStarMech(rng *rand.Rand, n int) (StarMechanism, []float64) {
+	z := make([]float64, n)
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		z[i] = 0.02 + rng.Float64()*0.4
+		w[i] = 0.5 + rng.Float64()*7.5
+	}
+	return StarMechanism{Z: z}, w
+}
+
+func TestStarMechanismValidation(t *testing.T) {
+	m := StarMechanism{Z: []float64{0.1, 0.2}}
+	if _, err := m.Run([]float64{1}, []float64{1}); err == nil {
+		t.Error("single agent accepted")
+	}
+	if _, err := m.Run([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched exec accepted")
+	}
+	if _, err := (StarMechanism{Z: []float64{0.1}}).Run([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("mismatched links accepted")
+	}
+	if _, err := m.Run([]float64{0, 2}, []float64{1, 2}); err == nil {
+		t.Error("zero bid accepted")
+	}
+	if _, err := m.Run([]float64{1, 2}, []float64{1, math.NaN()}); err == nil {
+		t.Error("NaN exec accepted")
+	}
+	bad := StarMechanism{Z: []float64{-0.1, 0.2}}
+	if _, err := bad.Run([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("negative link accepted")
+	}
+}
+
+// TestStarMechanismUniformMatchesBusCP: with uniform links the star
+// mechanism's allocation and makespans coincide with the CP-bus DLS-BL
+// (the star with a non-computing root IS the CP bus).
+func TestStarMechanismUniformMatchesBusCP(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(8)
+		z := 0.05 + rng.Float64()*0.4
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = 0.5 + rng.Float64()*7.5
+		}
+		zs := make([]float64, n)
+		for i := range zs {
+			zs[i] = z
+		}
+		star := StarMechanism{Z: zs}
+		bus := Mechanism{Network: dlt.CP, Z: z}
+		so, err := star.Run(w, TruthfulExec(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bo, err := bus.Run(w, TruthfulExec(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relErr(so.MakespanBid, bo.MakespanBid) > 1e-9 {
+			t.Errorf("makespan star %v, bus %v", so.MakespanBid, bo.MakespanBid)
+		}
+		// With uniform z the order is stable-identity, so allocations
+		// and payments line up index by index.
+		for i := range w {
+			if relErr(so.Alloc[i], bo.Alloc[i]) > 1e-9 {
+				t.Errorf("α[%d] star %v, bus %v", i, so.Alloc[i], bo.Alloc[i])
+			}
+			if relErr(so.Payment[i], bo.Payment[i]) > 1e-9 {
+				t.Errorf("Q[%d] star %v, bus %v", i, so.Payment[i], bo.Payment[i])
+			}
+		}
+	}
+}
+
+// TestStarMechanismStrategyproof: truth-telling dominates across random
+// heterogeneous-link instances — Theorem 3.1 carries over to the star.
+func TestStarMechanismStrategyproof(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(6)
+		mech, w := randomStarMech(rng, n)
+		i := rng.Intn(n)
+		truthOut, err := mech.Run(w, TruthfulExec(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 6; k++ {
+			ratio := 0.25 + rng.Float64()*3.75
+			bids := append([]float64(nil), w...)
+			bids[i] = w[i] * ratio
+			exec := TruthfulExec(w)
+			exec[i] = math.Max(bids[i], w[i])
+			devOut, err := mech.Run(bids, exec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if devOut.Utility[i] > truthOut.Utility[i]+1e-9 {
+				t.Errorf("n=%d agent %d: bid ratio %.3f yields %v > truthful %v (z=%v w=%v)",
+					n, i, ratio, devOut.Utility[i], truthOut.Utility[i], mech.Z, w)
+			}
+		}
+	}
+}
+
+// TestStarMechanismVoluntaryParticipation: truthful agents never lose.
+func TestStarMechanismVoluntaryParticipation(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 60; trial++ {
+		mech, w := randomStarMech(rng, 2+rng.Intn(10))
+		out, err := mech.Run(w, TruthfulExec(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, u := range out.Utility {
+			if u < -1e-9 {
+				t.Errorf("truthful agent %d utility %v < 0", i, u)
+			}
+		}
+	}
+}
+
+// TestStarMechanismSlackPenalized: slow execution shrinks utility, as on
+// the bus.
+func TestStarMechanismSlackPenalized(t *testing.T) {
+	mech := StarMechanism{Z: []float64{0.1, 0.3, 0.2}}
+	w := []float64{1, 2, 3}
+	truthOut, err := mech.Run(w, TruthfulExec(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := TruthfulExec(w)
+	exec[1] *= 2
+	slackOut, err := mech.Run(w, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slackOut.Utility[1] >= truthOut.Utility[1] {
+		t.Errorf("slacking utility %v not below truthful %v", slackOut.Utility[1], truthOut.Utility[1])
+	}
+}
+
+// Property: the star mechanism's allocation is feasible and its utility
+// identity U = Q + V holds.
+func TestQuickStarMechanismInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%8
+		mech, w := randomStarMech(rng, n)
+		out, err := mech.Run(w, TruthfulExec(w))
+		if err != nil {
+			return false
+		}
+		if err := out.Alloc.Validate(n); err != nil {
+			return false
+		}
+		for i := range w {
+			if math.Abs(out.Utility[i]-(out.Payment[i]+out.Valuation[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

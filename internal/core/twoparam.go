@@ -1,0 +1,121 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dlsbl/internal/dlt"
+)
+
+// TwoParamStarMechanism drops the one-parameter restriction the entire
+// paper rests on: agents on a star network bid BOTH their processing time
+// w AND their link time z. The natural generalization keeps the DLS-BL
+// payment shape — serve in reported-z order, split equal-finish, pay
+// compensation plus marginal-contribution bonus — but now a bid can buy a
+// better SERVICE SLOT, which a one-dimensional bid never could.
+//
+// Archer–Tardos style constructions only cover single-parameter agents,
+// and Nisan–Ronen showed multi-parameter scheduling mechanisms are
+// fundamentally harder; this type exists to measure the failure
+// empirically (experiment X15) rather than assume it. Transfers are
+// observable on the wire, so the realized makespan uses the deviator's
+// ACTUAL link time — the analogue of the execution meter.
+type TwoParamStarMechanism struct{}
+
+// RunTwoParam executes the mechanism: bidW/bidZ are the reported
+// parameters, execW the observed processing rates, actualZ the observed
+// link times.
+func (TwoParamStarMechanism) RunTwoParam(bidW, bidZ, execW, actualZ []float64) (*Outcome, error) {
+	n := len(bidW)
+	if n < 2 {
+		return nil, errors.New("core: two-param mechanism needs at least two agents")
+	}
+	if len(bidZ) != n || len(execW) != n || len(actualZ) != n {
+		return nil, fmt.Errorf("core: inconsistent vector lengths (%d/%d/%d/%d)", n, len(bidZ), len(execW), len(actualZ))
+	}
+	for i := 0; i < n; i++ {
+		if !(bidW[i] > 0) || !(execW[i] > 0) || math.IsInf(bidW[i], 0) || math.IsInf(execW[i], 0) {
+			return nil, fmt.Errorf("core: invalid processing parameter at %d", i)
+		}
+		if !(bidZ[i] >= 0) || !(actualZ[i] >= 0) || math.IsInf(bidZ[i], 0) || math.IsInf(actualZ[i], 0) {
+			return nil, fmt.Errorf("core: invalid link parameter at %d", i)
+		}
+	}
+	alloc, msBid, err := twoParamOptimal(bidZ, bidW)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{
+		Alloc:            alloc,
+		Compensation:     make([]float64, n),
+		Bonus:            make([]float64, n),
+		Payment:          make([]float64, n),
+		Valuation:        make([]float64, n),
+		Utility:          make([]float64, n),
+		MakespanWithout:  make([]float64, n),
+		MakespanRealized: make([]float64, n),
+		MakespanBid:      msBid,
+	}
+	for i := 0; i < n; i++ {
+		_, tWithout, err := twoParamOptimal(removeAt(bidZ, i), removeAt(bidW, i))
+		if err != nil {
+			return nil, err
+		}
+		// Realized: the allocation and service order stand, but agent i's
+		// wire and meter expose its true link and chosen speed.
+		z := append([]float64(nil), bidZ...)
+		z[i] = actualZ[i]
+		w := append([]float64(nil), bidW...)
+		w[i] = execW[i]
+		order := orderByZ(bidZ) // the schedule was built from the bids
+		perm, err := dlt.StarInstance{Z: z, W: w}.Permute(order)
+		if err != nil {
+			return nil, err
+		}
+		sa := dlt.StarAllocation{Children: make(dlt.Allocation, n)}
+		for pos, idx := range order {
+			sa.Children[pos] = alloc[idx]
+		}
+		tRealized, err := dlt.StarMakespan(perm, sa)
+		if err != nil {
+			return nil, err
+		}
+		out.MakespanWithout[i] = tWithout
+		out.MakespanRealized[i] = tRealized
+		out.Compensation[i] = alloc[i] * execW[i]
+		out.Bonus[i] = tWithout - tRealized
+		out.Payment[i] = out.Compensation[i] + out.Bonus[i]
+		out.Valuation[i] = -alloc[i] * execW[i]
+		out.Utility[i] = out.Payment[i] + out.Valuation[i]
+		out.UserCost += out.Payment[i]
+	}
+	return out, nil
+}
+
+// twoParamOptimal computes the z-ordered equal-finish allocation for a
+// reported (z, w) profile, in agent index order, plus its makespan.
+func twoParamOptimal(z, w []float64) (dlt.Allocation, float64, error) {
+	if len(w) == 1 {
+		// A single remaining agent takes everything over its own link.
+		return dlt.Allocation{1}, z[0] + w[0], nil
+	}
+	order := orderByZ(z)
+	perm, err := dlt.StarInstance{Z: z, W: w}.Permute(order)
+	if err != nil {
+		return nil, 0, err
+	}
+	sa, err := dlt.OptimalStar(perm)
+	if err != nil {
+		return nil, 0, err
+	}
+	ms, err := dlt.StarMakespan(perm, sa)
+	if err != nil {
+		return nil, 0, err
+	}
+	alloc := make(dlt.Allocation, len(w))
+	for pos, idx := range order {
+		alloc[idx] = sa.Children[pos]
+	}
+	return alloc, ms, nil
+}

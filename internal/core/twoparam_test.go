@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTwoParamValidation(t *testing.T) {
+	m := TwoParamStarMechanism{}
+	if _, err := m.RunTwoParam([]float64{1}, []float64{0.1}, []float64{1}, []float64{0.1}); err == nil {
+		t.Error("single agent accepted")
+	}
+	if _, err := m.RunTwoParam([]float64{1, 2}, []float64{0.1}, []float64{1, 2}, []float64{0.1, 0.2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := m.RunTwoParam([]float64{0, 2}, []float64{0.1, 0.2}, []float64{1, 2}, []float64{0.1, 0.2}); err == nil {
+		t.Error("zero w accepted")
+	}
+	if _, err := m.RunTwoParam([]float64{1, 2}, []float64{-0.1, 0.2}, []float64{1, 2}, []float64{0.1, 0.2}); err == nil {
+		t.Error("negative z accepted")
+	}
+}
+
+// TestTwoParamTruthfulMatchesStarMechanism: with truthful link bids the
+// two-parameter mechanism coincides with StarMechanism (z public).
+func TestTwoParamTruthfulMatchesStarMechanism(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(6)
+		star, w := randomStarMech(rng, n)
+		two := TwoParamStarMechanism{}
+		so, err := star.Run(w, TruthfulExec(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		to, err := two.RunTwoParam(w, star.Z, TruthfulExec(w), star.Z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range w {
+			if relErr(so.Payment[i], to.Payment[i]) > 1e-9 {
+				t.Errorf("Q[%d] star %v, two-param %v", i, so.Payment[i], to.Payment[i])
+			}
+		}
+	}
+}
+
+// TestTwoParamLiesNeverProfit documents the (initially surprising)
+// POSITIVE result: even with TWO private parameters, no sampled lie — on
+// the link, on the speed, or on both jointly — beats truth-telling. The
+// reason is verification, not dimensionality: the wire exposes the true
+// link time and the meter the true speed, so the realized makespan of any
+// lie-distorted allocation is evaluated at the TRUE parameters, and the
+// truthful allocation is the unique minimizer there. Nisan–Ronen's
+// multi-parameter hardness applies to mechanisms WITHOUT ex-post
+// observability; full verification sidesteps it.
+func TestTwoParamLiesNeverProfit(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	samples := 0
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(4)
+		mech := TwoParamStarMechanism{}
+		z := make([]float64, n)
+		w := make([]float64, n)
+		for i := 0; i < n; i++ {
+			z[i] = 0.05 + rng.Float64()*0.5
+			w[i] = 0.5 + rng.Float64()*4
+		}
+		truthOut, err := mech.RunTwoParam(w, z, TruthfulExec(w), z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := rng.Intn(n)
+		for _, zf := range []float64{0.25, 0.5, 1, 2, 4} {
+			for _, wf := range []float64{0.5, 1, 2} {
+				if zf == 1 && wf == 1 {
+					continue
+				}
+				samples++
+				bidZ := append([]float64(nil), z...)
+				bidZ[i] = z[i] * zf
+				bidW := append([]float64(nil), w...)
+				bidW[i] = w[i] * wf
+				exec := TruthfulExec(w)
+				if bidW[i] > exec[i] {
+					exec[i] = bidW[i] // rational cover for an overbid
+				}
+				devOut, err := mech.RunTwoParam(bidW, bidZ, exec, z)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gain := devOut.Utility[i] - truthOut.Utility[i]; gain > 1e-9 {
+					t.Errorf("n=%d agent %d: (zf=%.2f, wf=%.2f) profits %v", n, i, zf, wf, gain)
+				}
+			}
+		}
+	}
+	t.Logf("two-param: 0/%d sampled joint lies profitable — full verification rescues multi-parameter truthfulness", samples)
+}
+
+// TestTwoParamWireExposure: the realized makespan uses the deviator's
+// actual link, so the lie inflates the realized schedule beyond the
+// promised one.
+func TestTwoParamWireExposure(t *testing.T) {
+	mech := TwoParamStarMechanism{}
+	w := []float64{2, 2, 2}
+	z := []float64{0.3, 0.3, 0.3}
+	bidZ := []float64{0.05, 0.3, 0.3} // P1 claims a fast link it does not have
+	out, err := mech.RunTwoParam(w, bidZ, TruthfulExec(w), z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MakespanRealized[0] <= out.MakespanBid+1e-12 {
+		t.Errorf("realized %v not above promised %v despite the slow wire", out.MakespanRealized[0], out.MakespanBid)
+	}
+	if math.IsNaN(out.UserCost) {
+		t.Error("NaN user cost")
+	}
+}

@@ -1,0 +1,161 @@
+package dlt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAffineZeroOverheadsMatchLinear(t *testing.T) {
+	// With zero overheads the affine optimum must achieve exactly the
+	// linear optimal makespan. The affine rule serves participants sorted
+	// by speed (a fixed public order), so the per-index FRACTIONS may
+	// differ from the identity-order linear solution — only the makespan
+	// is order-invariant (Theorem 2.2).
+	rng := rand.New(rand.NewSource(20))
+	for _, net := range Networks {
+		for trial := 0; trial < 30; trial++ {
+			in := DefaultRandomInstance(rng, net, 1+rng.Intn(10))
+			aff := AffineInstance{Instance: in}
+			a, ms, err := OptimalAffine(aff)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Validate(in.M()); err != nil {
+				t.Fatalf("%v: infeasible affine allocation: %v", net, err)
+			}
+			// Compare against the GLOBAL linear optimum: outside the
+			// z < w_m NFE regime the subset search correctly keeps the
+			// load on the originator, beating the paper's all-participate
+			// algorithm — exactly what OptimalGlobal returns.
+			g, err := OptimalGlobal(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lms, err := Makespan(in, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if relErr(ms, lms) > 1e-7 {
+				t.Errorf("%v: affine(0,0) makespan %v, global linear %v", net, ms, lms)
+			}
+		}
+	}
+}
+
+func TestAffineValidation(t *testing.T) {
+	bad := AffineInstance{Instance: Instance{Network: CP, Z: 1, W: []float64{1}}, Scm: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative Scm accepted")
+	}
+	if _, _, err := OptimalAffine(bad); err == nil {
+		t.Error("OptimalAffine accepted invalid instance")
+	}
+}
+
+// TestAffineDropsSlowProcessors: with a large per-transfer overhead it is
+// optimal to use fewer processors; the chosen allocation must then beat
+// the full-participation allocation.
+func TestAffineDropsSlowProcessors(t *testing.T) {
+	in := AffineInstance{
+		Instance: Instance{Network: CP, Z: 0.1, W: []float64{1, 1, 1, 1, 1, 1, 1, 1}},
+		Scm:      5, // shipping anything to an extra processor costs 5
+	}
+	a, ms, err := OptimalAffine(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := 0
+	for _, ai := range a {
+		if ai > 1e-12 {
+			used++
+		}
+	}
+	if used != 1 {
+		t.Errorf("with Scm=5 expected a single participant, got %d (α=%v)", used, a)
+	}
+	// Full participation must be no better.
+	fullA, fullT := affineSolvePrefix(in, in.M())
+	_ = fullA
+	if fullT < ms-1e-9 {
+		t.Errorf("prefix search missed a better solution: full %v < best %v", fullT, ms)
+	}
+}
+
+// TestAffinePrefixMonotoneTradeoff: makespan of the chosen solution is the
+// minimum over all prefixes.
+func TestAffineBestOverPrefixes(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, net := range Networks {
+		for trial := 0; trial < 20; trial++ {
+			m := 2 + rng.Intn(8)
+			in := AffineInstance{
+				Instance: DefaultRandomInstance(rng, net, m),
+				Scm:      rng.Float64() * 2,
+				Scp:      rng.Float64(),
+			}
+			_, best, err := OptimalAffine(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for n := 1; n <= m; n++ {
+				if net == NCPNFE {
+					continue // prefix construction differs; covered by the solver itself
+				}
+				_, tn := affineSolvePrefix(in, n)
+				if tn < best-1e-9 {
+					t.Errorf("%v m=%d: prefix %d gives %v < reported best %v", net, m, n, tn, best)
+				}
+			}
+		}
+	}
+}
+
+// TestAffineEqualFinish: the affine solution equalizes finishing times of
+// the participants.
+func TestAffineEqualFinish(t *testing.T) {
+	in := AffineInstance{
+		Instance: Instance{Network: NCPFE, Z: 0.5, W: []float64{1, 2, 3}},
+		Scm:      0.2, Scp: 0.1,
+	}
+	a, ms, err := OptimalAffine(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := 0
+	for _, ai := range a {
+		if ai > 1e-12 {
+			used++
+		}
+	}
+	ft := affineFinish(in, a[:used], used)
+	for i, ti := range ft {
+		if a[i] > 1e-12 && relErr(ti, ms) > 1e-6 {
+			t.Errorf("participant %d finishes at %v, makespan %v", i, ti, ms)
+		}
+	}
+}
+
+// TestMultiRoundBeatsSingleRoundWhenCommCheap: with several processors and
+// moderate z, pipelining rounds lets late processors start earlier, so the
+// multi-round makespan is no worse than single-round.
+func TestMultiRoundNeverWorseMuch(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 30; trial++ {
+		m := 2 + rng.Intn(8)
+		in := DefaultRandomInstance(rng, CP, m)
+		_, single, err := OptimalMakespan(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tl, err := MultiRound(in, 4, GeometricRounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Multi-round with per-round optimal proportions is a heuristic;
+		// it must stay within a small factor of the single-round optimum
+		// (and often beats the last-processor idle time).
+		if tl.Makespan > single*1.5+1e-9 {
+			t.Errorf("m=%d: multi-round %v vastly worse than single %v", m, tl.Makespan, single)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package dlt
+
+// Baseline allocators. Classical DLT motivates the optimal split by
+// comparing against obvious heuristics; experiment E11 reproduces that
+// comparison (optimal vs equal vs speed-proportional makespan).
+
+// EqualSplit assigns every processor the same fraction 1/m.
+func EqualSplit(m int) Allocation {
+	a := make(Allocation, m)
+	for i := range a {
+		a[i] = 1 / float64(m)
+	}
+	return a
+}
+
+// ProportionalSplit assigns fractions proportional to processing speed
+// 1/w_i, the natural heuristic that ignores communication: a processor
+// twice as fast receives twice the load.
+func ProportionalSplit(w []float64) Allocation {
+	a := make(Allocation, len(w))
+	var sum float64
+	for i, wi := range w {
+		a[i] = 1 / wi
+		sum += a[i]
+	}
+	for i := range a {
+		a[i] /= sum
+	}
+	return a
+}
+
+// SingleProcessor assigns the whole load to processor i. For CP the
+// makespan is z + w_i; for an NCP originator it is just w_i. Used as the
+// "no distribution" reference point in the scaling experiments.
+func SingleProcessor(m, i int) Allocation {
+	a := make(Allocation, m)
+	a[i] = 1
+	return a
+}
+
+// Speedup returns the ratio between the best single-processor makespan and
+// the makespan of allocation a on the instance: the classical DLT speedup
+// metric plotted in the cluster-sweep experiment.
+func Speedup(in Instance, a Allocation) (float64, error) {
+	t, err := Makespan(in, a)
+	if err != nil {
+		return 0, err
+	}
+	best := -1.0
+	for i := range in.W {
+		si, err := Makespan(in, SingleProcessor(in.M(), i))
+		if err != nil {
+			return 0, err
+		}
+		if best < 0 || si < best {
+			best = si
+		}
+	}
+	return best / t, nil
+}

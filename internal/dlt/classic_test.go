@@ -1,0 +1,135 @@
+package dlt
+
+import (
+	"math"
+	"testing"
+)
+
+// Classical closed-form checkpoints from the DLT literature (Bharadwaj et
+// al.; Robertazzi, "Ten Reasons to Use Divisible Load Theory"). These pin
+// the implementation against formulas derived independently of the code.
+
+// TestGeometricAllocationIdenticalProcessors: on a CP bus with identical
+// processors, the ratio recursion gives α_{i+1}/α_i = k = w/(z+w), so the
+// optimal fractions form a geometric sequence α_i = α_1·k^{i-1} with
+// α_1 = (1−k)/(1−k^m).
+func TestGeometricAllocationIdenticalProcessors(t *testing.T) {
+	const (
+		w = 2.0
+		z = 0.5
+		m = 9
+	)
+	in := Instance{Network: CP, Z: z, W: make([]float64, m)}
+	for i := range in.W {
+		in.W[i] = w
+	}
+	a, err := Optimal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := w / (z + w)
+	alpha1 := (1 - k) / (1 - math.Pow(k, m))
+	for i := 0; i < m; i++ {
+		want := alpha1 * math.Pow(k, float64(i))
+		if relErr(a[i], want) > 1e-12 {
+			t.Errorf("α[%d] = %v, closed form %v", i, a[i], want)
+		}
+	}
+	// Makespan: T = T_1 = (z+w)·α_1 for the CP bus.
+	ms, err := Makespan(in, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(ms, (z+w)*alpha1) > 1e-12 {
+		t.Errorf("makespan %v, closed form %v", ms, (z+w)*alpha1)
+	}
+}
+
+// TestSpeedupSaturation: as m → ∞ on a CP bus with identical processors
+// the speedup saturates at σ = (z+w)/z = 1 + w/z — adding processors
+// beyond the bus's capacity to feed them is useless (one of Robertazzi's
+// "ten reasons" results). We check both the monotone approach and the
+// bound.
+func TestSpeedupSaturation(t *testing.T) {
+	const (
+		w = 2.0
+		z = 0.25
+	)
+	limit := 1 + w/z // = 9
+	prev := 0.0
+	for _, m := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+		in := Instance{Network: CP, Z: z, W: make([]float64, m)}
+		for i := range in.W {
+			in.W[i] = w
+		}
+		a, err := Optimal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Speedup(in, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < prev-1e-9 {
+			t.Errorf("m=%d: speedup %v fell below m/2's %v", m, s, prev)
+		}
+		if s > limit+1e-9 {
+			t.Errorf("m=%d: speedup %v exceeds the saturation bound %v", m, s, limit)
+		}
+		prev = s
+	}
+	// At m=256 and k=w/(z+w)=8/9 the geometric tail has essentially
+	// vanished: the speedup must be within 0.1% of the bound.
+	if relErr(prev, limit) > 1e-3 {
+		t.Errorf("speedup %v did not saturate to %v", prev, limit)
+	}
+}
+
+// TestEqualFinishValueIdentity: the optimal CP makespan equals
+// z·Σα + α_m·w_m evaluated at the last processor — both ends of the
+// equal-finish chain must price the same schedule.
+func TestEqualFinishValueIdentity(t *testing.T) {
+	in := Instance{Network: CP, Z: 0.4, W: []float64{1, 2, 3, 4, 5}}
+	a, ms, err := OptimalMakespan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := in.Z*a[0] + a[0]*in.W[0]
+	last := in.Z*a.Sum() + a[len(a)-1]*in.W[len(a)-1]
+	if relErr(first, ms) > 1e-12 || relErr(last, ms) > 1e-12 {
+		t.Errorf("chain ends disagree: first %v, last %v, makespan %v", first, last, ms)
+	}
+}
+
+// TestNCPFEOriginatorAdvantage: on otherwise identical hardware, the
+// NCP-FE makespan is smaller than CP's by exactly the bus time of the
+// originator's own fraction being off the wire plus the rebalancing —
+// concretely, NCP-FE ≤ CP − z·α_1^{CP} is NOT exact (the fractions
+// rebalance), but NCP-FE < CP always, and both bracket the zero-z
+// compute-bound limit 1/Σ(1/w).
+func TestNCPFEOriginatorAdvantage(t *testing.T) {
+	w := []float64{1, 1.5, 2, 2.5}
+	var inv float64
+	for _, wi := range w {
+		inv += 1 / wi
+	}
+	bound := 1 / inv
+	for _, z := range []float64{0.05, 0.2, 0.5} {
+		cp := Instance{Network: CP, Z: z, W: w}
+		fe := Instance{Network: NCPFE, Z: z, W: w}
+		_, cpMS, err := OptimalMakespan(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, feMS, err := OptimalMakespan(fe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(feMS < cpMS) {
+			t.Errorf("z=%v: NCP-FE %v not below CP %v", z, feMS, cpMS)
+		}
+		if feMS < bound-1e-12 || cpMS < bound-1e-12 {
+			t.Errorf("z=%v: makespan beat the compute-bound limit %v", z, bound)
+		}
+	}
+}

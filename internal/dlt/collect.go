@@ -1,0 +1,169 @@
+package dlt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Result-collection extension. Classical DLT (and the paper) ignores the
+// cost of returning results to the originator; the follow-up literature
+// (Beaumont, Casanova, Legrand, Robert, Yang — cited by the paper as [2])
+// studies it because it changes both the optimal split and the preferred
+// bus order. Here each processor produces results of size Delta·α_i that
+// must cross the one-port bus back to the originator after its
+// computation finishes; the schedule ends when the last result lands.
+//
+// No closed form is known in general, so this module is simulation-exact:
+// it builds explicit timelines for the two canonical return orders (FIFO —
+// same order as distribution — and LIFO — reverse) and provides a local
+// search that retunes the load split for the collection-aware makespan.
+
+// CollectInstance augments a bus instance with the result-size ratio
+// Delta (output bytes per input byte; 0 recovers the no-collection
+// model).
+type CollectInstance struct {
+	Instance
+	Delta float64
+}
+
+// Validate extends Instance.Validate.
+func (c CollectInstance) Validate() error {
+	if err := c.Instance.Validate(); err != nil {
+		return err
+	}
+	if math.IsNaN(c.Delta) || math.IsInf(c.Delta, 0) || c.Delta < 0 {
+		return fmt.Errorf("dlt: invalid result ratio delta=%v", c.Delta)
+	}
+	return nil
+}
+
+// CollectOrder selects the bus order of the result-return transfers.
+type CollectOrder int
+
+const (
+	// FIFO returns results in distribution order: the first-served
+	// processor (which finishes its chunk earliest) returns first.
+	FIFO CollectOrder = iota
+	// LIFO returns results in reverse distribution order: the last-served
+	// processor returns first.
+	LIFO
+)
+
+// String names the order.
+func (o CollectOrder) String() string {
+	if o == FIFO {
+		return "FIFO"
+	}
+	return "LIFO"
+}
+
+// ScheduleWithCollection builds the full timeline: the distribution and
+// computation spans of Schedule, followed by the serialized result
+// returns in the chosen order. A processor's return can start only after
+// its computation ends and the bus is free; the originator's own result
+// (NCP classes) never crosses the bus.
+func ScheduleWithCollection(c CollectInstance, a Allocation, order CollectOrder) (Timeline, error) {
+	if err := c.Validate(); err != nil {
+		return Timeline{}, err
+	}
+	if order != FIFO && order != LIFO {
+		return Timeline{}, fmt.Errorf("dlt: unknown collection order %d", int(order))
+	}
+	tl, err := Schedule(c.Instance, a)
+	if err != nil {
+		return Timeline{}, err
+	}
+	m := c.M()
+	// Computation end per processor, and where the bus frees up.
+	compEnd := make([]float64, m)
+	busFree := 0.0
+	for _, s := range tl.Spans {
+		if s.Kind == Comp && s.End > compEnd[s.Proc] {
+			compEnd[s.Proc] = s.End
+		}
+		if s.BusOwner && s.End > busFree {
+			busFree = s.End
+		}
+	}
+	orig := c.Network.Originator(m)
+	var returners []int
+	for i := 0; i < m; i++ {
+		if i != orig {
+			returners = append(returners, i)
+		}
+	}
+	if order == LIFO {
+		for l, r := 0, len(returners)-1; l < r; l, r = l+1, r-1 {
+			returners[l], returners[r] = returners[r], returners[l]
+		}
+	}
+	for _, i := range returners {
+		size := c.Delta * a[i]
+		start := math.Max(busFree, compEnd[i])
+		end := start + c.Z*size
+		if size > 0 {
+			tl.Spans = append(tl.Spans, Span{
+				Proc: i, Kind: Comm, Start: start, End: end, Frac: size, BusOwner: true, Round: 1,
+			})
+			busFree = end
+		}
+		if end > tl.Makespan {
+			tl.Makespan = end
+		}
+	}
+	return tl, nil
+}
+
+// CollectMakespan evaluates the collection-aware makespan.
+func CollectMakespan(c CollectInstance, a Allocation, order CollectOrder) (float64, error) {
+	tl, err := ScheduleWithCollection(c, a, order)
+	if err != nil {
+		return 0, err
+	}
+	return tl.Makespan, nil
+}
+
+// TuneCollection improves an allocation for the collection-aware makespan
+// by seeded random local search: propose moving a small fraction between
+// two processors, keep the move when the makespan drops. It never returns
+// an allocation worse than the input. Deterministic for a given rng.
+func TuneCollection(c CollectInstance, start Allocation, order CollectOrder, iters int, rng *rand.Rand) (Allocation, float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if rng == nil {
+		return nil, 0, errors.New("dlt: TuneCollection requires a seeded rng")
+	}
+	m := c.M()
+	if err := start.Validate(m); err != nil {
+		return nil, 0, err
+	}
+	best := start.Clone()
+	bestMS, err := CollectMakespan(c, best, order)
+	if err != nil {
+		return nil, 0, err
+	}
+	step := 0.25
+	for k := 0; k < iters; k++ {
+		cand := best.Clone()
+		i, j := rng.Intn(m), rng.Intn(m)
+		if i == j {
+			continue
+		}
+		eps := rng.Float64() * step * cand[i]
+		cand[i] -= eps
+		cand[j] += eps
+		ms, err := CollectMakespan(c, cand, order)
+		if err != nil {
+			return nil, 0, err
+		}
+		if ms < bestMS {
+			best, bestMS = cand, ms
+		} else if k%64 == 63 && step > 1e-4 {
+			step *= 0.8 // cool down as improvements dry up
+		}
+	}
+	return best, bestMS, nil
+}

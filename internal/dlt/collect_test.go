@@ -1,0 +1,184 @@
+package dlt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomCollect(rng *rand.Rand, net Network, m int) CollectInstance {
+	return CollectInstance{
+		Instance: RandomInstance(rng, net, m, 0.5, 8, 0.02, 0.49),
+		Delta:    rng.Float64() * 0.5,
+	}
+}
+
+func TestCollectValidate(t *testing.T) {
+	ok := CollectInstance{Instance: Instance{Network: CP, Z: 0.1, W: []float64{1}}, Delta: 0.2}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (CollectInstance{Instance: ok.Instance, Delta: -1}).Validate(); err == nil {
+		t.Error("negative delta accepted")
+	}
+	if err := (CollectInstance{Instance: Instance{Network: CP, Z: -1, W: []float64{1}}}).Validate(); err == nil {
+		t.Error("invalid base instance accepted")
+	}
+	if _, err := ScheduleWithCollection(ok, Allocation{1}, CollectOrder(9)); err == nil {
+		t.Error("unknown order accepted")
+	}
+}
+
+func TestCollectOrderString(t *testing.T) {
+	if FIFO.String() != "FIFO" || LIFO.String() != "LIFO" {
+		t.Error("order names wrong")
+	}
+}
+
+// TestCollectZeroDeltaMatchesPlainSchedule: with Delta = 0 collection
+// adds nothing.
+func TestCollectZeroDeltaMatchesPlainSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for _, net := range Networks {
+		in := CollectInstance{Instance: DefaultRandomInstance(rng, net, 6)}
+		a, err := Optimal(in.Instance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := Makespan(in.Instance, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, order := range []CollectOrder{FIFO, LIFO} {
+			ms, err := CollectMakespan(in, a, order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if relErr(ms, plain) > tol {
+				t.Errorf("%v/%v: delta=0 makespan %v, plain %v", net, order, ms, plain)
+			}
+		}
+	}
+}
+
+// TestCollectHandComputedCP: m=2, z=1, w=(2,2), δ=0.5, α=(0.5,0.5), FIFO.
+// Distribution: comm1 [0,0.5), comm2 [0.5,1). Compute: P1 [0.5,1.5),
+// P2 [1,2). Returns (sizes 0.25 each): P1 at max(bus=1, comp=1.5)=1.5 →
+// [1.5,1.75); P2 at max(1.75, 2)=2 → [2,2.25). Makespan 2.25.
+// LIFO: P2 first at max(1,2)=2 → [2,2.25); P1 at max(2.25,1.5) →
+// [2.25,2.5). Makespan 2.5 — FIFO wins here.
+func TestCollectHandComputedCP(t *testing.T) {
+	c := CollectInstance{Instance: Instance{Network: CP, Z: 1, W: []float64{2, 2}}, Delta: 0.5}
+	a := Allocation{0.5, 0.5}
+	fifo, err := CollectMakespan(c, a, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(fifo, 2.25) > tol {
+		t.Errorf("FIFO makespan %v, want 2.25", fifo)
+	}
+	lifo, err := CollectMakespan(c, a, LIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(lifo, 2.5) > tol {
+		t.Errorf("LIFO makespan %v, want 2.5", lifo)
+	}
+}
+
+// TestCollectBusStaysSerial: distribution and return transfers never
+// overlap on the one-port bus.
+func TestCollectBusStaysSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, net := range Networks {
+		for trial := 0; trial < 30; trial++ {
+			c := randomCollect(rng, net, 2+rng.Intn(8))
+			a, err := Optimal(c.Instance)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, order := range []CollectOrder{FIFO, LIFO} {
+				tl, err := ScheduleWithCollection(c, a, order)
+				if err != nil {
+					t.Fatal(err)
+				}
+				spans := tl.BusSpans()
+				for i := 1; i < len(spans); i++ {
+					if spans[i].Start < spans[i-1].End-tol {
+						t.Fatalf("%v/%v: bus overlap %+v then %+v", net, order, spans[i-1], spans[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCollectReturnAfterCompute: a result never leaves before its
+// computation ends.
+func TestCollectReturnAfterCompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	c := randomCollect(rng, NCPFE, 6)
+	a, err := Optimal(c.Instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := ScheduleWithCollection(c, a, LIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compEnd := make([]float64, c.M())
+	for _, s := range tl.Spans {
+		if s.Kind == Comp && s.End > compEnd[s.Proc] {
+			compEnd[s.Proc] = s.End
+		}
+	}
+	for _, s := range tl.Spans {
+		if s.Round == 1 && s.Start < compEnd[s.Proc]-tol {
+			t.Errorf("P%d returns at %v before computing ends at %v", s.Proc+1, s.Start, compEnd[s.Proc])
+		}
+	}
+}
+
+// TestTuneCollectionNeverWorsens and usually improves the
+// distribution-optimal split once returns matter.
+func TestTuneCollection(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	improved := 0
+	for trial := 0; trial < 20; trial++ {
+		c := CollectInstance{
+			Instance: RandomInstance(rng, CP, 5, 0.5, 4, 0.1, 0.4),
+			Delta:    0.5 + rng.Float64(),
+		}
+		a, err := Optimal(c.Instance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, err := CollectMakespan(c, a, FIFO)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuned, after, err := TuneCollection(c, a, FIFO, 400, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after > before+tol {
+			t.Errorf("tuning worsened: %v -> %v", before, after)
+		}
+		if err := tuned.Validate(c.M()); err != nil {
+			t.Errorf("tuned allocation infeasible: %v", err)
+		}
+		if after < before-1e-6 {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Error("tuning never improved any instance with heavy returns")
+	}
+	// Validation paths.
+	c := CollectInstance{Instance: Instance{Network: CP, Z: 0.1, W: []float64{1, 2}}, Delta: 0.1}
+	if _, _, err := TuneCollection(c, Allocation{0.5, 0.5}, FIFO, 10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, _, err := TuneCollection(c, Allocation{0.7, 0.7}, FIFO, 10, rng); err == nil {
+		t.Error("infeasible start accepted")
+	}
+}

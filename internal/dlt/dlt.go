@@ -1,0 +1,193 @@
+// Package dlt implements the Divisible Load Theory (DLT) substrate of
+// Carroll & Grosu, "A Strategyproof Mechanism for Scheduling Divisible
+// Loads in Bus Networks without Control Processor" (IPPS 2006).
+//
+// A divisible load of unit size is split among m processors connected by a
+// bus. Processor P_i needs w_i time units to process one unit of load and
+// the bus needs z time units to transfer one unit of load to any processor
+// (one-port model: at most one transfer at a time). The package provides
+//
+//   - the three system classes of Section 2 of the paper — CP (bus with a
+//     dedicated control processor, Figure 1 / eq. (1)), NCP-FE (no control
+//     processor, originator with front end, Figure 2 / eq. (2)) and
+//     NCP-NFE (no control processor, originator without front end,
+//     Figure 3 / eq. (3));
+//   - the closed-form optimal allocation algorithms (Algorithms 2.1 and
+//     2.2 and the CP analogue), which equalize all finishing times
+//     (Theorem 2.1);
+//   - finish-time evaluation for arbitrary (possibly suboptimal)
+//     allocations and arbitrary execution speeds, as required by the
+//     mechanism's payment rule;
+//   - an independent bisection solver used to cross-validate the closed
+//     forms, naive baseline allocators, and the affine-cost and
+//     multi-round extensions discussed as future work.
+//
+// All quantities are expressed in virtual time units per unit load.
+package dlt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Network identifies one of the three bus-network system classes of the
+// paper (Section 2).
+type Network int
+
+const (
+	// CP is a bus network with a dedicated control processor P0 that
+	// holds the load, has no processing capacity, and distributes load
+	// fractions to the m worker processors over the one-port bus
+	// (Figure 1). Every worker waits for its transfer to complete before
+	// computing, so T_i = z·Σ_{j≤i} α_j + α_i·w_i (eq. (1)).
+	CP Network = iota
+	// NCPFE is a bus network without a control processor in which the
+	// load-originating processor P_1 has a front end and therefore
+	// computes while transmitting (Figure 2). T_1 = α_1·w_1 and, for
+	// i ≥ 2, T_i = z·Σ_{2≤j≤i} α_j + α_i·w_i (eq. (2); the sum starts at
+	// j = 2 because the originator's own fraction never crosses the bus,
+	// as Figure 2 shows).
+	NCPFE
+	// NCPNFE is a bus network without a control processor in which the
+	// load-originating processor P_m has no front end: it first transmits
+	// α_1,…,α_{m−1} and only then processes its own fraction (Figure 3).
+	// T_i = z·Σ_{j≤i} α_j + α_i·w_i for i < m and
+	// T_m = z·Σ_{j≤m−1} α_j + α_m·w_m (eq. (3)).
+	NCPNFE
+)
+
+// String returns the conventional name of the network class.
+func (n Network) String() string {
+	switch n {
+	case CP:
+		return "CP"
+	case NCPFE:
+		return "NCP-FE"
+	case NCPNFE:
+		return "NCP-NFE"
+	default:
+		return fmt.Sprintf("Network(%d)", int(n))
+	}
+}
+
+// Networks lists all three system classes, in paper order. Useful for
+// table-driven tests and experiment sweeps.
+var Networks = []Network{CP, NCPFE, NCPNFE}
+
+// Originator returns the index (0-based) of the load-originating processor
+// among the m workers for this network class: P_1 for NCP-FE, P_m for
+// NCP-NFE. For CP the originator is the separate control processor P0,
+// which is not one of the workers; Originator returns -1 in that case.
+func (n Network) Originator(m int) int {
+	switch n {
+	case NCPFE:
+		return 0
+	case NCPNFE:
+		return m - 1
+	default:
+		return -1
+	}
+}
+
+// Instance describes one divisible-load scheduling problem: the network
+// class, the per-unit communication time z shared by all transfers, and the
+// per-unit processing times W of the m processors (W[i] is w_{i+1} in the
+// paper's 1-based notation).
+type Instance struct {
+	Network Network
+	Z       float64
+	W       []float64
+}
+
+// M returns the number of worker processors.
+func (in Instance) M() int { return len(in.W) }
+
+// Validate checks that the instance is well formed: at least one
+// processor, strictly positive finite processing times, and a non-negative
+// finite communication time.
+func (in Instance) Validate() error {
+	if len(in.W) == 0 {
+		return errors.New("dlt: instance has no processors")
+	}
+	if in.Network != CP && in.Network != NCPFE && in.Network != NCPNFE {
+		return fmt.Errorf("dlt: unknown network class %d", int(in.Network))
+	}
+	if math.IsNaN(in.Z) || math.IsInf(in.Z, 0) || in.Z < 0 {
+		return fmt.Errorf("dlt: invalid communication time z=%v", in.Z)
+	}
+	for i, w := range in.W {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+			return fmt.Errorf("dlt: invalid processing time w[%d]=%v", i, w)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the instance.
+func (in Instance) Clone() Instance {
+	return Instance{Network: in.Network, Z: in.Z, W: append([]float64(nil), in.W...)}
+}
+
+// Without returns the instance obtained when processor i does not
+// participate, as needed by the mechanism's bonus term
+// T(α(b_{-i}), b_{-i}) (Section 3).
+//
+// For CP this simply removes worker i. For the NCP classes the
+// load-originating processor still holds the load even when it does not
+// compute, so removing the originator degenerates the system into a CP
+// network over the remaining m−1 processors: the originator keeps
+// distributing fractions but contributes no processing. Removing a
+// non-originating processor keeps the class unchanged.
+func (in Instance) Without(i int) (Instance, error) {
+	m := in.M()
+	if i < 0 || i >= m {
+		return Instance{}, fmt.Errorf("dlt: Without(%d) out of range for m=%d", i, m)
+	}
+	w := make([]float64, 0, m-1)
+	w = append(w, in.W[:i]...)
+	w = append(w, in.W[i+1:]...)
+	net := in.Network
+	if in.Network.Originator(m) == i {
+		net = CP
+	}
+	return Instance{Network: net, Z: in.Z, W: w}, nil
+}
+
+// Allocation is a load split α = (α_1, …, α_m): Allocation[i] is the
+// fraction of the unit load assigned to processor i. A feasible allocation
+// is component-wise non-negative and sums to 1 (constraints (5)–(6)).
+type Allocation []float64
+
+// Sum returns Σ_i α_i.
+func (a Allocation) Sum() float64 {
+	var s float64
+	for _, x := range a {
+		s += x
+	}
+	return s
+}
+
+// Clone returns a copy of the allocation.
+func (a Allocation) Clone() Allocation { return append(Allocation(nil), a...) }
+
+// FeasibilityTol is the tolerance used by Validate for the Σα_i = 1
+// normalization constraint.
+const FeasibilityTol = 1e-9
+
+// Validate checks feasibility: len(a) = m, α_i ≥ 0 and Σα_i = 1 within
+// FeasibilityTol.
+func (a Allocation) Validate(m int) error {
+	if len(a) != m {
+		return fmt.Errorf("dlt: allocation has %d entries, want %d", len(a), m)
+	}
+	for i, x := range a {
+		if math.IsNaN(x) || x < -FeasibilityTol {
+			return fmt.Errorf("dlt: negative allocation α[%d]=%v", i, x)
+		}
+	}
+	if s := a.Sum(); math.Abs(s-1) > FeasibilityTol {
+		return fmt.Errorf("dlt: allocation sums to %v, want 1", s)
+	}
+	return nil
+}

@@ -1,0 +1,577 @@
+package dlt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const tol = 1e-9
+
+func relErr(a, b float64) float64 {
+	den := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
+	return math.Abs(a-b) / den
+}
+
+func TestNetworkString(t *testing.T) {
+	cases := map[Network]string{CP: "CP", NCPFE: "NCP-FE", NCPNFE: "NCP-NFE", Network(99): "Network(99)"}
+	for n, want := range cases {
+		if got := n.String(); got != want {
+			t.Errorf("Network(%d).String() = %q, want %q", int(n), got, want)
+		}
+	}
+}
+
+func TestOriginator(t *testing.T) {
+	if got := CP.Originator(5); got != -1 {
+		t.Errorf("CP originator = %d, want -1", got)
+	}
+	if got := NCPFE.Originator(5); got != 0 {
+		t.Errorf("NCP-FE originator = %d, want 0", got)
+	}
+	if got := NCPNFE.Originator(5); got != 4 {
+		t.Errorf("NCP-NFE originator = %d, want 4", got)
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	valid := Instance{Network: NCPFE, Z: 0.2, W: []float64{1, 2, 3}}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+	bad := []Instance{
+		{Network: NCPFE, Z: 0.2, W: nil},
+		{Network: Network(7), Z: 0.2, W: []float64{1}},
+		{Network: CP, Z: -1, W: []float64{1}},
+		{Network: CP, Z: math.NaN(), W: []float64{1}},
+		{Network: CP, Z: math.Inf(1), W: []float64{1}},
+		{Network: CP, Z: 0.2, W: []float64{1, 0}},
+		{Network: CP, Z: 0.2, W: []float64{1, -3}},
+		{Network: CP, Z: 0.2, W: []float64{math.NaN()}},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("case %d: invalid instance accepted: %+v", i, in)
+		}
+	}
+}
+
+func TestAllocationValidate(t *testing.T) {
+	if err := (Allocation{0.5, 0.5}).Validate(2); err != nil {
+		t.Errorf("feasible allocation rejected: %v", err)
+	}
+	if err := (Allocation{0.5, 0.5}).Validate(3); err == nil {
+		t.Error("wrong-length allocation accepted")
+	}
+	if err := (Allocation{1.5, -0.5}).Validate(2); err == nil {
+		t.Error("negative allocation accepted")
+	}
+	if err := (Allocation{0.5, 0.4}).Validate(2); err == nil {
+		t.Error("non-normalized allocation accepted")
+	}
+	if err := (Allocation{math.NaN(), 1}).Validate(2); err == nil {
+		t.Error("NaN allocation accepted")
+	}
+}
+
+func TestWithout(t *testing.T) {
+	in := Instance{Network: NCPFE, Z: 0.3, W: []float64{1, 2, 3, 4}}
+	sub, err := in.Without(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Network != NCPFE {
+		t.Errorf("removing non-originator changed network to %v", sub.Network)
+	}
+	wantW := []float64{1, 2, 4}
+	for i := range wantW {
+		if sub.W[i] != wantW[i] {
+			t.Errorf("sub.W = %v, want %v", sub.W, wantW)
+			break
+		}
+	}
+	// Removing the NCP-FE originator degenerates to CP.
+	sub0, err := in.Without(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub0.Network != CP {
+		t.Errorf("removing NCP-FE originator gave %v, want CP", sub0.Network)
+	}
+	// Removing the NCP-NFE originator (last index) degenerates to CP.
+	nfe := Instance{Network: NCPNFE, Z: 0.3, W: []float64{1, 2, 3}}
+	subN, err := nfe.Without(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subN.Network != CP {
+		t.Errorf("removing NCP-NFE originator gave %v, want CP", subN.Network)
+	}
+	if _, err := in.Without(-1); err == nil {
+		t.Error("Without(-1) accepted")
+	}
+	if _, err := in.Without(4); err == nil {
+		t.Error("Without(m) accepted")
+	}
+	// Mutating the original must not change the copy.
+	in.W[0] = 99
+	if sub.W[0] == 99 {
+		t.Error("Without aliases the parent W slice")
+	}
+}
+
+func TestFinishTimesHandComputedCP(t *testing.T) {
+	// m=2, z=1, w=(2,2), α=(0.5,0.5):
+	// T1 = 1·0.5 + 0.5·2 = 1.5; T2 = 1·(0.5+0.5) + 0.5·2 = 2.
+	in := Instance{Network: CP, Z: 1, W: []float64{2, 2}}
+	ft, err := FinishTimes(in, Allocation{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(ft[0], 1.5) > tol || relErr(ft[1], 2) > tol {
+		t.Errorf("finish times = %v, want [1.5 2]", ft)
+	}
+}
+
+func TestFinishTimesHandComputedNCPFE(t *testing.T) {
+	// m=3, z=1, w=(2,2,2), α=(0.4,0.3,0.3):
+	// T1 = 0.4·2 = 0.8
+	// T2 = 1·0.3 + 0.3·2 = 0.9        (sum starts at j=2)
+	// T3 = 1·(0.3+0.3) + 0.3·2 = 1.2
+	in := Instance{Network: NCPFE, Z: 1, W: []float64{2, 2, 2}}
+	ft, err := FinishTimes(in, Allocation{0.4, 0.3, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.8, 0.9, 1.2}
+	for i := range want {
+		if relErr(ft[i], want[i]) > tol {
+			t.Errorf("T[%d] = %v, want %v", i, ft[i], want[i])
+		}
+	}
+}
+
+func TestFinishTimesHandComputedNCPNFE(t *testing.T) {
+	// m=3, z=1, w=(2,2,2), α=(0.4,0.3,0.3):
+	// T1 = 1·0.4 + 0.4·2 = 1.2
+	// T2 = 1·0.7 + 0.3·2 = 1.3
+	// T3 = 1·0.7 + 0.3·2 = 1.3       (originator: no z term for itself)
+	in := Instance{Network: NCPNFE, Z: 1, W: []float64{2, 2, 2}}
+	ft, err := FinishTimes(in, Allocation{0.4, 0.3, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.2, 1.3, 1.3}
+	for i := range want {
+		if relErr(ft[i], want[i]) > tol {
+			t.Errorf("T[%d] = %v, want %v", i, ft[i], want[i])
+		}
+	}
+}
+
+func TestFinishTimesErrors(t *testing.T) {
+	in := Instance{Network: CP, Z: 1, W: []float64{2, 2}}
+	if _, err := FinishTimes(in, Allocation{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FinishTimes(Instance{Network: CP, Z: -1, W: []float64{1}}, Allocation{1}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+// TestOptimalHandComputedNCPFE checks Algorithm 2.1 against a fully
+// hand-worked example: m=2, z=1, w=(2,3).
+// k1 = w1/(z+w2) = 2/4 = 0.5, α = (1, 0.5)/1.5 = (2/3, 1/3).
+// T1 = 2/3·2 = 4/3; T2 = 1/3·1 + 1/3·3 = 4/3. Equal. ✓
+func TestOptimalHandComputedNCPFE(t *testing.T) {
+	in := Instance{Network: NCPFE, Z: 1, W: []float64{2, 3}}
+	a, err := Optimal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(a[0], 2.0/3) > tol || relErr(a[1], 1.0/3) > tol {
+		t.Errorf("α = %v, want [2/3 1/3]", a)
+	}
+	ms, err := Makespan(in, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(ms, 4.0/3) > tol {
+		t.Errorf("makespan = %v, want 4/3", ms)
+	}
+}
+
+// TestOptimalHandComputedNCPNFE checks Algorithm 2.2 on m=2, z=1, w=(2,3):
+// recursion (9): α1·2 = α2·3 ⇒ α = (3/5, 2/5).
+// T1 = 1·3/5 + 3/5·2 = 9/5; T2 = 1·3/5 + 2/5·3 = 9/5. Equal. ✓
+func TestOptimalHandComputedNCPNFE(t *testing.T) {
+	in := Instance{Network: NCPNFE, Z: 1, W: []float64{2, 3}}
+	a, err := Optimal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(a[0], 0.6) > tol || relErr(a[1], 0.4) > tol {
+		t.Errorf("α = %v, want [0.6 0.4]", a)
+	}
+	ms, err := Makespan(in, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(ms, 1.8) > tol {
+		t.Errorf("makespan = %v, want 1.8", ms)
+	}
+}
+
+// TestOptimalHandComputedCP: m=2, z=1, w=(2,3).
+// k1 = 2/(1+3) = 0.5 ⇒ α = (2/3, 1/3).
+// T1 = 1·2/3 + 2/3·2 = 2; T2 = 1·1 + 1/3·3 = 2. Equal. ✓
+func TestOptimalHandComputedCP(t *testing.T) {
+	in := Instance{Network: CP, Z: 1, W: []float64{2, 3}}
+	a, err := Optimal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(a[0], 2.0/3) > tol || relErr(a[1], 1.0/3) > tol {
+		t.Errorf("α = %v, want [2/3 1/3]", a)
+	}
+	ms, err := Makespan(in, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(ms, 2) > tol {
+		t.Errorf("makespan = %v, want 2", ms)
+	}
+}
+
+func TestOptimalSingleProcessor(t *testing.T) {
+	for _, net := range Networks {
+		in := Instance{Network: net, Z: 0.7, W: []float64{3}}
+		a, err := Optimal(in)
+		if err != nil {
+			t.Fatalf("%v: %v", net, err)
+		}
+		if relErr(a[0], 1) > tol {
+			t.Errorf("%v: α = %v, want [1]", net, a)
+		}
+		ms, err := Makespan(in, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 3.0
+		if net == CP {
+			want = 3.7 // the control processor must still ship the load
+		}
+		if relErr(ms, want) > tol {
+			t.Errorf("%v: makespan = %v, want %v", net, ms, want)
+		}
+	}
+}
+
+// TestTheorem21SimultaneousFinish: the optimal allocation equalizes all
+// finishing times, for all three classes and many random instances.
+func TestTheorem21SimultaneousFinish(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, net := range Networks {
+		for trial := 0; trial < 200; trial++ {
+			m := 1 + rng.Intn(32)
+			in := DefaultRandomInstance(rng, net, m)
+			a, err := Optimal(in)
+			if err != nil {
+				t.Fatalf("%v m=%d: %v", net, m, err)
+			}
+			if err := a.Validate(m); err != nil {
+				t.Fatalf("%v m=%d: infeasible optimal allocation: %v", net, m, err)
+			}
+			spread, err := FinishSpread(in, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms, _ := Makespan(in, a)
+			if spread/ms > 1e-9 {
+				t.Errorf("%v m=%d: finish spread %v of makespan %v", net, m, spread, ms)
+			}
+		}
+	}
+}
+
+// TestTheorem22OrderInvariance: permuting the processor order leaves the
+// optimal makespan unchanged (allocation order is irrelevant on a bus).
+func TestTheorem22OrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, net := range Networks {
+		for trial := 0; trial < 100; trial++ {
+			m := 2 + rng.Intn(12)
+			in := DefaultRandomInstance(rng, net, m)
+			_, base, err := OptimalMakespan(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p := 0; p < 5; p++ {
+				perm := in.Clone()
+				// For the NCP classes the originator is pinned to its
+				// position (it holds the load); permute the others.
+				lo := 0
+				hi := m
+				switch net {
+				case NCPFE:
+					lo = 1
+				case NCPNFE:
+					hi = m - 1
+				}
+				for i := hi - 1; i > lo; i-- {
+					j := lo + rng.Intn(i-lo+1)
+					perm.W[i], perm.W[j] = perm.W[j], perm.W[i]
+				}
+				_, ms, err := OptimalMakespan(perm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if relErr(ms, base) > 1e-9 {
+					t.Errorf("%v m=%d: permuted makespan %v != %v", net, m, ms, base)
+				}
+			}
+		}
+	}
+}
+
+// TestOptimalMatchesBisection cross-validates the closed forms against the
+// independent bisection solver.
+func TestOptimalMatchesBisection(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, net := range Networks {
+		for trial := 0; trial < 100; trial++ {
+			m := 1 + rng.Intn(24)
+			in := DefaultRandomInstance(rng, net, m)
+			closed, err := Optimal(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			solved, err := SolveBisect(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range closed {
+				if math.Abs(closed[i]-solved[i]) > 1e-7 {
+					t.Errorf("%v m=%d: α[%d] closed=%v bisect=%v", net, m, i, closed[i], solved[i])
+				}
+			}
+		}
+	}
+}
+
+// TestOptimalBeatsBaselines: the DLT-optimal makespan is never worse than
+// equal-split or speed-proportional split.
+func TestOptimalBeatsBaselines(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, net := range Networks {
+		for trial := 0; trial < 100; trial++ {
+			m := 2 + rng.Intn(16)
+			in := DefaultRandomInstance(rng, net, m)
+			if !DistributionBeneficial(in) {
+				// Outside the z < w_m regime the paper's NFE allocation
+				// is not globally optimal; see Optimal's doc comment.
+				continue
+			}
+			_, opt, err := OptimalMakespan(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, a := range map[string]Allocation{
+				"equal":        EqualSplit(m),
+				"proportional": ProportionalSplit(in.W),
+			} {
+				ms, err := Makespan(in, a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if opt > ms*(1+1e-9) {
+					t.Errorf("%v m=%d: optimal %v worse than %s %v", net, m, opt, name, ms)
+				}
+			}
+		}
+	}
+}
+
+func TestMakespanWithSpeeds(t *testing.T) {
+	in := Instance{Network: NCPFE, Z: 1, W: []float64{2, 3}}
+	a := Allocation{2.0 / 3, 1.0 / 3}
+	// Slow processor 2 down to w=6: T2 = 1/3 + 2 = 7/3 > T1 = 4/3.
+	ms, err := MakespanWithSpeeds(in, a, []float64{2, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(ms, 7.0/3) > tol {
+		t.Errorf("makespan with slowed speeds = %v, want 7/3", ms)
+	}
+	if _, err := MakespanWithSpeeds(in, a, []float64{2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestFinishSpreadIgnoresZeroFractions(t *testing.T) {
+	in := Instance{Network: CP, Z: 1, W: []float64{2, 2, 2}}
+	// Processor 3 gets nothing; its early finish must not count.
+	a := Allocation{0.5, 0.5, 0}
+	spread, err := FinishSpread(in, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T1 = 0.5 + 1 = 1.5, T2 = 1 + 1 = 2 ⇒ spread 0.5.
+	if relErr(spread, 0.5) > tol {
+		t.Errorf("spread = %v, want 0.5", spread)
+	}
+	zero := Allocation{0, 0, 0}
+	s0, err := FinishSpread(in, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0 != 0 {
+		t.Errorf("spread of all-zero allocation = %v, want 0", s0)
+	}
+}
+
+func TestSpeedupAtLeastOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, net := range Networks {
+		for trial := 0; trial < 50; trial++ {
+			in := DefaultRandomInstance(rng, net, 1+rng.Intn(16))
+			if !DistributionBeneficial(in) {
+				continue
+			}
+			a, err := Optimal(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := Speedup(in, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s < 1-1e-9 {
+				t.Errorf("%v: optimal speedup %v < 1", net, s)
+			}
+		}
+	}
+}
+
+func TestSingleProcessorAllocation(t *testing.T) {
+	a := SingleProcessor(4, 2)
+	if err := a.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if a[2] != 1 {
+		t.Errorf("SingleProcessor(4,2) = %v", a)
+	}
+}
+
+// TestNFEDistributionRegime pins down the z vs w_m boundary documented on
+// Optimal: below it the paper's all-participate allocation beats the
+// originator working alone, above it the solo originator wins.
+func TestNFEDistributionRegime(t *testing.T) {
+	w := []float64{2, 2, 2}
+	for _, tc := range []struct {
+		z          float64
+		distribute bool
+	}{
+		{0.5, true}, {1.9, true}, {2.5, false}, {10, false},
+	} {
+		in := Instance{Network: NCPNFE, Z: tc.z, W: w}
+		if got := DistributionBeneficial(in); got != tc.distribute {
+			t.Errorf("z=%v: DistributionBeneficial=%v, want %v", tc.z, got, tc.distribute)
+		}
+		_, dist, err := OptimalMakespan(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo, err := Makespan(in, SingleProcessor(3, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.distribute && dist > solo+tol {
+			t.Errorf("z=%v: distribution %v worse than solo %v in beneficial regime", tc.z, dist, solo)
+		}
+		if !tc.distribute && solo > dist+tol {
+			t.Errorf("z=%v: solo %v worse than distribution %v outside beneficial regime", tc.z, solo, dist)
+		}
+	}
+	// CP and NCP-FE are always beneficial.
+	if !DistributionBeneficial(Instance{Network: CP, Z: 100, W: w}) {
+		t.Error("CP flagged as non-beneficial")
+	}
+	if !DistributionBeneficial(Instance{Network: NCPFE, Z: 100, W: w}) {
+		t.Error("NCP-FE flagged as non-beneficial")
+	}
+	if !DistributionBeneficial(Instance{Network: NCPNFE, Z: 100, W: []float64{1}}) {
+		t.Error("single-processor NFE flagged as non-beneficial")
+	}
+}
+
+// TestOptimalGlobal: inside the regime it matches Optimal; outside (NFE,
+// z ≥ w_m) it keeps the load on the originator and beats Algorithm 2.2.
+func TestOptimalGlobal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		net := Networks[trial%3]
+		in := DefaultRandomInstance(rng, net, 2+rng.Intn(10))
+		g, err := OptimalGlobal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gms, err := Makespan(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Optimal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pms, err := Makespan(in, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if DistributionBeneficial(in) {
+			if relErr(gms, pms) > tol {
+				t.Errorf("%v: global %v != paper %v in beneficial regime", net, gms, pms)
+			}
+		} else {
+			if gms > pms+tol {
+				t.Errorf("%v: global %v worse than paper %v outside the regime", net, gms, pms)
+			}
+			if relErr(gms, in.W[in.M()-1]) > tol {
+				t.Errorf("solo originator makespan %v, want w_m=%v", gms, in.W[in.M()-1])
+			}
+		}
+	}
+	if _, err := OptimalGlobal(Instance{Network: CP, Z: -1, W: []float64{1}}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestCPAndNCPFEShareFractions(t *testing.T) {
+	// The CP and NCP-FE recursions coincide (same k_i), so the optimal
+	// fractions are identical even though the makespans differ.
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		m := 2 + rng.Intn(10)
+		cp := DefaultRandomInstance(rng, CP, m)
+		fe := cp.Clone()
+		fe.Network = NCPFE
+		aCP, err := Optimal(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aFE, err := Optimal(fe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range aCP {
+			if relErr(aCP[i], aFE[i]) > tol {
+				t.Fatalf("fractions differ at %d: %v vs %v", i, aCP[i], aFE[i])
+			}
+		}
+		msCP, _ := Makespan(cp, aCP)
+		msFE, _ := Makespan(fe, aFE)
+		if msFE >= msCP {
+			t.Errorf("NCP-FE makespan %v not better than CP %v (front end should help)", msFE, msCP)
+		}
+	}
+}

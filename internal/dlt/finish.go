@@ -1,0 +1,112 @@
+package dlt
+
+import (
+	"fmt"
+	"math"
+)
+
+// FinishTimes evaluates the per-processor finishing times T_i(α) of
+// eqs. (1)–(3) for an arbitrary allocation on the instance's network class.
+// The speeds used are in.W, which may be bids, true values or execution
+// values depending on the caller — the mechanism's payment rule evaluates
+// the same schedule under several speed vectors.
+//
+// Processors with α_i = 0 still appear in the transmission order but
+// occupy zero bus time, so they finish at the moment their (empty)
+// transfer completes.
+func FinishTimes(in Instance, a Allocation) ([]float64, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	m := in.M()
+	if len(a) != m {
+		return nil, fmt.Errorf("dlt: allocation has %d entries, want %d", len(a), m)
+	}
+	t := make([]float64, m)
+	switch in.Network {
+	case CP:
+		// T_i = z·Σ_{j≤i} α_j + α_i·w_i           (eq. (1))
+		var comm float64
+		for i := 0; i < m; i++ {
+			comm += in.Z * a[i]
+			t[i] = comm + a[i]*in.W[i]
+		}
+	case NCPFE:
+		// T_1 = α_1·w_1; T_i = z·Σ_{2≤j≤i} α_j + α_i·w_i   (eq. (2))
+		t[0] = a[0] * in.W[0]
+		var comm float64
+		for i := 1; i < m; i++ {
+			comm += in.Z * a[i]
+			t[i] = comm + a[i]*in.W[i]
+		}
+	case NCPNFE:
+		// T_i = z·Σ_{j≤i} α_j + α_i·w_i (i<m);
+		// T_m = z·Σ_{j≤m−1} α_j + α_m·w_m          (eq. (3))
+		var comm float64
+		for i := 0; i < m-1; i++ {
+			comm += in.Z * a[i]
+			t[i] = comm + a[i]*in.W[i]
+		}
+		t[m-1] = comm + a[m-1]*in.W[m-1]
+	}
+	return t, nil
+}
+
+// Makespan returns T(α) = max_i T_i(α) (objective (4)).
+func Makespan(in Instance, a Allocation) (float64, error) {
+	t, err := FinishTimes(in, a)
+	if err != nil {
+		return 0, err
+	}
+	return maxOf(t), nil
+}
+
+// MakespanWithSpeeds evaluates the makespan of allocation a when the
+// processors execute at speeds exec rather than at the instance speeds.
+// This is the T(α(b), (b_{-i}, w̃_i)) term of the bonus function: the
+// allocation was computed from the bids, but the schedule is realized at
+// the (possibly different) execution values.
+func MakespanWithSpeeds(in Instance, a Allocation, exec []float64) (float64, error) {
+	if len(exec) != in.M() {
+		return 0, fmt.Errorf("dlt: exec speeds have %d entries, want %d", len(exec), in.M())
+	}
+	realized := in.Clone()
+	copy(realized.W, exec)
+	return Makespan(realized, a)
+}
+
+// FinishSpread returns max_i T_i − min_i T_i over processors with α_i > 0.
+// By Theorem 2.1 the optimal allocation drives the spread to zero; tests
+// and the experiment harness use it as the optimality residual.
+func FinishSpread(in Instance, a Allocation) (float64, error) {
+	t, err := FinishTimes(in, a)
+	if err != nil {
+		return 0, err
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, ti := range t {
+		if a[i] <= 0 {
+			continue
+		}
+		if ti < lo {
+			lo = ti
+		}
+		if ti > hi {
+			hi = ti
+		}
+	}
+	if math.IsInf(lo, 1) { // no positive fractions
+		return 0, nil
+	}
+	return hi - lo, nil
+}
+
+func maxOf(xs []float64) float64 {
+	mx := math.Inf(-1)
+	for _, x := range xs {
+		if x > mx {
+			mx = x
+		}
+	}
+	return mx
+}

@@ -1,0 +1,103 @@
+package dlt
+
+import (
+	"math"
+	"testing"
+)
+
+// Fuzz targets. Run with `go test -fuzz=FuzzOptimal ./internal/dlt`; the
+// seed corpus below executes on every ordinary `go test`.
+
+// FuzzOptimal: for any decoded valid instance, Optimal returns a feasible
+// allocation with equal finishing times, consistent with the bisection
+// solver.
+func FuzzOptimal(f *testing.F) {
+	f.Add(uint8(0), uint8(3), 0.2, 1.0, 2.0, 3.0)
+	f.Add(uint8(1), uint8(5), 0.01, 5.0, 0.5, 1.5)
+	f.Add(uint8(2), uint8(2), 1.5, 2.0, 2.0, 2.0)
+	f.Add(uint8(0), uint8(1), 0.0, 0.1, 7.0, 0.9)
+	f.Fuzz(func(t *testing.T, netRaw, mRaw uint8, z, w1, w2, w3 float64) {
+		net := Networks[int(netRaw)%len(Networks)]
+		m := 1 + int(mRaw)%12
+		if math.IsNaN(z) || math.IsInf(z, 0) || z < 0 || z > 1e6 {
+			t.Skip()
+		}
+		seedW := []float64{w1, w2, w3}
+		w := make([]float64, m)
+		for i := range w {
+			v := seedW[i%3]
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 1e-6 || v > 1e6 {
+				t.Skip()
+			}
+			w[i] = v * (1 + float64(i)*0.1)
+		}
+		in := Instance{Network: net, Z: z, W: w}
+		a, err := Optimal(in)
+		if err != nil {
+			t.Fatalf("Optimal rejected a valid instance: %v", err)
+		}
+		if err := a.Validate(m); err != nil {
+			t.Fatalf("infeasible allocation: %v (instance %+v)", err, in)
+		}
+		spread, err := FinishSpread(in, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := Makespan(in, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spread > 1e-7*math.Max(ms, 1) {
+			t.Fatalf("finish spread %v at makespan %v (instance %+v)", spread, ms, in)
+		}
+		b, err := SolveBisect(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-5 {
+				t.Fatalf("closed form %v vs bisect %v at %d (instance %+v)", a[i], b[i], i, in)
+			}
+		}
+	})
+}
+
+// FuzzLinear: the chain solver equalizes finish times for any valid
+// instance.
+func FuzzLinear(f *testing.F) {
+	f.Add(uint8(3), 0.2, 1.0, 2.0)
+	f.Add(uint8(7), 0.9, 0.5, 4.0)
+	f.Fuzz(func(t *testing.T, mRaw uint8, z, w1, w2 float64) {
+		m := 1 + int(mRaw)%16
+		if math.IsNaN(z) || math.IsInf(z, 0) || z < 0 || z > 1e6 {
+			t.Skip()
+		}
+		for _, v := range []float64{w1, w2} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 1e-6 || v > 1e6 {
+				t.Skip()
+			}
+		}
+		w := make([]float64, m)
+		for i := range w {
+			if i%2 == 0 {
+				w[i] = w1
+			} else {
+				w[i] = w2
+			}
+		}
+		l := LinearInstance{Z: z, W: w}
+		a, ms, err := OptimalLinearMakespan(l)
+		if err != nil {
+			t.Fatalf("OptimalLinear rejected valid instance: %v", err)
+		}
+		ft, err := LinearFinishTimes(l, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ti := range ft {
+			if math.Abs(ti-ms) > 1e-7*math.Max(ms, 1) {
+				t.Fatalf("T[%d]=%v, makespan %v", i, ti, ms)
+			}
+		}
+	})
+}

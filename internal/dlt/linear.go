@@ -1,0 +1,197 @@
+package dlt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Linear-network extension — the second canonical DLT topology from the
+// reference book (and the paper's "other network architectures" future
+// work): processors form a daisy chain P_1 → P_2 → … → P_m. P_1
+// originates the load, keeps its fraction and forwards the remainder to
+// P_2, which does the same, store-and-forward, with every processor
+// owning a front end (it computes while forwarding).
+//
+// With tail loads r_i = Σ_{j>i} α_j, data reaches P_{i+1} at
+// arrival_{i+1} = arrival_i + z·r_i, and P_i finishes at
+// T_i = arrival_i + α_i·w_i. Equalizing consecutive finish times gives
+// the backward recursion α_i·w_i = z·r_i + α_{i+1}·w_{i+1}, solved from
+// the tail and normalized.
+
+// LinearInstance is a daisy chain: Z is the per-unit transfer time on
+// every hop (homogeneous links) and W the per-unit processing times in
+// chain order (W[0] is the originator).
+type LinearInstance struct {
+	Z float64
+	W []float64
+}
+
+// M returns the chain length.
+func (l LinearInstance) M() int { return len(l.W) }
+
+// Validate checks shape and positivity.
+func (l LinearInstance) Validate() error {
+	if len(l.W) == 0 {
+		return errors.New("dlt: linear instance has no processors")
+	}
+	if math.IsNaN(l.Z) || math.IsInf(l.Z, 0) || l.Z < 0 {
+		return fmt.Errorf("dlt: invalid linear z=%v", l.Z)
+	}
+	for i, w := range l.W {
+		if !(w > 0) || math.IsInf(w, 0) {
+			return fmt.Errorf("dlt: invalid linear w[%d]=%v", i, w)
+		}
+	}
+	return nil
+}
+
+// LinearFinishTimes evaluates T_i for an arbitrary allocation on the
+// chain.
+func LinearFinishTimes(l LinearInstance, a Allocation) ([]float64, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	m := l.M()
+	if len(a) != m {
+		return nil, fmt.Errorf("dlt: allocation has %d entries, want %d", len(a), m)
+	}
+	t := make([]float64, m)
+	arrival := 0.0
+	remaining := a.Sum()
+	for i := 0; i < m; i++ {
+		t[i] = arrival + a[i]*l.W[i]
+		remaining -= a[i]
+		if remaining < 0 {
+			remaining = 0
+		}
+		arrival += l.Z * remaining // forward the tail to the next hop
+	}
+	return t, nil
+}
+
+// LinearMakespan returns max_i T_i.
+func LinearMakespan(l LinearInstance, a Allocation) (float64, error) {
+	t, err := LinearFinishTimes(l, a)
+	if err != nil {
+		return 0, err
+	}
+	return maxOf(t), nil
+}
+
+// OptimalLinear computes the equal-finish allocation by the backward
+// recursion α_i·w_i = z·r_i + α_{i+1}·w_{i+1}, r_i = Σ_{j>i} α_j,
+// starting from an unnormalized α_m = 1.
+func OptimalLinear(l LinearInstance) (Allocation, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	m := l.M()
+	a := make(Allocation, m)
+	a[m-1] = 1
+	tail := 0.0 // r_i accumulated while walking backward
+	for i := m - 2; i >= 0; i-- {
+		tail += a[i+1]
+		a[i] = (l.Z*tail + a[i+1]*l.W[i+1]) / l.W[i]
+	}
+	sum := a.Sum()
+	for i := range a {
+		a[i] /= sum
+	}
+	return a, nil
+}
+
+// OptimalLinearSubset computes the optimal allocation when only the
+// processors with active[i] == true compute; inactive processors remain
+// in the chain as pure store-and-forward relays (their hop latency is
+// still paid — a node cannot be spliced out of the physical wiring).
+// The returned allocation has length M with zeros at inactive positions.
+//
+// Between consecutive active processors a and b (gap g = b−a hops), the
+// tail load r crosses g hops unchanged, so equal finishing requires
+// α_a·w_a = g·z·r_a + α_b·w_b.
+func OptimalLinearSubset(l LinearInstance, active []bool) (Allocation, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	m := l.M()
+	if len(active) != m {
+		return nil, fmt.Errorf("dlt: active mask has %d entries, want %d", len(active), m)
+	}
+	var idx []int
+	for i, on := range active {
+		if on {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return nil, errors.New("dlt: no active processors")
+	}
+	a := make(Allocation, m)
+	last := idx[len(idx)-1]
+	a[last] = 1
+	tail := 0.0
+	for k := len(idx) - 2; k >= 0; k-- {
+		cur, next := idx[k], idx[k+1]
+		tail += a[next]
+		gap := float64(next - cur)
+		a[cur] = (gap*l.Z*tail + a[next]*l.W[next]) / l.W[cur]
+	}
+	sum := a.Sum()
+	for i := range a {
+		a[i] /= sum
+	}
+	return a, nil
+}
+
+// OptimalLinearMakespan returns the equal-finish allocation and its
+// makespan.
+func OptimalLinearMakespan(l LinearInstance) (Allocation, float64, error) {
+	a, err := OptimalLinear(l)
+	if err != nil {
+		return nil, 0, err
+	}
+	ms, err := LinearMakespan(l, a)
+	if err != nil {
+		return nil, 0, err
+	}
+	return a, ms, nil
+}
+
+// LinearSchedule builds the explicit chain timeline: hop i→i+1 carries
+// the tail r_i starting when the data arrived at i; every processor
+// computes its fraction from its arrival instant. Hop transfers are
+// tagged BusOwner=false (each hop is a private link, not the shared bus).
+func LinearSchedule(l LinearInstance, a Allocation) (Timeline, error) {
+	if err := l.Validate(); err != nil {
+		return Timeline{}, err
+	}
+	m := l.M()
+	if len(a) != m {
+		return Timeline{}, fmt.Errorf("dlt: allocation has %d entries, want %d", len(a), m)
+	}
+	tl := Timeline{Instance: Instance{Network: NCPFE, Z: l.Z, W: append([]float64(nil), l.W...)}}
+	arrival := 0.0
+	remaining := a.Sum()
+	for i := 0; i < m; i++ {
+		tl.Spans = append(tl.Spans, Span{
+			Proc: i, Kind: Comp, Start: arrival, End: arrival + a[i]*l.W[i], Frac: a[i],
+		})
+		remaining -= a[i]
+		if remaining < 0 {
+			remaining = 0
+		}
+		if i < m-1 && remaining > 0 {
+			tl.Spans = append(tl.Spans, Span{
+				Proc: i + 1, Kind: Comm, Start: arrival, End: arrival + l.Z*remaining, Frac: remaining,
+			})
+		}
+		arrival += l.Z * remaining
+	}
+	for _, s := range tl.Spans {
+		if s.End > tl.Makespan {
+			tl.Makespan = s.End
+		}
+	}
+	return tl, nil
+}

@@ -1,0 +1,366 @@
+package dlt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomLinear(rng *rand.Rand, m int) LinearInstance {
+	l := LinearInstance{Z: 0.02 + rng.Float64()*0.45, W: make([]float64, m)}
+	for i := range l.W {
+		l.W[i] = 0.5 + rng.Float64()*7.5
+	}
+	return l
+}
+
+func TestLinearValidate(t *testing.T) {
+	if err := (LinearInstance{Z: 0.1, W: []float64{1, 2}}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []LinearInstance{
+		{},
+		{Z: -1, W: []float64{1}},
+		{Z: math.NaN(), W: []float64{1}},
+		{Z: 0.1, W: []float64{0}},
+		{Z: 0.1, W: []float64{1, math.Inf(1)}},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, l)
+		}
+	}
+}
+
+// TestLinearFinishTimesHandComputed: m=3, z=1, w=(2,2,2), α=(0.4,0.3,0.3).
+// arrival_1=0, T_1=0.8; tail after 1 is 0.6 ⇒ arrival_2=0.6, T_2=1.2;
+// tail after 2 is 0.3 ⇒ arrival_3=0.9, T_3=1.5.
+func TestLinearFinishTimesHandComputed(t *testing.T) {
+	l := LinearInstance{Z: 1, W: []float64{2, 2, 2}}
+	ft, err := LinearFinishTimes(l, Allocation{0.4, 0.3, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.8, 1.2, 1.5}
+	for i := range want {
+		if relErr(ft[i], want[i]) > tol {
+			t.Errorf("T[%d] = %v, want %v", i, ft[i], want[i])
+		}
+	}
+	if _, err := LinearFinishTimes(l, Allocation{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// TestOptimalLinearHandComputed: m=2, z=1, w=(2,3).
+// Backward: α_2=1 (unnormalized); α_1 = (1·1 + 1·3)/2 = 2 ⇒ α=(2/3,1/3).
+// T_1 = 2/3·2 = 4/3; arrival_2 = 1·(1/3) = 1/3; T_2 = 1/3 + 1/3·3 = 4/3. ✓
+func TestOptimalLinearHandComputed(t *testing.T) {
+	l := LinearInstance{Z: 1, W: []float64{2, 3}}
+	a, ms, err := OptimalLinearMakespan(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(a[0], 2.0/3) > tol || relErr(a[1], 1.0/3) > tol {
+		t.Errorf("α = %v, want [2/3 1/3]", a)
+	}
+	if relErr(ms, 4.0/3) > tol {
+		t.Errorf("makespan = %v, want 4/3", ms)
+	}
+}
+
+// TestOptimalLinearEqualFinish across random chains.
+func TestOptimalLinearEqualFinish(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for trial := 0; trial < 100; trial++ {
+		l := randomLinear(rng, 1+rng.Intn(20))
+		a, err := OptimalLinear(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Validate(l.M()); err != nil {
+			t.Fatal(err)
+		}
+		ft, err := LinearFinishTimes(l, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms := maxOf(ft)
+		for i, ti := range ft {
+			if relErr(ti, ms) > 1e-9 {
+				t.Errorf("m=%d: T[%d]=%v, makespan %v", l.M(), i, ti, ms)
+			}
+		}
+	}
+}
+
+// TestLinearPerturbationOptimality: random feasible perturbations of the
+// equal-finish allocation never reduce the makespan.
+func TestLinearPerturbationOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 40; trial++ {
+		l := randomLinear(rng, 2+rng.Intn(8))
+		a, base, err := OptimalLinearMakespan(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 20; k++ {
+			p := a.Clone()
+			i, j := rng.Intn(l.M()), rng.Intn(l.M())
+			if i == j {
+				continue
+			}
+			eps := rng.Float64() * 0.2 * p[i]
+			p[i] -= eps
+			p[j] += eps
+			ms, err := LinearMakespan(l, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ms < base*(1-1e-9) {
+				t.Errorf("perturbation beat the equal-finish solution: %v < %v", ms, base)
+			}
+		}
+	}
+}
+
+// TestLinearScheduleConsistent: the explicit timeline realizes the
+// finish-time equations and conserves load.
+func TestLinearScheduleConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 50; trial++ {
+		l := randomLinear(rng, 1+rng.Intn(10))
+		a, err := OptimalLinear(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tln, err := LinearSchedule(l, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := LinearFinishTimes(l, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Computation spans end exactly at the finish times.
+		compEnd := make([]float64, l.M())
+		var total float64
+		for _, s := range tln.Spans {
+			if s.Kind == Comp {
+				compEnd[s.Proc] = s.End
+				total += s.Frac
+			}
+		}
+		for i := range want {
+			if relErr(compEnd[i], want[i]) > tol {
+				t.Errorf("timeline T[%d]=%v, eq %v", i, compEnd[i], want[i])
+			}
+		}
+		if relErr(total, 1) > tol {
+			t.Errorf("timeline computes %v of the load", total)
+		}
+	}
+	if _, err := LinearSchedule(LinearInstance{Z: 0.1, W: []float64{1}}, Allocation{1, 0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestOptimalLinearSubsetAllActiveMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 40; trial++ {
+		l := randomLinear(rng, 1+rng.Intn(10))
+		all := make([]bool, l.M())
+		for i := range all {
+			all[i] = true
+		}
+		sub, err := OptimalLinearSubset(l, all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := OptimalLinear(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range full {
+			if relErr(sub[i], full[i]) > tol {
+				t.Errorf("all-active subset α[%d]=%v, full %v", i, sub[i], full[i])
+			}
+		}
+	}
+}
+
+// TestOptimalLinearSubsetEqualFinish: active processors finish together;
+// inactive processors receive nothing.
+func TestOptimalLinearSubsetEqualFinish(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + rng.Intn(10)
+		l := randomLinear(rng, m)
+		active := make([]bool, m)
+		nActive := 0
+		for i := range active {
+			active[i] = rng.Intn(2) == 0
+			if active[i] {
+				nActive++
+			}
+		}
+		if nActive == 0 {
+			active[rng.Intn(m)] = true
+			nActive = 1
+		}
+		a, err := OptimalLinearSubset(l, active)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Validate(m); err != nil {
+			t.Fatal(err)
+		}
+		ft, err := LinearFinishTimes(l, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ms float64
+		for i := range ft {
+			if active[i] && ft[i] > ms {
+				ms = ft[i]
+			}
+		}
+		for i := range ft {
+			if !active[i] {
+				if a[i] != 0 {
+					t.Errorf("inactive P%d received %v", i+1, a[i])
+				}
+				continue
+			}
+			if relErr(ft[i], ms) > 1e-9 {
+				t.Errorf("active P%d finishes at %v, makespan %v (mask %v)", i+1, ft[i], ms, active)
+			}
+		}
+	}
+}
+
+// TestOptimalLinearSubsetMoreHelps: activating an additional processor
+// never increases the subset-optimal makespan (the node's hop cost is
+// paid either way — only extra computing capacity changes).
+func TestOptimalLinearSubsetMoreHelps(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + rng.Intn(8)
+		l := randomLinear(rng, m)
+		off := rng.Intn(m)
+		active := make([]bool, m)
+		for i := range active {
+			active[i] = i != off
+		}
+		subA, err := OptimalLinearSubset(l, active)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subMS, err := LinearMakespan(l, subA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, fullMS, err := OptimalLinearMakespan(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fullMS > subMS+1e-9 {
+			t.Errorf("full participation %v worse than subset %v (off=%d, %+v)", fullMS, subMS, off, l)
+		}
+	}
+}
+
+func TestOptimalLinearSubsetValidation(t *testing.T) {
+	l := LinearInstance{Z: 0.1, W: []float64{1, 2}}
+	if _, err := OptimalLinearSubset(l, []bool{true}); err == nil {
+		t.Error("short mask accepted")
+	}
+	if _, err := OptimalLinearSubset(l, []bool{false, false}); err == nil {
+		t.Error("empty subset accepted")
+	}
+	if _, err := OptimalLinearSubset(LinearInstance{}, nil); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+// TestLinearVsBusFE: a 1-hop chain equals the m=1 case; for m=2 the chain
+// coincides with NCP-FE (single transfer of α_2 while P1 computes).
+func TestLinearVsBusFE(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 30; trial++ {
+		l := randomLinear(rng, 2)
+		bus := Instance{Network: NCPFE, Z: l.Z, W: append([]float64(nil), l.W...)}
+		la, lms, err := OptimalLinearMakespan(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, bms, err := OptimalMakespan(bus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relErr(lms, bms) > tol {
+			t.Errorf("2-chain makespan %v, NCP-FE %v", lms, bms)
+		}
+		for i := range la {
+			if relErr(la[i], ba[i]) > tol {
+				t.Errorf("2-chain α=%v, NCP-FE %v", la, ba)
+			}
+		}
+	}
+}
+
+// TestLinearVsBusTradeoff: for m ≥ 3 the chain pipeline differs from the
+// bus; with cheap communication both approach the same compute-bound
+// limit.
+func TestLinearChainCheapCommLimit(t *testing.T) {
+	w := []float64{1, 2, 3, 4}
+	l := LinearInstance{Z: 1e-9, W: w}
+	_, lms, err := OptimalLinearMakespan(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute-bound limit: T with z=0 is 1/Σ(1/w_i).
+	var inv float64
+	for _, wi := range w {
+		inv += 1 / wi
+	}
+	if relErr(lms, 1/inv) > 1e-6 {
+		t.Errorf("z→0 chain makespan %v, compute-bound limit %v", lms, 1/inv)
+	}
+}
+
+// Property: chain makespan is monotone in z and in every w.
+func TestQuickLinearMonotonicity(t *testing.T) {
+	f := func(seed int64, mRaw, whichRaw uint8, bumpRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + int(mRaw)%12
+		l := randomLinear(rng, m)
+		_, base, err := OptimalLinearMakespan(l)
+		if err != nil {
+			return false
+		}
+		bump := 1 + math.Abs(math.Mod(bumpRaw, 3))
+		if math.IsNaN(bump) || math.IsInf(bump, 0) {
+			bump = 2
+		}
+		slower := LinearInstance{Z: l.Z, W: append([]float64(nil), l.W...)}
+		slower.W[int(whichRaw)%m] *= bump
+		_, worse, err := OptimalLinearMakespan(slower)
+		if err != nil {
+			return false
+		}
+		if worse < base*(1-1e-9) {
+			return false
+		}
+		congested := LinearInstance{Z: l.Z * bump, W: l.W}
+		_, worse2, err := OptimalLinearMakespan(congested)
+		if err != nil {
+			return false
+		}
+		return worse2 >= base*(1-1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

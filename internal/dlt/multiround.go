@@ -1,0 +1,111 @@
+package dlt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Multi-round extension. Single-round bus scheduling forces the last
+// processor to idle until its entire fraction arrives. Splitting the load
+// into R installments lets every processor start on a small chunk early —
+// the idea behind the multi-round algorithms the paper cites as related
+// work (Yang, van der Raadt & Casanova). This module provides a
+// simulation-exact multi-round schedule builder used by the ablation
+// benches; it supports the CP and NCP-FE classes (the NFE originator
+// cannot overlap transmission with computation, so multi-round degenerates
+// to single-round there).
+
+// RoundPolicy chooses how the unit load is divided across rounds.
+type RoundPolicy int
+
+const (
+	// EqualRounds gives every round the same total fraction 1/R.
+	EqualRounds RoundPolicy = iota
+	// GeometricRounds makes round r+1 twice the size of round r, so early
+	// rounds are small (fast pipeline fill) and later rounds amortize.
+	GeometricRounds
+)
+
+// String names the policy.
+func (p RoundPolicy) String() string {
+	if p == EqualRounds {
+		return "equal"
+	}
+	return "geometric"
+}
+
+// MultiRound builds an R-round schedule: each round's total fraction is
+// chosen by the policy and split across processors in the single-round
+// optimal proportions. Within a round the bus serves processors in index
+// order; a processor executes chunks in arrival order, back-to-back when
+// possible. Returns the explicit timeline.
+func MultiRound(in Instance, rounds int, policy RoundPolicy) (Timeline, error) {
+	if err := in.Validate(); err != nil {
+		return Timeline{}, err
+	}
+	if rounds < 1 {
+		return Timeline{}, errors.New("dlt: rounds must be >= 1")
+	}
+	if in.Network == NCPNFE {
+		return Timeline{}, errors.New("dlt: multi-round requires an overlapping originator (CP or NCP-FE)")
+	}
+	per, err := roundFractions(rounds, policy)
+	if err != nil {
+		return Timeline{}, err
+	}
+	prop, err := Optimal(in)
+	if err != nil {
+		return Timeline{}, err
+	}
+	m := in.M()
+	tl := Timeline{Instance: in.Clone()}
+	bus := 0.0
+	procFree := make([]float64, m)
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < m; i++ {
+			frac := per[r] * prop[i]
+			if frac == 0 {
+				continue
+			}
+			arrival := 0.0
+			if in.Network == NCPFE && i == 0 {
+				// The originator's chunk never crosses the bus.
+			} else {
+				end := bus + in.Z*frac
+				tl.Spans = append(tl.Spans, Span{Proc: i, Kind: Comm, Start: bus, End: end, Frac: frac, Round: r, BusOwner: true})
+				bus = end
+				arrival = end
+			}
+			start := math.Max(arrival, procFree[i])
+			end := start + in.W[i]*frac
+			tl.Spans = append(tl.Spans, Span{Proc: i, Kind: Comp, Start: start, End: end, Frac: frac, Round: r})
+			procFree[i] = end
+		}
+	}
+	for _, s := range tl.Spans {
+		if s.End > tl.Makespan {
+			tl.Makespan = s.End
+		}
+	}
+	return tl, nil
+}
+
+func roundFractions(rounds int, policy RoundPolicy) ([]float64, error) {
+	per := make([]float64, rounds)
+	switch policy {
+	case EqualRounds:
+		for r := range per {
+			per[r] = 1 / float64(rounds)
+		}
+	case GeometricRounds:
+		// per[r] ∝ 2^r, normalized.
+		total := math.Exp2(float64(rounds)) - 1
+		for r := range per {
+			per[r] = math.Exp2(float64(r)) / total
+		}
+	default:
+		return nil, fmt.Errorf("dlt: unknown round policy %d", int(policy))
+	}
+	return per, nil
+}

@@ -1,0 +1,134 @@
+package dlt
+
+import "fmt"
+
+// Optimal computes the optimal load allocation for the instance using the
+// closed-form algorithms of Section 2: Algorithm 2.1 for NCP-FE,
+// Algorithm 2.2 for NCP-NFE, and the analogous recursion for CP. By
+// Theorem 2.1 the result equalizes all finishing times; by Theorem 2.2 the
+// processor order does not affect the optimal makespan (only the fractions
+// permute).
+//
+// Caveat (inherited from the paper, which states Theorem 2.1 without its
+// regime condition): for NCP-NFE the all-participate equal-finish solution
+// is globally optimal only when the bus is faster than the originator's
+// own processing, z < w_m. When z > w_m every unit shipped out delays the
+// front-end-less originator by more than it saves, so the true optimum
+// keeps the whole load on the originator. Optimal implements the paper's
+// Algorithm 2.2 verbatim; use DistributionBeneficial to detect the regime.
+func Optimal(in Instance) (Allocation, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	switch in.Network {
+	case CP:
+		return optimalCP(in), nil
+	case NCPFE:
+		return optimalNCPFE(in), nil
+	case NCPNFE:
+		return optimalNCPNFE(in), nil
+	}
+	return nil, fmt.Errorf("dlt: unknown network class %v", in.Network)
+}
+
+// DistributionBeneficial reports whether distributing load across all
+// processors improves on the best single processor. For CP and NCP-FE it
+// is always true: an extra recipient strictly shrinks every other share
+// without delaying anyone who already finished. For NCP-NFE the marginal
+// trade of moving ε load from the originator to any other processor costs
+// the originator z·ε of delayed start and saves it w_m·ε of processing, so
+// distribution pays exactly when z < w_m.
+func DistributionBeneficial(in Instance) bool {
+	if in.Network != NCPNFE || in.M() == 1 {
+		return true
+	}
+	return in.Z < in.W[in.M()-1]
+}
+
+// OptimalGlobal returns the globally optimal allocation even outside the
+// paper's regime: identical to Optimal except for NCP-NFE with z ≥ w_m,
+// where distributing is a net loss and the whole load stays on the
+// originator. (At z = w_m both choices tie; the solo allocation is
+// returned for determinism.)
+func OptimalGlobal(in Instance) (Allocation, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if DistributionBeneficial(in) {
+		return Optimal(in)
+	}
+	return SingleProcessor(in.M(), in.M()-1), nil
+}
+
+// OptimalMakespan computes the optimal allocation and its makespan in one
+// call.
+func OptimalMakespan(in Instance) (Allocation, float64, error) {
+	a, err := Optimal(in)
+	if err != nil {
+		return nil, 0, err
+	}
+	t, err := Makespan(in, a)
+	if err != nil {
+		return nil, 0, err
+	}
+	return a, t, nil
+}
+
+// optimalCP solves BUS-LINEAR-CP. Equalizing consecutive finishing times
+// in eq. (1) gives α_i·w_i = α_{i+1}(z + w_{i+1}), i.e. the same ratio
+// recursion k_i = w_i/(z + w_{i+1}) as Algorithm 2.1.
+func optimalCP(in Instance) Allocation {
+	return chainAllocation(in.W, in.Z, in.M())
+}
+
+// optimalNCPFE implements Algorithm 2.1 (BUS-LINEAR-NCP-FE). Recursion (7)
+// is α_i·w_i = α_{i+1}·z + α_{i+1}·w_{i+1} for i = 1,…,m−1, identical in
+// form to the CP case; only the realized finishing times differ.
+func optimalNCPFE(in Instance) Allocation {
+	return chainAllocation(in.W, in.Z, in.M())
+}
+
+// chainAllocation solves the common ratio recursion
+// α_{i+1} = α_i · w_i/(z + w_{i+1}) over the first n processors and
+// normalizes Σα = 1.
+func chainAllocation(w []float64, z float64, n int) Allocation {
+	a := make(Allocation, n)
+	a[0] = 1
+	sum := 1.0
+	for i := 1; i < n; i++ {
+		k := w[i-1] / (z + w[i]) // k_{i-1} in Algorithm 2.1
+		a[i] = a[i-1] * k
+		sum += a[i]
+	}
+	for i := range a {
+		a[i] /= sum
+	}
+	return a
+}
+
+// optimalNCPNFE implements Algorithm 2.2 (BUS-LINEAR-NCP-NFE). Recursions
+// (8) cover i = 1,…,m−2 with the same k_j = w_j/(z + w_{j+1}); recursion
+// (9), α_{m−1}·w_{m−1} = α_m·w_m, links the originator P_m (which starts
+// computing only after all transfers finish, so no z term appears).
+func optimalNCPNFE(in Instance) Allocation {
+	m := in.M()
+	if m == 1 {
+		return Allocation{1}
+	}
+	a := make(Allocation, m)
+	a[0] = 1
+	sum := 1.0
+	for i := 1; i < m-1; i++ {
+		k := in.W[i-1] / (in.Z + in.W[i])
+		a[i] = a[i-1] * k
+		sum += a[i]
+	}
+	// (9): the originator's fraction keeps only the processing-time
+	// ratio; for m = 2 this is the sole recursion.
+	a[m-1] = a[m-2] * in.W[m-2] / in.W[m-1]
+	sum += a[m-1]
+	for i := range a {
+		a[i] /= sum
+	}
+	return a
+}

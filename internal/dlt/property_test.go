@@ -1,0 +1,203 @@
+package dlt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickInstance decodes arbitrary quick-generated values into a valid
+// instance: sizes clamped to [1,20], speeds to [0.1, 50], z to [0, 10].
+func quickInstance(netIdx uint8, mRaw uint8, zRaw float64, seed int64) Instance {
+	net := Networks[int(netIdx)%len(Networks)]
+	m := 1 + int(mRaw)%20
+	z := math.Abs(math.Mod(zRaw, 10))
+	if math.IsNaN(z) || math.IsInf(z, 0) {
+		z = 0.5
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, m)
+	for i := range w {
+		w[i] = 0.1 + rng.Float64()*49.9
+	}
+	return Instance{Network: net, Z: z, W: w}
+}
+
+// Property: Optimal always returns a feasible allocation with zero finish
+// spread.
+func TestQuickOptimalFeasibleAndBalanced(t *testing.T) {
+	f := func(netIdx, mRaw uint8, zRaw float64, seed int64) bool {
+		in := quickInstance(netIdx, mRaw, zRaw, seed)
+		a, err := Optimal(in)
+		if err != nil {
+			return false
+		}
+		if err := a.Validate(in.M()); err != nil {
+			return false
+		}
+		spread, err := FinishSpread(in, a)
+		if err != nil {
+			return false
+		}
+		ms, _ := Makespan(in, a)
+		return spread <= 1e-8*math.Max(ms, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the optimal makespan is monotone non-increasing when a
+// processor is added (more capacity can only help), which underlies the
+// voluntary-participation proof.
+func TestQuickAddingProcessorHelps(t *testing.T) {
+	f := func(netIdx, mRaw uint8, zRaw float64, seed int64, extraRaw float64) bool {
+		in := quickInstance(netIdx, mRaw, zRaw, seed)
+		_, base, err := OptimalMakespan(in)
+		if err != nil {
+			return false
+		}
+		extra := 0.1 + math.Abs(math.Mod(extraRaw, 50))
+		if math.IsNaN(extra) || math.IsInf(extra, 0) {
+			extra = 1
+		}
+		grown := in.Clone()
+		// Insert the newcomer in a non-originating slot.
+		switch in.Network {
+		case NCPNFE:
+			grown.W = append([]float64{extra}, grown.W...)
+		default:
+			grown.W = append(grown.W, extra)
+		}
+		if !DistributionBeneficial(grown) {
+			// Outside the z < w_m NFE regime more participants can hurt;
+			// see Optimal's doc comment.
+			return true
+		}
+		_, bigger, err := OptimalMakespan(grown)
+		if err != nil {
+			return false
+		}
+		return bigger <= base*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the optimal makespan is monotone in every processing speed —
+// slowing any processor down never decreases the optimal makespan.
+func TestQuickMakespanMonotoneInSpeeds(t *testing.T) {
+	f := func(netIdx, mRaw uint8, zRaw float64, seed int64, whichRaw uint8, factorRaw float64) bool {
+		in := quickInstance(netIdx, mRaw, zRaw, seed)
+		_, base, err := OptimalMakespan(in)
+		if err != nil {
+			return false
+		}
+		factor := 1 + math.Abs(math.Mod(factorRaw, 4))
+		if math.IsNaN(factor) || math.IsInf(factor, 0) {
+			factor = 2
+		}
+		slow := in.Clone()
+		slow.W[int(whichRaw)%in.M()] *= factor
+		_, worse, err := OptimalMakespan(slow)
+		if err != nil {
+			return false
+		}
+		return worse >= base*(1-1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: allocation monotonicity of the underlying one-parameter
+// mechanism (Archer–Tardos): bidding slower never increases your assigned
+// fraction.
+func TestQuickAllocationMonotoneInOwnBid(t *testing.T) {
+	f := func(netIdx, mRaw uint8, zRaw float64, seed int64, whichRaw uint8, factorRaw float64) bool {
+		in := quickInstance(netIdx, mRaw, zRaw, seed)
+		i := int(whichRaw) % in.M()
+		a, err := Optimal(in)
+		if err != nil {
+			return false
+		}
+		factor := 1 + math.Abs(math.Mod(factorRaw, 4))
+		if math.IsNaN(factor) || math.IsInf(factor, 0) {
+			factor = 2
+		}
+		slower := in.Clone()
+		slower.W[i] *= factor
+		b, err := Optimal(slower)
+		if err != nil {
+			return false
+		}
+		return b[i] <= a[i]*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bisection and closed form agree for arbitrary instances.
+func TestQuickBisectionAgrees(t *testing.T) {
+	f := func(netIdx, mRaw uint8, zRaw float64, seed int64) bool {
+		in := quickInstance(netIdx, mRaw, zRaw, seed)
+		a, err := Optimal(in)
+		if err != nil {
+			return false
+		}
+		b, err := SolveBisect(in)
+		if err != nil {
+			return false
+		}
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaling all w and z by a common factor scales the optimal
+// makespan by that factor and leaves fractions unchanged (the model is
+// homogeneous of degree one).
+func TestQuickHomogeneity(t *testing.T) {
+	f := func(netIdx, mRaw uint8, zRaw float64, seed int64, scaleRaw float64) bool {
+		in := quickInstance(netIdx, mRaw, zRaw, seed)
+		scale := 0.5 + math.Abs(math.Mod(scaleRaw, 10))
+		if math.IsNaN(scale) || math.IsInf(scale, 0) {
+			scale = 2
+		}
+		a1, t1, err := OptimalMakespan(in)
+		if err != nil {
+			return false
+		}
+		scaled := in.Clone()
+		scaled.Z *= scale
+		for i := range scaled.W {
+			scaled.W[i] *= scale
+		}
+		a2, t2, err := OptimalMakespan(scaled)
+		if err != nil {
+			return false
+		}
+		if math.Abs(t2-scale*t1) > 1e-6*math.Max(t2, 1) {
+			return false
+		}
+		for i := range a1 {
+			if math.Abs(a1[i]-a2[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

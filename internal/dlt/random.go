@@ -1,0 +1,25 @@
+package dlt
+
+import "math/rand"
+
+// RandomInstance draws a random instance for the given network class:
+// m processors with w_i uniform in [wMin, wMax] and z uniform in
+// [zMin, zMax]. All randomized tests and experiments pass an explicitly
+// seeded *rand.Rand so results are reproducible.
+func RandomInstance(rng *rand.Rand, net Network, m int, wMin, wMax, zMin, zMax float64) Instance {
+	w := make([]float64, m)
+	for i := range w {
+		w[i] = wMin + rng.Float64()*(wMax-wMin)
+	}
+	return Instance{
+		Network: net,
+		Z:       zMin + rng.Float64()*(zMax-zMin),
+		W:       w,
+	}
+}
+
+// DefaultRandomInstance draws an instance with the parameter ranges used
+// throughout the experiment harness: w ∈ [0.5, 8], z ∈ [0.05, 2].
+func DefaultRandomInstance(rng *rand.Rand, net Network, m int) Instance {
+	return RandomInstance(rng, net, m, 0.5, 8, 0.05, 2)
+}

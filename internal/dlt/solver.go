@@ -1,0 +1,108 @@
+package dlt
+
+import (
+	"errors"
+	"math"
+)
+
+// SolveBisect computes the optimal allocation by an algorithm independent
+// of the closed forms in optimal.go, used for cross-validation (experiment
+// E4 and the ablation benches).
+//
+// It exploits Theorem 2.1: at the optimum all processors finish at the
+// common makespan T. For a candidate T the fractions are determined
+// sequentially from the finishing-time equations —
+//
+//	CP:      α_i = (T − z·S_{i−1}) / (w_i + z)
+//	NCP-FE:  α_1 = T/w_1,  α_i = (T − z·S'_{i−1}) / (w_i + z)
+//	NCP-NFE: α_i = (T − z·S_{i−1}) / (w_i + z) (i<m),  α_m = (T − z·S_{m−1})/w_m
+//
+// where S is the running communicated prefix. The total Σα_i(T) is
+// continuous and strictly increasing in T, so the unique T with
+// Σα_i(T) = 1 is found by bisection.
+func SolveBisect(in Instance) (Allocation, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	total := func(T float64) (Allocation, float64) {
+		a := allocAtMakespan(in, T)
+		return a, a.Sum()
+	}
+	// Bracket: T=0 gives total 0; T = z + max w processes the whole load
+	// on any single processor, so total ≥ 1.
+	lo, hi := 0.0, in.Z+maxOf(in.W)
+	for {
+		if _, s := total(hi); s >= 1 {
+			break
+		}
+		hi *= 2
+		if math.IsInf(hi, 1) {
+			return nil, errors.New("dlt: bisection failed to bracket the makespan")
+		}
+	}
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		if mid == lo || mid == hi {
+			break
+		}
+		if _, s := total(mid); s < 1 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	a, _ := total(hi)
+	// Remove the residual O(ulp) normalization error.
+	s := a.Sum()
+	for i := range a {
+		a[i] /= s
+	}
+	return a, nil
+}
+
+// allocAtMakespan returns the (unnormalized) fractions that make every
+// processor finish exactly at time T, clamped at zero when T is too small
+// for a processor to receive work.
+func allocAtMakespan(in Instance, T float64) Allocation {
+	m := in.M()
+	a := make(Allocation, m)
+	switch in.Network {
+	case CP:
+		var prefix float64 // z·Σ_{j<i} α_j
+		for i := 0; i < m; i++ {
+			ai := (T - prefix) / (in.W[i] + in.Z)
+			if ai < 0 {
+				ai = 0
+			}
+			a[i] = ai
+			prefix += in.Z * ai
+		}
+	case NCPFE:
+		a[0] = math.Max(T/in.W[0], 0)
+		var prefix float64
+		for i := 1; i < m; i++ {
+			ai := (T - prefix) / (in.W[i] + in.Z)
+			if ai < 0 {
+				ai = 0
+			}
+			a[i] = ai
+			prefix += in.Z * ai
+		}
+	case NCPNFE:
+		var prefix float64
+		for i := 0; i < m-1; i++ {
+			ai := (T - prefix) / (in.W[i] + in.Z)
+			if ai < 0 {
+				ai = 0
+			}
+			a[i] = ai
+			prefix += in.Z * ai
+		}
+		am := (T - prefix) / in.W[m-1]
+		if am < 0 {
+			am = 0
+		}
+		a[m-1] = am
+	}
+	return a
+}

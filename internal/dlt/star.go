@@ -1,0 +1,263 @@
+package dlt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Star-network extension — the paper's future work ("for future work, we
+// are planning to investigate other network architectures"). A star (or
+// single-level tree) generalizes the bus: the originator reaches child i
+// over its own link with per-unit time Z[i], so links are heterogeneous
+// and — unlike on the bus (Theorem 2.2) — the service ORDER now matters.
+// The classical DLT result is that serving children in non-decreasing
+// link time z is optimal; OptimalStarOrder implements it and the tests
+// verify it against exhaustive search.
+
+// StarInstance is a single-level tree: an originating root that serves m
+// children sequentially (one-port), child i over a link with per-unit
+// time Z[i] and per-unit processing time W[i]. RootW is the root's own
+// per-unit processing time when it has a front end and computes
+// concurrently; RootW = 0 means the root is a pure distributor (the
+// control-processor configuration).
+type StarInstance struct {
+	RootW float64
+	Z     []float64
+	W     []float64
+}
+
+// M returns the number of children.
+func (s StarInstance) M() int { return len(s.W) }
+
+// Validate checks shape and positivity.
+func (s StarInstance) Validate() error {
+	if len(s.W) == 0 {
+		return errors.New("dlt: star instance has no children")
+	}
+	if len(s.Z) != len(s.W) {
+		return fmt.Errorf("dlt: star has %d links for %d children", len(s.Z), len(s.W))
+	}
+	if math.IsNaN(s.RootW) || math.IsInf(s.RootW, 0) || s.RootW < 0 {
+		return fmt.Errorf("dlt: invalid root processing time %v", s.RootW)
+	}
+	for i := range s.W {
+		if !(s.W[i] > 0) || math.IsInf(s.W[i], 0) {
+			return fmt.Errorf("dlt: invalid star w[%d]=%v", i, s.W[i])
+		}
+		if !(s.Z[i] >= 0) || math.IsInf(s.Z[i], 0) {
+			return fmt.Errorf("dlt: invalid star z[%d]=%v", i, s.Z[i])
+		}
+	}
+	return nil
+}
+
+// Permute returns the instance with children reordered by perm.
+func (s StarInstance) Permute(perm []int) (StarInstance, error) {
+	m := s.M()
+	if len(perm) != m {
+		return StarInstance{}, fmt.Errorf("dlt: permutation has %d entries for %d children", len(perm), m)
+	}
+	seen := make([]bool, m)
+	out := StarInstance{RootW: s.RootW, Z: make([]float64, m), W: make([]float64, m)}
+	for pos, idx := range perm {
+		if idx < 0 || idx >= m || seen[idx] {
+			return StarInstance{}, fmt.Errorf("dlt: invalid permutation %v", perm)
+		}
+		seen[idx] = true
+		out.Z[pos] = s.Z[idx]
+		out.W[pos] = s.W[idx]
+	}
+	return out, nil
+}
+
+// StarAllocation is a star load split: the root's fraction plus one
+// fraction per child, in service order. Root + children sum to 1.
+type StarAllocation struct {
+	Root     float64
+	Children Allocation
+}
+
+// Sum returns the total assigned fraction.
+func (a StarAllocation) Sum() float64 { return a.Root + a.Children.Sum() }
+
+// StarFinishTimes evaluates the finishing times for a star schedule:
+// child i finishes at Σ_{j≤i} α_j·z_j + α_i·w_i; the front-end root
+// finishes at α_0·RootW.
+func StarFinishTimes(s StarInstance, a StarAllocation) (root float64, children []float64, err error) {
+	if err := s.Validate(); err != nil {
+		return 0, nil, err
+	}
+	if len(a.Children) != s.M() {
+		return 0, nil, fmt.Errorf("dlt: star allocation has %d children, want %d", len(a.Children), s.M())
+	}
+	children = make([]float64, s.M())
+	var comm float64
+	for i := range a.Children {
+		comm += a.Children[i] * s.Z[i]
+		children[i] = comm + a.Children[i]*s.W[i]
+	}
+	if s.RootW > 0 {
+		root = a.Root * s.RootW
+	}
+	return root, children, nil
+}
+
+// StarMakespan returns max over root and children.
+func StarMakespan(s StarInstance, a StarAllocation) (float64, error) {
+	root, children, err := StarFinishTimes(s, a)
+	if err != nil {
+		return 0, err
+	}
+	ms := root
+	for _, t := range children {
+		if t > ms {
+			ms = t
+		}
+	}
+	return ms, nil
+}
+
+// OptimalStar computes the equal-finish allocation for the given child
+// order: unnormalized fractions at common finish time 1 —
+// u_root = 1/RootW, u_1 = 1/(z_1+w_1), u_{i+1} = u_i·w_i/(z_{i+1}+w_{i+1})
+// — then normalized.
+func OptimalStar(s StarInstance) (StarAllocation, error) {
+	if err := s.Validate(); err != nil {
+		return StarAllocation{}, err
+	}
+	m := s.M()
+	u := make(Allocation, m)
+	u[0] = 1 / (s.Z[0] + s.W[0])
+	for i := 1; i < m; i++ {
+		u[i] = u[i-1] * s.W[i-1] / (s.Z[i] + s.W[i])
+	}
+	uRoot := 0.0
+	if s.RootW > 0 {
+		uRoot = 1 / s.RootW
+	}
+	total := uRoot + u.Sum()
+	a := StarAllocation{Root: uRoot / total, Children: make(Allocation, m)}
+	for i := range u {
+		a.Children[i] = u[i] / total
+	}
+	return a, nil
+}
+
+// OptimalStarOrder returns the optimal service order — children sorted by
+// non-decreasing link time z (the classical single-level-tree sequencing
+// result; ties broken by processing time for determinism) — together with
+// the allocation and makespan realized under it. The returned order maps
+// service position → original child index.
+func OptimalStarOrder(s StarInstance) ([]int, StarAllocation, float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, StarAllocation{}, 0, err
+	}
+	order := make([]int, s.M())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if s.Z[order[a]] != s.Z[order[b]] {
+			return s.Z[order[a]] < s.Z[order[b]]
+		}
+		return s.W[order[a]] < s.W[order[b]]
+	})
+	perm, err := s.Permute(order)
+	if err != nil {
+		return nil, StarAllocation{}, 0, err
+	}
+	alloc, err := OptimalStar(perm)
+	if err != nil {
+		return nil, StarAllocation{}, 0, err
+	}
+	ms, err := StarMakespan(perm, alloc)
+	if err != nil {
+		return nil, StarAllocation{}, 0, err
+	}
+	return order, alloc, ms, nil
+}
+
+// ExhaustiveStarOrder searches all m! service orders (m ≤ 9) and returns
+// the best. It exists to validate OptimalStarOrder in tests and the X1
+// experiment.
+func ExhaustiveStarOrder(s StarInstance) ([]int, float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, 0, err
+	}
+	m := s.M()
+	if m > 9 {
+		return nil, 0, fmt.Errorf("dlt: exhaustive order search limited to 9 children, got %d", m)
+	}
+	best := math.Inf(1)
+	var bestOrder []int
+	perm := make([]int, m)
+	for i := range perm {
+		perm[i] = i
+	}
+	var recurse func(k int) error
+	recurse = func(k int) error {
+		if k == m {
+			inst, err := s.Permute(perm)
+			if err != nil {
+				return err
+			}
+			alloc, err := OptimalStar(inst)
+			if err != nil {
+				return err
+			}
+			ms, err := StarMakespan(inst, alloc)
+			if err != nil {
+				return err
+			}
+			if ms < best {
+				best = ms
+				bestOrder = append([]int(nil), perm...)
+			}
+			return nil
+		}
+		for i := k; i < m; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if err := recurse(k + 1); err != nil {
+				return err
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return nil
+	}
+	if err := recurse(0); err != nil {
+		return nil, 0, err
+	}
+	return bestOrder, best, nil
+}
+
+// UniformStar converts a bus instance into the equivalent star with all
+// links equal to z: the CP bus is exactly the star with RootW = 0, and
+// NCP-FE is the star whose root computes (RootW = w_1) serving the
+// remaining processors. The tests use it to cross-check the star solver
+// against the bus closed forms.
+func UniformStar(in Instance) (StarInstance, error) {
+	if err := in.Validate(); err != nil {
+		return StarInstance{}, err
+	}
+	switch in.Network {
+	case CP:
+		z := make([]float64, in.M())
+		for i := range z {
+			z[i] = in.Z
+		}
+		return StarInstance{Z: z, W: append([]float64(nil), in.W...)}, nil
+	case NCPFE:
+		if in.M() < 2 {
+			return StarInstance{}, errors.New("dlt: NCP-FE star conversion needs m ≥ 2")
+		}
+		z := make([]float64, in.M()-1)
+		for i := range z {
+			z[i] = in.Z
+		}
+		return StarInstance{RootW: in.W[0], Z: z, W: append([]float64(nil), in.W[1:]...)}, nil
+	default:
+		return StarInstance{}, fmt.Errorf("dlt: no star equivalent for %v", in.Network)
+	}
+}

@@ -1,0 +1,249 @@
+package dlt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomStar(rng *rand.Rand, m int, withRoot bool) StarInstance {
+	s := StarInstance{Z: make([]float64, m), W: make([]float64, m)}
+	for i := 0; i < m; i++ {
+		s.Z[i] = 0.05 + rng.Float64()*0.4
+		s.W[i] = 0.5 + rng.Float64()*7.5
+	}
+	if withRoot {
+		s.RootW = 0.5 + rng.Float64()*7.5
+	}
+	return s
+}
+
+func TestStarValidate(t *testing.T) {
+	ok := StarInstance{Z: []float64{0.1, 0.2}, W: []float64{1, 2}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []StarInstance{
+		{},
+		{Z: []float64{0.1}, W: []float64{1, 2}},
+		{RootW: -1, Z: []float64{0.1}, W: []float64{1}},
+		{Z: []float64{-0.1}, W: []float64{1}},
+		{Z: []float64{0.1}, W: []float64{0}},
+		{Z: []float64{math.NaN()}, W: []float64{1}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestStarPermute(t *testing.T) {
+	s := StarInstance{RootW: 5, Z: []float64{0.1, 0.2, 0.3}, W: []float64{1, 2, 3}}
+	p, err := s.Permute([]int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Z[0] != 0.3 || p.W[0] != 3 || p.Z[1] != 0.1 || p.RootW != 5 {
+		t.Errorf("permuted = %+v", p)
+	}
+	if _, err := s.Permute([]int{0, 1}); err == nil {
+		t.Error("short permutation accepted")
+	}
+	if _, err := s.Permute([]int{0, 0, 1}); err == nil {
+		t.Error("duplicate permutation accepted")
+	}
+	if _, err := s.Permute([]int{0, 1, 5}); err == nil {
+		t.Error("out-of-range permutation accepted")
+	}
+}
+
+// TestOptimalStarEqualFinish: children (and a computing root) all finish
+// simultaneously, and the allocation is feasible.
+func TestOptimalStarEqualFinish(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 100; trial++ {
+		s := randomStar(rng, 1+rng.Intn(12), trial%2 == 0)
+		a, err := OptimalStar(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.Sum()-1) > 1e-9 {
+			t.Fatalf("allocation sums to %v", a.Sum())
+		}
+		root, children, err := StarFinishTimes(s, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, _ := StarMakespan(s, a)
+		for i, ti := range children {
+			if relErr(ti, ms) > 1e-9 {
+				t.Errorf("child %d finishes at %v, makespan %v", i, ti, ms)
+			}
+		}
+		if s.RootW > 0 && relErr(root, ms) > 1e-9 {
+			t.Errorf("root finishes at %v, makespan %v", root, ms)
+		}
+		if s.RootW == 0 && a.Root != 0 {
+			t.Errorf("non-computing root received %v", a.Root)
+		}
+	}
+}
+
+// TestStarMatchesBusClosedForms: with uniform links the star solver must
+// reproduce the CP and NCP-FE bus solutions exactly.
+func TestStarMatchesBusClosedForms(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 50; trial++ {
+		m := 2 + rng.Intn(10)
+		for _, net := range []Network{CP, NCPFE} {
+			in := DefaultRandomInstance(rng, net, m)
+			star, err := UniformStar(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sa, err := OptimalStar(star)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ba, err := Optimal(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sms, err := StarMakespan(star, sa)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bms, err := Makespan(in, ba)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if relErr(sms, bms) > 1e-9 {
+				t.Errorf("%v m=%d: star makespan %v, bus %v", net, m, sms, bms)
+			}
+			switch net {
+			case CP:
+				for i := range ba {
+					if relErr(sa.Children[i], ba[i]) > 1e-9 {
+						t.Errorf("CP: child %d star %v, bus %v", i, sa.Children[i], ba[i])
+					}
+				}
+			case NCPFE:
+				if relErr(sa.Root, ba[0]) > 1e-9 {
+					t.Errorf("FE: root fraction %v, bus %v", sa.Root, ba[0])
+				}
+				for i := 1; i < m; i++ {
+					if relErr(sa.Children[i-1], ba[i]) > 1e-9 {
+						t.Errorf("FE: child %d star %v, bus %v", i, sa.Children[i-1], ba[i])
+					}
+				}
+			}
+		}
+	}
+	if _, err := UniformStar(Instance{Network: NCPNFE, Z: 0.1, W: []float64{1, 2}}); err == nil {
+		t.Error("NFE star conversion accepted")
+	}
+	if _, err := UniformStar(Instance{Network: NCPFE, Z: 0.1, W: []float64{1}}); err == nil {
+		t.Error("single-processor FE star conversion accepted")
+	}
+}
+
+// TestOptimalStarOrderMatchesExhaustive: the sort-by-z order achieves the
+// exhaustive-search optimum (the classical sequencing theorem).
+func TestOptimalStarOrderMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 40; trial++ {
+		s := randomStar(rng, 2+rng.Intn(5), trial%2 == 0)
+		_, _, sorted, err := OptimalStarOrder(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, best, err := ExhaustiveStarOrder(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sorted > best*(1+1e-9) {
+			t.Errorf("sorted-by-z makespan %v worse than exhaustive best %v (instance %+v)", sorted, best, s)
+		}
+	}
+}
+
+// TestStarOrderMattersWithHeterogeneousLinks: unlike the bus
+// (Theorem 2.2), order changes the makespan once links differ.
+func TestStarOrderMattersWithHeterogeneousLinks(t *testing.T) {
+	s := StarInstance{Z: []float64{0.05, 0.8}, W: []float64{2, 2}}
+	fwd, err := OptimalStar(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwdMS, _ := StarMakespan(s, fwd)
+	rev, err := s.Permute([]int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	revAlloc, err := OptimalStar(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	revMS, _ := StarMakespan(rev, revAlloc)
+	if relErr(fwdMS, revMS) < 1e-9 {
+		t.Error("heterogeneous-link orders produced identical makespans")
+	}
+	if fwdMS > revMS {
+		t.Errorf("fast-link-first (%v) worse than slow-link-first (%v)", fwdMS, revMS)
+	}
+}
+
+func TestExhaustiveStarOrderBounds(t *testing.T) {
+	big := randomStar(rand.New(rand.NewSource(53)), 10, false)
+	if _, _, err := ExhaustiveStarOrder(big); err == nil {
+		t.Error("10-child exhaustive search accepted")
+	}
+	if _, _, err := ExhaustiveStarOrder(StarInstance{}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestStarFinishTimesValidation(t *testing.T) {
+	s := StarInstance{Z: []float64{0.1, 0.1}, W: []float64{1, 2}}
+	if _, _, err := StarFinishTimes(s, StarAllocation{Children: Allocation{1}}); err == nil {
+		t.Error("short allocation accepted")
+	}
+	if _, err := OptimalStar(StarInstance{}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+	if _, _, _, err := OptimalStarOrder(StarInstance{}); err == nil {
+		t.Error("invalid instance accepted by order solver")
+	}
+}
+
+// Property: sort-by-z never loses to a random order.
+func TestQuickStarSortedOrderDominates(t *testing.T) {
+	f := func(seed int64, mRaw uint8, withRoot bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + int(mRaw)%6
+		s := randomStar(rng, m, withRoot)
+		_, _, sorted, err := OptimalStarOrder(s)
+		if err != nil {
+			return false
+		}
+		perm := rng.Perm(m)
+		inst, err := s.Permute(perm)
+		if err != nil {
+			return false
+		}
+		alloc, err := OptimalStar(inst)
+		if err != nil {
+			return false
+		}
+		ms, err := StarMakespan(inst, alloc)
+		if err != nil {
+			return false
+		}
+		return sorted <= ms*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,222 @@
+package dlt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Multi-level tree networks — the last of the classical DLT topologies
+// (the reference book's tree chapter, and the paper's "other network
+// architectures" future work). A Tree node either IS a processor (leaf)
+// or a processor that heads a subtree: it receives its subtree's whole
+// load over its link (store-and-forward), keeps a share for itself and
+// redistributes the rest to its children over its own one-port port,
+// computing while it transmits (front end).
+//
+// The classical solution technique is the *equivalent processor*
+// reduction: because every quantity in the linear model is homogeneous of
+// degree one in the load, a whole subtree behaves exactly like a single
+// processor whose per-unit processing time equals the subtree's makespan
+// on unit load. Collapsing subtrees bottom-up reduces the tree to a flat
+// star, which OptimalStar solves; expanding top-down yields every node's
+// fraction.
+
+// Tree is a node of the distribution tree: a processor with per-unit
+// time W, reached over a link with per-unit time Z (Z of the root is
+// ignored — the root originates the load), plus zero or more child
+// subtrees.
+type Tree struct {
+	W        float64
+	Z        float64
+	Children []*Tree
+}
+
+// Validate checks the whole tree.
+func (t *Tree) Validate() error {
+	if t == nil {
+		return errors.New("dlt: nil tree")
+	}
+	return t.validate(true)
+}
+
+func (t *Tree) validate(root bool) error {
+	if !(t.W > 0) || math.IsInf(t.W, 0) {
+		return fmt.Errorf("dlt: invalid tree node w=%v", t.W)
+	}
+	if !root {
+		if !(t.Z >= 0) || math.IsInf(t.Z, 0) {
+			return fmt.Errorf("dlt: invalid tree link z=%v", t.Z)
+		}
+	}
+	for _, c := range t.Children {
+		if c == nil {
+			return errors.New("dlt: nil child subtree")
+		}
+		if err := c.validate(false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Size returns the number of processors in the tree.
+func (t *Tree) Size() int {
+	n := 1
+	for _, c := range t.Children {
+		n += c.Size()
+	}
+	return n
+}
+
+// Depth returns the number of levels (a lone node has depth 1).
+func (t *Tree) Depth() int {
+	d := 0
+	for _, c := range t.Children {
+		if cd := c.Depth(); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}
+
+// EquivalentW returns the subtree's equivalent per-unit processing time:
+// the makespan of the subtree on unit load when its head originates the
+// distribution. A leaf's equivalent time is its own W.
+func (t *Tree) EquivalentW() (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	return t.equivalentW()
+}
+
+func (t *Tree) equivalentW() (float64, error) {
+	if len(t.Children) == 0 {
+		return t.W, nil
+	}
+	star, err := t.localStar()
+	if err != nil {
+		return 0, err
+	}
+	sa, err := OptimalStar(star)
+	if err != nil {
+		return 0, err
+	}
+	return StarMakespan(star, sa)
+}
+
+// localStar collapses the node's children into equivalent processors and
+// returns the star the node solves locally: itself as a computing root
+// serving one equivalent child per subtree, in the z-optimal order
+// (OptimalStar is order-sensitive; sortedness is the children's own
+// responsibility — callers get optimality via OptimalTree, which sorts).
+func (t *Tree) localStar() (StarInstance, error) {
+	star := StarInstance{RootW: t.W}
+	for _, c := range t.Children {
+		eq, err := c.equivalentW()
+		if err != nil {
+			return StarInstance{}, err
+		}
+		star.Z = append(star.Z, c.Z)
+		star.W = append(star.W, eq)
+	}
+	// Serve faster links first (the star sequencing theorem).
+	order := orderByZThenW(star.Z, star.W)
+	permuted, err := star.Permute(order)
+	if err != nil {
+		return StarInstance{}, err
+	}
+	return permuted, nil
+}
+
+func orderByZThenW(z, w []float64) []int {
+	order := make([]int, len(z))
+	for i := range order {
+		order[i] = i
+	}
+	for a := 1; a < len(order); a++ {
+		for b := a; b > 0; b-- {
+			i, j := order[b], order[b-1]
+			if z[i] < z[j] || (z[i] == z[j] && w[i] < w[j]) {
+				order[b], order[b-1] = order[b-1], order[b]
+			} else {
+				break
+			}
+		}
+	}
+	return order
+}
+
+// TreeAllocation maps every node to its load fraction, in the order of a
+// pre-order walk (node before its children, children in declaration
+// order).
+type TreeAllocation []float64
+
+// OptimalTree computes the optimal load split across the whole tree via
+// the equivalent-processor reduction, returning the per-node fractions
+// (pre-order) and the makespan on unit load.
+func OptimalTree(t *Tree) (TreeAllocation, float64, error) {
+	if err := t.Validate(); err != nil {
+		return nil, 0, err
+	}
+	alloc := make(TreeAllocation, t.Size())
+	ms, err := t.assign(1.0, alloc, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	return alloc, ms, nil
+}
+
+// assign distributes `load` within the subtree, filling alloc starting at
+// pre-order position pos, and returns the subtree makespan for that load.
+func (t *Tree) assign(load float64, alloc TreeAllocation, pos int) (float64, error) {
+	if len(t.Children) == 0 {
+		alloc[pos] = load
+		return load * t.W, nil
+	}
+	star := StarInstance{RootW: t.W}
+	childPos := make([]int, len(t.Children))
+	p := pos + 1
+	for i, c := range t.Children {
+		eq, err := c.equivalentW()
+		if err != nil {
+			return 0, err
+		}
+		star.Z = append(star.Z, c.Z)
+		star.W = append(star.W, eq)
+		childPos[i] = p
+		p += c.Size()
+	}
+	order := orderByZThenW(star.Z, star.W)
+	permuted, err := star.Permute(order)
+	if err != nil {
+		return 0, err
+	}
+	sa, err := OptimalStar(permuted)
+	if err != nil {
+		return 0, err
+	}
+	ms, err := StarMakespan(permuted, sa)
+	if err != nil {
+		return 0, err
+	}
+	alloc[pos] = load * sa.Root
+	for servicePos, childIdx := range order {
+		childLoad := load * sa.Children[servicePos]
+		if _, err := t.Children[childIdx].assign(childLoad, alloc, childPos[childIdx]); err != nil {
+			return 0, err
+		}
+	}
+	return load * ms, nil
+}
+
+// TreeFinishCheck verifies the self-similarity property the reduction
+// relies on: the realized makespan equals EquivalentW times the load.
+// Exposed for tests and the X9 experiment.
+func TreeFinishCheck(t *Tree, load float64) (float64, error) {
+	eq, err := t.EquivalentW()
+	if err != nil {
+		return 0, err
+	}
+	return eq * load, nil
+}

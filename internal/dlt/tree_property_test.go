@@ -1,0 +1,116 @@
+package dlt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the tree makespan is monotone — slowing any node down never
+// decreases the optimal makespan, and speeding it up never increases it.
+func TestQuickTreeMonotoneInNodeSpeed(t *testing.T) {
+	f := func(seed int64, depthRaw, fanoutRaw, whichRaw uint8, factorRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		depth := 1 + int(depthRaw)%3
+		fanout := 1 + int(fanoutRaw)%3
+		tr := randomTree(rng, depth, fanout)
+		_, base, err := OptimalTree(tr)
+		if err != nil {
+			return false
+		}
+		factor := 1 + math.Abs(math.Mod(factorRaw, 3))
+		if math.IsNaN(factor) || math.IsInf(factor, 0) {
+			factor = 2
+		}
+		// Slow one node (pre-order position) down.
+		nodes := collectNodes(tr)
+		target := nodes[int(whichRaw)%len(nodes)]
+		old := target.W
+		target.W *= factor
+		_, worse, err := OptimalTree(tr)
+		target.W = old
+		if err != nil {
+			return false
+		}
+		return worse >= base*(1-1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: attaching an extra leaf to any node never increases the
+// optimal makespan (it is served over its link only if beneficial —
+// OptimalStar assigns it a positive share, which by the star voluntary-
+// participation property cannot hurt when the root computes... verified
+// empirically here across random trees).
+func TestQuickTreeExtraLeafHelps(t *testing.T) {
+	f := func(seed int64, depthRaw, fanoutRaw, whichRaw uint8, wRaw, zRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTree(rng, 1+int(depthRaw)%3, 1+int(fanoutRaw)%3)
+		_, base, err := OptimalTree(tr)
+		if err != nil {
+			return false
+		}
+		w := 0.5 + math.Abs(math.Mod(wRaw, 7))
+		z := 0.01 + math.Abs(math.Mod(zRaw, 0.3))
+		if math.IsNaN(w) || math.IsNaN(z) {
+			return true
+		}
+		nodes := collectNodes(tr)
+		parent := nodes[int(whichRaw)%len(nodes)]
+		parent.Children = append(parent.Children, &Tree{W: w, Z: z})
+		_, grown, err := OptimalTree(tr)
+		parent.Children = parent.Children[:len(parent.Children)-1]
+		if err != nil {
+			return false
+		}
+		return grown <= base*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the tree optimum is homogeneous of degree one in (W, Z).
+func TestQuickTreeHomogeneity(t *testing.T) {
+	f := func(seed int64, scaleRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTree(rng, 3, 2)
+		_, base, err := OptimalTree(tr)
+		if err != nil {
+			return false
+		}
+		scale := 0.5 + math.Abs(math.Mod(scaleRaw, 5))
+		if math.IsNaN(scale) || math.IsInf(scale, 0) {
+			scale = 2
+		}
+		scaleTree(tr, scale)
+		_, scaled, err := OptimalTree(tr)
+		scaleTree(tr, 1/scale)
+		if err != nil {
+			return false
+		}
+		return math.Abs(scaled-scale*base) <= 1e-6*math.Max(scaled, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func collectNodes(t *Tree) []*Tree {
+	out := []*Tree{t}
+	for _, c := range t.Children {
+		out = append(out, collectNodes(c)...)
+	}
+	return out
+}
+
+func scaleTree(t *Tree, s float64) {
+	t.W *= s
+	t.Z *= s
+	for _, c := range t.Children {
+		scaleTree(c, s)
+	}
+}

@@ -1,0 +1,231 @@
+package dlt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func leaf(w, z float64) *Tree { return &Tree{W: w, Z: z} }
+
+func randomTree(rng *rand.Rand, depth, maxFanout int) *Tree {
+	t := &Tree{
+		W: 0.5 + rng.Float64()*7.5,
+		Z: 0.02 + rng.Float64()*0.3,
+	}
+	if depth <= 1 {
+		return t
+	}
+	fanout := 1 + rng.Intn(maxFanout)
+	for i := 0; i < fanout; i++ {
+		t.Children = append(t.Children, randomTree(rng, depth-1, maxFanout))
+	}
+	return t
+}
+
+func TestTreeValidate(t *testing.T) {
+	good := &Tree{W: 1, Children: []*Tree{leaf(2, 0.1)}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var nilTree *Tree
+	if err := nilTree.Validate(); err == nil {
+		t.Error("nil tree accepted")
+	}
+	bad := []*Tree{
+		{W: 0},
+		{W: 1, Children: []*Tree{{W: 2, Z: -0.1}}},
+		{W: 1, Children: []*Tree{nil}},
+		{W: 1, Children: []*Tree{{W: math.Inf(1), Z: 0.1}}},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Root's Z is ignored even if odd.
+	rootZ := &Tree{W: 1, Z: -5, Children: []*Tree{leaf(1, 0.1)}}
+	if err := rootZ.Validate(); err != nil {
+		t.Errorf("root link time should be ignored: %v", err)
+	}
+}
+
+func TestTreeSizeDepth(t *testing.T) {
+	tr := &Tree{W: 1, Children: []*Tree{
+		{W: 2, Z: 0.1, Children: []*Tree{leaf(3, 0.1), leaf(4, 0.1)}},
+		leaf(5, 0.2),
+	}}
+	if tr.Size() != 5 {
+		t.Errorf("size = %d, want 5", tr.Size())
+	}
+	if tr.Depth() != 3 {
+		t.Errorf("depth = %d, want 3", tr.Depth())
+	}
+	if leaf(1, 0).Depth() != 1 {
+		t.Error("leaf depth != 1")
+	}
+}
+
+// TestTreeLeafEquivalent: a lone node's equivalent time is its own W.
+func TestTreeLeafEquivalent(t *testing.T) {
+	eq, err := leaf(3, 0.5).EquivalentW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq != 3 {
+		t.Errorf("leaf equivalent = %v, want 3", eq)
+	}
+}
+
+// TestTreeDepthOneMatchesStar: a root with leaf children is exactly a
+// star with a computing root.
+func TestTreeDepthOneMatchesStar(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(6)
+		tr := &Tree{W: 0.5 + rng.Float64()*5}
+		star := StarInstance{RootW: tr.W}
+		for i := 0; i < n; i++ {
+			c := leaf(0.5+rng.Float64()*5, 0.02+rng.Float64()*0.3)
+			tr.Children = append(tr.Children, c)
+			star.Z = append(star.Z, c.Z)
+			star.W = append(star.W, c.W)
+		}
+		eq, err := tr.EquivalentW()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, starMS, err := OptimalStarOrder(star)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relErr(eq, starMS) > 1e-9 {
+			t.Errorf("tree equivalent %v, star optimum %v", eq, starMS)
+		}
+	}
+}
+
+// TestOptimalTreeConservesLoad: fractions are non-negative and sum to 1.
+func TestOptimalTreeConservesLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 50; trial++ {
+		tr := randomTree(rng, 1+rng.Intn(4), 3)
+		alloc, ms, err := OptimalTree(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(alloc) != tr.Size() {
+			t.Fatalf("allocation has %d entries for %d nodes", len(alloc), tr.Size())
+		}
+		var sum float64
+		for i, a := range alloc {
+			if a < -1e-12 {
+				t.Errorf("negative fraction %v at node %d", a, i)
+			}
+			sum += a
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("fractions sum to %v", sum)
+		}
+		if !(ms > 0) {
+			t.Errorf("non-positive makespan %v", ms)
+		}
+	}
+}
+
+// TestTreeSelfSimilarity: the makespan on load L equals L times the
+// equivalent unit time — the homogeneity the reduction relies on.
+func TestTreeSelfSimilarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	tr := randomTree(rng, 3, 3)
+	eq, err := tr.EquivalentW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ms, err := OptimalTree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(ms, eq) > 1e-9 {
+		t.Errorf("unit makespan %v != equivalent W %v", ms, eq)
+	}
+	check, err := TreeFinishCheck(tr, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(check, 2.5*eq) > 1e-12 {
+		t.Errorf("TreeFinishCheck(2.5) = %v, want %v", check, 2.5*eq)
+	}
+}
+
+// TestTreeConsistencyBottomUp: the head's local star over equivalent
+// children reproduces the subtree fractions: each subtree's total
+// assigned load equals its fraction in the parent's local star.
+func TestTreeConsistencyBottomUp(t *testing.T) {
+	tr := &Tree{W: 1, Children: []*Tree{
+		{W: 1.5, Z: 0.1, Children: []*Tree{leaf(2, 0.05), leaf(2.5, 0.1)}},
+		leaf(3, 0.2),
+	}}
+	alloc, _, err := OptimalTree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-order: [root, sub-head, leaf(2), leaf(2.5), leaf(3)].
+	subTotal := alloc[1] + alloc[2] + alloc[3]
+	star, err := tr.localStar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := OptimalStar(star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(alloc[0], sa.Root) > 1e-9 {
+		t.Errorf("root fraction %v, star says %v", alloc[0], sa.Root)
+	}
+	// The subtree (z=0.1) is served before leaf(3) (z=0.2) in the sorted
+	// local star, so star child 0 is the subtree.
+	if relErr(subTotal, sa.Children[0]) > 1e-9 {
+		t.Errorf("subtree total %v, star says %v", subTotal, sa.Children[0])
+	}
+}
+
+// TestTreeFlatteningHelps: distributing beats the root working alone, and
+// adding a second level of helpers beats the bare root-with-children when
+// the grandchildren have capacity worth the extra hop.
+func TestTreeHierarchyValue(t *testing.T) {
+	root := &Tree{W: 2, Children: []*Tree{
+		{W: 2, Z: 0.05},
+		{W: 2, Z: 0.05},
+	}}
+	_, flat, err := OptimalTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat >= 2 {
+		t.Errorf("distribution did not beat the lone root: %v", flat)
+	}
+	deep := &Tree{W: 2, Children: []*Tree{
+		{W: 2, Z: 0.05, Children: []*Tree{leaf(2, 0.05), leaf(2, 0.05)}},
+		{W: 2, Z: 0.05, Children: []*Tree{leaf(2, 0.05), leaf(2, 0.05)}},
+	}}
+	_, deepMS, err := OptimalTree(deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deepMS >= flat {
+		t.Errorf("second level did not help: deep %v vs flat %v", deepMS, flat)
+	}
+}
+
+func TestOptimalTreeValidation(t *testing.T) {
+	if _, _, err := OptimalTree(&Tree{W: 0}); err == nil {
+		t.Error("invalid tree accepted")
+	}
+	if _, err := (&Tree{W: 0}).EquivalentW(); err == nil {
+		t.Error("invalid tree accepted by EquivalentW")
+	}
+	if _, err := TreeFinishCheck(&Tree{W: 0}, 1); err == nil {
+		t.Error("invalid tree accepted by TreeFinishCheck")
+	}
+}

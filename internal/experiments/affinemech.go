@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dlsbl/internal/core"
+	"dlsbl/internal/dlt"
+)
+
+// X12 — the mechanism under affine costs: fixed overheads introduce a
+// participation threshold into the allocation rule, a classic danger zone
+// for incentives. Measured: strategyproofness and voluntary participation
+// across random overheads and deviations, including agents near and
+// beyond the participation boundary.
+func init() {
+	register(Experiment{
+		ID:    "X12",
+		Title: "Extension: DLS-BL under affine costs — incentives survive the participation threshold",
+		Run: func(seed int64) (Result, error) {
+			rng := rand.New(rand.NewSource(seed))
+			tbl := Table{Columns: []string{"Scm", "Scp", "mean participants (m=6)", "SP violations", "VP violations", "min truthful U"}}
+			totalSP, totalVP := 0, 0
+			for _, scm := range []float64{0, 0.1, 0.3, 0.8} {
+				for _, scp := range []float64{0, 0.2} {
+					const trials = 25
+					spViol, vpViol := 0, 0
+					sumParticipants := 0
+					minU := math.Inf(1)
+					for trial := 0; trial < trials; trial++ {
+						in := core.RegimeSafeInstance(rng, dlt.CP, 6)
+						mech := core.AffineMechanism{Network: dlt.CP, Z: in.Z, Scm: scm, Scp: scp}
+						truthOut, err := mech.Run(in.W, core.TruthfulExec(in.W))
+						if err != nil {
+							return Result{}, err
+						}
+						for _, a := range truthOut.Alloc {
+							if a > 1e-12 {
+								sumParticipants++
+							}
+						}
+						for _, u := range truthOut.Utility {
+							if u < minU {
+								minU = u
+							}
+							if u < -1e-9 {
+								vpViol++
+							}
+						}
+						i := rng.Intn(in.M())
+						for k := 0; k < 5; k++ {
+							ratio := 0.25 + rng.Float64()*3.75
+							bids := append([]float64(nil), in.W...)
+							bids[i] = in.W[i] * ratio
+							exec := core.TruthfulExec(in.W)
+							exec[i] = math.Max(bids[i], in.W[i])
+							devOut, err := mech.Run(bids, exec)
+							if err != nil {
+								return Result{}, err
+							}
+							if devOut.Utility[i] > truthOut.Utility[i]+1e-9 {
+								spViol++
+							}
+						}
+					}
+					totalSP += spViol
+					totalVP += vpViol
+					tbl.AddRow(f("%.1f", scm), f("%.1f", scp),
+						f("%.2f", float64(sumParticipants)/trials),
+						fmt.Sprintf("%d", spViol), fmt.Sprintf("%d", vpViol),
+						f("%.6f", minU))
+				}
+			}
+			return Result{
+				ID: "X12", Title: "affine mechanism", Table: tbl,
+				Notes: fmt.Sprintf("%d strategyproofness and %d voluntary-participation violations in total (theory hopes for 0/0) — but ONLY after two fixes this experiment forced: (1) the allocation must pick the k FASTEST processors, not a prefix of the given order, or excluding someone can unlock a better subset and truthful agents end up with negative bonuses; (2) the realized makespan in the bonus must be evaluated under the same public bid-sorted service order the allocation used. With both in place the participation threshold is incentive-safe: excluded agents sit at utility exactly 0 and cannot buy their way in profitably", totalSP, totalVP),
+			}, nil
+		},
+	})
+}

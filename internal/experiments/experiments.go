@@ -1,0 +1,179 @@
+// Package experiments regenerates every artifact of the paper's
+// evaluation. The paper is a theory paper: its "results" are three
+// execution-diagram figures and eight theorems/lemmas. Each experiment
+// E1…E12 reproduces one of them empirically (see DESIGN.md §4 for the
+// index); cmd/dls-bench prints them all and EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is the output of one experiment: a table, and for the figure
+// experiments additionally a rendered diagram.
+type Result struct {
+	ID     string
+	Title  string
+	Table  Table
+	Figure string // empty unless the experiment reproduces a figure
+	Notes  string
+}
+
+// Table is a simple formatted results table.
+type Table struct {
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	if len(t.Columns) == 0 {
+		return ""
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+// Cells containing commas, quotes or newlines are quoted.
+func (t Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the result as a CSV section: a comment header with the
+// experiment id/title/notes followed by the table.
+func (r Result) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", r.ID, r.Title)
+	if r.Notes != "" {
+		fmt.Fprintf(&b, "# notes: %s\n", strings.ReplaceAll(r.Notes, "\n", " "))
+	}
+	b.WriteString(r.Table.CSV())
+	return b.String()
+}
+
+// String renders the full result.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Figure != "" {
+		b.WriteString(r.Figure)
+		b.WriteByte('\n')
+	}
+	b.WriteString(r.Table.String())
+	if r.Notes != "" {
+		fmt.Fprintf(&b, "notes: %s\n", r.Notes)
+	}
+	return b.String()
+}
+
+// Experiment couples an identifier with its generator. Seed makes every
+// randomized experiment reproducible.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(seed int64) (Result, error)
+}
+
+// registry of all experiments, populated by the e*.go files.
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return idOrder(out[i].ID) < idOrder(out[j].ID) })
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// idOrder sorts E2 before E10 and every E before every X (the extension
+// experiments).
+func idOrder(id string) int {
+	n := 0
+	for _, r := range id {
+		if r >= '0' && r <= '9' {
+			n = n*10 + int(r-'0')
+		}
+	}
+	if strings.HasPrefix(id, "X") {
+		n += 1000
+	}
+	return n
+}
+
+func f(format string, v float64) string { return fmt.Sprintf(format, v) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 27 {
+		t.Fatalf("registry has %d experiments, want 27 (E1…E12 + X1…X15)", len(all))
+	}
+	for k := 0; k < 12; k++ {
+		want := "E" + strconv.Itoa(k+1)
+		if all[k].ID != want {
+			t.Errorf("position %d: id %s, want %s", k, all[k].ID, want)
+		}
+	}
+	for k := 0; k < 15; k++ {
+		want := "X" + strconv.Itoa(k+1)
+		if all[12+k].ID != want {
+			t.Errorf("position %d: id %s, want %s", 12+k, all[12+k].ID, want)
+		}
+	}
+	if _, ok := ByID("E6"); !ok {
+		t.Error("ByID(E6) failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("phantom experiment found")
+	}
+}
+
+func TestX1SortedOrderOptimal(t *testing.T) {
+	e, _ := ByID("X1")
+	res, err := e.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Notes, "0 mismatches") {
+		t.Errorf("X1 sequencing theorem violated: %s", res.Notes)
+	}
+}
+
+func TestX3OverpaymentDecaysWithM(t *testing.T) {
+	e, _ := ByID("X3")
+	res, err := e.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within each network block, the mean overpayment ratio at m=2 must
+	// exceed the one at m=32.
+	byNet := map[string][]float64{}
+	for _, row := range res.Table.Rows {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 1 {
+			t.Errorf("overpayment ratio %v < 1 (user pays less than cost?)", v)
+		}
+		byNet[row[0]] = append(byNet[row[0]], v)
+	}
+	for net, ratios := range byNet {
+		if ratios[0] <= ratios[len(ratios)-1] {
+			t.Errorf("%s: overpayment did not decay with m: %v", net, ratios)
+		}
+	}
+}
+
+// TestAllExperimentsRun executes every experiment once and checks the
+// shape assertions encoded in their notes.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(42)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if res.ID != e.ID {
+				t.Errorf("result id %s, want %s", res.ID, e.ID)
+			}
+			if len(res.Table.Columns) == 0 || len(res.Table.Rows) == 0 {
+				t.Errorf("%s produced an empty table", e.ID)
+			}
+			s := res.String()
+			if !strings.Contains(s, e.ID) {
+				t.Errorf("%s rendering missing id", e.ID)
+			}
+		})
+	}
+}
+
+func TestFigureExperimentsCarryDiagrams(t *testing.T) {
+	for _, id := range []string{"E1", "E2", "E3"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("%s missing", id)
+		}
+		res, err := e.Run(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Figure == "" {
+			t.Errorf("%s has no figure", id)
+		}
+		if !strings.Contains(res.Figure, "legend:") {
+			t.Errorf("%s figure missing legend", id)
+		}
+		if !strings.Contains(res.Notes, "spread") {
+			t.Errorf("%s notes missing the Theorem 2.1 check", id)
+		}
+	}
+}
+
+func TestE6TruthfulPeak(t *testing.T) {
+	e, _ := ByID("E6")
+	res, err := e.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Notes, "0 violations") {
+		t.Errorf("E6 found strategyproofness violations: %s", res.Notes)
+	}
+	// The ratio-1 row must read 1.0000 in every network column.
+	for _, row := range res.Table.Rows {
+		if row[0] == "1.00" {
+			for _, cell := range row[1:] {
+				if cell != "1.0000" {
+					t.Errorf("truthful row not normalized to 1: %v", row)
+				}
+			}
+		}
+	}
+}
+
+func TestE7NoLosses(t *testing.T) {
+	e, _ := ByID("E7")
+	res, err := e.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Notes, "0 negative-utility cases") {
+		t.Errorf("E7 found losses: %s", res.Notes)
+	}
+}
+
+func TestE8NoProfitableDeviation(t *testing.T) {
+	e, _ := ByID("E8")
+	res, err := e.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Notes, "0 profitable deviations") {
+		t.Errorf("E8 found profitable deviations: %s", res.Notes)
+	}
+}
+
+func TestE9NoWrongfulFines(t *testing.T) {
+	e, _ := ByID("E9")
+	res, err := e.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Notes, "0 wrongful outcomes") {
+		t.Errorf("E9 found wrongful fines: %s", res.Notes)
+	}
+}
+
+func TestE10QuadraticExponent(t *testing.T) {
+	e, _ := ByID("E10")
+	res, err := e.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exponent is embedded in the notes as m^<p>; parse it.
+	idx := strings.Index(res.Notes, "m^")
+	if idx < 0 {
+		t.Fatalf("E10 notes missing exponent: %s", res.Notes)
+	}
+	rest := res.Notes[idx+2:]
+	end := strings.IndexAny(rest, " (")
+	p, err := strconv.ParseFloat(rest[:end], 64)
+	if err != nil {
+		t.Fatalf("cannot parse exponent from %q", rest)
+	}
+	if p < 1.7 || p > 2.1 {
+		t.Errorf("communication exponent %v not ≈ 2", p)
+	}
+}
+
+func TestE12AblationShape(t *testing.T) {
+	e, _ := ByID("E12")
+	res, err := e.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Notes, "strictly decreasing in slack: true") {
+		t.Errorf("E12 verified curve not decreasing: %s", res.Notes)
+	}
+	if !strings.Contains(res.Notes, "flat (no incentive to run at full speed): true") {
+		t.Errorf("E12 unverified curve not flat: %s", res.Notes)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := Table{Columns: []string{"a", "b"}}
+	tbl.AddRow("1", `has,comma`)
+	tbl.AddRow(`has"quote`, "plain")
+	csv := tbl.CSV()
+	want := "a,b\n1,\"has,comma\"\n\"has\"\"quote\",plain\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+	res := Result{ID: "E1", Title: "t", Notes: "multi\nline", Table: tbl}
+	out := res.CSV()
+	if !strings.Contains(out, "# E1: t") || !strings.Contains(out, "# notes: multi line") {
+		t.Errorf("result CSV headers missing:\n%s", out)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{Columns: []string{"a", "long-column"}}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	s := tbl.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d, want 4:\n%s", len(lines), s)
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("missing separator: %q", lines[1])
+	}
+	if (Table{}).String() != "" {
+		t.Error("empty table rendered non-empty")
+	}
+}

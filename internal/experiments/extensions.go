@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dlsbl/internal/core"
+	"dlsbl/internal/dlt"
+)
+
+// Extension experiments (X-series) — beyond the paper, along its stated
+// future-work axes: other network architectures (X1) and open
+// mechanism-design questions the compensation-and-bonus construction
+// raises (X2 coalitions, X3 frugality). Results are recorded in
+// EXPERIMENTS.md's extension section.
+
+// X1 — star networks with heterogeneous links: the service order now
+// matters (unlike the bus, Theorem 2.2) and sorting children by link
+// speed is optimal.
+func init() {
+	register(Experiment{
+		ID:    "X1",
+		Title: "Extension: star networks — service order matters, sort-by-z is optimal",
+		Run: func(seed int64) (Result, error) {
+			rng := rand.New(rand.NewSource(seed))
+			tbl := Table{Columns: []string{"m", "root", "T(sorted)", "T(exhaustive)", "T(identity)", "T(worst sampled)", "sorted=best"}}
+			mismatches := 0
+			for _, m := range []int{3, 5, 7} {
+				for _, withRoot := range []bool{false, true} {
+					s := dlt.StarInstance{Z: make([]float64, m), W: make([]float64, m)}
+					for i := 0; i < m; i++ {
+						s.Z[i] = 0.05 + rng.Float64()*0.6
+						s.W[i] = 0.5 + rng.Float64()*5
+					}
+					if withRoot {
+						s.RootW = 0.5 + rng.Float64()*5
+					}
+					_, _, sorted, err := dlt.OptimalStarOrder(s)
+					if err != nil {
+						return Result{}, err
+					}
+					_, best, err := dlt.ExhaustiveStarOrder(s)
+					if err != nil {
+						return Result{}, err
+					}
+					idAlloc, err := dlt.OptimalStar(s)
+					if err != nil {
+						return Result{}, err
+					}
+					identity, err := dlt.StarMakespan(s, idAlloc)
+					if err != nil {
+						return Result{}, err
+					}
+					worst := identity
+					for k := 0; k < 30; k++ {
+						perm := rng.Perm(m)
+						inst, err := s.Permute(perm)
+						if err != nil {
+							return Result{}, err
+						}
+						alloc, err := dlt.OptimalStar(inst)
+						if err != nil {
+							return Result{}, err
+						}
+						ms, err := dlt.StarMakespan(inst, alloc)
+						if err != nil {
+							return Result{}, err
+						}
+						if ms > worst {
+							worst = ms
+						}
+					}
+					match := math.Abs(sorted-best) <= 1e-9*math.Max(best, 1)
+					if !match {
+						mismatches++
+					}
+					root := "no"
+					if withRoot {
+						root = "yes"
+					}
+					tbl.AddRow(fmt.Sprintf("%d", m), root,
+						f("%.5f", sorted), f("%.5f", best), f("%.5f", identity), f("%.5f", worst),
+						fmt.Sprintf("%v", match))
+				}
+			}
+			return Result{
+				ID: "X1", Title: "star sequencing", Table: tbl,
+				Notes: fmt.Sprintf("%d mismatches between sort-by-z and exhaustive search (theory predicts 0); the uniform-link special case reduces to the paper's bus model exactly", mismatches),
+			}, nil
+		},
+	})
+}
+
+// X2 — coalition analysis: DLS-BL is strategyproof for individuals; is it
+// group-strategyproof? A partner can inflate a colleague's bonus baseline
+// T(α(b_{-i}), b_{-i}) by overbidding, at a cost to itself. This
+// experiment measures whether any two-processor coalition can raise its
+// TOTAL utility over joint truth-telling (with internal side payments,
+// total is what matters).
+func init() {
+	register(Experiment{
+		ID:    "X2",
+		Title: "Extension: coalition analysis — can pairs profit by coordinated misreporting?",
+		Run: func(seed int64) (Result, error) {
+			rng := rand.New(rand.NewSource(seed))
+			tbl := Table{Columns: []string{"partner bid factor", "mean Δ(U_i+U_j)", "max Δ(U_i+U_j)", "coalitions gaining"}}
+			factors := []float64{1.25, 1.5, 2, 3, 5}
+			const trials = 40
+			maxOverall := math.Inf(-1)
+			for _, g := range factors {
+				var sum, maxGain float64
+				maxGain = math.Inf(-1)
+				gaining := 0
+				total := 0
+				for trial := 0; trial < trials; trial++ {
+					in := core.RegimeSafeInstance(rng, dlt.NCPFE, 6)
+					mech := core.Mechanism{Network: dlt.NCPFE, Z: in.Z}
+					truthOut, err := mech.Run(in.W, core.TruthfulExec(in.W))
+					if err != nil {
+						return Result{}, err
+					}
+					i := rng.Intn(in.M())
+					j := rng.Intn(in.M())
+					if i == j {
+						j = (j + 1) % in.M()
+					}
+					// Partner j overbids by g; beneficiary i stays
+					// truthful; both execute at true speed.
+					bids := append([]float64(nil), in.W...)
+					bids[j] *= g
+					exec := core.TruthfulExec(in.W)
+					devOut, err := mech.Run(bids, exec)
+					if err != nil {
+						return Result{}, err
+					}
+					delta := (devOut.Utility[i] + devOut.Utility[j]) -
+						(truthOut.Utility[i] + truthOut.Utility[j])
+					sum += delta
+					if delta > maxGain {
+						maxGain = delta
+					}
+					if delta > 1e-9 {
+						gaining++
+					}
+					total++
+				}
+				if maxGain > maxOverall {
+					maxOverall = maxGain
+				}
+				tbl.AddRow(f("%.2f", g), f("%+.5f", sum/float64(total)),
+					f("%+.5f", maxGain), fmt.Sprintf("%d/%d", gaining, total))
+			}
+			verdict := "no sampled coalition profits — DLS-BL appears resistant to pairwise collusion on these instances"
+			if maxOverall > 1e-9 {
+				verdict = fmt.Sprintf("coalitions CAN profit (max joint gain %+.5f): the partner's overbid inflates the colleague's bonus baseline T_{-i} by more than the partner loses — DLS-BL is NOT group-strategyproof, a known limitation of compensation-and-bonus mechanisms the paper does not address", maxOverall)
+			}
+			return Result{ID: "X2", Title: "coalition analysis", Table: tbl, Notes: verdict}, nil
+		},
+	})
+}
+
+// X3 — frugality: how much does the user overpay relative to the true
+// processing cost Σ α_i·w_i? VCG-style bonus payments are known to be
+// non-frugal; this quantifies it for DLS-BL as the system scales.
+func init() {
+	register(Experiment{
+		ID:    "X3",
+		Title: "Extension: frugality — the user's overpayment ratio ΣQ / Σα·w",
+		Run: func(seed int64) (Result, error) {
+			rng := rand.New(rand.NewSource(seed))
+			tbl := Table{Columns: []string{"network", "m", "mean ΣQ/cost", "max ΣQ/cost", "bonus share of ΣQ"}}
+			for _, net := range dlt.Networks {
+				for _, m := range []int{2, 4, 8, 16, 32} {
+					const trials = 30
+					var sumRatio, maxRatio, sumBonusShare float64
+					for trial := 0; trial < trials; trial++ {
+						in := core.RegimeSafeInstance(rng, net, m)
+						mech := core.Mechanism{Network: net, Z: in.Z}
+						out, err := mech.Run(in.W, core.TruthfulExec(in.W))
+						if err != nil {
+							return Result{}, err
+						}
+						var cost, bonus float64
+						for i := range out.Compensation {
+							cost += out.Compensation[i]
+							bonus += out.Bonus[i]
+						}
+						ratio := out.UserCost / cost
+						sumRatio += ratio
+						if ratio > maxRatio {
+							maxRatio = ratio
+						}
+						sumBonusShare += bonus / out.UserCost
+					}
+					tbl.AddRow(net.String(), fmt.Sprintf("%d", m),
+						f("%.4f", sumRatio/trials), f("%.4f", maxRatio),
+						f("%.4f", sumBonusShare/trials))
+				}
+			}
+			return Result{
+				ID: "X3", Title: "frugality", Table: tbl,
+				Notes: "the bonus is each processor's marginal contribution T_{-i}−T, so overpayment is largest for tiny systems (removing one of two processors hurts a lot) and decays toward 1 as m grows and individual processors become dispensable",
+			}, nil
+		},
+	})
+}

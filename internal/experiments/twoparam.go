@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dlsbl/internal/core"
+)
+
+// X15 — two-parameter bids: the whole paper lives inside the one-
+// parameter agent model (each processor's only private value is w).
+// What if the LINK time z is private too? Multi-parameter mechanism
+// design is famously hard (Nisan–Ronen), and a z-bid can buy an earlier
+// service slot on the star. This experiment measures whether the
+// DLS-BL-style mechanism with FULL ex-post verification (the wire exposes
+// the true z, the meter the true w̃) is manipulable in two dimensions.
+func init() {
+	register(Experiment{
+		ID:    "X15",
+		Title: "Extension: two-parameter bids — full verification rescues multi-parameter truthfulness",
+		Run: func(seed int64) (Result, error) {
+			rng := rand.New(rand.NewSource(seed))
+			tbl := Table{Columns: []string{"lie", "mean ΔU", "max ΔU", "profitable"}}
+			type lie struct {
+				label  string
+				zf, wf float64
+			}
+			lies := []lie{
+				{"claim 4× faster link", 0.25, 1},
+				{"claim 2× faster link", 0.5, 1},
+				{"claim 2× slower link", 2, 1},
+				{"claim 2× faster cpu", 1, 0.5},
+				{"claim 2× slower cpu", 1, 2},
+				{"fast link + fast cpu", 0.5, 0.5},
+				{"fast link + slow cpu", 0.5, 2},
+			}
+			const trials = 50
+			mech := core.TwoParamStarMechanism{}
+			sums := make([]float64, len(lies))
+			maxs := make([]float64, len(lies))
+			profitable := make([]int, len(lies))
+			for k := range maxs {
+				maxs[k] = math.Inf(-1)
+			}
+			for trial := 0; trial < trials; trial++ {
+				n := 3 + rng.Intn(4)
+				z := make([]float64, n)
+				w := make([]float64, n)
+				for i := 0; i < n; i++ {
+					z[i] = 0.05 + rng.Float64()*0.5
+					w[i] = 0.5 + rng.Float64()*4
+				}
+				truthOut, err := mech.RunTwoParam(w, z, core.TruthfulExec(w), z)
+				if err != nil {
+					return Result{}, err
+				}
+				i := rng.Intn(n)
+				for k, l := range lies {
+					bidZ := append([]float64(nil), z...)
+					bidZ[i] *= l.zf
+					bidW := append([]float64(nil), w...)
+					bidW[i] *= l.wf
+					exec := core.TruthfulExec(w)
+					if bidW[i] > exec[i] {
+						exec[i] = bidW[i]
+					}
+					devOut, err := mech.RunTwoParam(bidW, bidZ, exec, z)
+					if err != nil {
+						return Result{}, err
+					}
+					d := devOut.Utility[i] - truthOut.Utility[i]
+					sums[k] += d
+					if d > maxs[k] {
+						maxs[k] = d
+					}
+					if d > 1e-9 {
+						profitable[k]++
+					}
+				}
+			}
+			total := 0
+			for k, l := range lies {
+				total += profitable[k]
+				tbl.AddRow(l.label, f("%+.4f", sums[k]/trials), f("%+.4f", maxs[k]),
+					fmt.Sprintf("%d/%d", profitable[k], trials))
+			}
+			return Result{
+				ID: "X15", Title: "two-parameter bids", Table: tbl,
+				Notes: fmt.Sprintf("%d profitable lies in total across every sampled deviation, including the slot-buying fast-link claim. The reason is NOT single-dimensionality — it is that both parameters are ex-post observable (the wire exposes the real transfer time, the meter the real speed), so every lie's schedule is realized at the true values and the truthful allocation is the unique realized-makespan minimizer. Nisan–Ronen's multi-parameter impossibilities bite mechanisms without verification; the paper's verification machinery generalizes further than its one-parameter framing suggests", total),
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,138 @@
+// Package gantt renders schedule timelines as text Gantt charts,
+// reproducing the execution diagrams of the paper's Figures 1 (CP),
+// 2 (NCP-FE) and 3 (NCP-NFE): one row per processor, communication spans
+// drawn with '▒' and computation spans with '█', plus a separate bus row
+// showing the one-port serialization.
+package gantt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"dlsbl/internal/dlt"
+)
+
+// Options controls rendering.
+type Options struct {
+	// Width is the number of character cells representing the makespan.
+	// Zero selects 72.
+	Width int
+	// ShowBus adds a top row with the bus occupancy.
+	ShowBus bool
+	// ShowTimes appends each processor's finishing time.
+	ShowTimes bool
+}
+
+const (
+	cellIdle = '·'
+	cellComm = '▒'
+	cellComp = '█'
+)
+
+// Render draws the timeline. Rows are labeled P1…Pm in instance order.
+func Render(tl dlt.Timeline, opt Options) (string, error) {
+	if len(tl.Spans) == 0 {
+		return "", errors.New("gantt: empty timeline")
+	}
+	width := opt.Width
+	if width == 0 {
+		width = 72
+	}
+	if width < 8 {
+		return "", fmt.Errorf("gantt: width %d too small", width)
+	}
+	if !(tl.Makespan > 0) {
+		return "", fmt.Errorf("gantt: non-positive makespan %v", tl.Makespan)
+	}
+	m := tl.Instance.M()
+	scale := float64(width) / tl.Makespan
+	cell := func(t float64) int {
+		c := int(math.Floor(t * scale))
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+
+	rows := make([][]rune, m)
+	for i := range rows {
+		rows[i] = idleRow(width)
+	}
+	busRow := idleRow(width)
+	for _, s := range tl.Spans {
+		if s.Proc < 0 || s.Proc >= m {
+			return "", fmt.Errorf("gantt: span for unknown processor %d", s.Proc)
+		}
+		glyph := cellComp
+		if s.Kind == dlt.Comm {
+			glyph = cellComm
+		}
+		lo, hi := cell(s.Start), cell(s.End)
+		if s.End > s.Start && hi == lo {
+			hi = lo + 1 // make very short spans visible
+			if hi > width {
+				hi = width
+			}
+		}
+		for c := lo; c < hi; c++ {
+			rows[s.Proc][c] = glyph
+			if s.BusOwner {
+				busRow[c] = cellComm
+			}
+		}
+	}
+
+	finish := tl.FinishTimes()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  z=%.3g  makespan=%.6g\n", tl.Instance.Network, tl.Instance.Z, tl.Makespan)
+	if opt.ShowBus {
+		fmt.Fprintf(&b, "%-5s |%s|\n", "bus", string(busRow))
+	}
+	for i := 0; i < m; i++ {
+		label := fmt.Sprintf("P%d", i+1)
+		fmt.Fprintf(&b, "%-5s |%s|", label, string(rows[i]))
+		if opt.ShowTimes {
+			fmt.Fprintf(&b, " T=%.6g (w=%.3g, α=%.4f)", finish[i], tl.Instance.W[i], fracOf(tl, i))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "legend: %c comm  %c compute  %c idle\n", cellComm, cellComp, cellIdle)
+	return b.String(), nil
+}
+
+// Figure renders the paper's figure for the given network class on an
+// instance: the optimal allocation's timeline.
+func Figure(in dlt.Instance, opt Options) (string, error) {
+	a, err := dlt.Optimal(in)
+	if err != nil {
+		return "", err
+	}
+	tl, err := dlt.Schedule(in, a)
+	if err != nil {
+		return "", err
+	}
+	return Render(tl, opt)
+}
+
+func idleRow(width int) []rune {
+	r := make([]rune, width)
+	for i := range r {
+		r[i] = cellIdle
+	}
+	return r
+}
+
+func fracOf(tl dlt.Timeline, proc int) float64 {
+	var f float64
+	for _, s := range tl.Spans {
+		if s.Proc == proc && s.Kind == dlt.Comp {
+			f += s.Frac
+		}
+	}
+	return f
+}

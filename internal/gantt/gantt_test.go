@@ -1,0 +1,162 @@
+package gantt
+
+import (
+	"strings"
+	"testing"
+
+	"dlsbl/internal/dlt"
+)
+
+func testInstance(net dlt.Network) dlt.Instance {
+	return dlt.Instance{Network: net, Z: 0.3, W: []float64{1, 1.5, 2, 2.5, 3}}
+}
+
+func TestFigureAllNetworks(t *testing.T) {
+	for _, net := range dlt.Networks {
+		out, err := Figure(testInstance(net), Options{ShowBus: true, ShowTimes: true})
+		if err != nil {
+			t.Fatalf("%v: %v", net, err)
+		}
+		if !strings.Contains(out, net.String()) {
+			t.Errorf("%v: header missing network name:\n%s", net, out)
+		}
+		for _, label := range []string{"P1", "P5", "bus", "legend:"} {
+			if !strings.Contains(out, label) {
+				t.Errorf("%v: output missing %q:\n%s", net, label, out)
+			}
+		}
+		if !strings.Contains(out, "makespan=") {
+			t.Errorf("%v: missing makespan", net)
+		}
+	}
+}
+
+func TestRenderRowStructure(t *testing.T) {
+	in := testInstance(dlt.NCPFE)
+	a, err := dlt.Optimal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := dlt.Schedule(in, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Render(tl, Options{Width: 40, ShowTimes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header + 5 processors + legend.
+	if len(lines) != 7 {
+		t.Fatalf("got %d lines, want 7:\n%s", len(lines), out)
+	}
+	// Each processor row has exactly Width cells between the pipes.
+	for _, ln := range lines[1:6] {
+		start := strings.Index(ln, "|")
+		end := strings.Index(ln[start+1:], "|")
+		if got := len([]rune(ln[start+1 : start+1+end])); got != 40 {
+			t.Errorf("row width = %d, want 40: %q", got, ln)
+		}
+	}
+}
+
+// TestRenderFEOriginatorNoComm: in the NCP-FE chart the originator's row
+// must contain no communication glyphs (its fraction never crosses the
+// bus) while every other processor's row has some.
+func TestRenderFEOriginatorNoComm(t *testing.T) {
+	in := testInstance(dlt.NCPFE)
+	a, _ := dlt.Optimal(in)
+	tl, _ := dlt.Schedule(in, a)
+	out, err := Render(tl, Options{Width: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.HasPrefix(ln, "P1 ") && strings.ContainsRune(ln, '▒') {
+			t.Errorf("FE originator row shows communication: %q", ln)
+		}
+		if strings.HasPrefix(ln, "P2 ") && !strings.ContainsRune(ln, '▒') {
+			t.Errorf("P2 row shows no communication: %q", ln)
+		}
+	}
+}
+
+// TestRenderNFEOriginatorComputesLast: the NFE originator's computation
+// glyphs must all come after the last bus activity.
+func TestRenderNFEOriginatorComputesLast(t *testing.T) {
+	in := testInstance(dlt.NCPNFE)
+	a, _ := dlt.Optimal(in)
+	tl, _ := dlt.Schedule(in, a)
+	out, err := Render(tl, Options{Width: 60, ShowBus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var busLine, origLine string
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.HasPrefix(ln, "bus") {
+			busLine = ln
+		}
+		if strings.HasPrefix(ln, "P5 ") {
+			origLine = ln
+		}
+	}
+	lastBus := -1
+	for i, r := range []rune(busLine) {
+		if r == '▒' {
+			lastBus = i
+		}
+	}
+	firstComp := -1
+	for i, r := range []rune(origLine) {
+		if r == '█' {
+			firstComp = i
+			break
+		}
+	}
+	if firstComp >= 0 && lastBus >= 0 && firstComp < lastBus {
+		t.Errorf("NFE originator computes (col %d) before bus quiets (col %d)\n%s\n%s",
+			firstComp, lastBus, busLine, origLine)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := Render(dlt.Timeline{}, Options{}); err == nil {
+		t.Error("empty timeline accepted")
+	}
+	in := testInstance(dlt.CP)
+	a, _ := dlt.Optimal(in)
+	tl, _ := dlt.Schedule(in, a)
+	if _, err := Render(tl, Options{Width: 2}); err == nil {
+		t.Error("tiny width accepted")
+	}
+	bad := tl
+	bad.Spans = append([]dlt.Span(nil), tl.Spans...)
+	bad.Spans[0].Proc = 99
+	if _, err := Render(bad, Options{}); err == nil {
+		t.Error("out-of-range processor accepted")
+	}
+	zero := tl
+	zero.Makespan = 0
+	if _, err := Render(zero, Options{}); err == nil {
+		t.Error("zero makespan accepted")
+	}
+	if _, err := Figure(dlt.Instance{Network: dlt.CP, Z: -1, W: []float64{1}}, Options{}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestTinySpansVisible(t *testing.T) {
+	// A processor with a minuscule fraction still shows at least one cell.
+	in := dlt.Instance{Network: dlt.CP, Z: 0.01, W: []float64{1, 1000}}
+	a, _ := dlt.Optimal(in)
+	tl, _ := dlt.Schedule(in, a)
+	out, err := Render(tl, Options{Width: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.HasPrefix(ln, "P2 ") && !strings.ContainsRune(ln, '█') {
+			t.Errorf("tiny computation span invisible: %q", ln)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package gantt
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"strings"
+
+	"dlsbl/internal/dlt"
+)
+
+// SVG rendering of schedule timelines: the same Figures 1–3 as the text
+// charts, as standalone vector documents suitable for papers and READMEs.
+
+// SVGOptions controls the vector rendering.
+type SVGOptions struct {
+	// Width is the drawing width in pixels (default 720).
+	Width int
+	// RowHeight is the per-processor lane height in pixels (default 28).
+	RowHeight int
+	// Title is drawn above the chart; empty uses "<network> bus schedule".
+	Title string
+	// ShowBus adds a lane with the bus occupancy.
+	ShowBus bool
+}
+
+const (
+	svgCommColor = "#7ca6d8" // communication spans
+	svgCompColor = "#2f4f6f" // computation spans
+	svgBusColor  = "#b8cde6"
+	svgGridColor = "#d0d0d0"
+	svgTextColor = "#222222"
+	svgLabelW    = 46
+	svgPad       = 10
+	svgTitleH    = 24
+	svgAxisH     = 22
+)
+
+// RenderSVG draws the timeline as a complete SVG document.
+func RenderSVG(tl dlt.Timeline, opt SVGOptions) (string, error) {
+	if len(tl.Spans) == 0 {
+		return "", fmt.Errorf("gantt: empty timeline")
+	}
+	if !(tl.Makespan > 0) {
+		return "", fmt.Errorf("gantt: non-positive makespan %v", tl.Makespan)
+	}
+	width := opt.Width
+	if width == 0 {
+		width = 720
+	}
+	rowH := opt.RowHeight
+	if rowH == 0 {
+		rowH = 28
+	}
+	if width < 100 || rowH < 10 {
+		return "", fmt.Errorf("gantt: svg dimensions too small (%dx%d)", width, rowH)
+	}
+	m := tl.Instance.M()
+	title := opt.Title
+	if title == "" {
+		title = fmt.Sprintf("%s bus schedule (z=%.3g, makespan=%.6g)", tl.Instance.Network, tl.Instance.Z, tl.Makespan)
+	}
+
+	rows := m
+	busRow := -1
+	if opt.ShowBus {
+		busRow = 0
+		rows++
+	}
+	chartW := width - svgLabelW - 2*svgPad
+	chartH := rows * rowH
+	totalH := svgTitleH + chartH + svgAxisH + 2*svgPad
+	xOf := func(t float64) float64 {
+		return float64(svgLabelW+svgPad) + t/tl.Makespan*float64(chartW)
+	}
+	laneY := func(row int) int { return svgTitleH + svgPad + row*rowH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, totalH, width, totalH)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, totalH)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="13" fill="%s">%s</text>`+"\n",
+		svgPad, svgTitleH-8, svgTextColor, html.EscapeString(title))
+
+	// Grid: ~8 vertical time ticks.
+	ticks := 8
+	for k := 0; k <= ticks; k++ {
+		t := tl.Makespan * float64(k) / float64(ticks)
+		x := xOf(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-width="0.5"/>`+"\n",
+			x, laneY(0), x, laneY(0)+chartH, svgGridColor)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="9" fill="%s" text-anchor="middle">%.3g</text>`+"\n",
+			x, laneY(0)+chartH+14, svgTextColor, t)
+	}
+
+	// Lane labels.
+	if opt.ShowBus {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" fill="%s">bus</text>`+"\n",
+			svgPad, laneY(0)+rowH/2+4, svgTextColor)
+	}
+	for i := 0; i < m; i++ {
+		row := i
+		if opt.ShowBus {
+			row++
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" fill="%s">P%d</text>`+"\n",
+			svgPad, laneY(row)+rowH/2+4, svgTextColor, i+1)
+	}
+
+	// Spans.
+	for _, s := range tl.Spans {
+		if s.Proc < 0 || s.Proc >= m {
+			return "", fmt.Errorf("gantt: span for unknown processor %d", s.Proc)
+		}
+		row := s.Proc
+		if opt.ShowBus {
+			row++
+		}
+		color := svgCompColor
+		if s.Kind == dlt.Comm {
+			color = svgCommColor
+		}
+		x := xOf(s.Start)
+		w := math.Max(xOf(s.End)-x, 1)
+		y := laneY(row) + 3
+		h := rowH - 6
+		fmt.Fprintf(&b, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s"><title>P%d %s [%.6g, %.6g) frac=%.4g</title></rect>`+"\n",
+			x, y, w, h, color, s.Proc+1, s.Kind, s.Start, s.End, s.Frac)
+		if s.BusOwner && opt.ShowBus {
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s"/>`+"\n",
+				x, laneY(busRow)+3, w, h, svgBusColor)
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// FigureSVG renders the optimal schedule of an instance as SVG.
+func FigureSVG(in dlt.Instance, opt SVGOptions) (string, error) {
+	a, err := dlt.Optimal(in)
+	if err != nil {
+		return "", err
+	}
+	tl, err := dlt.Schedule(in, a)
+	if err != nil {
+		return "", err
+	}
+	return RenderSVG(tl, opt)
+}

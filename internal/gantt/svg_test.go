@@ -1,0 +1,107 @@
+package gantt
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"dlsbl/internal/dlt"
+)
+
+func TestRenderSVGWellFormed(t *testing.T) {
+	for _, net := range dlt.Networks {
+		out, err := FigureSVG(testInstance(net), SVGOptions{ShowBus: true})
+		if err != nil {
+			t.Fatalf("%v: %v", net, err)
+		}
+		// Must be parseable XML.
+		dec := xml.NewDecoder(strings.NewReader(out))
+		for {
+			_, err := dec.Token()
+			if err != nil {
+				if err.Error() == "EOF" {
+					break
+				}
+				t.Fatalf("%v: malformed XML: %v", net, err)
+			}
+		}
+		for _, want := range []string{"<svg", "</svg>", "P1", "P5", net.String()} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%v: output missing %q", net, want)
+			}
+		}
+	}
+}
+
+func TestRenderSVGSpanCount(t *testing.T) {
+	in := testInstance(dlt.NCPFE)
+	a, err := dlt.Optimal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := dlt.Schedule(in, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RenderSVG(tl, SVGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One rect per span + the background rect (no bus lane requested).
+	got := strings.Count(out, "<rect")
+	want := len(tl.Spans) + 1
+	if got != want {
+		t.Errorf("rect count %d, want %d", got, want)
+	}
+	// With the bus lane every BusOwner span draws one extra rect.
+	withBus, err := RenderSVG(tl, SVGOptions{ShowBus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busSpans := len(tl.BusSpans())
+	if got := strings.Count(withBus, "<rect"); got != want+busSpans {
+		t.Errorf("bus rect count %d, want %d", got, want+busSpans)
+	}
+}
+
+func TestRenderSVGValidation(t *testing.T) {
+	if _, err := RenderSVG(dlt.Timeline{}, SVGOptions{}); err == nil {
+		t.Error("empty timeline accepted")
+	}
+	in := testInstance(dlt.CP)
+	a, _ := dlt.Optimal(in)
+	tl, _ := dlt.Schedule(in, a)
+	if _, err := RenderSVG(tl, SVGOptions{Width: 10}); err == nil {
+		t.Error("tiny width accepted")
+	}
+	bad := tl
+	bad.Spans = append([]dlt.Span(nil), tl.Spans...)
+	bad.Spans[0].Proc = 99
+	if _, err := RenderSVG(bad, SVGOptions{}); err == nil {
+		t.Error("out-of-range processor accepted")
+	}
+	zero := tl
+	zero.Makespan = 0
+	if _, err := RenderSVG(zero, SVGOptions{}); err == nil {
+		t.Error("zero makespan accepted")
+	}
+	if _, err := FigureSVG(dlt.Instance{Network: dlt.CP, Z: -1, W: []float64{1}}, SVGOptions{}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestRenderSVGTitleEscaping(t *testing.T) {
+	in := testInstance(dlt.CP)
+	a, _ := dlt.Optimal(in)
+	tl, _ := dlt.Schedule(in, a)
+	out, err := RenderSVG(tl, SVGOptions{Title: `<script>&"attack"`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "<script>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(out, "&lt;script&gt;") {
+		t.Error("escaped title missing")
+	}
+}

@@ -1,0 +1,90 @@
+package payment
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Invoice is the bill the referee forwards to the payment infrastructure
+// at the end of the Computing Payments phase: one line per processor with
+// its payment Q_i ("The bill is presented to the user who remits
+// payment"). Negative lines are refunds the account owes the payer — a
+// processor whose bonus went negative pays back.
+type Invoice struct {
+	Payer string
+	Lines []InvoiceLine
+}
+
+// InvoiceLine is one payee entry.
+type InvoiceLine struct {
+	Account string
+	Memo    string
+	Amount  float64 // may be negative: the account refunds the payer
+}
+
+// Total returns the payer's net obligation Σ amounts.
+func (inv Invoice) Total() float64 {
+	var t float64
+	for _, l := range inv.Lines {
+		t += l.Amount
+	}
+	return t
+}
+
+// Validate checks the invoice is executable.
+func (inv Invoice) Validate() error {
+	if inv.Payer == "" {
+		return errors.New("payment: invoice has no payer")
+	}
+	if len(inv.Lines) == 0 {
+		return errors.New("payment: invoice has no lines")
+	}
+	for i, l := range inv.Lines {
+		if l.Account == "" {
+			return fmt.Errorf("payment: line %d has no account", i)
+		}
+		if l.Account == inv.Payer {
+			return fmt.Errorf("payment: line %d pays the payer itself", i)
+		}
+		if math.IsNaN(l.Amount) || math.IsInf(l.Amount, 0) {
+			return fmt.Errorf("payment: line %d has invalid amount %v", i, l.Amount)
+		}
+	}
+	return nil
+}
+
+// String renders the bill for humans.
+func (inv Invoice) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "invoice to %s:\n", inv.Payer)
+	for _, l := range inv.Lines {
+		fmt.Fprintf(&b, "  %-8s %12.6f  %s\n", l.Account, l.Amount, l.Memo)
+	}
+	fmt.Fprintf(&b, "  %-8s %12.6f\n", "total", inv.Total())
+	return b.String()
+}
+
+// PayInvoice executes every line on the ledger: positive amounts flow
+// payer → account, negative amounts account → payer. Execution is atomic
+// in the sense that the invoice is validated up front, but individual
+// transfers that fail (unknown account) abort mid-way — callers create
+// all accounts beforehand.
+func (l *Ledger) PayInvoice(inv Invoice) error {
+	if err := inv.Validate(); err != nil {
+		return err
+	}
+	for _, line := range inv.Lines {
+		if line.Amount >= 0 {
+			if err := l.Transfer(inv.Payer, line.Account, line.Amount, line.Memo); err != nil {
+				return err
+			}
+		} else {
+			if err := l.Transfer(line.Account, inv.Payer, -line.Amount, line.Memo); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package payment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestInvoiceTotalsAndString(t *testing.T) {
+	inv := Invoice{
+		Payer: "user",
+		Lines: []InvoiceLine{
+			{Account: "P1", Memo: "Q1", Amount: 4},
+			{Account: "P2", Memo: "Q2", Amount: -1.5},
+		},
+	}
+	if inv.Total() != 2.5 {
+		t.Errorf("total = %v, want 2.5", inv.Total())
+	}
+	s := inv.String()
+	for _, want := range []string{"invoice to user", "P1", "P2", "total"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestInvoiceValidate(t *testing.T) {
+	good := Invoice{Payer: "user", Lines: []InvoiceLine{{Account: "P1", Amount: 1}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Invoice{
+		{},
+		{Payer: "user"},
+		{Payer: "user", Lines: []InvoiceLine{{Account: "", Amount: 1}}},
+		{Payer: "user", Lines: []InvoiceLine{{Account: "user", Amount: 1}}},
+		{Payer: "user", Lines: []InvoiceLine{{Account: "P1", Amount: math.NaN()}}},
+		{Payer: "user", Lines: []InvoiceLine{{Account: "P1", Amount: math.Inf(1)}}},
+	}
+	for i, inv := range bad {
+		if err := inv.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, inv)
+		}
+	}
+}
+
+func TestPayInvoiceFlows(t *testing.T) {
+	l, err := NewLedger("user", "P1", "P2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := Invoice{
+		Payer: "user",
+		Lines: []InvoiceLine{
+			{Account: "P1", Memo: "Q1", Amount: 4},
+			{Account: "P2", Memo: "refund", Amount: -1.5},
+		},
+	}
+	if err := l.PayInvoice(inv); err != nil {
+		t.Fatal(err)
+	}
+	for account, want := range map[string]float64{"user": -2.5, "P1": 4, "P2": -1.5} {
+		got, err := l.Balance(account)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s = %v, want %v", account, got, want)
+		}
+	}
+	if l.NetDrift() != 0 {
+		t.Errorf("drift %v", l.NetDrift())
+	}
+	// Unknown payee aborts.
+	if err := l.PayInvoice(Invoice{Payer: "user", Lines: []InvoiceLine{{Account: "ghost", Amount: 1}}}); err == nil {
+		t.Error("unknown payee accepted")
+	}
+	// Invalid invoice rejected before any transfer.
+	before := len(l.History())
+	if err := l.PayInvoice(Invoice{Payer: "user"}); err == nil {
+		t.Error("empty invoice accepted")
+	}
+	if len(l.History()) != before {
+		t.Error("invalid invoice moved money")
+	}
+}

@@ -1,0 +1,128 @@
+package protocol
+
+import (
+	"testing"
+
+	"dlsbl/internal/agent"
+	"dlsbl/internal/core"
+	"dlsbl/internal/dlt"
+)
+
+// Non-participation: "If P_i does not wish to participate, it does not
+// broadcast a bid and it receives a utility of 0" (Section 4, Bidding).
+
+func TestAbstainerGetsZeroAndOthersProceed(t *testing.T) {
+	cfg := honestConfig(dlt.NCPFE) // w = (1, 1.5, 2, 2.5)
+	bs := make([]agent.Behavior, 4)
+	bs[2] = agent.Behavior{Name: "abstainer", Abstain: true}
+	cfg.Behaviors = bs
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatalf("run with abstainer terminated in %s", out.TerminatedIn)
+	}
+	if len(out.Procs) != 4 || len(out.Bids) != 4 {
+		t.Fatalf("outcome not in config space: %d procs", len(out.Procs))
+	}
+	if out.Participated[2] {
+		t.Error("abstainer marked as participant")
+	}
+	for _, i := range []int{0, 1, 3} {
+		if !out.Participated[i] {
+			t.Errorf("P%d marked absent", i+1)
+		}
+	}
+	// The abstainer's entries are all zero.
+	if out.Bids[2] != 0 || out.Alloc[2] != 0 || out.Payments[2] != 0 ||
+		out.Utilities[2] != 0 || out.Fines[2] != 0 || out.WorkCost[2] != 0 {
+		t.Errorf("abstainer has nonzero entries: bid=%v α=%v Q=%v U=%v",
+			out.Bids[2], out.Alloc[2], out.Payments[2], out.Utilities[2])
+	}
+	// The remaining three run the standard mechanism among themselves.
+	mech := core.Mechanism{Network: dlt.NCPFE, Z: cfg.Z}
+	sub := []float64{1.0, 1.5, 2.5}
+	want, err := mech.Run(sub, core.TruthfulExec(sub))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []float64{out.Payments[0], out.Payments[1], out.Payments[3]}
+	for i := range want.Payment {
+		if relErr(got[i], want.Payment[i]) > tol {
+			t.Errorf("participant payment %d = %v, want %v", i, got[i], want.Payment[i])
+		}
+	}
+	// Allocation over participants sums to 1.
+	var sum float64
+	for _, a := range out.Alloc {
+		sum += a
+	}
+	if relErr(sum, 1) > tol {
+		t.Errorf("allocation sums to %v", sum)
+	}
+}
+
+func TestAbstainingOriginatorRejected(t *testing.T) {
+	cfg := honestConfig(dlt.NCPFE)
+	bs := make([]agent.Behavior, 4)
+	bs[0] = agent.Behavior{Abstain: true} // NCP-FE originator
+	cfg.Behaviors = bs
+	if _, err := Run(cfg); err == nil {
+		t.Error("abstaining FE originator accepted")
+	}
+	nfe := honestConfig(dlt.NCPNFE)
+	bs2 := make([]agent.Behavior, 4)
+	bs2[3] = agent.Behavior{Abstain: true} // NCP-NFE originator
+	nfe.Behaviors = bs2
+	if _, err := Run(nfe); err == nil {
+		t.Error("abstaining NFE originator accepted")
+	}
+}
+
+func TestTooFewParticipants(t *testing.T) {
+	cfg := honestConfig(dlt.NCPFE)
+	bs := make([]agent.Behavior, 4)
+	for i := 1; i < 4; i++ {
+		bs[i] = agent.Behavior{Abstain: true}
+	}
+	cfg.Behaviors = bs
+	if _, err := Run(cfg); err == nil {
+		t.Error("single-participant run accepted")
+	}
+}
+
+func TestAbstainerPlusDeviant(t *testing.T) {
+	// P3 abstains, P2 equivocates: the fine is split among the TWO
+	// remaining participants only, and the abstainer stays at zero.
+	cfg := honestConfig(dlt.NCPFE)
+	bs := make([]agent.Behavior, 4)
+	bs[2] = agent.Behavior{Abstain: true}
+	bs[1] = agent.Equivocator
+	cfg.Behaviors = bs
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Completed {
+		t.Fatal("equivocation not caught with an abstainer present")
+	}
+	F := out.FineMagnitude
+	if relErr(out.Fines[1], F) > tol {
+		t.Errorf("equivocator fined %v, want %v", out.Fines[1], F)
+	}
+	if out.Rewards[2] != 0 || out.Utilities[2] != 0 {
+		t.Error("abstainer received fine proceeds")
+	}
+	for _, i := range []int{0, 3} {
+		if relErr(out.Rewards[i], F/2) > tol {
+			t.Errorf("P%d reward %v, want F/2=%v", i+1, out.Rewards[i], F/2)
+		}
+	}
+}
+
+func TestAbstentionNotDeviant(t *testing.T) {
+	if (agent.Behavior{Abstain: true}).Deviant() {
+		t.Error("abstention flagged as a finable deviation")
+	}
+}

@@ -1,0 +1,125 @@
+package protocol
+
+import (
+	"testing"
+
+	"dlsbl/internal/agent"
+	"dlsbl/internal/core"
+	"dlsbl/internal/dlt"
+)
+
+func cpConfig() Config {
+	return Config{
+		Network: dlt.CP,
+		Z:       0.2,
+		TrueW:   []float64{1.0, 1.5, 2.0, 2.5},
+		Seed:    7,
+	}
+}
+
+func TestRunCPHonest(t *testing.T) {
+	out, err := RunCP(cpConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatal("centralized run not completed")
+	}
+	mech := core.Mechanism{Network: dlt.CP, Z: 0.2}
+	want, err := mech.Run(cpConfig().TrueW, core.TruthfulExec(cpConfig().TrueW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Payment {
+		if relErr(out.Payments[i], want.Payment[i]) > tol {
+			t.Errorf("Q[%d]=%v, central mechanism says %v", i, out.Payments[i], want.Payment[i])
+		}
+		if relErr(out.Utilities[i], want.Utility[i]) > tol {
+			t.Errorf("U[%d]=%v, want %v", i, out.Utilities[i], want.Utility[i])
+		}
+	}
+	if relErr(out.UserCost, want.UserCost) > tol {
+		t.Errorf("user cost %v, want %v", out.UserCost, want.UserCost)
+	}
+	for i, f := range out.Fines {
+		if f != 0 {
+			t.Errorf("fine %v on P%d in a refereeless protocol", f, i+1)
+		}
+	}
+}
+
+// TestRunCPTrafficLinear: the centralized protocol exchanges Θ(m)
+// control units — m bids in, m payment notices out — versus the
+// decentralized Θ(m²).
+func TestRunCPTrafficLinear(t *testing.T) {
+	for _, m := range []int{4, 16, 64} {
+		w := make([]float64, m)
+		for i := range w {
+			w[i] = 1 + float64(i)*0.1
+		}
+		out, err := RunCP(Config{Network: dlt.CP, Z: 0.1, TrueW: w, Seed: 1, NBlocks: 8 * m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.BusStats.Units != 2*m {
+			t.Errorf("m=%d: centralized units %d, want 2m=%d", m, out.BusStats.Units, 2*m)
+		}
+		ncp, err := Run(Config{Network: dlt.NCPFE, Z: 0.1, TrueW: w, Seed: 1, NBlocks: 8 * m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ncp.BusStats.Units <= out.BusStats.Units {
+			t.Errorf("m=%d: decentralization did not cost traffic (%d vs %d)",
+				m, ncp.BusStats.Units, out.BusStats.Units)
+		}
+	}
+}
+
+// TestRunCPMisreportingAbsorbed: lying still doesn't pay under the
+// trusted center — same mechanism, same incentives.
+func TestRunCPMisreportingAbsorbed(t *testing.T) {
+	base, err := RunCP(cpConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []agent.Behavior{agent.OverBid, agent.UnderBid, agent.SlowExecution} {
+		cfg := cpConfig()
+		cfg.Behaviors = make([]agent.Behavior, 4)
+		cfg.Behaviors[2] = b
+		out, err := RunCP(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if out.Utilities[2] > base.Utilities[2]+tol {
+			t.Errorf("%s: liar utility %v beats honest %v", b.Name, out.Utilities[2], base.Utilities[2])
+		}
+	}
+}
+
+func TestRunCPValidation(t *testing.T) {
+	bad := cpConfig()
+	bad.Network = dlt.NCPFE
+	if _, err := RunCP(bad); err == nil {
+		t.Error("non-CP network accepted")
+	}
+	short := cpConfig()
+	short.TrueW = []float64{1}
+	if _, err := RunCP(short); err == nil {
+		t.Error("single processor accepted")
+	}
+	abstain := cpConfig()
+	abstain.Behaviors = []agent.Behavior{{Abstain: true}}
+	if _, err := RunCP(abstain); err == nil {
+		t.Error("abstention accepted by the centralized runner")
+	}
+	negZ := cpConfig()
+	negZ.Z = -1
+	if _, err := RunCP(negZ); err == nil {
+		t.Error("negative z accepted")
+	}
+	zeroW := cpConfig()
+	zeroW.TrueW = []float64{1, 0}
+	if _, err := RunCP(zeroW); err == nil {
+		t.Error("zero speed accepted")
+	}
+}

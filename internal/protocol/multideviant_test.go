@@ -1,0 +1,215 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+
+	"dlsbl/internal/agent"
+	"dlsbl/internal/dlt"
+)
+
+// Multi-deviant scenarios: the paper's fine distribution is defined for x
+// simultaneous deviants ("The referee fines F to the x processors …
+// distributes xF/(m−x) to each of the m−x correct processors").
+
+func TestTwoPaymentCheatsBothFined(t *testing.T) {
+	cfg := honestConfig(dlt.NCPFE)
+	bs := make([]agent.Behavior, len(cfg.TrueW))
+	bs[1] = agent.PaymentCheat
+	bs[3] = agent.PaymentCheat
+	cfg.Behaviors = bs
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatalf("payment-phase fines must not terminate: %+v", out.Verdicts)
+	}
+	F := out.FineMagnitude
+	for _, i := range []int{1, 3} {
+		if relErr(out.Fines[i], F) > tol {
+			t.Errorf("cheat P%d fined %v, want F=%v", i+1, out.Fines[i], F)
+		}
+	}
+	// x=2 deviants of m=4: the 2 correct processors receive xF/(m−x) = F
+	// each.
+	for _, i := range []int{0, 2} {
+		if relErr(out.Rewards[i], F) > tol {
+			t.Errorf("correct P%d reward %v, want xF/(m−x)=%v", i+1, out.Rewards[i], F)
+		}
+	}
+}
+
+func TestPaymentCheatAndSlackerTogether(t *testing.T) {
+	// A payment cheat and a (non-finable) slacker coexist: only the
+	// cheat is fined; the slacker just earns a smaller bonus.
+	cfg := honestConfig(dlt.NCPFE)
+	bs := make([]agent.Behavior, len(cfg.TrueW))
+	bs[1] = agent.PaymentCheat
+	bs[2] = agent.SlowExecution
+	cfg.Behaviors = bs
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatal("run terminated")
+	}
+	if out.Fines[1] != out.FineMagnitude {
+		t.Errorf("cheat fined %v", out.Fines[1])
+	}
+	if out.Fines[2] != 0 {
+		t.Errorf("slacker fined %v for a non-protocol deviation", out.Fines[2])
+	}
+	// The slacker's meter shows the slack.
+	if relErr(out.Exec[2], cfg.TrueW[2]*1.5) > tol {
+		t.Errorf("slacker exec %v, want %v", out.Exec[2], cfg.TrueW[2]*1.5)
+	}
+	base, err := Run(honestConfig(dlt.NCPFE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slacker also receives a share of the CHEAT's redistributed
+	// fine; net of that windfall, slacking still loses money.
+	ownEarnings := out.Utilities[2] - out.Rewards[2]
+	if ownEarnings >= base.Utilities[2] {
+		t.Errorf("slacker earnings %v (ex-rewards) not below honest %v", ownEarnings, base.Utilities[2])
+	}
+}
+
+func TestEquivocatorPreemptsLaterDeviations(t *testing.T) {
+	// A bidding-phase termination means allocation-phase deviants never
+	// get to act: only the equivocator is fined.
+	cfg := honestConfig(dlt.NCPFE)
+	bs := make([]agent.Behavior, len(cfg.TrueW))
+	bs[2] = agent.Equivocator
+	bs[0] = agent.OverShipper // would deviate later, never reached
+	cfg.Behaviors = bs
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Completed || out.TerminatedIn != "bidding" {
+		t.Fatalf("expected bidding-phase termination, got %+v", out)
+	}
+	if out.Fines[2] != out.FineMagnitude {
+		t.Errorf("equivocator fined %v", out.Fines[2])
+	}
+	if out.Fines[0] != 0 {
+		t.Errorf("unreached over-shipper fined %v", out.Fines[0])
+	}
+}
+
+func TestCombinedLiarAndEquivocator(t *testing.T) {
+	// An overbidding equivocator: both knobs set; the equivocation is
+	// what gets it fined.
+	cfg := honestConfig(dlt.NCPFE)
+	bs := make([]agent.Behavior, len(cfg.TrueW))
+	bs[1] = agent.Behavior{Name: "overbid-equivocator", BidFactor: 1.5, Equivocate: true}
+	cfg.Behaviors = bs
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Completed {
+		t.Fatal("equivocation not caught")
+	}
+	if out.Fines[1] != out.FineMagnitude {
+		t.Errorf("fined %v", out.Fines[1])
+	}
+	// Its recorded bid reflects the lie.
+	if relErr(out.Bids[1], cfg.TrueW[1]*1.5) > tol {
+		t.Errorf("bid %v, want %v", out.Bids[1], cfg.TrueW[1]*1.5)
+	}
+}
+
+func TestManyProcessorsOneDeviant(t *testing.T) {
+	// Scale check: m=16 with one payment equivocator; the other 15 split
+	// the fine.
+	w := make([]float64, 16)
+	for i := range w {
+		w[i] = 1 + float64(i)*0.2
+	}
+	bs := make([]agent.Behavior, 16)
+	bs[7] = agent.PaymentLiar
+	out, err := Run(Config{Network: dlt.NCPFE, Z: 0.05, TrueW: w, Behaviors: bs, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatal("run terminated")
+	}
+	if out.Fines[7] != out.FineMagnitude {
+		t.Errorf("liar fined %v", out.Fines[7])
+	}
+	share := out.FineMagnitude / 15
+	for i := range w {
+		if i == 7 {
+			continue
+		}
+		if math.Abs(out.Rewards[i]-share) > 1e-9 {
+			t.Errorf("P%d reward %v, want %v", i+1, out.Rewards[i], share)
+		}
+	}
+}
+
+func TestExtremeShortShipClampsToZero(t *testing.T) {
+	// Withholding more blocks than the target's entire assignment clamps
+	// delivery at zero; cooperative mediation still remediates it.
+	cfg := honestConfig(dlt.NCPFE)
+	bs := make([]agent.Behavior, len(cfg.TrueW))
+	bs[0] = agent.Behavior{Name: "total-withholder", MisallocateExtraBlocks: -100000}
+	cfg.Behaviors = bs
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatalf("remediated run terminated in %s", out.TerminatedIn)
+	}
+	for i, f := range out.Fines {
+		if f != 0 {
+			t.Errorf("P%d fined %v after cooperative remediation", i+1, f)
+		}
+	}
+}
+
+func TestAllBehaviorsOnNCPNFE(t *testing.T) {
+	// The full deviation catalog also works when the originator is P_m.
+	m := 4
+	base := Config{Network: dlt.NCPNFE, Z: 0.2, TrueW: []float64{1, 1.5, 2, 2.5}, Seed: 9}
+	baseOut, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range agent.DeviantCatalog {
+		idx := 1
+		if b.MisallocateExtraBlocks != 0 || b.TamperBlocks || b.RefuseMediation {
+			idx = m - 1 // NFE originator
+		}
+		cfg := base
+		cfg.Behaviors = make([]agent.Behavior, m)
+		cfg.Behaviors[idx] = b
+		out, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		finedDeviant := out.Fines[idx] > 0
+		isCooperativeShortShip := b.MisallocateExtraBlocks < 0 && !b.RefuseMediation && !b.TamperBlocks
+		if isCooperativeShortShip {
+			if finedDeviant {
+				t.Errorf("%s: cooperative short-shipper fined on NFE", b.Name)
+			}
+		} else if !finedDeviant {
+			t.Errorf("%s: deviant not fined on NFE", b.Name)
+		}
+		for i := range out.Fines {
+			if i != idx && out.Fines[i] != 0 {
+				t.Errorf("%s: innocent P%d fined", b.Name, i+1)
+			}
+		}
+		if out.Utilities[idx] > baseOut.Utilities[idx]+tol {
+			t.Errorf("%s: deviation profitable on NFE (%v > %v)", b.Name, out.Utilities[idx], baseOut.Utilities[idx])
+		}
+	}
+}

@@ -1,0 +1,525 @@
+package protocol
+
+import (
+	"fmt"
+
+	"dlsbl/internal/dlt"
+	"dlsbl/internal/payment"
+	"dlsbl/internal/referee"
+	"dlsbl/internal/sig"
+	"dlsbl/internal/workload"
+)
+
+// ---- Phase: Bidding -------------------------------------------------------
+
+// phaseBidding performs the all-to-all broadcast of signed bids, collects
+// and cross-verifies them, and lets processors inform the referee about
+// equivocation. Returns true when a verdict terminated the protocol.
+func (r *run) phaseBidding() (bool, error) {
+	// Every processor broadcasts S_Pi(b_i, P_i); equivocators broadcast a
+	// second, contradictory bid.
+	firstEnvs := make([]sig.Envelope, r.m)
+	for i, a := range r.agents {
+		env, err := sig.Seal(a.Key, referee.KindBid, referee.BidPayload{Proc: a.ID, Bid: a.Bid()})
+		if err != nil {
+			return false, err
+		}
+		firstEnvs[i] = env
+		if err := r.net.Broadcast(a.ID, referee.KindBid, env, 1); err != nil {
+			return false, err
+		}
+		if second, ok := a.SecondBid(); ok {
+			env2, err := sig.Seal(a.Key, referee.KindBid, referee.BidPayload{Proc: a.ID, Bid: second})
+			if err != nil {
+				return false, err
+			}
+			if err := r.net.Broadcast(a.ID, referee.KindBid, env2, 1); err != nil {
+				return false, err
+			}
+		}
+	}
+
+	// Collection: each processor drains its inbox and verifies every
+	// message, discarding failures. All honest processors see identical
+	// broadcasts (atomicity), so one representative collection suffices
+	// for the agreed bid vector; equivocation detection scans per
+	// receiver.
+	type seenBid struct {
+		envs []sig.Envelope
+		bids []float64
+	}
+	r.bids = make([]float64, r.m)
+	r.bidEnvs = make([]sig.Envelope, r.m)
+	var equivocators []int
+	evidence := make(map[int][2]sig.Envelope)
+	for i, a := range r.agents {
+		msgs, err := r.net.Drain(a.ID)
+		if err != nil {
+			return false, err
+		}
+		seen := make(map[string]*seenBid)
+		for _, msg := range msgs {
+			if msg.Kind != referee.KindBid {
+				continue
+			}
+			var bp referee.BidPayload
+			if err := msg.Env.Open(r.reg, &bp); err != nil {
+				continue // failed verification: discarded (paper)
+			}
+			if bp.Proc != msg.Env.Sender {
+				continue
+			}
+			sb := seen[bp.Proc]
+			if sb == nil {
+				sb = &seenBid{}
+				seen[bp.Proc] = sb
+			}
+			duplicate := false
+			for _, prev := range sb.bids {
+				if prev == bp.Bid {
+					duplicate = true
+					break
+				}
+			}
+			if duplicate {
+				continue
+			}
+			sb.envs = append(sb.envs, msg.Env)
+			sb.bids = append(sb.bids, bp.Bid)
+		}
+		// Record the agreed bids from the first collector's perspective;
+		// fill in each sender's first-seen bid.
+		if i == 0 {
+			for j, p := range r.procs {
+				if j == 0 {
+					continue
+				}
+				if sb := seen[p]; sb != nil && len(sb.bids) > 0 {
+					r.bids[j] = sb.bids[0]
+					r.bidEnvs[j] = sb.envs[0]
+				}
+			}
+		}
+		// Equivocation detection by this receiver.
+		for j, p := range r.procs {
+			if sb := seen[p]; sb != nil && len(sb.bids) > 1 {
+				if _, already := evidence[j]; !already {
+					equivocators = append(equivocators, j)
+					evidence[j] = [2]sig.Envelope{sb.envs[0], sb.envs[1]}
+				}
+			}
+		}
+	}
+	// A processor's own bid is what it broadcast first.
+	for i, a := range r.agents {
+		r.bids[i] = a.Bid()
+		r.bidEnvs[i] = firstEnvs[i]
+	}
+
+	// The referee comes into existence with a publicly known fine.
+	fine := r.cfg.Fine
+	if fine == 0 {
+		fine = referee.SuggestedFine(r.bids, 4)
+	}
+	var err error
+	r.ref, err = referee.New(r.reg, r.ledger, r.mech, r.procs, fine)
+	if err != nil {
+		return false, err
+	}
+	r.outcome.FineMagnitude = fine
+
+	// Unfounded accusations fire first if a false accuser exists: it
+	// signals the referee with non-evidence against its neighbour.
+	for i, a := range r.agents {
+		if !a.Behavior.FalseEquivocationReport {
+			continue
+		}
+		victim := r.agents[(i+1)%r.m]
+		// The "evidence" is the victim's single legitimate bid twice.
+		v, err := r.ref.JudgeEquivocation(a.ID, firstEnvs[(i+1)%r.m], firstEnvs[(i+1)%r.m])
+		if err != nil {
+			return false, err
+		}
+		_ = victim
+		r.record(v)
+		if err := r.ref.Settle(v, nil); err != nil {
+			return false, err
+		}
+		if v.Terminates {
+			return true, nil
+		}
+	}
+
+	// Genuine equivocation: the first honest observer informs against the
+	// equivocator, providing both signed bids as evidence.
+	for _, j := range equivocators {
+		accuser := ""
+		for i, a := range r.agents {
+			if i != j && !a.Behavior.Deviant() {
+				accuser = a.ID
+				break
+			}
+		}
+		if accuser == "" {
+			accuser = r.procs[(j+1)%r.m]
+		}
+		ev := evidence[j]
+		// The report travels over the bus to the referee: two envelopes.
+		if err := r.net.Send(accuser, referee.Account, "dls/equivocation-report", ev[0], 2); err != nil {
+			return false, err
+		}
+		v, err := r.ref.JudgeEquivocation(accuser, ev[0], ev[1])
+		if err != nil {
+			return false, err
+		}
+		r.record(v)
+		if err := r.ref.Settle(v, nil); err != nil {
+			return false, err
+		}
+		if v.Terminates {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// ---- Phase: Allocating Load -------------------------------------------------
+
+// recomputeCounts is the referee's recomputation callback: from an agreed
+// bid vector to per-processor block counts.
+func (r *run) recomputeCounts(bids []float64) ([]int, error) {
+	alloc, err := dlt.Optimal(dlt.Instance{Network: r.cfg.Network, Z: r.cfg.Z, W: bids})
+	if err != nil {
+		return nil, err
+	}
+	asg, err := workload.Partition(alloc, r.nBlocks)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int, len(asg))
+	for i, a := range asg {
+		counts[i] = a.Count()
+	}
+	return counts, nil
+}
+
+// signedBidVector builds the vector of signed bids a party submits to the
+// referee during a claim. A vector tamperer replaces its own entry with a
+// freshly signed different bid — the only way to alter a signature-
+// protected vector, and exactly what Lemma 5.2 catches.
+func (r *run) signedBidVector(i int) (sig.Envelope, error) {
+	a := r.agents[i]
+	envs := append([]sig.Envelope(nil), r.bidEnvs...)
+	if a.Behavior.TamperBidVectorEntry {
+		forged, err := sig.Seal(a.Key, referee.KindBid, referee.BidPayload{Proc: a.ID, Bid: a.TamperedOwnBid()})
+		if err != nil {
+			return sig.Envelope{}, err
+		}
+		envs[i] = forged
+	}
+	return sig.Seal(a.Key, referee.KindBidVector, referee.BidVectorPayload{Proc: a.ID, Bids: envs})
+}
+
+// workDoneAt returns the termination compensations when a claim stops the
+// protocol during delivery to recipient `upTo` (order position in the
+// delivery sequence): everyone whose delivery completed earlier has
+// commenced work, plus the NCP-FE originator, which computes from time 0.
+func (r *run) workDoneAt(deliveryOrder []int, upTo int) map[string]float64 {
+	work := make(map[string]float64)
+	if r.cfg.Network == dlt.NCPFE {
+		work[r.procs[r.origIdx]] = r.alloc[r.origIdx] * r.agents[r.origIdx].Exec()
+	}
+	for pos := 0; pos < upTo; pos++ {
+		i := deliveryOrder[pos]
+		work[r.procs[i]] = r.alloc[i] * r.agents[i].Exec()
+	}
+	return work
+}
+
+// phaseAllocating computes the allocation everywhere, ships the blocks,
+// and adjudicates misallocation claims. Returns true on termination.
+func (r *run) phaseAllocating() (bool, error) {
+	var err error
+	r.alloc, err = dlt.Optimal(dlt.Instance{Network: r.cfg.Network, Z: r.cfg.Z, W: r.bids})
+	if err != nil {
+		return false, err
+	}
+	r.assigns, err = workload.Partition(r.alloc, r.nBlocks)
+	if err != nil {
+		return false, err
+	}
+
+	orig := r.agents[r.origIdx]
+	// Delivery order: index order, skipping the originator (Theorem 2.2
+	// makes the order irrelevant for optimality).
+	var order []int
+	for i := range r.procs {
+		if i != r.origIdx {
+			order = append(order, i)
+		}
+	}
+	// The originator's misallocation targets the first recipient.
+	misTarget := -1
+	if orig.Behavior.MisallocateExtraBlocks != 0 && len(order) > 0 {
+		misTarget = order[0]
+	}
+
+	for pos, i := range order {
+		a := r.agents[i]
+		expected := r.assigns[i].Count()
+		delivered := expected
+		if i == misTarget {
+			delivered += orig.Behavior.MisallocateExtraBlocks
+			if delivered < 0 {
+				delivered = 0
+			}
+		}
+
+		switch {
+		case a.Behavior.FalseShortageClaim && delivered == expected:
+			// Unfounded shortage claim: mediation completes a verified
+			// delivery, the claimant persists, the claimant is fined.
+			v, err := r.ref.MediateShortDelivery(a.ID, orig.ID, referee.ShortDeliveryEvidence{ClaimantStillClaims: true})
+			if err != nil {
+				return false, err
+			}
+			r.record(v)
+			if err := r.ref.Settle(v, r.workDoneAt(order, pos)); err != nil {
+				return false, err
+			}
+			if v.Terminates {
+				return true, nil
+			}
+
+		case a.Behavior.FalseExcessClaim && delivered == expected:
+			// Unfounded α'_i > α_i claim: the referee compares the
+			// claimant's blocks against the data set, finds delivery
+			// exactly right, and fines the claimant.
+			claimVec, err := r.signedBidVector(i)
+			if err != nil {
+				return false, err
+			}
+			origVec, err := r.signedBidVector(r.origIdx)
+			if err != nil {
+				return false, err
+			}
+			if err := r.net.Send(a.ID, referee.Account, referee.KindBidVector, claimVec, r.m); err != nil {
+				return false, err
+			}
+			if err := r.net.Send(orig.ID, referee.Account, referee.KindBidVector, origVec, r.m); err != nil {
+				return false, err
+			}
+			v, err := r.ref.JudgeAllocationClaim(a.ID, orig.ID, claimVec, origVec, delivered, r.recomputeCounts)
+			if err != nil {
+				return false, err
+			}
+			r.record(v)
+			if err := r.ref.Settle(v, r.workDoneAt(order, pos)); err != nil {
+				return false, err
+			}
+			if v.Terminates {
+				return true, nil
+			}
+
+		case a.Behavior.TamperBidVectorEntry && delivered == expected:
+			// The tamperer manufactures a claim to smuggle its altered
+			// vector to the referee; the fresh signature convicts it.
+			claimVec, err := r.signedBidVector(i)
+			if err != nil {
+				return false, err
+			}
+			origVec, err := r.signedBidVector(r.origIdx)
+			if err != nil {
+				return false, err
+			}
+			if err := r.net.Send(a.ID, referee.Account, referee.KindBidVector, claimVec, r.m); err != nil {
+				return false, err
+			}
+			if err := r.net.Send(orig.ID, referee.Account, referee.KindBidVector, origVec, r.m); err != nil {
+				return false, err
+			}
+			v, err := r.ref.JudgeAllocationClaim(a.ID, orig.ID, claimVec, origVec, delivered, r.recomputeCounts)
+			if err != nil {
+				return false, err
+			}
+			r.record(v)
+			if err := r.ref.Settle(v, r.workDoneAt(order, pos)); err != nil {
+				return false, err
+			}
+			if v.Terminates {
+				return true, nil
+			}
+
+		case delivered > expected:
+			// α'_i > α_i: the claim is substantiated against the data
+			// set; both parties submit their bid vectors.
+			claimVec, err := r.signedBidVector(i)
+			if err != nil {
+				return false, err
+			}
+			origVec, err := r.signedBidVector(r.origIdx)
+			if err != nil {
+				return false, err
+			}
+			if err := r.net.Send(a.ID, referee.Account, referee.KindBidVector, claimVec, r.m); err != nil {
+				return false, err
+			}
+			if err := r.net.Send(orig.ID, referee.Account, referee.KindBidVector, origVec, r.m); err != nil {
+				return false, err
+			}
+			v, err := r.ref.JudgeAllocationClaim(a.ID, orig.ID, claimVec, origVec, delivered, r.recomputeCounts)
+			if err != nil {
+				return false, err
+			}
+			r.record(v)
+			if err := r.ref.Settle(v, r.workDoneAt(order, pos)); err != nil {
+				return false, err
+			}
+			if v.Terminates {
+				return true, nil
+			}
+
+		case delivered < expected:
+			// α'_i < α_i: the referee mediates, forwarding verified
+			// blocks from the originator to the claimant.
+			ev := referee.ShortDeliveryEvidence{
+				OriginatorRefused: orig.Behavior.RefuseMediation,
+				IntegrityFailed:   orig.Behavior.TamperBlocks,
+			}
+			v, err := r.ref.MediateShortDelivery(a.ID, orig.ID, ev)
+			if err != nil {
+				return false, err
+			}
+			r.record(v)
+			if !v.Clean() {
+				if err := r.ref.Settle(v, r.workDoneAt(order, pos)); err != nil {
+					return false, err
+				}
+			}
+			if v.Terminates {
+				return true, nil
+			}
+			// Mediation succeeded: the missing blocks arrived verified;
+			// delivery is now exactly the assignment.
+		}
+	}
+	return false, nil
+}
+
+// ---- Phase: Processing Load ---------------------------------------------------
+
+// phaseProcessing executes the assignments at each agent's execution rate,
+// records the tamper-proof meters, and has the referee broadcast
+// (φ_1,…,φ_m).
+func (r *run) phaseProcessing() error {
+	exec := make([]float64, r.m)
+	phi := make([]float64, r.m)
+	work := make([]float64, r.m)
+	for i, a := range r.agents {
+		exec[i] = a.Exec()
+		phi[i] = r.alloc[i] * exec[i]
+		work[i] = phi[i]
+		if err := r.ref.RecordMeter(a.ID, phi[i]); err != nil {
+			return err
+		}
+	}
+	r.outcome.Exec = exec
+	r.outcome.Phi = phi
+	r.outcome.WorkCost = work
+
+	// Realized schedule: communication at the bid-derived fractions,
+	// computation at the observed execution rates.
+	realized := dlt.Instance{Network: r.cfg.Network, Z: r.cfg.Z, W: exec}
+	tl, err := dlt.Schedule(realized, r.alloc)
+	if err != nil {
+		return err
+	}
+	r.outcome.Timeline = tl
+	r.outcome.Makespan = tl.Makespan
+
+	// Referee broadcasts the meter vector.
+	env, err := sig.Seal(r.refKey, referee.KindMeters, referee.MetersPayload{Phi: phi})
+	if err != nil {
+		return err
+	}
+	return r.net.Broadcast(referee.Account, referee.KindMeters, env, r.m)
+}
+
+// ---- Phase: Computing Payments --------------------------------------------------
+
+// phasePayments has every processor derive the execution values from the
+// broadcast meters, compute the payment vector, and submit it signed to
+// the referee, which checks unanimity, fines deviants, and forwards Q to
+// the payment infrastructure.
+func (r *run) phasePayments() error {
+	// w̃_j = φ_j / α_j; a processor with no load reveals nothing, so its
+	// bid stands in (its compensation and valuation are zero anyway).
+	derived := make([]float64, r.m)
+	for j := range derived {
+		if r.alloc[j] > 0 {
+			derived[j] = r.outcome.Phi[j] / r.alloc[j]
+		} else {
+			derived[j] = r.bids[j]
+		}
+	}
+	out, err := r.mech.Run(r.bids, derived)
+	if err != nil {
+		return err
+	}
+	if err := r.ref.CheckFineSufficient(out.Compensation); err != nil {
+		// The configured fine violates F ≥ Σ α_j·w̃_j; surface it rather
+		// than continue with a toothless deterrent.
+		return fmt.Errorf("protocol: %w", err)
+	}
+
+	subs := make(map[string][]sig.Envelope, r.m)
+	for i, a := range r.agents {
+		q := a.PaymentVector(out.Payment, i)
+		env, err := sig.Seal(a.Key, referee.KindPayment, referee.PaymentPayload{Proc: a.ID, Q: q})
+		if err != nil {
+			return err
+		}
+		if err := r.net.Send(a.ID, referee.Account, referee.KindPayment, env, r.m); err != nil {
+			return err
+		}
+		subs[a.ID] = []sig.Envelope{env}
+		if a.Behavior.EquivocatePayments {
+			q2 := append([]float64(nil), q...)
+			q2[i] += 1
+			env2, err := sig.Seal(a.Key, referee.KindPayment, referee.PaymentPayload{Proc: a.ID, Q: q2})
+			if err != nil {
+				return err
+			}
+			if err := r.net.Send(a.ID, referee.Account, referee.KindPayment, env2, r.m); err != nil {
+				return err
+			}
+			subs[a.ID] = append(subs[a.ID], env2)
+		}
+	}
+
+	v, q, err := r.ref.JudgePayments(r.bids, derived, subs)
+	if err != nil {
+		return err
+	}
+	r.record(v)
+	if err := r.ref.Settle(v, nil); err != nil {
+		return err
+	}
+
+	// Forward Q to the payment infrastructure as an invoice: the user
+	// remits payment.
+	inv := payment.Invoice{Payer: UserID}
+	for i, p := range r.procs {
+		inv.Lines = append(inv.Lines, payment.InvoiceLine{
+			Account: p,
+			Memo:    fmt.Sprintf("payment Q for %s (C=%.6g, B=%.6g)", p, out.Compensation[i], out.Bonus[i]),
+			Amount:  q[i],
+		})
+	}
+	if err := r.ledger.PayInvoice(inv); err != nil {
+		return err
+	}
+	r.outcome.Invoice = inv
+	r.outcome.Payments = q
+	return nil
+}

@@ -1,0 +1,387 @@
+// Package protocol executes the DLS-BL-NCP mechanism end-to-end
+// (Section 4 of the paper): m strategic processors on a bus network
+// without a control processor run the five phases — Initialization,
+// Bidding, Allocating Load, Processing Load, Computing Payments — with a
+// passive referee adjudicating deviations and a payment ledger settling
+// compensations, bonuses, fines and rewards.
+//
+// The processors follow pluggable strategies (internal/agent), so every
+// deviation class the paper enumerates can be injected and its economic
+// consequence measured. A Run produces a full Outcome: bids, allocation,
+// realized schedule, meter readings, payments, fines, per-processor
+// utilities and the bus traffic statistics behind the Θ(m²)
+// communication-complexity theorem.
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dlsbl/internal/agent"
+	"dlsbl/internal/bus"
+	"dlsbl/internal/core"
+	"dlsbl/internal/dlt"
+	"dlsbl/internal/payment"
+	"dlsbl/internal/referee"
+	"dlsbl/internal/sig"
+	"dlsbl/internal/workload"
+)
+
+// Reserved ledger/bus identities.
+const (
+	UserID = "user"
+)
+
+// Config describes one protocol run.
+type Config struct {
+	// Network must be NCPFE or NCPNFE — the two classes DLS-BL-NCP
+	// targets. (The CP class has a trusted control processor and runs
+	// DLS-BL directly via internal/core.)
+	Network dlt.Network
+	// Z is the per-unit communication time of the bus.
+	Z float64
+	// TrueW are the private per-unit processing times t_i = w_i.
+	TrueW []float64
+	// Behaviors assigns a strategy to each processor; nil entries and a
+	// short slice default to honest.
+	Behaviors []agent.Behavior
+	// Fine is the publicly known fine magnitude F. Zero selects
+	// referee.SuggestedFine over the bids.
+	Fine float64
+	// NBlocks is the dataset granularity; zero selects 64·m blocks.
+	NBlocks int
+	// BlockSize is the block payload size in bytes; zero selects 32.
+	BlockSize int
+	// Seed drives key generation and the synthetic dataset.
+	Seed int64
+}
+
+func (c *Config) validate() error {
+	if c.Network != dlt.NCPFE && c.Network != dlt.NCPNFE {
+		return fmt.Errorf("protocol: DLS-BL-NCP requires an NCP network class, got %v", c.Network)
+	}
+	if len(c.TrueW) < 2 {
+		return errors.New("protocol: need at least two processors")
+	}
+	for i, w := range c.TrueW {
+		if !(w > 0) || math.IsInf(w, 0) {
+			return fmt.Errorf("protocol: invalid true value w[%d]=%v", i, w)
+		}
+	}
+	if !(c.Z >= 0) || math.IsInf(c.Z, 0) {
+		return fmt.Errorf("protocol: invalid z=%v", c.Z)
+	}
+	if c.Fine < 0 || math.IsNaN(c.Fine) || math.IsInf(c.Fine, 0) {
+		return fmt.Errorf("protocol: invalid fine %v", c.Fine)
+	}
+	if c.NBlocks < 0 || c.BlockSize < 0 {
+		return errors.New("protocol: negative dataset parameters")
+	}
+	return nil
+}
+
+// Outcome records everything a protocol run produced.
+type Outcome struct {
+	// Completed is true when all five phases finished; false when a
+	// verdict terminated the run early.
+	Completed bool
+	// TerminatedIn names the phase a terminating verdict fired in.
+	TerminatedIn string
+	// Verdicts lists every adjudication, clean ones included.
+	Verdicts []referee.Verdict
+
+	// Procs names every configured processor (P1…Pm in config order).
+	Procs []string
+	// Participated[i] is false for processors that abstained (did not
+	// broadcast a bid); all their per-processor entries below are zero
+	// and their utility is 0, per the paper's Bidding phase.
+	Participated []bool
+	Bids         []float64
+	Alloc        dlt.Allocation
+	// Assignments are the block ranges the allocation maps to.
+	Assignments []workload.Assignment
+	// Exec are the execution values w̃ derived from the meters (only for
+	// completed runs).
+	Exec []float64
+	// Phi are the raw meter readings φ_i = α_i·w̃_i.
+	Phi []float64
+	// Payments is the vector Q forwarded to the payment infrastructure.
+	Payments []float64
+	// Fines[i] is the total fines processor i paid.
+	Fines []float64
+	// Rewards[i] is the total fine redistributions processor i received.
+	Rewards []float64
+	// Utilities[i] is the processor's final economic position: every
+	// ledger flow it saw (payments + rewards − fines) minus the cost of
+	// the work it actually performed.
+	Utilities []float64
+	// WorkCost[i] is that cost, α_i·w̃_i over the work actually done.
+	WorkCost []float64
+
+	// Timeline is the realized schedule (completed runs only). Its
+	// processor indices are in participant order — when processors
+	// abstained, row k is the k-th participant, not config index k.
+	Timeline dlt.Timeline
+	// Makespan is the realized total execution time.
+	Makespan float64
+	// Invoice is the bill forwarded to the payment infrastructure
+	// (completed runs only).
+	Invoice payment.Invoice
+	// UserCost is what the user paid in total.
+	UserCost float64
+	// BusStats is the control-plane traffic (Theorem 5.4).
+	BusStats bus.Stats
+	// Transcript is the referee's hash-chained audit log; verify it with
+	// referee.VerifyEntries.
+	Transcript []referee.AuditEntry
+	// FineMagnitude is the F in force.
+	FineMagnitude float64
+}
+
+// run carries the mutable state threaded through the phases. All
+// per-processor state inside the run is in PARTICIPANT space (abstainers
+// filtered out); finish() expands it back to config space.
+type run struct {
+	cfg     Config
+	fullM   int
+	part    []int // participant→config index
+	m       int
+	procs   []string
+	agents  []*agent.Agent
+	keys    map[string]*sig.KeyPair
+	reg     *sig.Registry
+	net     *bus.Bus
+	ledger  *payment.Ledger
+	ref     *referee.Referee
+	refKey  *sig.KeyPair
+	userKey *sig.KeyPair
+	dataset *workload.Dataset
+	mech    core.Mechanism
+	outcome *Outcome
+	bidEnvs []sig.Envelope // agreed signed bid of each processor, index order
+	bids    []float64
+	alloc   dlt.Allocation
+	assigns []workload.Assignment
+	nBlocks int
+	origIdx int
+}
+
+// Run executes the protocol.
+func Run(cfg Config) (*Outcome, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r, err := setup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if terminated, err := r.phaseBidding(); err != nil || terminated {
+		return r.finish(err)
+	}
+	if terminated, err := r.phaseAllocating(); err != nil || terminated {
+		return r.finish(err)
+	}
+	if err := r.phaseProcessing(); err != nil {
+		return r.finish(err)
+	}
+	if err := r.phasePayments(); err != nil {
+		return r.finish(err)
+	}
+	r.outcome.Completed = true
+	return r.finish(nil)
+}
+
+func setup(cfg Config) (*run, error) {
+	fullM := len(cfg.TrueW)
+	behaviorOf := func(i int) agent.Behavior {
+		if i < len(cfg.Behaviors) {
+			return cfg.Behaviors[i]
+		}
+		return agent.Behavior{}
+	}
+	// Abstainers never broadcast a bid; the protocol runs over the
+	// participants only (Section 4: non-participants receive utility 0).
+	var part []int
+	for i := 0; i < fullM; i++ {
+		if !behaviorOf(i).Abstain {
+			part = append(part, i)
+		}
+	}
+	if len(part) < 2 {
+		return nil, errors.New("protocol: need at least two participating processors")
+	}
+	loadHolder := cfg.Network.Originator(fullM)
+	if behaviorOf(loadHolder).Abstain {
+		return nil, fmt.Errorf("protocol: the load-originating processor P%d cannot abstain", loadHolder+1)
+	}
+	m := len(part)
+	r := &run{
+		cfg:     cfg,
+		fullM:   fullM,
+		part:    part,
+		m:       m,
+		keys:    make(map[string]*sig.KeyPair, m+2),
+		reg:     sig.NewRegistry(),
+		mech:    core.Mechanism{Network: cfg.Network, Z: cfg.Z},
+		outcome: &Outcome{},
+		origIdx: cfg.Network.Originator(m),
+		nBlocks: cfg.NBlocks,
+	}
+	if r.nBlocks == 0 {
+		r.nBlocks = 64 * m
+	}
+	blockSize := cfg.BlockSize
+	if blockSize == 0 {
+		blockSize = 32
+	}
+
+	// Identities, keys, PKI. Participants keep their configured names.
+	for _, orig := range part {
+		r.procs = append(r.procs, fmt.Sprintf("P%d", orig+1))
+	}
+	seed := cfg.Seed
+	newKey := func(id string) (*sig.KeyPair, error) {
+		seed++
+		k, err := sig.GenerateKeyPair(id, sig.DeterministicSource(seed))
+		if err != nil {
+			return nil, err
+		}
+		if err := r.reg.Register(id, k.Public); err != nil {
+			return nil, err
+		}
+		r.keys[id] = k
+		return k, nil
+	}
+	var err error
+	if r.userKey, err = newKey(UserID); err != nil {
+		return nil, err
+	}
+	if r.refKey, err = newKey(referee.Account); err != nil {
+		return nil, err
+	}
+	for i, id := range r.procs {
+		k, err := newKey(id)
+		if err != nil {
+			return nil, err
+		}
+		orig := part[i]
+		a, err := agent.New(id, k, cfg.TrueW[orig], behaviorOf(orig))
+		if err != nil {
+			return nil, err
+		}
+		r.agents = append(r.agents, a)
+	}
+
+	// Bus, ledger, dataset.
+	if r.net, err = bus.New(cfg.Z); err != nil {
+		return nil, err
+	}
+	for _, id := range append(append([]string(nil), r.procs...), referee.Account) {
+		if err := r.net.Attach(id); err != nil {
+			return nil, err
+		}
+	}
+	accounts := append([]string{UserID, referee.Account}, r.procs...)
+	if r.ledger, err = payment.NewLedger(accounts...); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	data := workload.SyntheticData(rng, r.nBlocks*blockSize)
+	if r.dataset, err = workload.Prepare(r.userKey, data, blockSize); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// finish assembles the Outcome from the run state and the ledger,
+// expanding every per-processor series from participant space back to
+// config space (abstainers get zero entries).
+func (r *run) finish(err error) (*Outcome, error) {
+	if err != nil {
+		return nil, err
+	}
+	o := r.outcome
+	o.BusStats = r.net.Stats()
+	if r.ref != nil {
+		o.FineMagnitude = r.ref.Fine()
+		o.Transcript = r.ref.Transcript()
+	}
+
+	fines := make([]float64, r.m)
+	rewards := make([]float64, r.m)
+	utilities := make([]float64, r.m)
+	workCost := o.WorkCost
+	if workCost == nil {
+		workCost = make([]float64, r.m)
+	}
+	index := make(map[string]int, r.m)
+	for i, p := range r.procs {
+		index[p] = i
+	}
+	for _, e := range r.ledger.History() {
+		if i, ok := index[e.From]; ok && e.To == referee.Account {
+			fines[i] += e.Amount
+		}
+		if i, ok := index[e.To]; ok && e.From == referee.Account {
+			rewards[i] += e.Amount
+		}
+	}
+	for i, p := range r.procs {
+		bal, berr := r.ledger.Balance(p)
+		if berr != nil {
+			return nil, berr
+		}
+		utilities[i] = bal - workCost[i]
+	}
+	userBal, berr := r.ledger.Balance(UserID)
+	if berr != nil {
+		return nil, berr
+	}
+	o.UserCost = -userBal
+
+	// Expansion to config space.
+	o.Procs = make([]string, r.fullM)
+	o.Participated = make([]bool, r.fullM)
+	for i := range o.Procs {
+		o.Procs[i] = fmt.Sprintf("P%d", i+1)
+	}
+	expand := func(sub []float64) []float64 {
+		if sub == nil {
+			return nil
+		}
+		full := make([]float64, r.fullM)
+		for i, orig := range r.part {
+			full[orig] = sub[i]
+		}
+		return full
+	}
+	for _, orig := range r.part {
+		o.Participated[orig] = true
+	}
+	o.Bids = expand(r.bids)
+	o.Alloc = dlt.Allocation(expand(r.alloc))
+	o.Exec = expand(o.Exec)
+	o.Phi = expand(o.Phi)
+	o.Payments = expand(o.Payments)
+	o.Fines = expand(fines)
+	o.Rewards = expand(rewards)
+	o.Utilities = expand(utilities)
+	o.WorkCost = expand(workCost)
+	if r.assigns != nil {
+		full := make([]workload.Assignment, r.fullM)
+		for i, orig := range r.part {
+			full[orig] = r.assigns[i]
+		}
+		o.Assignments = full
+	}
+	return o, nil
+}
+
+func (r *run) record(v referee.Verdict) {
+	r.outcome.Verdicts = append(r.outcome.Verdicts, v)
+	if v.Terminates {
+		r.outcome.TerminatedIn = v.Phase
+	}
+}

@@ -1,0 +1,117 @@
+package referee
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Audit transcript. The referee is only "minimally trusted": it holds no
+// processor parameters unless a conflict arises, and its decisions move
+// real money. To make those decisions reviewable after the fact, every
+// adjudication and settlement is appended to a hash-chained transcript —
+// each entry commits to its content AND to the previous entry's digest,
+// so no record can be silently altered, reordered or dropped without
+// breaking the chain.
+
+// AuditEntry is one transcript record.
+type AuditEntry struct {
+	Seq      int      `json:"seq"`
+	Action   string   `json:"action"` // "verdict", "settlement", "meter", "payments"
+	Phase    string   `json:"phase"`
+	Guilty   []string `json:"guilty,omitempty"`
+	Detail   string   `json:"detail"`
+	PrevHash string   `json:"prev"`
+	Hash     string   `json:"hash"` // SHA-256 over (seq, action, phase, guilty, detail, prev)
+}
+
+// AuditLog is the referee's append-only, hash-chained transcript.
+type AuditLog struct {
+	entries []AuditEntry
+}
+
+// genesisHash anchors the chain.
+const genesisHash = "dls-bl-ncp-audit-genesis"
+
+func (l *AuditLog) lastHash() string {
+	if len(l.entries) == 0 {
+		return genesisHash
+	}
+	return l.entries[len(l.entries)-1].Hash
+}
+
+// Append records an action and returns the sealed entry.
+func (l *AuditLog) Append(action, phase string, guilty []string, detail string) AuditEntry {
+	e := AuditEntry{
+		Seq:      len(l.entries),
+		Action:   action,
+		Phase:    phase,
+		Guilty:   append([]string(nil), guilty...),
+		Detail:   detail,
+		PrevHash: l.lastHash(),
+	}
+	e.Hash = hashEntry(e)
+	l.entries = append(l.entries, e)
+	return e
+}
+
+func hashEntry(e AuditEntry) string {
+	// The hash field itself is excluded from the digest.
+	e.Hash = ""
+	payload, err := json.Marshal(e)
+	if err != nil {
+		// AuditEntry contains only marshalable fields; this cannot fire.
+		panic("referee: audit entry not marshalable: " + err.Error())
+	}
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// Entries returns a copy of the transcript.
+func (l *AuditLog) Entries() []AuditEntry {
+	return append([]AuditEntry(nil), l.entries...)
+}
+
+// Len returns the number of records.
+func (l *AuditLog) Len() int { return len(l.entries) }
+
+// Verify re-derives the whole chain and reports the first inconsistency:
+// a mutated entry, a broken link or a bad sequence number.
+func (l *AuditLog) Verify() error {
+	prev := genesisHash
+	for i, e := range l.entries {
+		if e.Seq != i {
+			return fmt.Errorf("referee: audit entry %d has sequence %d", i, e.Seq)
+		}
+		if e.PrevHash != prev {
+			return fmt.Errorf("referee: audit entry %d breaks the chain", i)
+		}
+		if hashEntry(e) != e.Hash {
+			return fmt.Errorf("referee: audit entry %d content does not match its hash", i)
+		}
+		prev = e.Hash
+	}
+	return nil
+}
+
+// VerifyEntries validates a transcript copy that left the referee (e.g.
+// one attached to a protocol outcome).
+func VerifyEntries(entries []AuditEntry) error {
+	l := AuditLog{entries: entries}
+	return l.Verify()
+}
+
+// String renders the transcript for humans.
+func (l *AuditLog) String() string {
+	var b strings.Builder
+	for _, e := range l.entries {
+		guilty := "-"
+		if len(e.Guilty) > 0 {
+			guilty = strings.Join(e.Guilty, "+")
+		}
+		fmt.Fprintf(&b, "[%03d] %-10s %-10s guilty=%-8s %s\n", e.Seq, e.Action, e.Phase, guilty, e.Detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package referee
+
+import "dlsbl/internal/sig"
+
+// Envelope kinds and payload types for every signed message the protocol
+// exchanges. They live here because the referee is the arbiter of their
+// validity; the protocol package reuses them.
+
+// Message kinds, one per protocol artifact.
+const (
+	KindBid       = "dls/bid"        // Bidding phase broadcast
+	KindBidVector = "dls/bid-vector" // vector submitted to the referee on a claim
+	KindPayment   = "dls/payment"    // Computing Payments submission
+	KindMeters    = "dls/meters"     // referee's meter broadcast
+	KindClaim     = "dls/claim"      // misallocation claim
+)
+
+// BidPayload is the Bidding phase message S_Pi(b_i, P_i).
+type BidPayload struct {
+	Proc string  `json:"proc"`
+	Bid  float64 `json:"bid"`
+}
+
+// BidVectorPayload is the full vector of signed bids a party submits to
+// the referee when adjudicating an allocation claim. Every element is the
+// original signed bid envelope; a party can only alter its own entry by
+// signing a second, contradictory bid — which is equivocation evidence.
+type BidVectorPayload struct {
+	Proc string         `json:"proc"`
+	Bids []sig.Envelope `json:"bids"`
+}
+
+// PaymentPayload is the Computing Payments submission S_Pi(P_i, Q).
+type PaymentPayload struct {
+	Proc string    `json:"proc"`
+	Q    []float64 `json:"q"`
+}
+
+// MetersPayload is the referee's broadcast of observed execution times
+// (φ_1, …, φ_m) read from the tamper-proof meters.
+type MetersPayload struct {
+	Phi []float64 `json:"phi"`
+}
+
+// ClaimPayload is a misallocation claim raised in the Allocating Load
+// phase: the claimant received Delivered blocks but expected its share of
+// the allocation.
+type ClaimPayload struct {
+	Proc      string `json:"proc"`
+	Delivered int    `json:"delivered"`
+	Expected  int    `json:"expected"`
+}

@@ -1,0 +1,556 @@
+// Package referee implements the minimally-trusted third party of
+// DLS-BL-NCP (Section 4). The referee "is isolated and remains passive
+// until signaled by a processor that presumes cheating"; it never holds
+// the processor parameters unless a conflict arises. Its duties:
+//
+//   - adjudicate equivocation evidence from the Bidding phase;
+//   - adjudicate misallocation claims in the Allocating Load phase,
+//     including mediating short deliveries;
+//   - read the tamper-proof execution meters and broadcast (φ_1,…,φ_m);
+//   - referee the Computing Payments phase: detect contradictory or
+//     incorrect payment vectors, recompute the truth when vectors
+//     disagree, fine the deviants F each and redistribute the proceeds;
+//   - settle all fines through the payment ledger: deviants pay F, any
+//     processor that already commenced work is compensated α_i·w̃_i, and
+//     the remainder is split evenly among the non-deviating processors.
+package referee
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dlsbl/internal/core"
+	"dlsbl/internal/payment"
+	"dlsbl/internal/sig"
+)
+
+// Account is the ledger account name of the referee's fine escrow.
+const Account = "referee"
+
+// Verdict is the outcome of one adjudication.
+type Verdict struct {
+	Phase      string   // which protocol stage produced it
+	Guilty     []string // parties fined F each (sorted, deduplicated)
+	Reason     string
+	Terminates bool // whether the protocol must stop immediately
+}
+
+// Clean reports whether nobody was fined.
+func (v Verdict) Clean() bool { return len(v.Guilty) == 0 }
+
+// Referee holds the adjudication state for one protocol run.
+type Referee struct {
+	reg    *sig.Registry
+	ledger *payment.Ledger
+	mech   core.Mechanism
+	procs  []string
+	index  map[string]int
+	fine   float64
+	meters map[string]float64
+	audit  AuditLog
+}
+
+// New creates a referee for the given participant list (in processor
+// index order). fine is the publicly known magnitude F; the paper requires
+// F ≥ Σ_j α_j·w̃_j, which CheckFineSufficient verifies once execution
+// values are known.
+func New(reg *sig.Registry, ledger *payment.Ledger, mech core.Mechanism, procs []string, fine float64) (*Referee, error) {
+	if reg == nil || ledger == nil {
+		return nil, errors.New("referee: nil registry or ledger")
+	}
+	if len(procs) < 2 {
+		return nil, errors.New("referee: need at least two processors")
+	}
+	if !(fine > 0) || math.IsInf(fine, 0) {
+		return nil, fmt.Errorf("referee: invalid fine %v", fine)
+	}
+	idx := make(map[string]int, len(procs))
+	for i, p := range procs {
+		if p == "" {
+			return nil, errors.New("referee: empty processor id")
+		}
+		if _, dup := idx[p]; dup {
+			return nil, fmt.Errorf("referee: duplicate processor %q", p)
+		}
+		idx[p] = i
+	}
+	return &Referee{
+		reg:    reg,
+		ledger: ledger,
+		mech:   mech,
+		procs:  append([]string(nil), procs...),
+		index:  idx,
+		fine:   fine,
+		meters: make(map[string]float64, len(procs)),
+	}, nil
+}
+
+// Fine returns the publicly known fine magnitude F.
+func (r *Referee) Fine() float64 { return r.fine }
+
+// audited appends a verdict to the hash-chained transcript and returns it.
+func (r *Referee) audited(v Verdict) Verdict {
+	r.audit.Append("verdict", v.Phase, v.Guilty, v.Reason)
+	return v
+}
+
+// Transcript returns a copy of the audit log entries; VerifyEntries
+// validates such a copy independently of the referee.
+func (r *Referee) Transcript() []AuditEntry { return r.audit.Entries() }
+
+// AuditString renders the transcript for humans.
+func (r *Referee) AuditString() string { return r.audit.String() }
+
+// SuggestedFine returns a fine magnitude that satisfies F ≥ Σ α_j·w̃_j for
+// any feasible allocation as long as no processor slacks beyond
+// slackFactor times the slowest bid: Σ α_j·w̃_j ≤ max_j w̃_j ≤
+// slackFactor·max_j b_j. A safety factor of 2 is applied on top.
+func SuggestedFine(bids []float64, slackFactor float64) float64 {
+	mx := 0.0
+	for _, b := range bids {
+		if b > mx {
+			mx = b
+		}
+	}
+	if slackFactor < 1 {
+		slackFactor = 1
+	}
+	return 2 * slackFactor * mx
+}
+
+// CheckFineSufficient verifies the paper's requirement F ≥ Σ_j α_j·w̃_j
+// given the realized compensations.
+func (r *Referee) CheckFineSufficient(compensations []float64) error {
+	var sum float64
+	for _, c := range compensations {
+		sum += c
+	}
+	if r.fine < sum {
+		return fmt.Errorf("referee: fine %v below total compensation %v", r.fine, sum)
+	}
+	return nil
+}
+
+// ---- Bidding phase ----------------------------------------------------
+
+// JudgeEquivocation adjudicates a report that `accused` broadcast two
+// contradictory signed bids. If the evidence holds the accused is fined
+// and the protocol terminates; if it is unfounded the accuser is fined
+// instead ("If the concerns are unfounded, P_j is penalized F").
+func (r *Referee) JudgeEquivocation(accuser string, a, b sig.Envelope) (Verdict, error) {
+	if _, ok := r.index[accuser]; !ok {
+		return Verdict{}, fmt.Errorf("referee: unknown accuser %q", accuser)
+	}
+	if sig.IsEquivocation(r.reg, a, b) {
+		if _, ok := r.index[a.Sender]; !ok {
+			return Verdict{}, fmt.Errorf("referee: equivocation by non-participant %q", a.Sender)
+		}
+		return r.audited(Verdict{
+			Phase:      "bidding",
+			Guilty:     []string{a.Sender},
+			Reason:     fmt.Sprintf("%s broadcast contradictory signed bids", a.Sender),
+			Terminates: true,
+		}), nil
+	}
+	return r.audited(Verdict{
+		Phase:      "bidding",
+		Guilty:     []string{accuser},
+		Reason:     fmt.Sprintf("%s raised an unfounded equivocation claim", accuser),
+		Terminates: true,
+	}), nil
+}
+
+// ---- Allocating Load phase ---------------------------------------------
+
+// VerifyBidVector checks one party's submitted vector of signed bids:
+// correct length, every envelope authentic, position j signed by processor
+// j, and payload consistent. It returns the plain bid values on success.
+func (r *Referee) VerifyBidVector(env sig.Envelope) ([]float64, error) {
+	var vec BidVectorPayload
+	if err := env.Open(r.reg, &vec); err != nil {
+		return nil, err
+	}
+	if vec.Proc != env.Sender {
+		return nil, fmt.Errorf("referee: vector payload names %q but was sent by %q", vec.Proc, env.Sender)
+	}
+	if len(vec.Bids) != len(r.procs) {
+		return nil, fmt.Errorf("referee: vector has %d bids for %d processors", len(vec.Bids), len(r.procs))
+	}
+	bids := make([]float64, len(r.procs))
+	for j, bidEnv := range vec.Bids {
+		var bp BidPayload
+		if err := bidEnv.Open(r.reg, &bp); err != nil {
+			return nil, fmt.Errorf("referee: bid %d in %s's vector: %w", j, env.Sender, err)
+		}
+		if bidEnv.Sender != r.procs[j] || bp.Proc != r.procs[j] {
+			return nil, fmt.Errorf("referee: bid %d in %s's vector signed by %q, want %q",
+				j, env.Sender, bidEnv.Sender, r.procs[j])
+		}
+		if !(bp.Bid > 0) || math.IsInf(bp.Bid, 0) {
+			return nil, fmt.Errorf("referee: bid %d in %s's vector is invalid (%v)", j, env.Sender, bp.Bid)
+		}
+		bids[j] = bp.Bid
+	}
+	return bids, nil
+}
+
+// JudgeAllocationClaim adjudicates a misallocation claim: the claimant
+// says its delivered block count differs from the allocation everyone
+// should have computed. Both the claimant and the load originator submit
+// their signed bid-vectors. Outcomes, following Section 4:
+//
+//   - a party whose vector is inconsistent or fails authentication is
+//     fined (possibly both);
+//   - if the valid vectors disagree at position j, both entries are
+//     correctly signed by processor j — equivocation — so j is fined;
+//   - with an agreed vector the referee recomputes the expected counts.
+//     If the claimant indeed received too much, the originator is fined;
+//     if the claim is unfounded, the claimant is fined.
+//
+// Short deliveries (delivered < expected) go through MediateShortDelivery
+// instead. expectedCounts are the per-processor block counts the referee
+// recomputes from the agreed bids; the caller supplies the function to
+// avoid a dependency cycle on the partitioning code.
+func (r *Referee) JudgeAllocationClaim(
+	claimant, originator string,
+	claimantVec, originatorVec sig.Envelope,
+	delivered int,
+	recomputeCounts func(bids []float64) ([]int, error),
+) (Verdict, error) {
+	ci, ok := r.index[claimant]
+	if !ok {
+		return Verdict{}, fmt.Errorf("referee: unknown claimant %q", claimant)
+	}
+	if _, ok := r.index[originator]; !ok {
+		return Verdict{}, fmt.Errorf("referee: unknown originator %q", originator)
+	}
+	guilty := map[string]string{}
+
+	cBids, cErr := r.VerifyBidVector(claimantVec)
+	if cErr != nil {
+		guilty[claimant] = fmt.Sprintf("claimant vector rejected: %v", cErr)
+	}
+	oBids, oErr := r.VerifyBidVector(originatorVec)
+	if oErr != nil {
+		guilty[originator] = fmt.Sprintf("originator vector rejected: %v", oErr)
+	}
+	if len(guilty) > 0 {
+		return r.audited(r.verdictFromMap("allocating", guilty, true)), nil
+	}
+
+	// Both vectors verified: any disagreement at position j is a pair of
+	// authentic contradictory bids from processor j.
+	for j := range cBids {
+		if cBids[j] != oBids[j] {
+			guilty[r.procs[j]] = fmt.Sprintf("contradictory signed bids (%v vs %v) surfaced during claim", cBids[j], oBids[j])
+		}
+	}
+	if len(guilty) > 0 {
+		return r.audited(r.verdictFromMap("allocating", guilty, true)), nil
+	}
+
+	counts, err := recomputeCounts(cBids)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("referee: recomputing allocation: %w", err)
+	}
+	if len(counts) != len(r.procs) {
+		return Verdict{}, fmt.Errorf("referee: recomputed %d counts for %d processors", len(counts), len(r.procs))
+	}
+	expected := counts[ci]
+	switch {
+	case delivered > expected:
+		return r.audited(Verdict{
+			Phase:      "allocating",
+			Guilty:     []string{originator},
+			Reason:     fmt.Sprintf("%s delivered %d blocks to %s, allocation says %d", originator, delivered, claimant, expected),
+			Terminates: true,
+		}), nil
+	case delivered == expected:
+		return r.audited(Verdict{
+			Phase:      "allocating",
+			Guilty:     []string{claimant},
+			Reason:     fmt.Sprintf("%s's misallocation claim is unfounded (delivered = expected = %d)", claimant, expected),
+			Terminates: true,
+		}), nil
+	default:
+		return Verdict{}, fmt.Errorf("referee: short delivery (%d < %d) must go through MediateShortDelivery", delivered, expected)
+	}
+}
+
+// ShortDeliveryEvidence describes what the referee observes while
+// mediating an α'_i < α_i claim: it requests the missing blocks from the
+// originator, verifies their integrity against the user's signatures and
+// forwards them.
+type ShortDeliveryEvidence struct {
+	// OriginatorRefused: the originator did not transmit the requested
+	// number of blocks.
+	OriginatorRefused bool
+	// IntegrityFailed: a forwarded block failed the user-signature check.
+	IntegrityFailed bool
+	// ClaimantStillClaims: after a verified complete delivery the
+	// claimant still alleges shortage.
+	ClaimantStillClaims bool
+}
+
+// MediateShortDelivery resolves the three cases of Section 4: "If P_lo
+// refuses to transmit the correct number of load units or load unit
+// integrity fails, P_lo is fined. If P_i [still] claims that it did not
+// receive enough load units, P_i is fined." A clean mediation (originator
+// cooperates, blocks verify, claimant satisfied) fines nobody and the
+// protocol continues.
+func (r *Referee) MediateShortDelivery(claimant, originator string, ev ShortDeliveryEvidence) (Verdict, error) {
+	if _, ok := r.index[claimant]; !ok {
+		return Verdict{}, fmt.Errorf("referee: unknown claimant %q", claimant)
+	}
+	if _, ok := r.index[originator]; !ok {
+		return Verdict{}, fmt.Errorf("referee: unknown originator %q", originator)
+	}
+	switch {
+	case ev.OriginatorRefused:
+		return r.audited(Verdict{Phase: "allocating", Guilty: []string{originator},
+			Reason: originator + " refused to transmit the correct number of load units", Terminates: true}), nil
+	case ev.IntegrityFailed:
+		return r.audited(Verdict{Phase: "allocating", Guilty: []string{originator},
+			Reason: originator + " transmitted load units failing the integrity check", Terminates: true}), nil
+	case ev.ClaimantStillClaims:
+		return r.audited(Verdict{Phase: "allocating", Guilty: []string{claimant},
+			Reason: claimant + " maintained an unfounded shortage claim after verified delivery", Terminates: true}), nil
+	default:
+		return r.audited(Verdict{Phase: "allocating", Reason: "short delivery remediated"}), nil
+	}
+}
+
+// ---- Processing Load phase ----------------------------------------------
+
+// RecordMeter stores the tamper-proof meter reading φ_i for a processor.
+func (r *Referee) RecordMeter(proc string, phi float64) error {
+	if _, ok := r.index[proc]; !ok {
+		return fmt.Errorf("referee: unknown processor %q", proc)
+	}
+	if !(phi >= 0) || math.IsInf(phi, 0) {
+		return fmt.Errorf("referee: invalid meter reading %v for %s", phi, proc)
+	}
+	r.meters[proc] = phi
+	r.audit.Append("meter", "processing", nil, fmt.Sprintf("%s reported φ=%.9g", proc, phi))
+	return nil
+}
+
+// Meters returns (φ_1, …, φ_m) in processor index order; it errors if any
+// meter is missing.
+func (r *Referee) Meters() ([]float64, error) {
+	phi := make([]float64, len(r.procs))
+	for i, p := range r.procs {
+		v, ok := r.meters[p]
+		if !ok {
+			return nil, fmt.Errorf("referee: no meter reading for %s", p)
+		}
+		phi[i] = v
+	}
+	return phi, nil
+}
+
+// ---- Computing Payments phase -------------------------------------------
+
+// paymentTol is the relative tolerance for comparing independently
+// computed payment vectors. Honest processors compute bit-identical
+// vectors from identical inputs; the tolerance only guards against
+// platform-dependent floating-point quirks.
+const paymentTol = 1e-9
+
+// JudgePayments adjudicates the Computing Payments phase. submissions
+// maps each processor to the signed payment-vector envelopes it sent to
+// the referee (normally exactly one). Deviations fined F each:
+//
+//   - contradictory multiple submissions (equivocation);
+//   - missing, unverifiable or malformed submissions;
+//   - vectors that disagree with the recomputed truth when the
+//     submissions are not unanimous.
+//
+// On success it returns the agreed payment vector Q alongside the verdict;
+// the protocol then forwards Q to the payment infrastructure. Payment-
+// phase fines never terminate the protocol — the work is already done and
+// the user is still billed.
+func (r *Referee) JudgePayments(bids, exec []float64, submissions map[string][]sig.Envelope) (Verdict, []float64, error) {
+	m := len(r.procs)
+	if len(bids) != m || len(exec) != m {
+		return Verdict{}, nil, fmt.Errorf("referee: bids/exec have %d/%d entries for %d processors", len(bids), len(exec), m)
+	}
+	guilty := map[string]string{}
+	vectors := make(map[string][]float64, m)
+
+	for _, p := range r.procs {
+		envs := submissions[p]
+		if len(envs) == 0 {
+			guilty[p] = "no payment vector submitted"
+			continue
+		}
+		// Multiple contradictory submissions are equivocation.
+		if len(envs) > 1 {
+			contradictory := false
+			for k := 1; k < len(envs); k++ {
+				if sig.IsEquivocation(r.reg, envs[0], envs[k]) {
+					contradictory = true
+					break
+				}
+			}
+			if contradictory {
+				guilty[p] = "submitted contradictory payment vectors"
+				continue
+			}
+		}
+		var pp PaymentPayload
+		if err := envs[0].Open(r.reg, &pp); err != nil {
+			guilty[p] = fmt.Sprintf("payment vector rejected: %v", err)
+			continue
+		}
+		if envs[0].Sender != p || pp.Proc != p {
+			guilty[p] = "payment vector sender mismatch"
+			continue
+		}
+		if len(pp.Q) != m {
+			guilty[p] = fmt.Sprintf("payment vector has %d entries, want %d", len(pp.Q), m)
+			continue
+		}
+		vectors[p] = pp.Q
+	}
+
+	// Unanimity check among the (so far) valid vectors.
+	unanimous := true
+	var reference []float64
+	for _, p := range r.procs {
+		v, ok := vectors[p]
+		if !ok {
+			unanimous = false
+			continue
+		}
+		if reference == nil {
+			reference = v
+			continue
+		}
+		if !vectorsEqual(reference, v) {
+			unanimous = false
+		}
+	}
+
+	if unanimous && len(guilty) == 0 && reference != nil {
+		return r.audited(Verdict{Phase: "payments", Reason: "unanimous payment vectors"}), reference, nil
+	}
+
+	// Disagreement (or prior guilt): the referee recomputes the truth
+	// from the bids and the meter-derived execution values.
+	out, err := r.mech.Run(bids, exec)
+	if err != nil {
+		return Verdict{}, nil, fmt.Errorf("referee: recomputing payments: %w", err)
+	}
+	truth := out.Payment
+	for p, v := range vectors {
+		if !vectorsEqual(truth, v) {
+			guilty[p] = "payment vector disagrees with recomputation"
+		}
+	}
+	v := r.verdictFromMap("payments", guilty, false)
+	if v.Clean() {
+		v.Reason = "recomputed payments match all submissions"
+	}
+	return r.audited(v), truth, nil
+}
+
+func vectorsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		den := math.Max(math.Max(math.Abs(a[i]), math.Abs(b[i])), 1)
+		if math.Abs(a[i]-b[i])/den > paymentTol {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- Settlement -----------------------------------------------------------
+
+// Settle executes a verdict on the ledger: every guilty party pays F into
+// the referee's escrow; processors that already commenced work are
+// compensated their α_i·w̃_i out of the escrow (workDone maps processor to
+// that amount; nil when no work happened); the remainder is split evenly
+// among the non-deviating processors. Settle is a no-op for a clean
+// verdict.
+func (r *Referee) Settle(v Verdict, workDone map[string]float64) error {
+	if v.Clean() {
+		return nil
+	}
+	guiltySet := make(map[string]bool, len(v.Guilty))
+	for _, g := range v.Guilty {
+		if _, ok := r.index[g]; !ok {
+			return fmt.Errorf("referee: cannot fine non-participant %q", g)
+		}
+		guiltySet[g] = true
+	}
+	collected := 0.0
+	for _, g := range v.Guilty {
+		if err := r.ledger.Transfer(g, Account, r.fine, "fine: "+v.Reason); err != nil {
+			return err
+		}
+		collected += r.fine
+	}
+	// Compensate commenced work first.
+	paidWork := 0.0
+	for _, p := range r.procs {
+		amt := workDone[p]
+		if amt < 0 || math.IsNaN(amt) || math.IsInf(amt, 0) {
+			return fmt.Errorf("referee: invalid work compensation %v for %s", amt, p)
+		}
+		if amt == 0 || guiltySet[p] {
+			continue
+		}
+		if err := r.ledger.Transfer(Account, p, amt, "work compensation on termination"); err != nil {
+			return err
+		}
+		paidWork += amt
+	}
+	remainder := collected - paidWork
+	if remainder < -1e-9 {
+		return fmt.Errorf("referee: fine pool %v cannot cover work compensation %v (F too small)", collected, paidWork)
+	}
+	nonDeviating := len(r.procs) - len(guiltySet)
+	if nonDeviating <= 0 {
+		return errors.New("referee: every processor deviated; nobody to reward")
+	}
+	share := remainder / float64(nonDeviating)
+	if share < 0 {
+		share = 0
+	}
+	for _, p := range r.procs {
+		if guiltySet[p] {
+			continue
+		}
+		if err := r.ledger.Transfer(Account, p, share, "fine redistribution: "+v.Reason); err != nil {
+			return err
+		}
+	}
+	r.audit.Append("settlement", v.Phase, v.Guilty,
+		fmt.Sprintf("collected %.6g, work compensation %.6g, share %.6g to each of %d non-deviants", collected, paidWork, share, nonDeviating))
+	return nil
+}
+
+func (r *Referee) verdictFromMap(phase string, guilty map[string]string, terminates bool) Verdict {
+	if len(guilty) == 0 {
+		return Verdict{Phase: phase}
+	}
+	names := make([]string, 0, len(guilty))
+	for g := range guilty {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	reason := ""
+	for _, g := range names {
+		if reason != "" {
+			reason += "; "
+		}
+		reason += g + ": " + guilty[g]
+	}
+	return Verdict{Phase: phase, Guilty: names, Reason: reason, Terminates: terminates}
+}

@@ -1,0 +1,137 @@
+// Package session runs a SEQUENCE of divisible-load jobs over the same
+// processor pool — the setting a real deployment lives in. One-shot
+// DLS-BL-NCP already makes a single deviation unprofitable (the fine);
+// repeated play adds the second deterrent the paper's economics imply but
+// never spell out: a processor caught cheating can be excluded from
+// future jobs, forfeiting its stream of bonuses. The session tracks the
+// cumulative ledger across rounds and implements pluggable reputation
+// policies.
+package session
+
+import (
+	"errors"
+	"fmt"
+
+	"dlsbl/internal/agent"
+	"dlsbl/internal/dlt"
+	"dlsbl/internal/protocol"
+)
+
+// Policy decides what happens to processors the referee fined.
+type Policy int
+
+const (
+	// Forgive keeps fined processors in the pool: every job stands alone
+	// and the fine is the only deterrent.
+	Forgive Policy = iota
+	// BanDeviants excludes a fined processor from all subsequent jobs:
+	// it also forfeits its future bonuses.
+	BanDeviants
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == Forgive {
+		return "forgive"
+	}
+	return "ban-deviants"
+}
+
+// Job is one round: the communication rate of this job's bus session, a
+// seed, and per-processor behaviors for the round (nil = all honest).
+type Job struct {
+	Z         float64
+	Seed      int64
+	Behaviors []agent.Behavior
+}
+
+// Session is a processor pool playing repeated jobs.
+type Session struct {
+	// Network is NCPFE or NCPNFE (DLS-BL-NCP classes).
+	Network dlt.Network
+	// TrueW are the pool's private processing rates.
+	TrueW []float64
+	// Fine is the per-job fine magnitude F (0 = derived per job).
+	Fine float64
+	// Policy is the reputation rule.
+	Policy Policy
+}
+
+// Report aggregates a session.
+type Report struct {
+	// Rounds holds each job's protocol outcome, in order.
+	Rounds []*protocol.Outcome
+	// CumulativeUtility[i] sums processor i's utility over all rounds.
+	CumulativeUtility []float64
+	// Banned[i] is true if processor i was excluded at some point;
+	// BannedAfter[i] is the round index whose verdict banned it (-1 if
+	// never).
+	Banned      []bool
+	BannedAfter []int
+}
+
+// Run plays the jobs in order. Under BanDeviants, a processor fined in
+// round r is forced to abstain from rounds r+1…; banning the
+// load-originating processor ends the session with an error (the pool
+// has no load source without it).
+func (s *Session) Run(jobs []Job) (*Report, error) {
+	m := len(s.TrueW)
+	if m < 2 {
+		return nil, errors.New("session: need at least two processors")
+	}
+	if len(jobs) == 0 {
+		return nil, errors.New("session: no jobs")
+	}
+	if s.Network != dlt.NCPFE && s.Network != dlt.NCPNFE {
+		return nil, fmt.Errorf("session: DLS-BL-NCP requires an NCP class, got %v", s.Network)
+	}
+	origIdx := s.Network.Originator(m)
+
+	rep := &Report{
+		CumulativeUtility: make([]float64, m),
+		Banned:            make([]bool, m),
+		BannedAfter:       make([]int, m),
+	}
+	for i := range rep.BannedAfter {
+		rep.BannedAfter[i] = -1
+	}
+
+	for round, job := range jobs {
+		behaviors := make([]agent.Behavior, m)
+		for i := 0; i < m; i++ {
+			if i < len(job.Behaviors) {
+				behaviors[i] = job.Behaviors[i]
+			}
+			if rep.Banned[i] {
+				behaviors[i] = agent.Behavior{Name: "banned", Abstain: true}
+			}
+		}
+		out, err := protocol.Run(protocol.Config{
+			Network:   s.Network,
+			Z:         job.Z,
+			TrueW:     s.TrueW,
+			Behaviors: behaviors,
+			Fine:      s.Fine,
+			Seed:      job.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("session: round %d: %w", round, err)
+		}
+		rep.Rounds = append(rep.Rounds, out)
+		for i := 0; i < m; i++ {
+			rep.CumulativeUtility[i] += out.Utilities[i]
+		}
+		if s.Policy == BanDeviants {
+			for i := 0; i < m; i++ {
+				if out.Fines[i] > 0 && !rep.Banned[i] {
+					if i == origIdx {
+						return rep, fmt.Errorf("session: round %d banned the load-originating processor P%d; the pool has no load source", round, i+1)
+					}
+					rep.Banned[i] = true
+					rep.BannedAfter[i] = round
+				}
+			}
+		}
+	}
+	return rep, nil
+}

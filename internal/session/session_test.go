@@ -1,0 +1,133 @@
+package session
+
+import (
+	"testing"
+
+	"dlsbl/internal/agent"
+	"dlsbl/internal/dlt"
+)
+
+func pool() *Session {
+	return &Session{
+		Network: dlt.NCPFE,
+		TrueW:   []float64{1, 1.5, 2, 2.5},
+		Fine:    20,
+		Policy:  BanDeviants,
+	}
+}
+
+func honestJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Z: 0.2, Seed: int64(i + 1)}
+	}
+	return jobs
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := (&Session{Network: dlt.NCPFE, TrueW: []float64{1}}).Run(honestJobs(1)); err == nil {
+		t.Error("single processor accepted")
+	}
+	if _, err := pool().Run(nil); err == nil {
+		t.Error("empty job list accepted")
+	}
+	cp := pool()
+	cp.Network = dlt.CP
+	if _, err := cp.Run(honestJobs(1)); err == nil {
+		t.Error("CP network accepted")
+	}
+}
+
+func TestHonestSessionAccumulates(t *testing.T) {
+	rep, err := pool().Run(honestJobs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rounds) != 3 {
+		t.Fatalf("rounds = %d", len(rep.Rounds))
+	}
+	for i := range rep.CumulativeUtility {
+		var sum float64
+		for _, r := range rep.Rounds {
+			sum += r.Utilities[i]
+		}
+		if rep.CumulativeUtility[i] != sum {
+			t.Errorf("cumulative[%d] = %v, rounds sum %v", i, rep.CumulativeUtility[i], sum)
+		}
+		if rep.CumulativeUtility[i] <= 0 {
+			t.Errorf("honest processor %d earned %v over 3 jobs", i, rep.CumulativeUtility[i])
+		}
+		if rep.Banned[i] || rep.BannedAfter[i] != -1 {
+			t.Errorf("honest processor %d banned", i)
+		}
+	}
+}
+
+func TestDeviantBannedAndForfeitsFuture(t *testing.T) {
+	jobs := honestJobs(4)
+	// P2 cheats on its payment vector in round 1 (index 0 of jobs).
+	jobs[1].Behaviors = []agent.Behavior{{}, agent.PaymentCheat}
+	rep, err := pool().Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Banned[1] || rep.BannedAfter[1] != 1 {
+		t.Fatalf("cheat not banned after round 1: banned=%v after=%d", rep.Banned[1], rep.BannedAfter[1])
+	}
+	// Rounds 2 and 3 run without P2.
+	for r := 2; r < 4; r++ {
+		if rep.Rounds[r].Participated[1] {
+			t.Errorf("round %d: banned P2 participated", r)
+		}
+		if rep.Rounds[r].Utilities[1] != 0 {
+			t.Errorf("round %d: banned P2 earned %v", r, rep.Rounds[r].Utilities[1])
+		}
+		if !rep.Rounds[r].Completed {
+			t.Errorf("round %d did not complete without P2", r)
+		}
+	}
+	// The long-run cost of the single deviation: the fine plus every
+	// forfeited future bonus. Compare with an all-honest session.
+	honest, err := pool().Run(honestJobs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := honest.CumulativeUtility[1] - rep.CumulativeUtility[1]
+	if loss <= 20 {
+		t.Errorf("repeated-play loss %v not above the one-shot fine 20", loss)
+	}
+}
+
+func TestForgivePolicyKeepsDeviants(t *testing.T) {
+	s := pool()
+	s.Policy = Forgive
+	jobs := honestJobs(3)
+	jobs[0].Behaviors = []agent.Behavior{{}, agent.PaymentCheat}
+	rep, err := s.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Banned[1] {
+		t.Error("forgive policy banned someone")
+	}
+	for r := 1; r < 3; r++ {
+		if !rep.Rounds[r].Participated[1] {
+			t.Errorf("round %d: forgiven P2 excluded", r)
+		}
+	}
+}
+
+func TestBanningOriginatorHalts(t *testing.T) {
+	jobs := honestJobs(2)
+	// The NCP-FE originator (P1) over-ships in round 0 and gets fined.
+	jobs[0].Behaviors = []agent.Behavior{agent.OverShipper}
+	if _, err := pool().Run(jobs); err == nil {
+		t.Error("session continued after banning the load originator")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Forgive.String() != "forgive" || BanDeviants.String() != "ban-deviants" {
+		t.Error("policy names wrong")
+	}
+}

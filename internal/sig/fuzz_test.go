@@ -1,0 +1,54 @@
+package sig
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzEnvelopeTampering: any mutation of a sealed envelope's payload,
+// kind, sender or signature must fail verification; the untouched
+// envelope must verify.
+func FuzzEnvelopeTampering(f *testing.F) {
+	k, err := GenerateKeyPair("P1", DeterministicSource(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	reg := NewRegistry()
+	if err := reg.Register(k.ID, k.Public); err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte(`{"bid":2.5}`), uint8(0), uint8(3))
+	f.Add([]byte(`[1,2,3]`), uint8(1), uint8(0))
+	f.Add([]byte(`"x"`), uint8(2), uint8(7))
+	f.Fuzz(func(t *testing.T, payload []byte, field, flip uint8) {
+		env, err := Seal(k, "bid", 1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := env.Verify(reg); err != nil {
+			t.Fatalf("fresh envelope failed verification: %v", err)
+		}
+		tampered := env
+		switch field % 4 {
+		case 0:
+			if len(payload) == 0 || bytes.Equal(payload, env.Payload) {
+				t.Skip()
+			}
+			tampered.Payload = payload
+		case 1:
+			tampered.Kind = "payment"
+		case 2:
+			tampered.Sender = "P2"
+		case 3:
+			tampered.Signature = append([]byte(nil), env.Signature...)
+			if len(tampered.Signature) == 0 {
+				t.Skip()
+			}
+			idx := int(flip) % len(tampered.Signature)
+			tampered.Signature[idx] ^= 0x01
+		}
+		if err := tampered.Verify(reg); err == nil {
+			t.Fatalf("tampered envelope verified (field %d)", field%4)
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Errorf("unexpected summary %+v", s)
+	}
+	// Sample std of 1..4 = sqrt(5/3).
+	if math.Abs(s.Std-math.Sqrt(5.0/3)) > 1e-12 {
+		t.Errorf("std = %v", s.Std)
+	}
+	odd := Summarize([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Errorf("odd median = %v, want 3", odd.Median)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+	one := Summarize([]float64{7})
+	if one.Std != 0 || one.Median != 7 || one.Min != 7 || one.Max != 7 {
+		t.Errorf("singleton summary = %+v", one)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{2, 4}) != 3 {
+		t.Error("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty mean not 0")
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Intercept-1) > 1e-12 || math.Abs(fit.Slope-2) > 1e-12 {
+		t.Errorf("fit = %+v", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := FitLine([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := FitLine([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("vertical data accepted")
+	}
+}
+
+func TestFitLineConstantY(t *testing.T) {
+	fit, err := FitLine([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope != 0 || fit.Intercept != 5 || fit.R2 != 1 {
+		t.Errorf("constant fit = %+v", fit)
+	}
+}
+
+func TestFitPowerLawExact(t *testing.T) {
+	// y = 3·x²
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x
+	}
+	p, c, r2, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-2) > 1e-9 || math.Abs(c-3) > 1e-9 || math.Abs(r2-1) > 1e-9 {
+		t.Errorf("power fit p=%v c=%v r2=%v", p, c, r2)
+	}
+}
+
+func TestFitPowerLawErrors(t *testing.T) {
+	if _, _, _, err := FitPowerLaw([]float64{1, -1}, []float64{1, 1}); err == nil {
+		t.Error("negative x accepted")
+	}
+	if _, _, _, err := FitPowerLaw([]float64{1, 2}, []float64{0, 1}); err == nil {
+		t.Error("zero y accepted")
+	}
+	if _, _, _, err := FitPowerLaw([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestRelErrAndAlmostEqual(t *testing.T) {
+	if RelErr(1, 1) != 0 {
+		t.Error("RelErr(1,1) != 0")
+	}
+	if !AlmostEqual(1e12, 1e12*(1+1e-13), 1e-9) {
+		t.Error("AlmostEqual too strict on large values")
+	}
+	if AlmostEqual(1, 2, 1e-9) {
+		t.Error("AlmostEqual(1,2) true")
+	}
+	// Small absolute differences near zero are measured absolutely.
+	if RelErr(0, 1e-12) != 1e-12 {
+		t.Errorf("RelErr(0,1e-12) = %v", RelErr(0, 1e-12))
+	}
+}
+
+// Property: summary invariants Min ≤ Median ≤ Max and Min ≤ Mean ≤ Max.
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%100
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median+1e-9 && s.Median <= s.Max+1e-9 &&
+			s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.Std >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FitLine recovers a noiseless line exactly.
+func TestQuickFitRecoversLine(t *testing.T) {
+	f := func(seed int64, aRaw, bRaw float64) bool {
+		a := math.Mod(aRaw, 100)
+		b := math.Mod(bRaw, 100)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 10)
+		ys := make([]float64, 10)
+		for i := range xs {
+			xs[i] = rng.Float64()*10 + float64(i)
+			ys[i] = a + b*xs[i]
+		}
+		fit, err := FitLine(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.Intercept-a) < 1e-6 && math.Abs(fit.Slope-b) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package workload models the divisible load itself, as prepared in the
+// Initialization phase of DLS-BL-NCP: "The user prepares her data by
+// dividing it into small, equal-sized blocks. Each block B has a unique
+// identifier I_B appended to it and then the aggregate is signed by the
+// user, i.e., S_user(B, I_B)."
+//
+// Blocks carry the user's Ed25519 signature over (I_B, SHA-256(B)), so the
+// referee can substantiate misallocation claims in the Allocating Load
+// phase by "comparing the blocks that P_i possesses with the original data
+// set" — any substituted or corrupted block fails verification.
+package workload
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dlsbl/internal/dlt"
+	"dlsbl/internal/sig"
+)
+
+// BlockKind is the envelope kind used for user block signatures.
+const BlockKind = "load-block"
+
+// blockClaim is the signed payload: the block identifier and the digest of
+// its data.
+type blockClaim struct {
+	ID     string `json:"id"`
+	Digest []byte `json:"digest"`
+}
+
+// Block is one equal-sized unit of the divisible load.
+type Block struct {
+	ID   string
+	Data []byte
+	Env  sig.Envelope // S_user(I_B, SHA-256(B))
+}
+
+// Verify checks the user's signature and that Data still matches the
+// signed digest.
+func (b Block) Verify(reg *sig.Registry) error {
+	var claim blockClaim
+	if err := b.Env.Open(reg, &claim); err != nil {
+		return fmt.Errorf("workload: block %s: %w", b.ID, err)
+	}
+	if claim.ID != b.ID {
+		return fmt.Errorf("workload: block %s: signature covers id %s", b.ID, claim.ID)
+	}
+	digest := sha256.Sum256(b.Data)
+	if string(claim.Digest) != string(digest[:]) {
+		return fmt.Errorf("workload: block %s: data does not match signed digest", b.ID)
+	}
+	return nil
+}
+
+// Dataset is the user's prepared load: equal-sized signed blocks.
+type Dataset struct {
+	User   string
+	Blocks []Block
+}
+
+// Prepare divides data into ceil(len/blockSize) equal-sized blocks (the
+// final block zero-padded to keep sizes equal), appends unique
+// identifiers, and signs each aggregate with the user's key.
+func Prepare(user *sig.KeyPair, data []byte, blockSize int) (*Dataset, error) {
+	if user == nil {
+		return nil, errors.New("workload: nil user key")
+	}
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("workload: invalid block size %d", blockSize)
+	}
+	if len(data) == 0 {
+		return nil, errors.New("workload: empty data")
+	}
+	n := (len(data) + blockSize - 1) / blockSize
+	ds := &Dataset{User: user.ID, Blocks: make([]Block, 0, n)}
+	for i := 0; i < n; i++ {
+		chunk := make([]byte, blockSize)
+		lo := i * blockSize
+		hi := lo + blockSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		copy(chunk, data[lo:hi])
+		id := fmt.Sprintf("%s/block-%06d", user.ID, i)
+		digest := sha256.Sum256(chunk)
+		env, err := sig.Seal(user, BlockKind, blockClaim{ID: id, Digest: digest[:]})
+		if err != nil {
+			return nil, fmt.Errorf("workload: signing block %d: %w", i, err)
+		}
+		ds.Blocks = append(ds.Blocks, Block{ID: id, Data: chunk, Env: env})
+	}
+	return ds, nil
+}
+
+// Verify checks every block of the dataset.
+func (d *Dataset) Verify(reg *sig.Registry) error {
+	if len(d.Blocks) == 0 {
+		return errors.New("workload: dataset has no blocks")
+	}
+	seen := make(map[string]bool, len(d.Blocks))
+	for _, b := range d.Blocks {
+		if seen[b.ID] {
+			return fmt.Errorf("workload: duplicate block id %s", b.ID)
+		}
+		seen[b.ID] = true
+		if err := b.Verify(reg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SyntheticData draws a reproducible pseudo-random payload of the given
+// size — the stand-in for the user's real data set.
+func SyntheticData(rng *rand.Rand, size int) []byte {
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	return data
+}
+
+// Assignment maps each processor to the half-open block index range
+// [Lo, Hi) it must process.
+type Assignment struct {
+	Lo, Hi int
+}
+
+// Count returns the number of blocks in the range.
+func (a Assignment) Count() int { return a.Hi - a.Lo }
+
+// Partition converts a fractional allocation into contiguous block
+// assignments over nBlocks blocks using cumulative rounding: processor i
+// receives blocks [round(nΣ_{j<i}α_j), round(nΣ_{j≤i}α_j)). Every block is
+// assigned to exactly one processor and each processor's block count is
+// within one block of α_i·n.
+func Partition(alloc dlt.Allocation, nBlocks int) ([]Assignment, error) {
+	if nBlocks <= 0 {
+		return nil, fmt.Errorf("workload: invalid block count %d", nBlocks)
+	}
+	if err := alloc.Validate(len(alloc)); err != nil {
+		return nil, err
+	}
+	out := make([]Assignment, len(alloc))
+	var cum float64
+	prev := 0
+	for i, a := range alloc {
+		cum += a
+		hi := int(math.Round(cum * float64(nBlocks)))
+		if hi > nBlocks {
+			hi = nBlocks
+		}
+		if hi < prev {
+			hi = prev
+		}
+		out[i] = Assignment{Lo: prev, Hi: hi}
+		prev = hi
+	}
+	// Numerical slack can leave the tail short; the last processor with
+	// positive fraction absorbs it.
+	if prev < nBlocks {
+		for i := len(out) - 1; i >= 0; i-- {
+			if alloc[i] > 0 || i == len(out)-1 {
+				out[i].Hi = nBlocks
+				for j := i + 1; j < len(out); j++ {
+					out[j] = Assignment{Lo: nBlocks, Hi: nBlocks}
+				}
+				break
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,230 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dlsbl/internal/dlt"
+	"dlsbl/internal/sig"
+)
+
+func userAndRegistry(t *testing.T, seed int64) (*sig.KeyPair, *sig.Registry) {
+	t.Helper()
+	user, err := sig.GenerateKeyPair("user", sig.DeterministicSource(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := sig.NewRegistry()
+	if err := reg.Register(user.ID, user.Public); err != nil {
+		t.Fatal(err)
+	}
+	return user, reg
+}
+
+func TestPrepareAndVerify(t *testing.T) {
+	user, reg := userAndRegistry(t, 1)
+	rng := rand.New(rand.NewSource(1))
+	ds, err := Prepare(user, SyntheticData(rng, 1000), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ceil(1000/64) = 16 blocks, all equal-sized.
+	if len(ds.Blocks) != 16 {
+		t.Fatalf("got %d blocks, want 16", len(ds.Blocks))
+	}
+	for _, b := range ds.Blocks {
+		if len(b.Data) != 64 {
+			t.Errorf("block %s has size %d, want 64", b.ID, len(b.Data))
+		}
+	}
+	if err := ds.Verify(reg); err != nil {
+		t.Fatalf("fresh dataset failed verification: %v", err)
+	}
+}
+
+func TestPrepareValidation(t *testing.T) {
+	user, _ := userAndRegistry(t, 2)
+	if _, err := Prepare(nil, []byte("x"), 4); err == nil {
+		t.Error("nil user accepted")
+	}
+	if _, err := Prepare(user, nil, 4); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := Prepare(user, []byte("x"), 0); err == nil {
+		t.Error("zero block size accepted")
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	user, reg := userAndRegistry(t, 3)
+	rng := rand.New(rand.NewSource(3))
+	ds, err := Prepare(user, SyntheticData(rng, 256), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupted := *ds
+	corrupted.Blocks = append([]Block(nil), ds.Blocks...)
+	blk := corrupted.Blocks[3]
+	blk.Data = append([]byte(nil), blk.Data...)
+	blk.Data[0] ^= 0xFF
+	corrupted.Blocks[3] = blk
+	if err := corrupted.Verify(reg); err == nil {
+		t.Error("corrupted block data accepted")
+	}
+
+	renamed := *ds
+	renamed.Blocks = append([]Block(nil), ds.Blocks...)
+	blk2 := renamed.Blocks[0]
+	blk2.ID = "user/block-999999"
+	renamed.Blocks[0] = blk2
+	if err := renamed.Verify(reg); err == nil {
+		t.Error("renamed block accepted")
+	}
+
+	// A block re-signed by someone other than the user must fail.
+	mallory, err := sig.GenerateKeyPair("mallory", sig.DeterministicSource(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(mallory.ID, mallory.Public); err != nil {
+		t.Fatal(err)
+	}
+	forged := *ds
+	forged.Blocks = append([]Block(nil), ds.Blocks...)
+	fb := forged.Blocks[1]
+	env, err := sig.Seal(mallory, BlockKind, map[string]any{"id": fb.ID, "digest": []byte{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb.Env = env
+	forged.Blocks[1] = fb
+	if err := forged.Verify(reg); err == nil {
+		t.Error("foreign-signed block accepted")
+	}
+}
+
+func TestVerifyDetectsDuplicates(t *testing.T) {
+	user, reg := userAndRegistry(t, 5)
+	rng := rand.New(rand.NewSource(5))
+	ds, err := Prepare(user, SyntheticData(rng, 128), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Blocks = append(ds.Blocks, ds.Blocks[0])
+	if err := ds.Verify(reg); err == nil {
+		t.Error("duplicate block id accepted")
+	}
+	empty := &Dataset{User: user.ID}
+	if err := empty.Verify(reg); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestPartitionExactCover(t *testing.T) {
+	alloc := dlt.Allocation{0.5, 0.3, 0.2}
+	asg, err := Partition(alloc, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg[0].Count() != 5 || asg[1].Count() != 3 || asg[2].Count() != 2 {
+		t.Errorf("assignments = %+v", asg)
+	}
+	if asg[0].Lo != 0 || asg[2].Hi != 10 {
+		t.Errorf("ranges do not span dataset: %+v", asg)
+	}
+}
+
+func TestPartitionZeroFractions(t *testing.T) {
+	alloc := dlt.Allocation{1, 0, 0}
+	asg, err := Partition(alloc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg[0].Count() != 7 || asg[1].Count() != 0 || asg[2].Count() != 0 {
+		t.Errorf("assignments = %+v", asg)
+	}
+}
+
+// TestPartitionAbsorbsRoundingTail: a feasible allocation whose sum sits
+// just below 1 (within FeasibilityTol) can leave the final cumulative
+// round short of nBlocks at very fine granularity; the last loaded
+// processor absorbs the leftover so every block stays assigned.
+func TestPartitionAbsorbsRoundingTail(t *testing.T) {
+	alloc := dlt.Allocation{1 - 9e-10, 0, 0}
+	const n = 600_000_000
+	asg, err := Partition(alloc, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, a := range asg {
+		total += a.Count()
+	}
+	if total != n {
+		t.Fatalf("partition covers %d of %d blocks", total, n)
+	}
+	if asg[len(asg)-1].Hi != n {
+		t.Errorf("tail not absorbed: %+v", asg)
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	if _, err := Partition(dlt.Allocation{0.5, 0.5}, 0); err == nil {
+		t.Error("zero blocks accepted")
+	}
+	if _, err := Partition(dlt.Allocation{0.5, 0.4}, 10); err == nil {
+		t.Error("non-normalized allocation accepted")
+	}
+}
+
+// Property: Partition always covers every block exactly once, in order,
+// and each count is within one block of the proportional share.
+func TestQuickPartitionProperties(t *testing.T) {
+	f := func(seed int64, mRaw, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + int(mRaw)%16
+		n := 1 + int(nRaw)%500
+		raw := make(dlt.Allocation, m)
+		var sum float64
+		for i := range raw {
+			raw[i] = rng.Float64()
+			sum += raw[i]
+		}
+		for i := range raw {
+			raw[i] /= sum
+		}
+		asg, err := Partition(raw, n)
+		if err != nil {
+			return false
+		}
+		prev := 0
+		for i, a := range asg {
+			if a.Lo != prev || a.Hi < a.Lo {
+				return false
+			}
+			prev = a.Hi
+			share := raw[i] * float64(n)
+			if float64(a.Count()) < share-1.000001 || float64(a.Count()) > share+1.000001 {
+				return false
+			}
+		}
+		return prev == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyntheticDataReproducible(t *testing.T) {
+	a := SyntheticData(rand.New(rand.NewSource(9)), 100)
+	b := SyntheticData(rand.New(rand.NewSource(9)), 100)
+	if string(a) != string(b) {
+		t.Error("same seed produced different data")
+	}
+	c := SyntheticData(rand.New(rand.NewSource(10)), 100)
+	if string(a) == string(c) {
+		t.Error("different seeds produced identical data")
+	}
+}
