@@ -1,0 +1,38 @@
+# Development targets for the DLS-BL reproduction. Everything is plain
+# `go` — the Makefile only names the invocations CI and humans repeat.
+
+GO ?= go
+
+.PHONY: all build test race vet bench-smoke bench-payments fuzz-smoke clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# One iteration of every benchmark — catches bit-rot in the bench
+# harness without paying for real measurements.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Real numbers for the payment hot path (the O(m) engine vs the naive
+# O(m²) baseline) plus the machine-readable BENCH_PAYMENTS.json.
+bench-payments:
+	$(GO) test -run=NONE -bench='MechanismRun|PaymentEngineRunInto' -benchmem .
+	$(GO) run ./cmd/dls-bench -json
+
+# Short differential-fuzz pass of the engine against the naive path.
+fuzz-smoke:
+	$(GO) test -run=FuzzEngineParity -fuzz=FuzzEngineParity -fuzztime=10s ./internal/core/
+
+clean:
+	$(GO) clean ./...

@@ -104,7 +104,10 @@ func BenchmarkOptimalBisection(b *testing.B) {
 // ---- Mechanism and protocol scaling ----
 
 func BenchmarkMechanismRun(b *testing.B) {
-	for _, m := range []int{4, 16, 64} {
+	// m = 512 and m = 4096 exercise the regime where the naive O(m²)
+	// path is unusable and the raw product recursion used to underflow;
+	// the O(m) engine must scale ~linearly through them.
+	for _, m := range []int{4, 16, 64, 512, 4096} {
 		in := benchInstance(dlt.NCPFE, m)
 		mech := core.Mechanism{Network: dlt.NCPFE, Z: in.Z}
 		exec := core.TruthfulExec(in.W)
@@ -112,6 +115,47 @@ func BenchmarkMechanismRun(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := mech.Run(in.W, exec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMechanismRunNaive is the pre-engine per-agent re-solve kept
+// for differential testing — the baseline the O(m) engine is measured
+// against.
+func BenchmarkMechanismRunNaive(b *testing.B) {
+	for _, m := range []int{4, 16, 64, 512} {
+		in := benchInstance(dlt.NCPFE, m)
+		mech := core.Mechanism{Network: dlt.NCPFE, Z: in.Z}
+		exec := core.TruthfulExec(in.W)
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mech.RunNaive(in.W, exec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPaymentEngineRunInto is the steady-state hot path: a warm
+// engine writing into a reused Outcome. Allocs/op must report 0.
+func BenchmarkPaymentEngineRunInto(b *testing.B) {
+	for _, m := range []int{4, 64, 512, 4096} {
+		in := benchInstance(dlt.NCPFE, m)
+		exec := core.TruthfulExec(in.W)
+		eng := core.NewPaymentEngine(dlt.NCPFE, in.Z)
+		var out core.Outcome
+		if err := eng.RunInto(in.W, exec, core.WithVerification, &out); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := eng.RunInto(in.W, exec, core.WithVerification, &out); err != nil {
 					b.Fatal(err)
 				}
 			}

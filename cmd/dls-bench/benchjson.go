@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"dlsbl/internal/core"
+	"dlsbl/internal/dlt"
+	"dlsbl/internal/protocol"
+)
+
+func newSeededRng(seed int64, m int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(m)))
+}
+
+// The -json mode benchmarks the payment computation paths directly —
+// the O(m) prefix/suffix engine (zero-alloc RunInto and the Outcome-
+// allocating Run) against the retained O(m²) naive re-solve — plus the
+// end-to-end protocol (whose payment phase uses the engine), and writes
+// the measurements to BENCH_PAYMENTS.json for regression tracking.
+
+type benchCase struct {
+	Name        string  `json:"name"`
+	M           int     `json:"m"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	MsgUnits    int     `json:"msg_units,omitempty"`
+	Iterations  int     `json:"iterations"`
+}
+
+type benchReport struct {
+	Tool       string      `json:"tool"`
+	Seed       int64       `json:"seed"`
+	GoVersion  string      `json:"go_version"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Cases      []benchCase `json:"cases"`
+}
+
+// measure times f in a calibrated loop and reports per-op wall time and
+// heap traffic. It is intentionally simple (single sample, MemStats
+// delta) — the goal is regression-visible orders of magnitude, not
+// statistics; use `go test -bench` for careful numbers.
+func measure(f func() error) (benchCase, error) {
+	var c benchCase
+	// Warm-up + calibration.
+	start := time.Now()
+	if err := f(); err != nil {
+		return c, err
+	}
+	once := time.Since(start)
+	n := int(50 * time.Millisecond / (once + 1))
+	if n < 10 {
+		n = 10
+	}
+	if n > 2_000_000 {
+		n = 2_000_000
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		if err := f(); err != nil {
+			return c, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	c.Iterations = n
+	c.NsPerOp = float64(elapsed.Nanoseconds()) / float64(n)
+	c.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(n)
+	c.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(n)
+	return c, nil
+}
+
+func runJSONBench(seed int64, path string) error {
+	report := benchReport{
+		Tool:       "dls-bench -json",
+		Seed:       seed,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	add := func(name string, m int, f func() error) error {
+		c, err := measure(f)
+		if err != nil {
+			return fmt.Errorf("%s/m=%d: %w", name, m, err)
+		}
+		c.Name, c.M = name, m
+		report.Cases = append(report.Cases, c)
+		return nil
+	}
+
+	for _, m := range []int{4, 16, 64, 512, 4096} {
+		in := dlt.DefaultRandomInstance(newSeededRng(seed, m), dlt.NCPFE, m)
+		exec := core.TruthfulExec(in.W)
+
+		eng := core.NewPaymentEngine(in.Network, in.Z)
+		var out core.Outcome
+		if err := eng.RunInto(in.W, exec, core.WithVerification, &out); err != nil {
+			return err
+		}
+		if err := add("engine/RunInto", m, func() error {
+			return eng.RunInto(in.W, exec, core.WithVerification, &out)
+		}); err != nil {
+			return err
+		}
+
+		mech := core.Mechanism{Network: in.Network, Z: in.Z}
+		if err := add("mechanism/Run", m, func() error {
+			_, err := mech.Run(in.W, exec)
+			return err
+		}); err != nil {
+			return err
+		}
+
+		// The naive quadratic baseline is minutes-scale past m ≈ 1000;
+		// keep it to sizes where it terminates promptly.
+		if m <= 512 {
+			if err := add("mechanism/RunNaive", m, func() error {
+				_, err := mech.RunNaive(in.W, exec)
+				return err
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	// End-to-end decentralized protocol: ns/op plus the bus traffic its
+	// payment phase generates (Theorem 5.4's Θ(m²) message units).
+	for _, m := range []int{4, 16, 64} {
+		in := dlt.DefaultRandomInstance(newSeededRng(seed, m), dlt.NCPFE, m)
+		cfg := protocol.Config{Network: dlt.NCPFE, Z: in.Z, TrueW: in.W, Seed: seed, NBlocks: 8 * m}
+		var units int
+		if err := add("protocol/Run", m, func() error {
+			o, err := protocol.Run(cfg)
+			if err == nil {
+				units = o.BusStats.Units
+			}
+			return err
+		}); err != nil {
+			return err
+		}
+		report.Cases[len(report.Cases)-1].MsgUnits = units
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("dls-bench: wrote %d benchmark cases to %s\n", len(report.Cases), path)
+	return nil
+}

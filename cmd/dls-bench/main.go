@@ -9,6 +9,7 @@
 //	dls-bench -id E6        # run one experiment
 //	dls-bench -seed 7       # change the reproducibility seed
 //	dls-bench -list         # list experiments
+//	dls-bench -json         # benchmark the payment paths → BENCH_PAYMENTS.json
 package main
 
 import (
@@ -27,7 +28,20 @@ func main() {
 	format := flag.String("format", "text", "output format: text or csv")
 	outPath := flag.String("o", "", "write output to this file instead of stdout")
 	parallel := flag.Bool("parallel", false, "run experiments concurrently (results still print in order)")
+	jsonBench := flag.Bool("json", false, "benchmark the payment paths and write BENCH_PAYMENTS.json (honors -o)")
 	flag.Parse()
+
+	if *jsonBench {
+		path := "BENCH_PAYMENTS.json"
+		if *outPath != "" {
+			path = *outPath
+		}
+		if err := runJSONBench(*seed, path); err != nil {
+			fmt.Fprintf(os.Stderr, "dls-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *format != "text" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "dls-bench: unknown format %q (want text or csv)\n", *format)

@@ -89,6 +89,13 @@ type Outcome struct {
 // bid; the bonus then rewards it), but exec[i] must be positive. At least
 // two agents are required: the bonus of a lone agent compares against an
 // empty system, which has no finite makespan.
+//
+// Run computes all m marginal economies and realized makespans in O(m)
+// total via the prefix/suffix payment engine (see payments.go); RunNaive
+// is the per-agent re-solve it replaces, kept for differential testing.
+// Callers that run the mechanism repeatedly (experiments, protocol
+// rounds, repeated-play dynamics) should hold a PaymentEngine and use
+// RunInto to avoid per-run allocations entirely.
 func (m Mechanism) Run(bids, exec []float64) (*Outcome, error) {
 	return m.run(bids, exec, WithVerification)
 }
@@ -99,6 +106,31 @@ func (m Mechanism) RunWithRule(bids, exec []float64, rule PaymentRule) (*Outcome
 }
 
 func (m Mechanism) run(bids, exec []float64, rule PaymentRule) (*Outcome, error) {
+	e := PaymentEngine{Network: m.Network, Z: m.Z}
+	return e.Run(bids, exec, rule)
+}
+
+// NewEngine returns a PaymentEngine for this mechanism, for callers that
+// want the zero-allocation RunInto hot path across repeated runs.
+func (m Mechanism) NewEngine() *PaymentEngine {
+	return NewPaymentEngine(m.Network, m.Z)
+}
+
+// RunNaive executes DLS-BL by re-solving the DLT recursion from scratch
+// for every agent — O(m) solves, O(m²) time and allocations. It is the
+// reference implementation the O(m) engine is differentially tested
+// against (the two agree to ~1e-12 relative; MakespanWithout is the only
+// component computed along a different floating-point path).
+func (m Mechanism) RunNaive(bids, exec []float64) (*Outcome, error) {
+	return m.runNaive(bids, exec, WithVerification)
+}
+
+// RunNaiveWithRule is RunNaive with an explicit payment rule.
+func (m Mechanism) RunNaiveWithRule(bids, exec []float64, rule PaymentRule) (*Outcome, error) {
+	return m.runNaive(bids, exec, rule)
+}
+
+func (m Mechanism) runNaive(bids, exec []float64, rule PaymentRule) (*Outcome, error) {
 	n := len(bids)
 	if n < 2 {
 		return nil, errors.New("core: DLS-BL needs at least two agents")
@@ -130,30 +162,47 @@ func (m Mechanism) run(bids, exec []float64, rule PaymentRule) (*Outcome, error)
 		MakespanRealized: make([]float64, n),
 		MakespanBid:      msBid,
 	}
+	// The per-agent marginals are independent; at large m the loop shards
+	// across GOMAXPROCS (the engine makes this path cold, but bisection
+	// cross-checks and differential tests still drive it at scale).
+	marginal := func(lo, hi int) error {
+		speeds := make([]float64, n)
+		for i := lo; i < hi; i++ {
+			sub, err := in.Without(i)
+			if err != nil {
+				return err
+			}
+			_, tWithout, err := dlt.OptimalMakespan(sub)
+			if err != nil {
+				return err
+			}
+			copy(speeds, bids)
+			if rule == WithVerification {
+				speeds[i] = exec[i]
+			}
+			tRealized, err := dlt.MakespanWithSpeeds(in, alloc, speeds)
+			if err != nil {
+				return err
+			}
+			out.MakespanWithout[i] = tWithout
+			out.MakespanRealized[i] = tRealized
+			out.Compensation[i] = alloc[i] * exec[i]
+			out.Bonus[i] = tWithout - tRealized
+			out.Payment[i] = out.Compensation[i] + out.Bonus[i]
+			out.Valuation[i] = -alloc[i] * exec[i]
+			out.Utility[i] = out.Payment[i] + out.Valuation[i]
+		}
+		return nil
+	}
+	if n >= parallelMarginalsMin {
+		err = shardedFor(n, marginal)
+	} else {
+		err = marginal(0, n)
+	}
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < n; i++ {
-		sub, err := in.Without(i)
-		if err != nil {
-			return nil, err
-		}
-		_, tWithout, err := dlt.OptimalMakespan(sub)
-		if err != nil {
-			return nil, err
-		}
-		speeds := append([]float64(nil), bids...)
-		if rule == WithVerification {
-			speeds[i] = exec[i]
-		}
-		tRealized, err := dlt.MakespanWithSpeeds(in, alloc, speeds)
-		if err != nil {
-			return nil, err
-		}
-		out.MakespanWithout[i] = tWithout
-		out.MakespanRealized[i] = tRealized
-		out.Compensation[i] = alloc[i] * exec[i]
-		out.Bonus[i] = tWithout - tRealized
-		out.Payment[i] = out.Compensation[i] + out.Bonus[i]
-		out.Valuation[i] = -alloc[i] * exec[i]
-		out.Utility[i] = out.Payment[i] + out.Valuation[i]
 		out.UserCost += out.Payment[i]
 	}
 	return out, nil

@@ -89,6 +89,58 @@ func TestQuickRealizedAtLeastBidMakespan(t *testing.T) {
 	}
 }
 
+// Property: the O(m) prefix/suffix payment engine and the O(m²) naive
+// per-agent re-solve are the same mechanism — every Outcome component
+// agrees within 1e-10 for random classes, rules, sizes, and strategic
+// bid/exec profiles. (Deterministic sweeps live in payments_test.go;
+// this is the generative form.)
+func TestQuickEngineMatchesNaive(t *testing.T) {
+	f := func(seed int64, netIdx, mRaw, ruleRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := dlt.Networks[int(netIdx)%len(dlt.Networks)]
+		m := 2 + int(mRaw)%63
+		rule := WithVerification
+		if ruleRaw%2 == 1 {
+			rule = WithoutVerification
+		}
+		in := RegimeSafeInstance(rng, net, m)
+		bids := make([]float64, m)
+		execs := make([]float64, m)
+		for i := 0; i < m; i++ {
+			bids[i] = in.W[i] * (0.25 + rng.Float64()*3.75)
+			execs[i] = math.Max(bids[i], in.W[i]) * (1 + rng.Float64())
+		}
+		mech := Mechanism{Network: net, Z: in.Z}
+		fast, err := mech.RunWithRule(bids, execs, rule)
+		if err != nil {
+			return false
+		}
+		naive, err := mech.RunNaiveWithRule(bids, execs, rule)
+		if err != nil {
+			return false
+		}
+		close := func(a, b float64) bool {
+			return !math.IsNaN(a) && math.Abs(a-b) <= 1e-10*math.Max(1, math.Abs(b))
+		}
+		if !close(fast.MakespanBid, naive.MakespanBid) || !close(fast.UserCost, naive.UserCost) {
+			return false
+		}
+		for i := 0; i < m; i++ {
+			if !close(fast.Alloc[i], naive.Alloc[i]) ||
+				!close(fast.MakespanWithout[i], naive.MakespanWithout[i]) ||
+				!close(fast.MakespanRealized[i], naive.MakespanRealized[i]) ||
+				!close(fast.Payment[i], naive.Payment[i]) ||
+				!close(fast.Utility[i], naive.Utility[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: payments are anonymous in the sense that the user cost is
 // finite and every compensation is non-negative (fractions and execution
 // values are non-negative).

@@ -48,15 +48,24 @@ func (m Mechanism) UtilityDeviating(trueW []float64, i int, bid, exec float64) (
 // the *worst* rational case for truth-telling — if truth still wins here
 // it wins everywhere).
 func (m Mechanism) BidSweep(trueW []float64, i int, ratios []float64) ([]SweepPoint, error) {
+	if i < 0 || i >= len(trueW) {
+		return nil, fmt.Errorf("core: agent %d out of range", i)
+	}
+	// One engine and one Outcome serve the whole sweep: after the first
+	// point the per-point mechanism run allocates nothing.
+	eng := m.NewEngine()
+	var out Outcome
+	bids := append([]float64(nil), trueW...)
+	execs := TruthfulExec(trueW)
 	pts := make([]SweepPoint, 0, len(ratios))
 	for _, r := range ratios {
 		bid := trueW[i] * r
 		exec := math.Max(bid, trueW[i]) // cannot execute faster than t_i
-		u, err := m.UtilityDeviating(trueW, i, bid, exec)
-		if err != nil {
+		bids[i], execs[i] = bid, exec
+		if err := eng.RunInto(bids, execs, WithVerification, &out); err != nil {
 			return nil, err
 		}
-		pts = append(pts, SweepPoint{Ratio: r, Bid: bid, Exec: exec, Utility: u})
+		pts = append(pts, SweepPoint{Ratio: r, Bid: bid, Exec: exec, Utility: out.Utility[i]})
 	}
 	return pts, nil
 }
@@ -66,14 +75,21 @@ func (m Mechanism) BidSweep(trueW []float64, i int, ratios []float64) ([]SweepPo
 // observed meter then exposes overbids; this sweep isolates the allocation
 // distortion component of the utility loss.
 func (m Mechanism) BidSweepFullSpeed(trueW []float64, i int, ratios []float64) ([]SweepPoint, error) {
+	if i < 0 || i >= len(trueW) {
+		return nil, fmt.Errorf("core: agent %d out of range", i)
+	}
+	eng := m.NewEngine()
+	var out Outcome
+	bids := append([]float64(nil), trueW...)
+	execs := TruthfulExec(trueW)
 	pts := make([]SweepPoint, 0, len(ratios))
 	for _, r := range ratios {
 		bid := trueW[i] * r
-		u, err := m.UtilityDeviating(trueW, i, bid, trueW[i])
-		if err != nil {
+		bids[i] = bid
+		if err := eng.RunInto(bids, execs, WithVerification, &out); err != nil {
 			return nil, err
 		}
-		pts = append(pts, SweepPoint{Ratio: r, Bid: bid, Exec: trueW[i], Utility: u})
+		pts = append(pts, SweepPoint{Ratio: r, Bid: bid, Exec: trueW[i], Utility: out.Utility[i]})
 	}
 	return pts, nil
 }
@@ -83,20 +99,24 @@ func (m Mechanism) BidSweepFullSpeed(trueW []float64, i int, ratios []float64) (
 // utility must fall as the agent slacks; without verification it must not
 // (experiment E12).
 func (m Mechanism) ExecSweep(trueW []float64, i int, ratios []float64, rule PaymentRule) ([]SweepPoint, error) {
+	if i < 0 || i >= len(trueW) {
+		return nil, fmt.Errorf("core: agent %d out of range", i)
+	}
+	eng := m.NewEngine()
+	var out Outcome
+	execs := TruthfulExec(trueW)
 	pts := make([]SweepPoint, 0, len(ratios))
 	for _, r := range ratios {
 		if r < 1 {
 			return nil, fmt.Errorf("core: execution ratio %v < 1 is physically impossible", r)
 		}
-		execs := TruthfulExec(trueW)
 		execs[i] = trueW[i] * r
-		out, err := m.RunWithRule(trueW, execs, rule)
-		if err != nil {
+		if err := eng.RunInto(trueW, execs, rule, &out); err != nil {
 			return nil, err
 		}
 		// Utility must reflect the agent's real cost −α_i·w̃_i even when
-		// the payment rule ignores w̃ (RunWithRule already does so:
-		// valuation always uses exec).
+		// the payment rule ignores w̃ (RunInto already does so: valuation
+		// always uses exec).
 		pts = append(pts, SweepPoint{Ratio: r, Bid: trueW[i], Exec: execs[i], Utility: out.Utility[i]})
 	}
 	return pts, nil
@@ -126,11 +146,24 @@ func RegimeSafeInstance(rng *rand.Rand, net dlt.Network, m int) dlt.Instance {
 // the empirical form of Theorem 3.1.
 func CheckStrategyproof(rng *rand.Rand, net dlt.Network, trials, m int, tol float64) []Violation {
 	var out []Violation
+	var res Outcome
+	var eng PaymentEngine
+	bids := make([]float64, m)
+	execs := make([]float64, m)
 	for trial := 0; trial < trials; trial++ {
 		in := RegimeSafeInstance(rng, net, m)
-		mech := Mechanism{Network: net, Z: in.Z}
+		eng.Network, eng.Z = net, in.Z
+		utility := func(i int, bid, exec float64) (float64, error) {
+			copy(bids, in.W)
+			copy(execs, in.W)
+			bids[i], execs[i] = bid, exec
+			if err := eng.RunInto(bids, execs, WithVerification, &res); err != nil {
+				return 0, err
+			}
+			return res.Utility[i], nil
+		}
 		for i := 0; i < m; i++ {
-			truthU, err := mech.UtilityDeviating(in.W, i, in.W[i], in.W[i])
+			truthU, err := utility(i, in.W[i], in.W[i])
 			if err != nil {
 				out = append(out, Violation{Agent: i, Detail: err.Error(), Instance: in})
 				continue
@@ -139,7 +172,7 @@ func CheckStrategyproof(rng *rand.Rand, net dlt.Network, trials, m int, tol floa
 				ratio := 0.25 + rng.Float64()*3.75
 				bid := in.W[i] * ratio
 				exec := math.Max(bid, in.W[i])
-				devU, err := mech.UtilityDeviating(in.W, i, bid, exec)
+				devU, err := utility(i, bid, exec)
 				if err != nil {
 					out = append(out, Violation{Agent: i, Detail: err.Error(), Instance: in})
 					continue
@@ -162,11 +195,12 @@ func CheckStrategyproof(rng *rand.Rand, net dlt.Network, trials, m int, tol floa
 // the empirical form of Theorem 3.2.
 func CheckVoluntaryParticipation(rng *rand.Rand, net dlt.Network, trials, m int, tol float64) []Violation {
 	var out []Violation
+	var res Outcome
+	var eng PaymentEngine
 	for trial := 0; trial < trials; trial++ {
 		in := RegimeSafeInstance(rng, net, m)
-		mech := Mechanism{Network: net, Z: in.Z}
-		res, err := mech.Run(in.W, TruthfulExec(in.W))
-		if err != nil {
+		eng.Network, eng.Z = net, in.Z
+		if err := eng.RunInto(in.W, in.W, WithVerification, &res); err != nil {
 			out = append(out, Violation{Detail: err.Error(), Instance: in})
 			continue
 		}

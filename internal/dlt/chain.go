@@ -1,0 +1,107 @@
+package dlt
+
+import "math"
+
+// Chain-product primitives shared by the closed-form allocators
+// (Algorithms 2.1/2.2 and the CP analogue) and the O(m) payment engine in
+// internal/core.
+//
+// The equal-finish optimum of every bus class is a product chain: with
+// k_j = w_j/(z + w_{j+1}) for the interior links (recursions (7)/(8)) and
+// the front-end-less originator's final link k_{m-2} = w_{m-2}/w_{m-1}
+// (recursion (9)), the unnormalized fractions are p_0 = 1,
+// p_i = p_{i-1}·k_{i-1}, and the allocation is α_i = p_i/Σ_j p_j.
+//
+// The raw running product reaches denormals and then exactly zero near
+// m ≈ 500 on a fast bus (z ≫ w drives every k far below 1), silently
+// zeroing the tail of the allocation and poisoning any ratio formed from
+// the products. ChainProducts therefore renormalizes the running product
+// with math.Frexp whenever its magnitude leaves [2^-256, 2^256], carrying
+// the scale in a per-index binary exponent, and finally rebases every
+// entry onto the largest one. Growth is bounded — Π k_j ≤ w_0/min_j w_j,
+// since the (z + w) denominators only shrink the telescoping product — so
+// only decay needs unbounded headroom, but the exponent track handles
+// both directions uniformly.
+
+// Magnitude window outside which the running chain product is rebased to
+// a fresh Frexp mantissa. 2^±256 leaves ample slack on both sides of the
+// float64 range for the per-step ratio multiply and the final sums.
+const (
+	chainRescaleLo = 0x1p-256
+	chainRescaleHi = 0x1p+256
+)
+
+// ChainProducts fills p (len(p) ≥ len(w)) with the chain products of the
+// class's equal-finish recursion over speeds w, uniformly scaled so the
+// largest entry has magnitude ≈ 1 whenever renormalization fires (and
+// exactly the raw products, anchored at p_0 = 1, when it does not), and
+// returns their sum S in the same scale. The optimal allocation is
+// α_i = p[i]/S; any ratio of entries or partial sums is scale-free, which
+// is what the payment engine consumes.
+//
+// For NCPNFE the final link uses recursion (9); CP and NCPFE share the
+// standard chain. exps is optional scratch of len ≥ len(w) for the
+// exponent track; pass nil to allocate lazily (which only happens when
+// renormalization actually fires, i.e. on extreme instances).
+func ChainProducts(net Network, z float64, w []float64, p []float64, exps []int) float64 {
+	n := len(w)
+	if n == 0 {
+		return 0
+	}
+	nfeTail := net == NCPNFE
+	p[0] = 1
+	cur := 1.0
+	curExp := 0
+	rescaled := false
+	sum := 1.0
+	for i := 1; i < n; i++ {
+		var k float64
+		if nfeTail && i == n-1 {
+			k = w[i-1] / w[i] // recursion (9): no z term on the final link
+		} else {
+			k = w[i-1] / (z + w[i]) // k_{i-1} of Algorithm 2.1
+		}
+		cur *= k
+		if cur < chainRescaleLo || cur > chainRescaleHi {
+			if !rescaled {
+				if exps == nil {
+					exps = make([]int, n)
+				}
+				for j := 0; j < i; j++ {
+					exps[j] = 0
+				}
+				rescaled = true
+			}
+			f, e := math.Frexp(cur)
+			cur = f
+			curExp += e
+		}
+		p[i] = cur
+		if rescaled {
+			exps[i] = curExp
+		}
+		sum += cur
+	}
+	if !rescaled {
+		return sum
+	}
+	// Rebase every entry onto the largest effective magnitude so that sums
+	// and ratios of the stored values are exact up to float rounding.
+	// Entries more than ~1100 binary orders below the maximum flush to
+	// zero, which is below any representable contribution anyway.
+	eMax := math.MinInt
+	for i := 0; i < n; i++ {
+		if p[i] == 0 {
+			continue // total underflow inside a step; genuinely negligible
+		}
+		if e := exps[i] + math.Ilogb(p[i]); e > eMax {
+			eMax = e
+		}
+	}
+	sum = 0
+	for i := 0; i < n; i++ {
+		p[i] = math.Ldexp(p[i], exps[i]-eMax)
+		sum += p[i]
+	}
+	return sum
+}

@@ -1,0 +1,185 @@
+package dlt
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// fastBusInstance builds the regime that used to underflow the raw
+// product recursion: a fast bus (large z) against ordinary processors
+// drives every chain ratio k_j = w_j/(z+w_{j+1}) far below 1, so the raw
+// running product decays like k^i and hit denormals (then exact zero)
+// near m ≈ 500 before the Frexp renormalization in ChainProducts.
+func fastBusInstance(rng *rand.Rand, net Network, m int) Instance {
+	return RandomInstance(rng, net, m, 0.5, 8, 4, 5)
+}
+
+// bigChainAlloc computes the exact chain allocation with big.Float
+// arithmetic: p_0 = 1, p_i = p_{i-1}·k_{i-1}, α_i = p_i/Σp_j.
+func bigChainAlloc(net Network, z float64, w []float64) []*big.Float {
+	const prec = 200
+	n := len(w)
+	p := make([]*big.Float, n)
+	p[0] = big.NewFloat(1).SetPrec(prec)
+	sum := big.NewFloat(1).SetPrec(prec)
+	for i := 1; i < n; i++ {
+		den := new(big.Float).SetPrec(prec)
+		if net == NCPNFE && i == n-1 {
+			den.SetFloat64(w[i]) // recursion (9): no z on the final link
+		} else {
+			den.Add(big.NewFloat(z).SetPrec(prec), big.NewFloat(w[i]).SetPrec(prec))
+		}
+		num := new(big.Float).SetPrec(prec).Mul(p[i-1], big.NewFloat(w[i-1]).SetPrec(prec))
+		p[i] = num.Quo(num, den)
+		sum.Add(sum, p[i])
+	}
+	for i := range p {
+		p[i] = new(big.Float).SetPrec(prec).Quo(p[i], sum)
+	}
+	return p
+}
+
+// TestChainAllocationMatchesBigFloat checks the renormalized float64
+// chain against a 200-bit reference across all classes and sizes that
+// straddle the old underflow point. Entries whose exact value is below
+// float64's representable range are only required to come out (near)
+// zero and non-negative.
+func TestChainAllocationMatchesBigFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, net := range Networks {
+		for _, m := range []int{8, 64, 512, 2048} {
+			in := fastBusInstance(rng, net, m)
+			got, err := Optimal(in)
+			if err != nil {
+				t.Fatalf("%v m=%d: %v", net, m, err)
+			}
+			want := bigChainAlloc(in.Network, in.Z, in.W)
+			for i := 0; i < m; i++ {
+				ref, _ := want[i].Float64()
+				if math.IsNaN(got[i]) || math.IsInf(got[i], 0) || got[i] < 0 {
+					t.Fatalf("%v m=%d: α[%d]=%v", net, m, i, got[i])
+				}
+				if ref < 1e-300 {
+					if got[i] > 1e-290 {
+						t.Fatalf("%v m=%d: α[%d]=%v, reference ~%v", net, m, i, got[i], ref)
+					}
+					continue
+				}
+				if diff := math.Abs(got[i]-ref) / ref; diff > 1e-12 {
+					t.Fatalf("%v m=%d: α[%d]=%v vs reference %v (rel %v)", net, m, i, got[i], ref, diff)
+				}
+			}
+		}
+	}
+}
+
+// TestChainAllocationLargeMUnderflow is the direct regression for the
+// float-underflow bug: on a fast bus at m = 2048 and m = 4096 the
+// allocation must stay feasible, finite, and strictly positive at the
+// head — the raw recursion instead zeroed everything past i ≈ 500 and,
+// for NCP-NFE, handed the originator an exact-zero share.
+func TestChainAllocationLargeMUnderflow(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, net := range Networks {
+		for _, m := range []int{2048, 4096} {
+			in := fastBusInstance(rng, net, m)
+			a, err := Optimal(in)
+			if err != nil {
+				t.Fatalf("%v m=%d: %v", net, m, err)
+			}
+			if err := a.Validate(m); err != nil {
+				t.Fatalf("%v m=%d: %v", net, m, err)
+			}
+			// The head of the chain carries essentially all the load
+			// (each ratio k ≲ w/z < 1/2 here, so shares decay at least
+			// geometrically); the first entries must be sane positive
+			// fractions, not 0/0 debris, and the first 64 must hold
+			// nearly everything.
+			if !(a[0] > 0.1) || !(a[1] > 0) {
+				t.Fatalf("%v m=%d: head α[0]=%v α[1]=%v", net, m, a[0], a[1])
+			}
+			if head := Allocation(a[:64]).Sum(); !(head > 0.999) {
+				t.Fatalf("%v m=%d: first 64 shares sum to %v", net, m, head)
+			}
+			// The tail must have decayed to (near) nothing rather than
+			// gone NaN: the old recursion's exact-zero products poisoned
+			// downstream ratios, while legitimate decay just yields
+			// negligible shares.
+			for i := m / 2; i < m; i++ {
+				if math.IsNaN(a[i]) || a[i] > 1e-100 {
+					t.Fatalf("%v m=%d: tail α[%d]=%v", net, m, i, a[i])
+				}
+			}
+		}
+	}
+}
+
+// TestChainProductsScratchReuse checks that a caller-provided exponent
+// scratch gives bit-identical results to the lazily-allocated one, and
+// that consecutive calls on the same buffers do not leak state between
+// instances of different magnitudes.
+func TestChainProductsScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const m = 1024
+	exps := make([]int, m)
+	pA := make([]float64, m)
+	pB := make([]float64, m)
+	for trial := 0; trial < 4; trial++ {
+		// Alternate extreme (rescaling) and benign (non-rescaling)
+		// instances through the same scratch.
+		zLo, zHi := 4.0, 5.0
+		if trial%2 == 1 {
+			zLo, zHi = 0.02, 0.05
+		}
+		in := RandomInstance(rng, NCPNFE, m, 0.5, 8, zLo, zHi)
+		sumA := ChainProducts(in.Network, in.Z, in.W, pA, exps)
+		sumB := ChainProducts(in.Network, in.Z, in.W, pB, nil)
+		if sumA != sumB {
+			t.Fatalf("trial %d: sum %v (reused scratch) vs %v (fresh)", trial, sumA, sumB)
+		}
+		for i := range pA {
+			if pA[i] != pB[i] {
+				t.Fatalf("trial %d: p[%d] %v (reused scratch) vs %v (fresh)", trial, i, pA[i], pB[i])
+			}
+		}
+	}
+}
+
+// TestChainProductsBenignBitIdentical pins the fast path: when no
+// renormalization fires, ChainProducts must reproduce the raw product
+// recursion bit for bit (the pre-engine behavior), so small-m results
+// across the repo are unchanged by the underflow fix.
+func TestChainProductsBenignBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, net := range Networks {
+		for _, m := range []int{2, 3, 17, 64} {
+			in := DefaultRandomInstance(rng, net, m)
+			p := make([]float64, m)
+			sum := ChainProducts(in.Network, in.Z, in.W, p, nil)
+			// Raw recursion, same operation order.
+			raw := make([]float64, m)
+			raw[0] = 1
+			rawSum := 1.0
+			for i := 1; i < m; i++ {
+				var k float64
+				if net == NCPNFE && i == m-1 {
+					k = in.W[i-1] / in.W[i]
+				} else {
+					k = in.W[i-1] / (in.Z + in.W[i])
+				}
+				raw[i] = raw[i-1] * k
+				rawSum += raw[i]
+			}
+			if sum != rawSum {
+				t.Fatalf("%v m=%d: sum %v vs raw %v", net, m, sum, rawSum)
+			}
+			for i := range p {
+				if p[i] != raw[i] {
+					t.Fatalf("%v m=%d: p[%d] %v vs raw %v", net, m, i, p[i], raw[i])
+				}
+			}
+		}
+	}
+}

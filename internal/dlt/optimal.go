@@ -90,16 +90,12 @@ func optimalNCPFE(in Instance) Allocation {
 
 // chainAllocation solves the common ratio recursion
 // α_{i+1} = α_i · w_i/(z + w_{i+1}) over the first n processors and
-// normalizes Σα = 1.
+// normalizes Σα = 1. The product chain is computed by ChainProducts,
+// which renormalizes the running product so the recursion survives large
+// m on fast buses (see chain.go).
 func chainAllocation(w []float64, z float64, n int) Allocation {
 	a := make(Allocation, n)
-	a[0] = 1
-	sum := 1.0
-	for i := 1; i < n; i++ {
-		k := w[i-1] / (z + w[i]) // k_{i-1} in Algorithm 2.1
-		a[i] = a[i-1] * k
-		sum += a[i]
-	}
+	sum := ChainProducts(CP, z, w[:n], a, nil)
 	for i := range a {
 		a[i] /= sum
 	}
@@ -110,23 +106,11 @@ func chainAllocation(w []float64, z float64, n int) Allocation {
 // (8) cover i = 1,…,m−2 with the same k_j = w_j/(z + w_{j+1}); recursion
 // (9), α_{m−1}·w_{m−1} = α_m·w_m, links the originator P_m (which starts
 // computing only after all transfers finish, so no z term appears).
+// ChainProducts applies (9) on the final link for the NCPNFE class.
 func optimalNCPNFE(in Instance) Allocation {
 	m := in.M()
-	if m == 1 {
-		return Allocation{1}
-	}
 	a := make(Allocation, m)
-	a[0] = 1
-	sum := 1.0
-	for i := 1; i < m-1; i++ {
-		k := in.W[i-1] / (in.Z + in.W[i])
-		a[i] = a[i-1] * k
-		sum += a[i]
-	}
-	// (9): the originator's fraction keeps only the processing-time
-	// ratio; for m = 2 this is the sole recursion.
-	a[m-1] = a[m-2] * in.W[m-2] / in.W[m-1]
-	sum += a[m-1]
+	sum := ChainProducts(NCPNFE, in.Z, in.W, a, nil)
 	for i := range a {
 		a[i] /= sum
 	}

@@ -106,7 +106,6 @@ func Run(cfg Config) (*Trace, error) {
 		return nil, err
 	}
 	m := len(cfg.TrueW)
-	mech := core.Mechanism{Network: cfg.Network, Z: cfg.Z}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	state := State{
@@ -118,18 +117,22 @@ func Run(cfg Config) (*Trace, error) {
 		state.SlackFactors[i] = cfg.SlackGrid[rng.Intn(len(cfg.SlackGrid))]
 	}
 
+	// Best-response dynamics run the mechanism rounds·|grid|² times; one
+	// payment engine with reused buffers keeps the whole loop free of
+	// per-run allocations.
+	eng := core.NewPaymentEngine(cfg.Network, cfg.Z)
+	var payOut core.Outcome
+	bids := make([]float64, m)
+	exec := make([]float64, m)
 	utility := func(st State, agent int) (float64, error) {
-		bids := make([]float64, m)
-		exec := make([]float64, m)
 		for j := 0; j < m; j++ {
 			bids[j] = cfg.TrueW[j] * st.BidFactors[j]
 			exec[j] = math.Max(cfg.TrueW[j], cfg.TrueW[j]*st.SlackFactors[j])
 		}
-		out, err := mech.RunWithRule(bids, exec, cfg.Rule)
-		if err != nil {
+		if err := eng.RunInto(bids, exec, cfg.Rule, &payOut); err != nil {
 			return 0, err
 		}
-		return out.Utility[agent], nil
+		return payOut.Utility[agent], nil
 	}
 
 	tr := &Trace{}

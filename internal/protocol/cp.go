@@ -160,7 +160,7 @@ func RunCP(cfg Config) (*Outcome, error) {
 
 	// Payments: computed once by P0, announced to each processor (one
 	// scalar each), billed to the user.
-	mech := core.Mechanism{Network: dlt.CP, Z: cfg.Z}
+	eng := core.NewPaymentEngine(dlt.CP, cfg.Z)
 	derived := make([]float64, m)
 	for j := range derived {
 		if alloc[j] > 0 {
@@ -169,7 +169,7 @@ func RunCP(cfg Config) (*Outcome, error) {
 			derived[j] = bids[j]
 		}
 	}
-	out, err := mech.Run(bids, derived)
+	out, err := eng.Run(bids, derived, core.WithVerification)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package protocol
 import (
 	"fmt"
 
+	"dlsbl/internal/core"
 	"dlsbl/internal/dlt"
 	"dlsbl/internal/payment"
 	"dlsbl/internal/referee"
@@ -462,10 +463,10 @@ func (r *run) phasePayments() error {
 			derived[j] = r.bids[j]
 		}
 	}
-	out, err := r.mech.Run(r.bids, derived)
-	if err != nil {
+	if err := r.engine.RunInto(r.bids, derived, core.WithVerification, &r.payOut); err != nil {
 		return err
 	}
+	out := &r.payOut
 	if err := r.ref.CheckFineSufficient(out.Compensation); err != nil {
 		// The configured fine violates F ≥ Σ α_j·w̃_j; surface it rather
 		// than continue with a toothless deterrent.

@@ -159,6 +159,11 @@ type run struct {
 	userKey *sig.KeyPair
 	dataset *workload.Dataset
 	mech    core.Mechanism
+	// engine is the O(m) payment engine behind the Computing Payments
+	// phase; payOut is its reused scratch Outcome, so repeated protocol
+	// rounds do not allocate per-run payment state.
+	engine  *core.PaymentEngine
+	payOut  core.Outcome
 	outcome *Outcome
 	bidEnvs []sig.Envelope // agreed signed bid of each processor, index order
 	bids    []float64
@@ -225,6 +230,7 @@ func setup(cfg Config) (*run, error) {
 		keys:    make(map[string]*sig.KeyPair, m+2),
 		reg:     sig.NewRegistry(),
 		mech:    core.Mechanism{Network: cfg.Network, Z: cfg.Z},
+		engine:  core.NewPaymentEngine(cfg.Network, cfg.Z),
 		outcome: &Outcome{},
 		origIdx: cfg.Network.Originator(m),
 		nBlocks: cfg.NBlocks,
