@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke bench-payments fuzz-smoke clean
+.PHONY: all build test race vet ci bench-smoke bench-payments bench-faults faults-soak fuzz-smoke clean
 
 all: build test
 
@@ -18,6 +18,22 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# The full gate a change must pass before merging: build, vet, the
+# race-enabled test suite, and a short fuzz pass.
+ci: build vet race fuzz-smoke
+
+# Extended mixed-fault soak: the protocol under a combined drop/dup/
+# delay/corrupt/reorder plan across many seeds, asserting fault-free
+# payments every time. DLSBL_SOAK_ROUNDS picks the seed count.
+faults-soak:
+	DLSBL_SOAK_ROUNDS=250 $(GO) test -run=TestMixedFaultSoak -v ./internal/protocol/
+
+# Fault-tolerant transport measurements → BENCH_FAULTS.json (sibling of
+# BENCH_PAYMENTS.json), plus the zero-overhead guard benchmarks.
+bench-faults:
+	$(GO) test -run=NONE -bench='BroadcastReliable|ProtocolRun' -benchmem ./internal/bus/ ./internal/protocol/
+	$(GO) run ./cmd/dls-bench -faults
 
 # One iteration of every benchmark — catches bit-rot in the bench
 # harness without paying for real measurements.

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"dlsbl/internal/bus"
+	"dlsbl/internal/dlt"
+	"dlsbl/internal/protocol"
+)
+
+// The -faults mode measures the reliable-transport layer end-to-end and
+// writes BENCH_FAULTS.json (sibling of BENCH_PAYMENTS.json): for each
+// point on a link-degradation sweep it records the run's wall time plus
+// the retransmission/eviction counters, and it times the nil-plan path
+// against the faulty path so the zero-overhead claim for the reliable
+// bus stays regression-visible.
+
+type faultCase struct {
+	Name    string  `json:"name"`
+	M       int     `json:"m"`
+	Drop    float64 `json:"drop"`
+	Dup     float64 `json:"duplicate"`
+	NsPerOp float64 `json:"ns_per_op"`
+
+	Completed   bool `json:"completed"`
+	Evictions   int  `json:"evictions"`
+	Retransmits int  `json:"retransmits"`
+	DupDiscards int  `json:"dup_discards"`
+	Corrupt     int  `json:"corrupt_discards"`
+	Timeouts    int  `json:"timeouts"`
+	BusDropped  int  `json:"bus_dropped"`
+	BusDup      int  `json:"bus_duplicated"`
+	Iterations  int  `json:"iterations"`
+}
+
+type faultReport struct {
+	Tool       string      `json:"tool"`
+	Seed       int64       `json:"seed"`
+	GoVersion  string      `json:"go_version"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Cases      []faultCase `json:"cases"`
+}
+
+func runFaultsBench(seed int64, path string) error {
+	report := faultReport{
+		Tool:       "dls-bench -faults",
+		Seed:       seed,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	for _, m := range []int{4, 16} {
+		in := dlt.DefaultRandomInstance(newSeededRng(seed, m), dlt.NCPFE, m)
+		base := protocol.Config{Network: dlt.NCPFE, Z: in.Z, TrueW: in.W, Seed: seed, NBlocks: 8 * m}
+
+		sweep := []struct {
+			name string
+			plan *bus.FaultPlan
+		}{
+			{"protocol/reliable", nil},
+			{"protocol/drop05", &bus.FaultPlan{Seed: seed, Drop: 0.05}},
+			{"protocol/drop10-dup05", &bus.FaultPlan{Seed: seed, Drop: 0.10, Duplicate: 0.05}},
+			{"protocol/drop20-mixed", &bus.FaultPlan{Seed: seed, Drop: 0.20, Duplicate: 0.10, Delay: 0.10, Corrupt: 0.05}},
+			{"protocol/crash-one", &bus.FaultPlan{Seed: seed, Unresponsive: []string{fmt.Sprintf("P%d", m)}}},
+		}
+		for _, s := range sweep {
+			cfg := base
+			cfg.Faults = s.plan
+			var last *protocol.Outcome
+			c, err := measure(func() error {
+				o, err := protocol.Run(cfg)
+				if err == nil {
+					last = o
+				}
+				return err
+			})
+			if err != nil {
+				return fmt.Errorf("%s/m=%d: %w", s.name, m, err)
+			}
+			c.Name, c.M = s.name, m
+			fc := faultCase{
+				Name: c.Name, M: m, NsPerOp: c.NsPerOp, Iterations: c.Iterations,
+				Completed:   last.Completed,
+				Evictions:   last.Fault.Evictions,
+				Retransmits: last.Fault.Retransmits,
+				DupDiscards: last.Fault.DupDiscards,
+				Corrupt:     last.Fault.CorruptDiscards,
+				Timeouts:    last.Fault.Timeouts,
+				BusDropped:  last.BusStats.Dropped,
+				BusDup:      last.BusStats.Duplicated,
+			}
+			if s.plan != nil {
+				fc.Drop, fc.Dup = s.plan.Drop, s.plan.Duplicate
+			}
+			report.Cases = append(report.Cases, fc)
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("dls-bench: wrote %d fault benchmark cases to %s\n", len(report.Cases), path)
+	return nil
+}

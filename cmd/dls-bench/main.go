@@ -10,6 +10,7 @@
 //	dls-bench -seed 7       # change the reproducibility seed
 //	dls-bench -list         # list experiments
 //	dls-bench -json         # benchmark the payment paths → BENCH_PAYMENTS.json
+//	dls-bench -faults       # benchmark the fault-tolerant transport → BENCH_FAULTS.json
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 	outPath := flag.String("o", "", "write output to this file instead of stdout")
 	parallel := flag.Bool("parallel", false, "run experiments concurrently (results still print in order)")
 	jsonBench := flag.Bool("json", false, "benchmark the payment paths and write BENCH_PAYMENTS.json (honors -o)")
+	faultsBench := flag.Bool("faults", false, "benchmark the fault-tolerant transport and write BENCH_FAULTS.json (honors -o)")
 	flag.Parse()
 
 	if *jsonBench {
@@ -37,6 +39,17 @@ func main() {
 			path = *outPath
 		}
 		if err := runJSONBench(*seed, path); err != nil {
+			fmt.Fprintf(os.Stderr, "dls-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *faultsBench {
+		path := "BENCH_FAULTS.json"
+		if *outPath != "" {
+			path = *outPath
+		}
+		if err := runFaultsBench(*seed, path); err != nil {
 			fmt.Fprintf(os.Stderr, "dls-bench: %v\n", err)
 			os.Exit(1)
 		}

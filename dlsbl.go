@@ -13,7 +13,11 @@
 //   - the DLS-BL-NCP protocol: the fully distributed execution of DLS-BL
 //     by the strategic processors themselves, with signed messages, a
 //     passive referee, fines and fine redistribution (ProtocolConfig,
-//     RunProtocol, Behavior).
+//     RunProtocol, Behavior). The paper's reliable-broadcast assumption
+//     is optional: a seeded FaultPlan injects drops, duplicates,
+//     corruption, reordering and jitter, and the protocol answers with
+//     idempotent retransmission (RetryPolicy), eviction of unreachable
+//     processors and survivor re-allocation (see examples/faultybus).
 //
 // Quick start:
 //
@@ -35,6 +39,7 @@ import (
 	"math/rand"
 
 	"dlsbl/internal/agent"
+	"dlsbl/internal/bus"
 	"dlsbl/internal/core"
 	"dlsbl/internal/dlt"
 	"dlsbl/internal/dynamics"
@@ -284,6 +289,27 @@ var DeviantCatalog = agent.DeviantCatalog
 
 // RunProtocol executes DLS-BL-NCP end-to-end.
 func RunProtocol(cfg ProtocolConfig) (*ProtocolOutcome, error) { return protocol.Run(cfg) }
+
+// FaultPlan is a seeded adversarial link layer for the simulated bus:
+// message drops, duplicates, delays, signature-breaking corruption,
+// reordering, data-plane latency jitter and crashed endpoints. Set it on
+// ProtocolConfig.Faults (or SessionJob.Faults) to run the protocol
+// without the paper's reliable-broadcast assumption; nil keeps the
+// reliable bus of the paper.
+type FaultPlan = bus.FaultPlan
+
+// RetryPolicy bounds the reliable-transport machinery the protocol runs
+// over a faulty bus: per-message attempt budget, capped exponential
+// backoff, per-phase deadline.
+type RetryPolicy = protocol.RetryPolicy
+
+// FaultStats counts what the transport layer did during a run
+// (retransmissions, duplicate/corrupt discards, backoff time, evictions).
+type FaultStats = protocol.FaultStats
+
+// EvictionEvent records a processor removed from a run for
+// unreachability — an audited availability failure, not a fined offense.
+type EvictionEvent = protocol.EvictionEvent
 
 // RunProtocolCP executes the centralized prior-work DLS-BL protocol with
 // a trusted control processor (extension X11's baseline).

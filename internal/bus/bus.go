@@ -1,7 +1,7 @@
 // Package bus simulates the shared-medium network of the paper: a
-// one-port bus interconnecting all processors (and the referee), with a
-// reliable atomic broadcast primitive — the paper argues this assumption
-// is reasonable because the transmission medium is shared and equidistant
+// one-port bus interconnecting all processors (and the referee), with an
+// atomic broadcast primitive — the paper argues this assumption is
+// reasonable because the transmission medium is shared and equidistant
 // from all processors, and notes that with atomic broadcast no bid
 // commitments are needed.
 //
@@ -14,6 +14,15 @@
 //   - a data plane carrying load fractions, occupying the one-port medium
 //     for α·z virtual time per fraction α, reserved through a
 //     sim.Resource so transfers never overlap.
+//
+// The paper's reliability assumption is optional here: a Bus built with
+// NewFaulty carries a seeded FaultPlan that injects message drops,
+// duplicates, delays, signature-breaking corruption and queue reordering
+// on the control plane, plus latency jitter on the data plane. Every
+// transmission carries a logical Nonce so the retry layer in
+// internal/protocol can retransmit idempotently and receivers can dedup.
+// A nil plan is the reliable bus of the paper and costs nothing extra on
+// the delivery path.
 package bus
 
 import (
@@ -35,13 +44,19 @@ type Message struct {
 	To   string // BroadcastAddr for broadcasts
 	Kind string
 	Size int // abstract size units, e.g. m for an m-entry payment vector
-	Env  sig.Envelope
+	// Nonce identifies the logical message: retransmissions reuse it and
+	// fault-injected duplicates preserve it, so receivers can treat
+	// deliveries idempotently by deduplicating on (From, Nonce).
+	Nonce uint64
+	Env   sig.Envelope
 }
 
 // Stats aggregates control-plane traffic for the communication-complexity
 // experiment. A broadcast to m−1 receivers counts as one transmission of
 // its size (the medium is shared: one emission reaches everyone), and
-// DeliveredUnits additionally tracks per-receiver delivered volume.
+// DeliveredUnits additionally tracks per-receiver delivered volume. The
+// fault counters record what a FaultPlan did to individual deliveries;
+// they are all zero on a reliable bus.
 type Stats struct {
 	Messages       int // transmissions initiated (broadcast counts once)
 	Units          int // Σ size over transmissions
@@ -49,6 +64,12 @@ type Stats struct {
 	DeliveredUnits int // Σ size over deliveries
 	Broadcasts     int
 	Unicasts       int
+
+	Dropped    int // deliveries lost (including blackholed endpoints)
+	Duplicated int // deliveries that arrived twice
+	Delayed    int // deliveries deferred to a later Drain
+	Corrupted  int // deliveries with a signature-breaking bit flip
+	Reordered  int // deliveries that jumped the receiver's queue
 }
 
 // Bus is the simulated network. All methods are safe for concurrent use,
@@ -57,24 +78,47 @@ type Bus struct {
 	mu      sync.Mutex
 	z       float64
 	inboxes map[string][]Message
-	stats   Stats
-	port    *sim.Resource
+	// order holds the attached identities sorted; broadcasts iterate it so
+	// fault decisions are drawn in a reproducible receiver order.
+	order  []string
+	staged map[string][]Message // delayed deliveries, released by Drain
+	stats  Stats
+	port   *sim.Resource
+	faults *faultState
+	nonce  uint64
 }
 
-// New creates a bus with per-unit-load transfer time z ≥ 0.
-func New(z float64) (*Bus, error) {
+// New creates a reliable bus with per-unit-load transfer time z ≥ 0.
+func New(z float64) (*Bus, error) { return NewFaulty(z, nil) }
+
+// NewFaulty creates a bus whose control plane misbehaves according to the
+// seeded plan. A nil plan yields the reliable bus of the paper.
+func NewFaulty(z float64, plan *FaultPlan) (*Bus, error) {
 	if !(z >= 0) {
 		return nil, fmt.Errorf("bus: invalid transfer time z=%v", z)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
 	}
 	return &Bus{
 		z:       z,
 		inboxes: make(map[string][]Message),
+		staged:  make(map[string][]Message),
 		port:    sim.NewResource("bus"),
+		faults:  newFaultState(plan),
 	}, nil
 }
 
 // Z returns the per-unit transfer time.
 func (b *Bus) Z() float64 { return b.z }
+
+// Plan returns the fault plan in force, or nil for a reliable bus.
+func (b *Bus) Plan() *FaultPlan {
+	if b.faults == nil {
+		return nil
+	}
+	return b.faults.plan
+}
 
 // Attach registers an endpoint identity on the bus.
 func (b *Bus) Attach(id string) error {
@@ -87,6 +131,10 @@ func (b *Bus) Attach(id string) error {
 		return fmt.Errorf("bus: endpoint %q already attached", id)
 	}
 	b.inboxes[id] = nil
+	i := sort.SearchStrings(b.order, id)
+	b.order = append(b.order, "")
+	copy(b.order[i+1:], b.order[i:])
+	b.order[i] = id
 	return nil
 }
 
@@ -94,67 +142,141 @@ func (b *Bus) Attach(id string) error {
 func (b *Bus) Endpoints() []string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	ids := make([]string, 0, len(b.inboxes))
-	for id := range b.inboxes {
-		ids = append(ids, id)
+	return append([]string(nil), b.order...)
+}
+
+// NextNonce allocates a fresh logical-message nonce. The retry layer
+// tags every transmission of one logical message with the same nonce.
+func (b *Bus) NextNonce() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nonce++
+	return b.nonce
+}
+
+// deliver appends one delivery to an inbox, running the fault pipeline
+// when a plan is active. Caller holds the mutex.
+func (b *Bus) deliver(to string, msg Message) {
+	fs := b.faults
+	if fs == nil || !fs.plan.active() {
+		b.inboxes[to] = append(b.inboxes[to], msg)
+		b.stats.Deliveries++
+		b.stats.DeliveredUnits += msg.Size
+		return
 	}
-	sort.Strings(ids)
-	return ids
+	if fs.unreachable[msg.From] || fs.unreachable[to] {
+		b.stats.Dropped++
+		return
+	}
+	p := fs.plan
+	if p.Drop > 0 && fs.rng.Float64() < p.Drop {
+		b.stats.Dropped++
+		return
+	}
+	if p.Corrupt > 0 && fs.rng.Float64() < p.Corrupt {
+		msg = corruptEnvelope(msg)
+		b.stats.Corrupted++
+	}
+	copies := 1
+	if p.Duplicate > 0 && fs.rng.Float64() < p.Duplicate {
+		copies = 2
+		b.stats.Duplicated++
+	}
+	for c := 0; c < copies; c++ {
+		switch {
+		case p.Delay > 0 && fs.rng.Float64() < p.Delay:
+			b.staged[to] = append(b.staged[to], msg)
+			b.stats.Delayed++
+		case p.Reorder > 0 && len(b.inboxes[to]) > 0 && fs.rng.Float64() < p.Reorder:
+			box := b.inboxes[to]
+			at := fs.rng.Intn(len(box))
+			box = append(box, Message{})
+			copy(box[at+1:], box[at:])
+			box[at] = msg
+			b.inboxes[to] = box
+			b.stats.Reordered++
+		default:
+			b.inboxes[to] = append(b.inboxes[to], msg)
+		}
+		b.stats.Deliveries++
+		b.stats.DeliveredUnits += msg.Size
+	}
 }
 
 // Broadcast atomically delivers the envelope to every endpoint except the
-// sender. By construction every receiver sees the identical message — the
-// paper's atomic-broadcast assumption. size is the abstract message size
-// in units (a scalar bid is 1, an m-vector is m).
+// sender (on a reliable bus — under a FaultPlan individual deliveries may
+// be lost or mangled, which is exactly the deviation the retry layer
+// exists to absorb). size is the abstract message size in units (a scalar
+// bid is 1, an m-vector is m). The transmission is tagged with a fresh
+// nonce, which is returned.
 func (b *Bus) Broadcast(from, kind string, env sig.Envelope, size int) error {
+	_, err := b.BroadcastTagged(from, kind, env, size, 0)
+	return err
+}
+
+// BroadcastTagged is Broadcast with an explicit logical nonce; passing 0
+// allocates a fresh one. Retransmissions pass the original nonce so
+// receivers can deduplicate.
+func (b *Bus) BroadcastTagged(from, kind string, env sig.Envelope, size int, nonce uint64) (uint64, error) {
 	if size < 0 {
-		return errors.New("bus: negative message size")
+		return 0, errors.New("bus: negative message size")
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if _, ok := b.inboxes[from]; !ok {
-		return fmt.Errorf("bus: unknown sender %q", from)
+		return 0, fmt.Errorf("bus: unknown sender %q", from)
 	}
-	msg := Message{From: from, To: BroadcastAddr, Kind: kind, Size: size, Env: env}
+	if nonce == 0 {
+		b.nonce++
+		nonce = b.nonce
+	}
+	msg := Message{From: from, To: BroadcastAddr, Kind: kind, Size: size, Nonce: nonce, Env: env}
 	b.stats.Messages++
 	b.stats.Units += size
 	b.stats.Broadcasts++
-	for id := range b.inboxes {
+	for _, id := range b.order {
 		if id == from {
 			continue
 		}
-		b.inboxes[id] = append(b.inboxes[id], msg)
-		b.stats.Deliveries++
-		b.stats.DeliveredUnits += size
+		b.deliver(id, msg)
 	}
-	return nil
+	return nonce, nil
 }
 
-// Send delivers the envelope to a single endpoint.
+// Send delivers the envelope to a single endpoint under a fresh nonce.
 func (b *Bus) Send(from, to, kind string, env sig.Envelope, size int) error {
+	_, err := b.SendTagged(from, to, kind, env, size, 0)
+	return err
+}
+
+// SendTagged is Send with an explicit logical nonce (0 allocates one).
+func (b *Bus) SendTagged(from, to, kind string, env sig.Envelope, size int, nonce uint64) (uint64, error) {
 	if size < 0 {
-		return errors.New("bus: negative message size")
+		return 0, errors.New("bus: negative message size")
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if _, ok := b.inboxes[from]; !ok {
-		return fmt.Errorf("bus: unknown sender %q", from)
+		return 0, fmt.Errorf("bus: unknown sender %q", from)
 	}
 	if _, ok := b.inboxes[to]; !ok {
-		return fmt.Errorf("bus: unknown receiver %q", to)
+		return 0, fmt.Errorf("bus: unknown receiver %q", to)
 	}
-	msg := Message{From: from, To: to, Kind: kind, Size: size, Env: env}
+	if nonce == 0 {
+		b.nonce++
+		nonce = b.nonce
+	}
+	msg := Message{From: from, To: to, Kind: kind, Size: size, Nonce: nonce, Env: env}
 	b.stats.Messages++
 	b.stats.Units += size
 	b.stats.Unicasts++
-	b.stats.Deliveries++
-	b.stats.DeliveredUnits += size
-	b.inboxes[to] = append(b.inboxes[to], msg)
-	return nil
+	b.deliver(to, msg)
+	return nonce, nil
 }
 
 // Drain removes and returns the endpoint's queued messages in delivery
-// order.
+// order. Deliveries a FaultPlan delayed become visible on the drain after
+// the one they missed.
 func (b *Bus) Drain(id string) ([]Message, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -162,7 +284,12 @@ func (b *Bus) Drain(id string) ([]Message, error) {
 	if !ok {
 		return nil, fmt.Errorf("bus: unknown endpoint %q", id)
 	}
-	b.inboxes[id] = nil
+	if staged := b.staged[id]; len(staged) > 0 {
+		b.inboxes[id] = staged
+		delete(b.staged, id)
+	} else {
+		b.inboxes[id] = nil
+	}
 	return box, nil
 }
 
@@ -174,15 +301,20 @@ func (b *Bus) Stats() Stats {
 }
 
 // ReserveTransfer books the one-port data plane for shipping a load
-// fraction: duration frac·z, starting no earlier than `earliest`. It
-// returns the transfer's [start, end) in virtual time.
+// fraction: duration frac·z (plus uniform jitter in [0, JitterMax) under a
+// FaultPlan), starting no earlier than `earliest`. It returns the
+// transfer's [start, end) in virtual time.
 func (b *Bus) ReserveTransfer(earliest, frac float64) (start, end float64, err error) {
 	if frac < 0 {
 		return 0, 0, fmt.Errorf("bus: negative fraction %v", frac)
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.port.Reserve(earliest, frac*b.z)
+	dur := frac * b.z
+	if fs := b.faults; fs != nil && fs.plan.JitterMax > 0 && frac > 0 {
+		dur += fs.rng.Float64() * fs.plan.JitterMax
+	}
+	return b.port.Reserve(earliest, dur)
 }
 
 // DataPlaneFreeAt returns the time the data plane next becomes idle.

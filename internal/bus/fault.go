@@ -1,0 +1,127 @@
+package bus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// FaultPlan describes a deterministic, seeded adversarial link layer for
+// the simulated bus. The paper specifies DLS-BL-NCP over a perfectly
+// reliable atomic-broadcast medium; a FaultPlan removes that assumption so
+// the retry/eviction machinery in internal/protocol can be exercised and
+// measured. Every fault decision is drawn from a private PRNG seeded with
+// Seed, and deliveries are processed in a fixed (sorted-receiver) order,
+// so two buses built from equal plans misbehave identically.
+//
+// All probabilities are per control-plane delivery (a broadcast to k
+// receivers makes k independent delivery decisions), must lie in [0, 1],
+// and compose in a fixed pipeline per delivery:
+//
+//	unresponsive? → drop? → corrupt? → duplicate? → (per copy) delay? → reorder?
+//
+// A nil *FaultPlan is the reliable bus: the delivery path then takes a
+// single branch and performs no PRNG work (see BenchmarkBroadcastReliable
+// for the zero-overhead guard).
+type FaultPlan struct {
+	// Seed drives the fault PRNG. Two plans with equal fields produce
+	// identical fault sequences.
+	Seed int64
+
+	// Drop is the probability a delivery is lost forever.
+	Drop float64
+	// Duplicate is the probability a delivery arrives twice. The copies
+	// carry the same logical nonce, so idempotent receivers (nonce dedup
+	// in internal/protocol) collapse them.
+	Duplicate float64
+	// Delay is the probability a delivery is deferred to the receiver's
+	// next-but-one Drain — the discrete-time analogue of a message that
+	// misses its per-attempt deadline and straggles in late.
+	Delay float64
+	// Corrupt is the probability a delivery suffers a signature-breaking
+	// bit flip. The payload bytes are preserved; the Ed25519 signature is
+	// flipped, so Envelope.Verify fails and honest receivers discard the
+	// copy exactly as the paper prescribes for unverifiable messages.
+	Corrupt float64
+	// Reorder is the probability a delivery jumps the receiver's queue,
+	// landing at a random earlier position instead of at the tail.
+	Reorder float64
+
+	// JitterMax adds latency jitter to the DATA plane: each reserved
+	// transfer is stretched by an extra uniform [0, JitterMax) of virtual
+	// time, modeling per-link contention on the shared medium.
+	JitterMax float64
+
+	// Unresponsive lists endpoint identities whose control-plane traffic
+	// is blackholed in both directions — the crash-faulty processors.
+	// Their deliveries count as drops.
+	Unresponsive []string
+}
+
+// Validate checks the plan's parameters.
+func (p *FaultPlan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"Drop", p.Drop}, {"Duplicate", p.Duplicate}, {"Delay", p.Delay},
+		{"Corrupt", p.Corrupt}, {"Reorder", p.Reorder},
+	} {
+		if f.v < 0 || f.v > 1 || math.IsNaN(f.v) {
+			return fmt.Errorf("bus: fault plan %s=%v outside [0,1]", f.name, f.v)
+		}
+	}
+	if p.JitterMax < 0 || math.IsNaN(p.JitterMax) || math.IsInf(p.JitterMax, 0) {
+		return fmt.Errorf("bus: fault plan JitterMax=%v invalid", p.JitterMax)
+	}
+	return nil
+}
+
+// active reports whether the plan can affect the control plane at all.
+func (p *FaultPlan) active() bool {
+	return p != nil && (p.Drop > 0 || p.Duplicate > 0 || p.Delay > 0 ||
+		p.Corrupt > 0 || p.Reorder > 0 || len(p.Unresponsive) > 0)
+}
+
+// faultState is the per-bus instantiation of a plan: the seeded PRNG and
+// the blackhole set. It is guarded by the bus mutex.
+type faultState struct {
+	plan        *FaultPlan
+	rng         *rand.Rand
+	unreachable map[string]bool
+}
+
+func newFaultState(p *FaultPlan) *faultState {
+	if p == nil {
+		return nil
+	}
+	fs := &faultState{
+		plan:        p,
+		rng:         rand.New(rand.NewSource(p.Seed)),
+		unreachable: make(map[string]bool, len(p.Unresponsive)),
+	}
+	for _, id := range p.Unresponsive {
+		fs.unreachable[id] = true
+	}
+	return fs
+}
+
+// corruptEnvelope returns a copy of the message whose signature (or, for
+// an unsigned message, payload) has one bit flipped. The original's
+// backing arrays are never touched — other receivers share them.
+func corruptEnvelope(msg Message) Message {
+	out := msg
+	if len(msg.Env.Signature) > 0 {
+		sig := append([]byte(nil), msg.Env.Signature...)
+		sig[0] ^= 0x01
+		out.Env.Signature = sig
+	} else if len(msg.Env.Payload) > 0 {
+		pl := append([]byte(nil), msg.Env.Payload...)
+		pl[0] ^= 0x01
+		out.Env.Payload = pl
+	}
+	return out
+}

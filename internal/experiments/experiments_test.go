@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 27 {
-		t.Fatalf("registry has %d experiments, want 27 (E1…E12 + X1…X15)", len(all))
+	if len(all) != 28 {
+		t.Fatalf("registry has %d experiments, want 28 (E1…E12 + X1…X16)", len(all))
 	}
 	for k := 0; k < 12; k++ {
 		want := "E" + strconv.Itoa(k+1)
@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 			t.Errorf("position %d: id %s, want %s", k, all[k].ID, want)
 		}
 	}
-	for k := 0; k < 15; k++ {
+	for k := 0; k < 16; k++ {
 		want := "X" + strconv.Itoa(k+1)
 		if all[12+k].ID != want {
 			t.Errorf("position %d: id %s, want %s", 12+k, all[12+k].ID, want)

@@ -3,6 +3,7 @@ package protocol
 import (
 	"fmt"
 
+	"dlsbl/internal/bus"
 	"dlsbl/internal/core"
 	"dlsbl/internal/dlt"
 	"dlsbl/internal/payment"
@@ -13,38 +14,180 @@ import (
 
 // ---- Phase: Bidding -------------------------------------------------------
 
-// phaseBidding performs the all-to-all broadcast of signed bids, collects
-// and cross-verifies them, and lets processors inform the referee about
-// equivocation. Returns true when a verdict terminated the protocol.
-func (r *run) phaseBidding() (bool, error) {
-	// Every processor broadcasts S_Pi(b_i, P_i); equivocators broadcast a
-	// second, contradictory bid.
-	firstEnvs := make([]sig.Envelope, r.m)
+// bidExchange performs the all-to-all broadcast of signed bids over the
+// (possibly faulty) bus: every logical bid message is retransmitted under
+// its original nonce with capped exponential backoff until each receiver
+// holds a verified copy or the retry budget runs out. It returns the
+// per-receiver verified deliveries and the set of unreachable
+// participants (participant index → reason).
+func (r *run) bidExchange() (received [][]bus.Message, firstEnvs []sig.Envelope, unreachable map[int]string, err error) {
+	type logical struct {
+		sender  int // participant index
+		env     sig.Envelope
+		nonce   uint64
+		primary bool // the sender's first (agreed) bid
+	}
+	var msgs []logical
+	firstEnvs = make([]sig.Envelope, r.m)
 	for i, a := range r.agents {
 		env, err := sig.Seal(a.Key, referee.KindBid, referee.BidPayload{Proc: a.ID, Bid: a.Bid()})
 		if err != nil {
-			return false, err
+			return nil, nil, nil, err
 		}
 		firstEnvs[i] = env
-		if err := r.net.Broadcast(a.ID, referee.KindBid, env, 1); err != nil {
-			return false, err
+		nonce, err := r.net.BroadcastTagged(a.ID, referee.KindBid, env, 1, 0)
+		if err != nil {
+			return nil, nil, nil, err
 		}
+		msgs = append(msgs, logical{sender: i, env: env, nonce: nonce, primary: true})
 		if second, ok := a.SecondBid(); ok {
+			// Equivocators broadcast a second, contradictory bid.
 			env2, err := sig.Seal(a.Key, referee.KindBid, referee.BidPayload{Proc: a.ID, Bid: second})
 			if err != nil {
-				return false, err
+				return nil, nil, nil, err
 			}
-			if err := r.net.Broadcast(a.ID, referee.KindBid, env2, 1); err != nil {
-				return false, err
+			nonce2, err := r.net.BroadcastTagged(a.ID, referee.KindBid, env2, 1, 0)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			msgs = append(msgs, logical{sender: i, env: env2, nonce: nonce2, primary: false})
+		}
+	}
+
+	// need[receiver][nonce] = index into msgs still awaited by that
+	// receiver. Nonces are globally unique, so the nonce alone keys a
+	// logical message.
+	need := make([]map[uint64]int, r.m)
+	for ri := range r.agents {
+		need[ri] = make(map[uint64]int, len(msgs))
+		for mi, lm := range msgs {
+			if lm.sender != ri {
+				need[ri][lm.nonce] = mi
+			}
+		}
+	}
+	received = make([][]bus.Message, r.m)
+	outstanding := func() int {
+		n := 0
+		for ri := range need {
+			n += len(need[ri])
+		}
+		return n
+	}
+	for attempt := 1; ; attempt++ {
+		for ri, a := range r.agents {
+			if err := r.xp.pull(a.ID); err != nil {
+				return nil, nil, nil, err
+			}
+			for _, lm := range msgs {
+				if _, wanted := need[ri][lm.nonce]; !wanted {
+					continue
+				}
+				if m, ok := r.xp.takeNonce(a.ID, r.agents[lm.sender].ID, lm.nonce); ok {
+					received[ri] = append(received[ri], m)
+					delete(need[ri], lm.nonce)
+				}
+			}
+		}
+		if outstanding() == 0 {
+			break
+		}
+		r.xp.stats.Timeouts++
+		if attempt >= r.xp.policy.MaxAttempts || r.xp.sleep(attempt) {
+			break
+		}
+		// Point-to-point retransmission of exactly the missing copies,
+		// under the original nonces (idempotent at the receivers).
+		for ri, a := range r.agents {
+			for nonce, mi := range need[ri] {
+				lm := msgs[mi]
+				if _, err := r.net.SendTagged(r.agents[lm.sender].ID, a.ID, referee.KindBid, lm.env, 1, nonce); err != nil {
+					return nil, nil, nil, err
+				}
+				r.xp.stats.Retransmits++
 			}
 		}
 	}
 
-	// Collection: each processor drains its inbox and verifies every
-	// message, discarding failures. All honest processors see identical
-	// broadcasts (atomicity), so one representative collection suffices
-	// for the agreed bid vector; equivocation detection scans per
-	// receiver.
+	// Unreachability: a participant is evicted when, after the budget,
+	// (a) no receiver holds its primary bid (dead sender), (b) it holds
+	// nobody's primary bid (dead receiver), or (c) it is the sender of a
+	// residual undelivered primary pair among otherwise-live parties.
+	if outstanding() == 0 {
+		return received, firstEnvs, nil, nil
+	}
+	unreachable = make(map[int]string)
+	sendFail := make([]int, r.m) // receivers missing i's primary bid
+	recvFail := make([]int, r.m) // primary bids receiver i is missing
+	for ri := range need {
+		for _, mi := range need[ri] {
+			if !msgs[mi].primary {
+				continue
+			}
+			sendFail[msgs[mi].sender]++
+			recvFail[ri]++
+		}
+	}
+	for i := range r.agents {
+		switch {
+		case sendFail[i] == r.m-1:
+			unreachable[i] = fmt.Sprintf("bid undeliverable to all %d peers within the retry budget", r.m-1)
+		case recvFail[i] == r.m-1:
+			unreachable[i] = fmt.Sprintf("received none of %d peer bids within the retry budget", r.m-1)
+		}
+	}
+	for ri := range need {
+		for _, mi := range need[ri] {
+			s := msgs[mi].sender
+			if !msgs[mi].primary {
+				continue
+			}
+			if _, gone := unreachable[s]; gone {
+				continue
+			}
+			if _, gone := unreachable[ri]; gone {
+				continue
+			}
+			unreachable[s] = fmt.Sprintf("bid undeliverable to %s within the retry budget", r.agents[ri].ID)
+		}
+	}
+	return received, firstEnvs, unreachable, nil
+}
+
+// phaseBidding performs the all-to-all broadcast of signed bids, collects
+// and cross-verifies them, evicts unreachable processors (survivors
+// continue on the reduced bid vector), and lets processors inform the
+// referee about equivocation. Returns true when a verdict terminated the
+// protocol.
+func (r *run) phaseBidding() (bool, error) {
+	r.xp.beginPhase()
+	received, firstEnvs, unreachable, err := r.bidExchange()
+	if err != nil {
+		return false, err
+	}
+	evictedNow := append([]EvictionEvent(nil), r.outcome.Evictions...)
+	if err := r.applyEvictions(unreachable, "bidding"); err != nil {
+		return false, err
+	}
+	evictedNow = r.outcome.Evictions[len(evictedNow):]
+	// Drop the per-receiver state of evicted processors; r.agents/r.procs
+	// now hold the survivors, and the slices must stay index-aligned.
+	if len(unreachable) > 0 {
+		keptRecv, keptEnvs := received[:0], firstEnvs[:0]
+		for ri := range received {
+			if _, gone := unreachable[ri]; !gone {
+				keptRecv = append(keptRecv, received[ri])
+				keptEnvs = append(keptEnvs, firstEnvs[ri])
+			}
+		}
+		received, firstEnvs = keptRecv, keptEnvs
+	}
+
+	// Collection: each surviving processor verifies every delivery,
+	// discarding failures. All honest processors see identical broadcasts
+	// (the retry layer restores atomicity), so one representative
+	// collection suffices for the agreed bid vector; equivocation
+	// detection scans per receiver.
 	type seenBid struct {
 		envs []sig.Envelope
 		bids []float64
@@ -53,16 +196,9 @@ func (r *run) phaseBidding() (bool, error) {
 	r.bidEnvs = make([]sig.Envelope, r.m)
 	var equivocators []int
 	evidence := make(map[int][2]sig.Envelope)
-	for i, a := range r.agents {
-		msgs, err := r.net.Drain(a.ID)
-		if err != nil {
-			return false, err
-		}
+	for i := range r.agents {
 		seen := make(map[string]*seenBid)
-		for _, msg := range msgs {
-			if msg.Kind != referee.KindBid {
-				continue
-			}
+		for _, msg := range received[i] {
 			var bp referee.BidPayload
 			if err := msg.Env.Open(r.reg, &bp); err != nil {
 				continue // failed verification: discarded (paper)
@@ -122,12 +258,16 @@ func (r *run) phaseBidding() (bool, error) {
 	if fine == 0 {
 		fine = referee.SuggestedFine(r.bids, 4)
 	}
-	var err error
 	r.ref, err = referee.New(r.reg, r.ledger, r.mech, r.procs, fine)
 	if err != nil {
 		return false, err
 	}
 	r.outcome.FineMagnitude = fine
+	// Evictions are availability failures, not offenses: they enter the
+	// audit transcript (action "eviction") but carry no fine.
+	for _, ev := range evictedNow {
+		r.ref.RecordEviction(ev.Proc, ev.Phase, ev.Reason)
+	}
 
 	// Unfounded accusations fire first if a false accuser exists: it
 	// signals the referee with non-evidence against its neighbour.
@@ -165,8 +305,9 @@ func (r *run) phaseBidding() (bool, error) {
 			accuser = r.procs[(j+1)%r.m]
 		}
 		ev := evidence[j]
-		// The report travels over the bus to the referee: two envelopes.
-		if err := r.net.Send(accuser, referee.Account, "dls/equivocation-report", ev[0], 2); err != nil {
+		// The report travels over the bus to the referee: two envelopes,
+		// delivered reliably (retransmitted under one nonce if faulty).
+		if _, err := r.xp.sendReliable(accuser, referee.Account, "dls/equivocation-report", ev[0], 2); err != nil {
 			return false, err
 		}
 		v, err := r.ref.JudgeEquivocation(accuser, ev[0], ev[1])
@@ -240,6 +381,7 @@ func (r *run) workDoneAt(deliveryOrder []int, upTo int) map[string]float64 {
 // phaseAllocating computes the allocation everywhere, ships the blocks,
 // and adjudicates misallocation claims. Returns true on termination.
 func (r *run) phaseAllocating() (bool, error) {
+	r.xp.beginPhase()
 	var err error
 	r.alloc, err = dlt.Optimal(dlt.Instance{Network: r.cfg.Network, Z: r.cfg.Z, W: r.bids})
 	if err != nil {
@@ -304,10 +446,10 @@ func (r *run) phaseAllocating() (bool, error) {
 			if err != nil {
 				return false, err
 			}
-			if err := r.net.Send(a.ID, referee.Account, referee.KindBidVector, claimVec, r.m); err != nil {
+			if _, err := r.xp.sendReliable(a.ID, referee.Account, referee.KindBidVector, claimVec, r.m); err != nil {
 				return false, err
 			}
-			if err := r.net.Send(orig.ID, referee.Account, referee.KindBidVector, origVec, r.m); err != nil {
+			if _, err := r.xp.sendReliable(orig.ID, referee.Account, referee.KindBidVector, origVec, r.m); err != nil {
 				return false, err
 			}
 			v, err := r.ref.JudgeAllocationClaim(a.ID, orig.ID, claimVec, origVec, delivered, r.recomputeCounts)
@@ -333,10 +475,10 @@ func (r *run) phaseAllocating() (bool, error) {
 			if err != nil {
 				return false, err
 			}
-			if err := r.net.Send(a.ID, referee.Account, referee.KindBidVector, claimVec, r.m); err != nil {
+			if _, err := r.xp.sendReliable(a.ID, referee.Account, referee.KindBidVector, claimVec, r.m); err != nil {
 				return false, err
 			}
-			if err := r.net.Send(orig.ID, referee.Account, referee.KindBidVector, origVec, r.m); err != nil {
+			if _, err := r.xp.sendReliable(orig.ID, referee.Account, referee.KindBidVector, origVec, r.m); err != nil {
 				return false, err
 			}
 			v, err := r.ref.JudgeAllocationClaim(a.ID, orig.ID, claimVec, origVec, delivered, r.recomputeCounts)
@@ -362,10 +504,10 @@ func (r *run) phaseAllocating() (bool, error) {
 			if err != nil {
 				return false, err
 			}
-			if err := r.net.Send(a.ID, referee.Account, referee.KindBidVector, claimVec, r.m); err != nil {
+			if _, err := r.xp.sendReliable(a.ID, referee.Account, referee.KindBidVector, claimVec, r.m); err != nil {
 				return false, err
 			}
-			if err := r.net.Send(orig.ID, referee.Account, referee.KindBidVector, origVec, r.m); err != nil {
+			if _, err := r.xp.sendReliable(orig.ID, referee.Account, referee.KindBidVector, origVec, r.m); err != nil {
 				return false, err
 			}
 			v, err := r.ref.JudgeAllocationClaim(a.ID, orig.ID, claimVec, origVec, delivered, r.recomputeCounts)
@@ -413,6 +555,7 @@ func (r *run) phaseAllocating() (bool, error) {
 // records the tamper-proof meters, and has the referee broadcast
 // (φ_1,…,φ_m).
 func (r *run) phaseProcessing() error {
+	r.xp.beginPhase()
 	exec := make([]float64, r.m)
 	phi := make([]float64, r.m)
 	work := make([]float64, r.m)
@@ -429,21 +572,38 @@ func (r *run) phaseProcessing() error {
 	r.outcome.WorkCost = work
 
 	// Realized schedule: communication at the bid-derived fractions,
-	// computation at the observed execution rates.
-	realized := dlt.Instance{Network: r.cfg.Network, Z: r.cfg.Z, W: exec}
-	tl, err := dlt.Schedule(realized, r.alloc)
+	// computation at the observed execution rates. Data-plane latency
+	// jitter only exists in the event-driven realization — the closed-form
+	// equations assume exact α·z transfer times — so a jittery plan routes
+	// through the simulator on a bus carrying the same plan.
+	var tl dlt.Timeline
+	var err error
+	if p := r.cfg.Faults; p != nil && p.JitterMax > 0 {
+		tl, err = SimulateTimelineFaults(r.cfg.Network, r.cfg.Z, r.alloc, exec, p)
+	} else {
+		realized := dlt.Instance{Network: r.cfg.Network, Z: r.cfg.Z, W: exec}
+		tl, err = dlt.Schedule(realized, r.alloc)
+	}
 	if err != nil {
 		return err
 	}
 	r.outcome.Timeline = tl
 	r.outcome.Makespan = tl.Makespan
 
-	// Referee broadcasts the meter vector.
+	// Referee broadcasts the meter vector; every processor must end up
+	// holding a verified copy (the payment computation depends on it).
 	env, err := sig.Seal(r.refKey, referee.KindMeters, referee.MetersPayload{Phi: phi})
 	if err != nil {
 		return err
 	}
-	return r.net.Broadcast(referee.Account, referee.KindMeters, env, r.m)
+	missing, err := r.xp.broadcastReliable(referee.Account, referee.KindMeters, env, r.m, r.procs)
+	if err != nil {
+		return err
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%w: meters broadcast undelivered to %v", ErrUnreachable, missing)
+	}
+	return nil
 }
 
 // ---- Phase: Computing Payments --------------------------------------------------
@@ -453,6 +613,7 @@ func (r *run) phaseProcessing() error {
 // the referee, which checks unanimity, fines deviants, and forwards Q to
 // the payment infrastructure.
 func (r *run) phasePayments() error {
+	r.xp.beginPhase()
 	// w̃_j = φ_j / α_j; a processor with no load reveals nothing, so its
 	// bid stands in (its compensation and valuation are zero anyway).
 	derived := make([]float64, r.m)
@@ -480,7 +641,7 @@ func (r *run) phasePayments() error {
 		if err != nil {
 			return err
 		}
-		if err := r.net.Send(a.ID, referee.Account, referee.KindPayment, env, r.m); err != nil {
+		if _, err := r.xp.sendReliable(a.ID, referee.Account, referee.KindPayment, env, r.m); err != nil {
 			return err
 		}
 		subs[a.ID] = []sig.Envelope{env}
@@ -491,7 +652,7 @@ func (r *run) phasePayments() error {
 			if err != nil {
 				return err
 			}
-			if err := r.net.Send(a.ID, referee.Account, referee.KindPayment, env2, r.m); err != nil {
+			if _, err := r.xp.sendReliable(a.ID, referee.Account, referee.KindPayment, env2, r.m); err != nil {
 				return err
 			}
 			subs[a.ID] = append(subs[a.ID], env2)

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"dlsbl/internal/agent"
 	"dlsbl/internal/bus"
@@ -56,6 +57,18 @@ type Config struct {
 	BlockSize int
 	// Seed drives key generation and the synthetic dataset.
 	Seed int64
+	// Faults, when non-nil, replaces the paper's reliable atomic-broadcast
+	// bus with a seeded adversarial link layer (drops, duplicates, delays,
+	// signature-breaking corruption, reordering, latency jitter, crashed
+	// endpoints). The protocol then runs its reliable-transport machinery:
+	// nonce-deduplicated retransmission with capped exponential backoff,
+	// and eviction of unreachable processors with survivor re-allocation.
+	// Nil keeps the reliable bus and costs nothing.
+	Faults *bus.FaultPlan
+	// Retry bounds the retransmission machinery; the zero value selects
+	// the defaults documented on RetryPolicy. Ignored (but validated)
+	// when Faults is nil, since a reliable bus never retries.
+	Retry RetryPolicy
 }
 
 func (c *Config) validate() error {
@@ -79,7 +92,26 @@ func (c *Config) validate() error {
 	if c.NBlocks < 0 || c.BlockSize < 0 {
 		return errors.New("protocol: negative dataset parameters")
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if err := c.Retry.validate(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// EvictionEvent records a processor's removal from a run for
+// unreachability. An eviction is an availability failure, not an offense:
+// no fine is assessed, the survivors re-solve the allocation over the
+// reduced bid vector (any participant subset is still optimal by
+// Theorem 2.2), and the referee's audit transcript carries a dedicated
+// "eviction" entry so the event stays distinguishable from a strategic
+// fine.
+type EvictionEvent struct {
+	Proc   string // processor id, e.g. "P3"
+	Phase  string // phase that declared unreachability
+	Reason string
 }
 
 // Outcome records everything a protocol run produced.
@@ -131,7 +163,18 @@ type Outcome struct {
 	Invoice payment.Invoice
 	// UserCost is what the user paid in total.
 	UserCost float64
-	// BusStats is the control-plane traffic (Theorem 5.4).
+	// Evicted[i] is true for processors removed mid-run for
+	// unreachability (only possible under a FaultPlan). Their payments,
+	// fines and utilities are zero; Evictions holds the audited events.
+	Evicted []bool
+	// Evictions lists the eviction events in occurrence order.
+	Evictions []EvictionEvent
+	// Fault counts what the reliable-transport layer did (retransmits,
+	// dedup discards, backoff time, evictions); all zeros on a reliable
+	// bus.
+	Fault FaultStats
+	// BusStats is the control-plane traffic (Theorem 5.4), including the
+	// bus-level fault counters (drops, duplicates, …).
 	BusStats bus.Stats
 	// Transcript is the referee's hash-chained audit log; verify it with
 	// referee.VerifyEntries.
@@ -144,21 +187,27 @@ type Outcome struct {
 // per-processor state inside the run is in PARTICIPANT space (abstainers
 // filtered out); finish() expands it back to config space.
 type run struct {
-	cfg     Config
-	fullM   int
-	part    []int // participant→config index
-	m       int
-	procs   []string
-	agents  []*agent.Agent
-	keys    map[string]*sig.KeyPair
-	reg     *sig.Registry
-	net     *bus.Bus
-	ledger  *payment.Ledger
-	ref     *referee.Referee
-	refKey  *sig.KeyPair
-	userKey *sig.KeyPair
-	dataset *workload.Dataset
-	mech    core.Mechanism
+	cfg   Config
+	fullM int
+	part  []int // participant→config index
+	// initialPart snapshots part before any eviction, for the
+	// Participated expansion.
+	initialPart []int
+	// evictedCfg lists config indices of evicted processors.
+	evictedCfg []int
+	m          int
+	procs      []string
+	agents     []*agent.Agent
+	keys       map[string]*sig.KeyPair
+	reg        *sig.Registry
+	net        *bus.Bus
+	xp         *transport
+	ledger     *payment.Ledger
+	ref        *referee.Referee
+	refKey     *sig.KeyPair
+	userKey    *sig.KeyPair
+	dataset    *workload.Dataset
+	mech       core.Mechanism
 	// engine is the O(m) payment engine behind the Computing Payments
 	// phase; payOut is its reused scratch Outcome, so repeated protocol
 	// rounds do not allocate per-run payment state.
@@ -280,8 +329,25 @@ func setup(cfg Config) (*run, error) {
 		r.agents = append(r.agents, a)
 	}
 
-	// Bus, ledger, dataset.
-	if r.net, err = bus.New(cfg.Z); err != nil {
+	r.initialPart = append([]int(nil), part...)
+
+	// Bus (reliable or fault-injected), transport, ledger, dataset.
+	// A typo'd Unresponsive name would otherwise be silently inert.
+	if cfg.Faults != nil {
+		known := make(map[string]bool, len(r.procs))
+		for _, id := range r.procs {
+			known[id] = true
+		}
+		for _, id := range cfg.Faults.Unresponsive {
+			if !known[id] {
+				return nil, fmt.Errorf("protocol: fault plan marks unknown processor %q unresponsive (have %v)", id, r.procs)
+			}
+		}
+	}
+	if r.net, err = bus.NewFaulty(cfg.Z, cfg.Faults); err != nil {
+		return nil, err
+	}
+	if r.xp, err = newTransport(r.net, r.reg, cfg.Retry); err != nil {
 		return nil, err
 	}
 	for _, id := range append(append([]string(nil), r.procs...), referee.Account) {
@@ -310,6 +376,7 @@ func (r *run) finish(err error) (*Outcome, error) {
 	}
 	o := r.outcome
 	o.BusStats = r.net.Stats()
+	o.Fault = r.xp.stats
 	if r.ref != nil {
 		o.FineMagnitude = r.ref.Fine()
 		o.Transcript = r.ref.Transcript()
@@ -363,8 +430,12 @@ func (r *run) finish(err error) (*Outcome, error) {
 		}
 		return full
 	}
-	for _, orig := range r.part {
+	o.Evicted = make([]bool, r.fullM)
+	for _, orig := range r.initialPart {
 		o.Participated[orig] = true
+	}
+	for _, orig := range r.evictedCfg {
+		o.Evicted[orig] = true
 	}
 	o.Bids = expand(r.bids)
 	o.Alloc = dlt.Allocation(expand(r.alloc))
@@ -383,6 +454,52 @@ func (r *run) finish(err error) (*Outcome, error) {
 		o.Assignments = full
 	}
 	return o, nil
+}
+
+// applyEvictions removes unreachable processors (participant indices →
+// reason) from the run: the survivors carry on with the reduced bid
+// vector, which phaseAllocating re-solves — optimal for any participant
+// subset by Theorem 2.2. The load-originating processor cannot be
+// evicted (without it there is no load), and at least two survivors must
+// remain.
+func (r *run) applyEvictions(evict map[int]string, phase string) error {
+	if len(evict) == 0 {
+		return nil
+	}
+	if reason, gone := evict[r.origIdx]; gone {
+		return fmt.Errorf("protocol: load-originating processor %s unreachable (%s); no survivor can source the load",
+			r.procs[r.origIdx], reason)
+	}
+	if r.m-len(evict) < 2 {
+		return fmt.Errorf("protocol: only %d of %d processors reachable; need at least two", r.m-len(evict), r.m)
+	}
+	idxs := make([]int, 0, len(evict))
+	for i := range evict {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		r.outcome.Evictions = append(r.outcome.Evictions, EvictionEvent{
+			Proc: r.procs[i], Phase: phase, Reason: evict[i],
+		})
+		r.evictedCfg = append(r.evictedCfg, r.part[i])
+		r.xp.stats.Evictions++
+	}
+	part := r.part[:0]
+	procs := r.procs[:0]
+	agents := r.agents[:0]
+	for i := 0; i < r.m; i++ {
+		if _, gone := evict[i]; gone {
+			continue
+		}
+		part = append(part, r.part[i])
+		procs = append(procs, r.procs[i])
+		agents = append(agents, r.agents[i])
+	}
+	r.part, r.procs, r.agents = part, procs, agents
+	r.m = len(part)
+	r.origIdx = r.cfg.Network.Originator(r.m)
+	return nil
 }
 
 func (r *run) record(v referee.Verdict) {

@@ -19,6 +19,16 @@ import (
 // alloc is in processor index order; exec are the execution values the
 // computations run at.
 func SimulateTimeline(net dlt.Network, z float64, alloc dlt.Allocation, exec []float64) (dlt.Timeline, error) {
+	return SimulateTimelineFaults(net, z, alloc, exec, nil)
+}
+
+// SimulateTimelineFaults is SimulateTimeline over a bus carrying the
+// given FaultPlan. Control-plane faults are irrelevant here (the load
+// transfers use the data plane only); what matters is JitterMax, which
+// stretches each reserved transfer by seeded uniform jitter — the
+// event-driven realization of a congested shared medium. A nil plan
+// reproduces SimulateTimeline exactly.
+func SimulateTimelineFaults(net dlt.Network, z float64, alloc dlt.Allocation, exec []float64, plan *bus.FaultPlan) (dlt.Timeline, error) {
 	m := len(alloc)
 	if len(exec) != m {
 		return dlt.Timeline{}, fmt.Errorf("protocol: %d exec values for %d fractions", len(exec), m)
@@ -26,7 +36,7 @@ func SimulateTimeline(net dlt.Network, z float64, alloc dlt.Allocation, exec []f
 	if net != dlt.NCPFE && net != dlt.NCPNFE && net != dlt.CP {
 		return dlt.Timeline{}, fmt.Errorf("protocol: unknown network %v", net)
 	}
-	plane, err := bus.New(z)
+	plane, err := bus.NewFaulty(z, plan)
 	if err != nil {
 		return dlt.Timeline{}, err
 	}

@@ -1,0 +1,293 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dlsbl/internal/bus"
+	"dlsbl/internal/sig"
+)
+
+// RetryPolicy bounds the reliable-delivery machinery layered over the
+// (possibly faulty) bus: every logical message may be transmitted at most
+// MaxAttempts times, with capped exponential backoff between attempts,
+// and each protocol phase has a virtual-time deadline on the total
+// backoff it may accumulate. Exhausting either budget for a processor's
+// traffic marks that processor unreachable; the Bidding phase converts
+// unreachable processors into evictions (survivors re-solve the
+// allocation — Theorem 2.2 guarantees any subset is still optimal), while
+// later phases surface unreachability as an error, since by then the
+// remaining parties were all proven live.
+type RetryPolicy struct {
+	// MaxAttempts is the per-logical-message transmission budget
+	// (first send + retransmissions). Zero selects 8.
+	MaxAttempts int
+	// BaseBackoff is the virtual-time wait before the first retry; each
+	// further retry doubles it. Zero selects 1.
+	BaseBackoff float64
+	// MaxBackoff caps the doubling. Zero selects 32.
+	MaxBackoff float64
+	// PhaseDeadline bounds the total backoff virtual time one phase may
+	// spend before unreachability is declared. Zero selects +Inf (the
+	// attempt budget alone governs).
+	PhaseDeadline float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 8
+	}
+	if p.BaseBackoff == 0 {
+		p.BaseBackoff = 1
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = 32
+	}
+	if p.PhaseDeadline == 0 {
+		p.PhaseDeadline = math.Inf(1)
+	}
+	return p
+}
+
+func (p RetryPolicy) validate() error {
+	if p.MaxAttempts < 0 || p.BaseBackoff < 0 || p.MaxBackoff < 0 || p.PhaseDeadline < 0 {
+		return errors.New("protocol: negative retry policy parameter")
+	}
+	if math.IsNaN(p.BaseBackoff) || math.IsNaN(p.MaxBackoff) || math.IsNaN(p.PhaseDeadline) {
+		return errors.New("protocol: NaN retry policy parameter")
+	}
+	return nil
+}
+
+// backoff returns the capped exponential wait before retry `attempt`
+// (attempt 1 is the first retransmission).
+func (p RetryPolicy) backoff(attempt int) float64 {
+	d := p.BaseBackoff * math.Pow(2, float64(attempt-1))
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// FaultStats counts what the reliable-transport layer did during one
+// protocol run. All zeros on a reliable bus.
+type FaultStats struct {
+	// Retransmits counts transmissions beyond each logical message's
+	// first attempt.
+	Retransmits int
+	// DupDiscards counts deliveries dropped by (sender, nonce)
+	// deduplication — fault-injected duplicates and already-received
+	// retransmissions.
+	DupDiscards int
+	// CorruptDiscards counts deliveries whose signature failed
+	// verification on arrival.
+	CorruptDiscards int
+	// Timeouts counts retry rounds that ended with at least one expected
+	// delivery still missing.
+	Timeouts int
+	// BackoffTime is the total virtual time spent waiting between
+	// attempts, across all phases.
+	BackoffTime float64
+	// Evictions counts processors removed from the run for
+	// unreachability.
+	Evictions int
+}
+
+// ErrUnreachable reports a peer whose traffic could not be delivered
+// within the retry budget.
+var ErrUnreachable = errors.New("protocol: peer unreachable within retry budget")
+
+// nonceKey identifies a logical message for receiver-side deduplication.
+type nonceKey struct {
+	from  string
+	nonce uint64
+}
+
+// rxBuf is one endpoint's receive state: verified, deduplicated messages
+// not yet consumed by the phase logic.
+type rxBuf struct {
+	pending []bus.Message
+	seen    map[nonceKey]bool
+}
+
+// transport layers idempotent, retrying delivery over the bus. It owns
+// every endpoint's inbox: phases consume verified messages through
+// take/takeKind instead of draining the bus directly, so duplicated,
+// delayed and retransmitted copies collapse into exactly-once delivery to
+// the protocol logic.
+type transport struct {
+	net    *bus.Bus
+	reg    *sig.Registry
+	policy RetryPolicy
+	rx     map[string]*rxBuf
+	stats  FaultStats
+	// phaseBackoff is the backoff virtual time accumulated in the current
+	// phase, checked against policy.PhaseDeadline.
+	phaseBackoff float64
+}
+
+func newTransport(net *bus.Bus, reg *sig.Registry, policy RetryPolicy) (*transport, error) {
+	if err := policy.validate(); err != nil {
+		return nil, err
+	}
+	return &transport{
+		net:    net,
+		reg:    reg,
+		policy: policy.withDefaults(),
+		rx:     make(map[string]*rxBuf),
+	}, nil
+}
+
+func (t *transport) buf(id string) *rxBuf {
+	b := t.rx[id]
+	if b == nil {
+		b = &rxBuf{seen: make(map[nonceKey]bool)}
+		t.rx[id] = b
+	}
+	return b
+}
+
+// beginPhase resets the per-phase deadline clock.
+func (t *transport) beginPhase() { t.phaseBackoff = 0 }
+
+// sleep charges one backoff interval against the phase deadline and
+// reports whether the deadline has passed.
+func (t *transport) sleep(attempt int) (deadlineExceeded bool) {
+	d := t.policy.backoff(attempt)
+	t.phaseBackoff += d
+	t.stats.BackoffTime += d
+	return t.phaseBackoff > t.policy.PhaseDeadline
+}
+
+// pull drains the endpoint's bus inbox into its receive buffer, dropping
+// copies that fail signature verification (per the paper: unverifiable
+// messages are discarded) and copies already seen (idempotent handling by
+// (sender, nonce)).
+func (t *transport) pull(id string) error {
+	msgs, err := t.net.Drain(id)
+	if err != nil {
+		return err
+	}
+	b := t.buf(id)
+	for _, m := range msgs {
+		if m.Env.Verify(t.reg) != nil {
+			t.stats.CorruptDiscards++
+			continue
+		}
+		k := nonceKey{from: m.From, nonce: m.Nonce}
+		if b.seen[k] {
+			t.stats.DupDiscards++
+			continue
+		}
+		b.seen[k] = true
+		b.pending = append(b.pending, m)
+	}
+	return nil
+}
+
+// takeNonce removes and returns the pending message with the given
+// logical identity, if present.
+func (t *transport) takeNonce(id, from string, nonce uint64) (bus.Message, bool) {
+	b := t.buf(id)
+	for i, m := range b.pending {
+		if m.From == from && m.Nonce == nonce {
+			b.pending = append(b.pending[:i], b.pending[i+1:]...)
+			return m, true
+		}
+	}
+	return bus.Message{}, false
+}
+
+// takeKind removes and returns every pending message of the given kind.
+func (t *transport) takeKind(id, kind string) []bus.Message {
+	b := t.buf(id)
+	var got []bus.Message
+	rest := b.pending[:0]
+	for _, m := range b.pending {
+		if m.Kind == kind {
+			got = append(got, m)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	b.pending = rest
+	return got
+}
+
+// sendReliable unicasts one logical message until the receiver holds a
+// verified copy, retrying with capped exponential backoff. On a reliable
+// bus this is a single transmission and a single drain — the exact
+// traffic pattern of the original protocol. The delivered message is
+// consumed from the receiver's buffer and returned.
+func (t *transport) sendReliable(from, to, kind string, env sig.Envelope, size int) (bus.Message, error) {
+	nonce := t.net.NextNonce()
+	for attempt := 1; ; attempt++ {
+		if _, err := t.net.SendTagged(from, to, kind, env, size, nonce); err != nil {
+			return bus.Message{}, err
+		}
+		if attempt > 1 {
+			t.stats.Retransmits++
+		}
+		if err := t.pull(to); err != nil {
+			return bus.Message{}, err
+		}
+		if m, ok := t.takeNonce(to, from, nonce); ok {
+			return m, nil
+		}
+		t.stats.Timeouts++
+		if attempt >= t.policy.MaxAttempts || t.sleep(attempt) {
+			return bus.Message{}, fmt.Errorf("%w: %s → %s (%s) after %d attempts",
+				ErrUnreachable, from, to, kind, attempt)
+		}
+	}
+}
+
+// broadcastReliable broadcasts one logical message until every receiver
+// holds a verified copy; missed receivers are retried by unicast under
+// the same nonce. It returns the receivers still missing after the
+// budget (empty on success); the delivered copies are consumed.
+func (t *transport) broadcastReliable(from, kind string, env sig.Envelope, size int, receivers []string) ([]string, error) {
+	nonce, err := t.net.BroadcastTagged(from, kind, env, size, 0)
+	if err != nil {
+		return nil, err
+	}
+	missing := make(map[string]bool, len(receivers))
+	for _, r := range receivers {
+		missing[r] = true
+	}
+	for attempt := 1; ; attempt++ {
+		for _, r := range receivers {
+			if !missing[r] {
+				continue
+			}
+			if err := t.pull(r); err != nil {
+				return nil, err
+			}
+			if _, ok := t.takeNonce(r, from, nonce); ok {
+				delete(missing, r)
+			}
+		}
+		if len(missing) == 0 {
+			return nil, nil
+		}
+		t.stats.Timeouts++
+		if attempt >= t.policy.MaxAttempts || t.sleep(attempt) {
+			var left []string
+			for _, r := range receivers {
+				if missing[r] {
+					left = append(left, r)
+				}
+			}
+			return left, nil
+		}
+		for _, r := range receivers {
+			if missing[r] {
+				if _, err := t.net.SendTagged(from, r, kind, env, size, nonce); err != nil {
+					return nil, err
+				}
+				t.stats.Retransmits++
+			}
+		}
+	}
+}

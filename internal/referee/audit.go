@@ -19,7 +19,7 @@ import (
 // AuditEntry is one transcript record.
 type AuditEntry struct {
 	Seq      int      `json:"seq"`
-	Action   string   `json:"action"` // "verdict", "settlement", "meter", "payments"
+	Action   string   `json:"action"` // "verdict", "settlement", "meter", "payments", "eviction"
 	Phase    string   `json:"phase"`
 	Guilty   []string `json:"guilty,omitempty"`
 	Detail   string   `json:"detail"`

@@ -96,6 +96,16 @@ func (r *Referee) audited(v Verdict) Verdict {
 	return v
 }
 
+// RecordEviction enters an availability failure into the transcript: a
+// processor removed from the run because its traffic could not be
+// delivered within the retry budget. An eviction is NOT a strategic
+// offense — the processor is not fined and no Verdict is produced; the
+// entry exists so the decision is auditable after the fact, clearly
+// distinguished from the "verdict" entries that carry fines.
+func (r *Referee) RecordEviction(proc, phase, reason string) AuditEntry {
+	return r.audit.Append("eviction", phase, nil, fmt.Sprintf("%s evicted: %s", proc, reason))
+}
+
 // Transcript returns a copy of the audit log entries; VerifyEntries
 // validates such a copy independently of the referee.
 func (r *Referee) Transcript() []AuditEntry { return r.audit.Entries() }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"dlsbl/internal/agent"
+	"dlsbl/internal/bus"
 	"dlsbl/internal/dlt"
 	"dlsbl/internal/protocol"
 )
@@ -43,6 +44,14 @@ type Job struct {
 	Z         float64
 	Seed      int64
 	Behaviors []agent.Behavior
+	// Faults, when non-nil, runs this round over an unreliable bus (see
+	// bus.FaultPlan); Retry bounds the round's retransmission machinery.
+	// A processor EVICTED for unreachability is not a deviant: it is not
+	// fined, and BanDeviants does not exclude it from later rounds — a
+	// transient outage must not carry the permanent penalty reserved for
+	// strategic cheating.
+	Faults *bus.FaultPlan
+	Retry  protocol.RetryPolicy
 }
 
 // Session is a processor pool playing repeated jobs.
@@ -113,6 +122,8 @@ func (s *Session) Run(jobs []Job) (*Report, error) {
 			Behaviors: behaviors,
 			Fine:      s.Fine,
 			Seed:      job.Seed,
+			Faults:    job.Faults,
+			Retry:     job.Retry,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("session: round %d: %w", round, err)

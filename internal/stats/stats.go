@@ -59,6 +59,32 @@ func Summarize(xs []float64) Summary {
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 { return Summarize(xs).Mean }
 
+// Quantile returns the q-th sample quantile of xs (q in [0,1]), using
+// linear interpolation between order statistics (the common "type 7"
+// estimator). It returns 0 for an empty sample; q is clamped to [0,1].
+// The fault experiments use it for tail latencies (p95 retransmits,
+// makespan inflation) where the mean hides stragglers.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
 // LinFit holds the result of an ordinary least-squares line fit y = a + b·x.
 type LinFit struct {
 	Intercept float64 // a

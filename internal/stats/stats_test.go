@@ -162,3 +162,31 @@ func TestQuickFitRecoversLine(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5} // unsorted on purpose
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4},
+		{-1, 1}, {2, 5}, // clamped
+		{0.1, 1.4}, // interpolated: 1 + 0.4·(2−1)
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%.2f) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(empty) = %v, want 0", got)
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("Quantile(single) = %v, want 7", got)
+	}
+	// Median agreement with Summarize.
+	for _, xs := range [][]float64{{1, 2, 3, 4}, {9, 2, 5}, {1, 1, 8, 8}} {
+		if q, m := Quantile(xs, 0.5), Summarize(xs).Median; math.Abs(q-m) > 1e-12 {
+			t.Errorf("Quantile(0.5)=%v disagrees with Median=%v for %v", q, m, xs)
+		}
+	}
+}
