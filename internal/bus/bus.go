@@ -208,7 +208,7 @@ func (b *Bus) deliver(to string, msg Message) {
 // be lost or mangled, which is exactly the deviation the retry layer
 // exists to absorb). size is the abstract message size in units (a scalar
 // bid is 1, an m-vector is m). The transmission is tagged with a fresh
-// nonce, which is returned.
+// nonce; use BroadcastTagged to obtain it.
 func (b *Bus) Broadcast(from, kind string, env sig.Envelope, size int) error {
 	_, err := b.BroadcastTagged(from, kind, env, size, 0)
 	return err

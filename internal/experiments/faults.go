@@ -71,14 +71,23 @@ func init() {
 					retx = append(retx, float64(out.Fault.Retransmits))
 					discards += out.Fault.DupDiscards + out.Fault.CorruptDiscards
 				}
+				// Empty samples print as a dash, not Mean()'s zero — a
+				// "makespan × 0.000" row would read as impossibly good
+				// rather than "no full-set completions at this p".
+				dashOr := func(xs []float64, format string, v float64) string {
+					if len(xs) == 0 {
+						return "—"
+					}
+					return f(format, v)
+				}
 				tbl.AddRow(f("%.2f", p),
 					fmt.Sprintf("%d/%d", completed, trials),
 					fmt.Sprintf("%d", evicted),
 					fmt.Sprintf("%d", aborted),
-					f("%.1f", stats.Mean(retx)),
-					f("%.1f", stats.Quantile(retx, 0.95)),
+					dashOr(retx, "%.1f", stats.Mean(retx)),
+					dashOr(retx, "%.1f", stats.Quantile(retx, 0.95)),
 					fmt.Sprintf("%d", discards),
-					f("%.3f", stats.Mean(spans)))
+					dashOr(spans, "%.3f", stats.Mean(spans)))
 			}
 			return Result{
 				ID: "X16", Title: "unreliable bus", Table: tbl,

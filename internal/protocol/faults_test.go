@@ -171,6 +171,58 @@ func TestFaultRunsDeterministic(t *testing.T) {
 	}
 }
 
+// TestEvictionRegimeDeterministic drives the protocol into the regime
+// where the retry budget actually runs out — many processors, heavy
+// loss, a tight attempt budget — and requires equal configs to reproduce
+// bit-identical outcomes, evictions (victims, phases and reason strings)
+// included. This is the regime where retransmission send order decides
+// which seeded fault draws hit which deliveries: iterating a Go map
+// there once made the same seed evict different processors across runs.
+func TestEvictionRegimeDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		mk := func() (*Outcome, error) {
+			return Run(Config{
+				Network: dlt.NCPFE,
+				Z:       0.1,
+				TrueW:   []float64{1.0, 1.3, 1.6, 1.9, 2.2, 2.5},
+				Seed:    7,
+				Faults:  &bus.FaultPlan{Seed: seed, Drop: 0.35, Duplicate: 0.15, JitterMax: 0.3},
+				Retry:   RetryPolicy{MaxAttempts: 3},
+			})
+		}
+		a, errA := mk()
+		b, errB := mk()
+		if (errA == nil) != (errB == nil) || (errA != nil && errA.Error() != errB.Error()) {
+			t.Fatalf("seed %d: errors diverged: %v vs %v", seed, errA, errB)
+		}
+		if errA != nil {
+			continue // deterministic abort — both runs agree
+		}
+		if a.BusStats != b.BusStats {
+			t.Errorf("seed %d: bus stats diverged:\n%+v\n%+v", seed, a.BusStats, b.BusStats)
+		}
+		if a.Fault != b.Fault {
+			t.Errorf("seed %d: fault stats diverged:\n%+v\n%+v", seed, a.Fault, b.Fault)
+		}
+		if a.Makespan != b.Makespan {
+			t.Errorf("seed %d: makespan diverged: %v vs %v", seed, a.Makespan, b.Makespan)
+		}
+		if len(a.Evictions) != len(b.Evictions) {
+			t.Fatalf("seed %d: eviction counts diverged:\n%+v\n%+v", seed, a.Evictions, b.Evictions)
+		}
+		for i := range a.Evictions {
+			if a.Evictions[i] != b.Evictions[i] {
+				t.Errorf("seed %d: eviction %d diverged:\n%+v\n%+v", seed, i, a.Evictions[i], b.Evictions[i])
+			}
+		}
+		for i := range a.Payments {
+			if a.Payments[i] != b.Payments[i] {
+				t.Errorf("seed %d: Q[%d] diverged: %v vs %v", seed, i, a.Payments[i], b.Payments[i])
+			}
+		}
+	}
+}
+
 // TestUnresponsiveProcessorEvicted: a blackholed processor must be
 // evicted in the Bidding phase, the survivors must complete the run on
 // the re-solved allocation (Theorem 2.2: any subset is still optimal),

@@ -97,11 +97,16 @@ func (r *run) bidExchange() (received [][]bus.Message, firstEnvs []sig.Envelope,
 			break
 		}
 		// Point-to-point retransmission of exactly the missing copies,
-		// under the original nonces (idempotent at the receivers).
+		// under the original nonces (idempotent at the receivers). Iterate
+		// msgs in index order, not the need map: send order decides which
+		// seeded fault draws hit which deliveries, so it must be
+		// deterministic for FaultPlan's reproducibility contract to hold.
 		for ri, a := range r.agents {
-			for nonce, mi := range need[ri] {
-				lm := msgs[mi]
-				if _, err := r.net.SendTagged(r.agents[lm.sender].ID, a.ID, referee.KindBid, lm.env, 1, nonce); err != nil {
+			for _, lm := range msgs {
+				if _, wanted := need[ri][lm.nonce]; !wanted {
+					continue
+				}
+				if _, err := r.net.SendTagged(r.agents[lm.sender].ID, a.ID, referee.KindBid, lm.env, 1, lm.nonce); err != nil {
 					return nil, nil, nil, err
 				}
 				r.xp.stats.Retransmits++

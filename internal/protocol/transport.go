@@ -113,9 +113,9 @@ type rxBuf struct {
 
 // transport layers idempotent, retrying delivery over the bus. It owns
 // every endpoint's inbox: phases consume verified messages through
-// take/takeKind instead of draining the bus directly, so duplicated,
-// delayed and retransmitted copies collapse into exactly-once delivery to
-// the protocol logic.
+// takeNonce instead of draining the bus directly, so duplicated, delayed
+// and retransmitted copies collapse into exactly-once delivery to the
+// protocol logic.
 type transport struct {
 	net    *bus.Bus
 	reg    *sig.Registry
@@ -197,22 +197,6 @@ func (t *transport) takeNonce(id, from string, nonce uint64) (bus.Message, bool)
 		}
 	}
 	return bus.Message{}, false
-}
-
-// takeKind removes and returns every pending message of the given kind.
-func (t *transport) takeKind(id, kind string) []bus.Message {
-	b := t.buf(id)
-	var got []bus.Message
-	rest := b.pending[:0]
-	for _, m := range b.pending {
-		if m.Kind == kind {
-			got = append(got, m)
-		} else {
-			rest = append(rest, m)
-		}
-	}
-	b.pending = rest
-	return got
 }
 
 // sendReliable unicasts one logical message until the receiver holds a
