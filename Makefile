@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci bench-smoke bench-payments bench-faults faults-soak fuzz-smoke clean
+.PHONY: all build test race race-service vet ci serve bench-smoke bench-payments bench-faults faults-soak fuzz-smoke clean
 
 all: build test
 
@@ -19,9 +19,22 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Focused race gate over the concurrent subsystems: the service daemon
+# (per-pool runners, queue backpressure, graceful drain, the 200-job
+# load test) and the protocol's reliable transport. `race` subsumes it;
+# this target exists for fast iteration on concurrency changes.
+race-service:
+	$(GO) test -race ./internal/service/... ./internal/protocol/...
+
 # The full gate a change must pass before merging: build, vet, the
-# race-enabled test suite, and a short fuzz pass.
+# race-enabled test suite (which includes the service load test and the
+# protocol transport under -race), and a short fuzz pass.
 ci: build vet race fuzz-smoke
+
+# Run the scheduling daemon with its demo pool on :8080. See the
+# README's "Service mode" section for the client conversation.
+serve:
+	$(GO) run ./cmd/dls-serve
 
 # Extended mixed-fault soak: the protocol under a combined drop/dup/
 # delay/corrupt/reorder plan across many seeds, asserting fault-free

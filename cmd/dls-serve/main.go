@@ -1,0 +1,105 @@
+// Command dls-serve runs the DLS-BL-NCP scheduling service: a
+// long-running HTTP daemon that keeps named processor pools (and their
+// reputation state and warm Ed25519 keyrings) alive between requests,
+// runs submitted jobs through a bounded worker pool with per-pool
+// serialization, and streams results back as NDJSON.
+//
+// Usage:
+//
+//	dls-serve -addr :8080
+//	dls-serve -addr :8080 -workers 8 -queue 512 -pools pools.json
+//
+// With no -pools file a single demo pool named "default" (ncp-fe,
+// w = 1,1.5,2,2.5) is created. pools.json is a JSON array of pool specs:
+//
+//	[{"name":"alpha","network":"ncp-fe","w":[1,2,3],"policy":"ban-deviants"}]
+//
+// See the README's "Service mode" section for a curl walkthrough.
+// SIGINT/SIGTERM drain gracefully: in-flight and queued jobs finish,
+// new submissions get 503, then the process exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dlsbl/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent protocol runs (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 256, "job queue depth before submissions get 429")
+	poolsPath := flag.String("pools", "", "JSON file with an array of pool specs (empty = one demo pool)")
+	drainTimeout := flag.Duration("drain", 30*time.Second, "shutdown drain timeout")
+	flag.Parse()
+
+	specs, err := loadPools(*poolsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := service.New(service.Config{Workers: *workers, QueueDepth: *queue})
+	for _, spec := range specs {
+		if _, err := srv.CreatePool(spec); err != nil {
+			log.Fatalf("creating pool %q: %v", spec.Name, err)
+		}
+		log.Printf("pool %q ready (m=%d)", spec.Name, len(spec.TrueW))
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("dls-serve listening on %s (%d pools, queue depth %d)", *addr, len(specs), *queue)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("draining: refusing new submissions, finishing queued jobs")
+
+	// Drain order matters: service.Close refuses new submissions and
+	// finishes every admitted job, which unblocks the streaming handlers;
+	// http.Shutdown then waits for those handlers to write their tails.
+	done := make(chan struct{})
+	go func() { srv.Close(); close(done) }()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	<-done
+	log.Print("drained; bye")
+}
+
+func loadPools(path string) ([]service.PoolSpec, error) {
+	if path == "" {
+		return []service.PoolSpec{{
+			Name:  "default",
+			TrueW: []float64{1, 1.5, 2, 2.5},
+		}}, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading pools file: %w", err)
+	}
+	var specs []service.PoolSpec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("%s: no pools", path)
+	}
+	return specs, nil
+}

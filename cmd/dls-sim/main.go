@@ -27,18 +27,7 @@ import (
 	"dlsbl/internal/protocol"
 )
 
-func behaviorCatalog() map[string]agent.Behavior {
-	out := map[string]agent.Behavior{
-		"honest":        agent.Honest,
-		"overbid-1.5x":  agent.OverBid,
-		"underbid-0.6x": agent.UnderBid,
-		"slack-1.5x":    agent.SlowExecution,
-	}
-	for _, b := range agent.DeviantCatalog {
-		out[b.Name] = b
-	}
-	return out
-}
+func behaviorCatalog() map[string]agent.Behavior { return agent.Catalog() }
 
 func main() {
 	netName := flag.String("net", "ncp-fe", "network class: ncp-fe or ncp-nfe")

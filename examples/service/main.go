@@ -1,0 +1,116 @@
+// Service mode: the scheduling daemon end-to-end, in one process. The
+// example starts a service.Server on a loopback port, creates two pools
+// over HTTP, streams a batch of jobs against each (one batch includes a
+// payment cheat, so the ban policy fires), and reads /metrics — the same
+// conversation a remote client would have with a deployed dls-serve.
+//
+//	go run ./examples/service
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+
+	"dlsbl/internal/service"
+)
+
+func main() {
+	srv := service.New(service.Config{Workers: 4, QueueDepth: 64})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("dls-serve speaking on %s\n\n", base)
+
+	// Two pools: "alpha" forgives, "beta" bans deviants.
+	for _, spec := range []string{
+		`{"name":"alpha","network":"ncp-fe","w":[1,1.5,2,2.5]}`,
+		`{"name":"beta","network":"ncp-fe","w":[2,3,4,5,6],"policy":"ban-deviants"}`,
+	} {
+		post(base+"/v1/pools", spec)
+	}
+
+	// Stream jobs against both pools concurrently; the per-pool runners
+	// overlap while each pool's own rounds stay serialized.
+	var wg sync.WaitGroup
+	for _, body := range []string{
+		`{"pool":"alpha","jobs":[{"z":0.2,"seed":1},{"z":0.2,"seed":2},{"z":0.3,"seed":3}]}`,
+		`{"pool":"beta","jobs":[
+			{"z":0.2,"seed":10},
+			{"z":0.2,"seed":11,"behaviors":["","payment-cheat-2x"]},
+			{"z":0.2,"seed":12}]}`,
+	} {
+		wg.Add(1)
+		go func(body string) {
+			defer wg.Done()
+			resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewBufferString(body))
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer resp.Body.Close()
+			sc := bufio.NewScanner(resp.Body)
+			for sc.Scan() {
+				var rec struct {
+					Event    string    `json:"event"`
+					Pool     string    `json:"pool"`
+					Job      int       `json:"job"`
+					Payments []float64 `json:"payments"`
+					Fines    []float64 `json:"fines"`
+					Banned   []string  `json:"banned"`
+				}
+				if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+					log.Fatal(err)
+				}
+				switch rec.Event {
+				case "result":
+					fmt.Printf("[%s] job %d: payments=%.3f fines=%.1f banned=%v\n",
+						rec.Pool, rec.Job, rec.Payments, rec.Fines, rec.Banned)
+				case "done":
+					fmt.Printf("[%s] batch done\n", rec.Pool)
+				}
+			}
+		}(body)
+	}
+	wg.Wait()
+
+	// The warm pools: the second batch against a pool reuses its cached
+	// keypairs, so only the first round of each pool paid key generation.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m service.MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmetrics: %d submitted, %d completed, p99 run %.1f ms\n",
+		m.Jobs.Submitted, m.Jobs.Completed, m.LatencyMS.Run.P99)
+	for _, p := range m.Pools {
+		fmt.Printf("  pool %-5s rounds=%d warm_keys=%d banned=%v cumulative=%.2f\n",
+			p.Name, p.Rounds, p.WarmKeys, p.Banned, p.CumulativeUtility)
+	}
+
+	srv.Close()
+	_ = httpSrv.Close()
+}
+
+func post(url, body string) {
+	resp, err := http.Post(url, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		log.Fatalf("POST %s: %s", url, resp.Status)
+	}
+}

@@ -143,6 +143,34 @@ var DeviantCatalog = []Behavior{
 	Refuser, FalseClaimant, ExcessClaimer, PaymentCheat, PaymentLiar, VectorTamper,
 }
 
+// Catalog returns every canonical behavior keyed by name — the honest and
+// misreporting strategies plus the full deviant catalog. It is the lookup
+// table behind the by-name behavior selection in cmd/dls-sim and the
+// service job API.
+func Catalog() map[string]Behavior {
+	out := map[string]Behavior{
+		Honest.Name:        Honest,
+		OverBid.Name:       OverBid,
+		UnderBid.Name:      UnderBid,
+		SlowExecution.Name: SlowExecution,
+		"abstain":          {Name: "abstain", Abstain: true},
+	}
+	for _, b := range DeviantCatalog {
+		out[b.Name] = b
+	}
+	return out
+}
+
+// ByName looks a canonical behavior up by name. The empty name is the
+// honest strategy.
+func ByName(name string) (Behavior, bool) {
+	if name == "" {
+		return Honest, true
+	}
+	b, ok := Catalog()[name]
+	return b, ok
+}
+
 // Agent is one strategic processor: identity, signing key, private true
 // value, and strategy.
 type Agent struct {

@@ -26,36 +26,36 @@ import (
 type FaultPlan struct {
 	// Seed drives the fault PRNG. Two plans with equal fields produce
 	// identical fault sequences.
-	Seed int64
+	Seed int64 `json:"seed"`
 
 	// Drop is the probability a delivery is lost forever.
-	Drop float64
+	Drop float64 `json:"drop,omitempty"`
 	// Duplicate is the probability a delivery arrives twice. The copies
 	// carry the same logical nonce, so idempotent receivers (nonce dedup
 	// in internal/protocol) collapse them.
-	Duplicate float64
+	Duplicate float64 `json:"duplicate,omitempty"`
 	// Delay is the probability a delivery is deferred to the receiver's
 	// next-but-one Drain — the discrete-time analogue of a message that
 	// misses its per-attempt deadline and straggles in late.
-	Delay float64
+	Delay float64 `json:"delay,omitempty"`
 	// Corrupt is the probability a delivery suffers a signature-breaking
 	// bit flip. The payload bytes are preserved; the Ed25519 signature is
 	// flipped, so Envelope.Verify fails and honest receivers discard the
 	// copy exactly as the paper prescribes for unverifiable messages.
-	Corrupt float64
+	Corrupt float64 `json:"corrupt,omitempty"`
 	// Reorder is the probability a delivery jumps the receiver's queue,
 	// landing at a random earlier position instead of at the tail.
-	Reorder float64
+	Reorder float64 `json:"reorder,omitempty"`
 
 	// JitterMax adds latency jitter to the DATA plane: each reserved
 	// transfer is stretched by an extra uniform [0, JitterMax) of virtual
 	// time, modeling per-link contention on the shared medium.
-	JitterMax float64
+	JitterMax float64 `json:"jitter_max,omitempty"`
 
 	// Unresponsive lists endpoint identities whose control-plane traffic
 	// is blackholed in both directions — the crash-faulty processors.
 	// Their deliveries count as drops.
-	Unresponsive []string
+	Unresponsive []string `json:"unresponsive,omitempty"`
 }
 
 // Validate checks the plan's parameters.

@@ -236,3 +236,29 @@ func TestTableRendering(t *testing.T) {
 		t.Error("empty table rendered non-empty")
 	}
 }
+
+// TestX16ParallelDeterministic pins the parallel fault sweep's contract:
+// the worker pool may execute the (p, trial) cells in any interleaving,
+// but the aggregated table — row order, float accumulation, every cell —
+// must be bit-identical run to run (and therefore identical to the
+// sequential sweep it replaced).
+func TestX16ParallelDeterministic(t *testing.T) {
+	x16, ok := ByID("X16")
+	if !ok {
+		t.Fatal("X16 not registered")
+	}
+	first, err := x16.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rerun := 0; rerun < 2; rerun++ {
+		again, err := x16.Run(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Table.String() != again.Table.String() {
+			t.Fatalf("X16 table not deterministic across parallel runs:\n--- first\n%s\n--- rerun\n%s",
+				first.Table.String(), again.Table.String())
+		}
+	}
+}

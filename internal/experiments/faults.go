@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"dlsbl/internal/bus"
 	"dlsbl/internal/dlt"
@@ -38,22 +40,53 @@ func init() {
 				return Result{}, err
 			}
 
+			// Every (p, trial) cell is an independent seeded protocol run —
+			// embarrassingly parallel. A bounded worker pool executes them
+			// out of order into an indexed slice; aggregation below then
+			// walks the slice in the original loop order, so the table
+			// (including float accumulation order) is bit-identical to the
+			// sequential sweep.
+			ps := []float64{0, 0.1, 0.2, 0.3, 0.4}
+			type cell struct {
+				out *protocol.Outcome // nil on abort
+			}
+			cells := make([]cell, len(ps)*trials)
+			jobs := make(chan int, len(cells))
+			for i := range cells {
+				jobs <- i
+			}
+			close(jobs)
+			var wg sync.WaitGroup
+			for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range jobs {
+						p, trial := ps[i/trials], i%trials
+						cfg := base
+						cfg.Faults = &bus.FaultPlan{
+							Seed:      seed + int64(trial)*101,
+							Drop:      p,
+							Duplicate: p / 2,
+							JitterMax: p,
+						}
+						cfg.Retry = protocol.RetryPolicy{MaxAttempts: 3}
+						if out, err := protocol.Run(cfg); err == nil {
+							cells[i] = cell{out: out}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+
 			tbl := Table{Columns: []string{"drop p", "completed", "with evictions", "aborted", "retransmits mean", "retransmits p95", "discards", "makespan ×"}}
-			for _, p := range []float64{0, 0.1, 0.2, 0.3, 0.4} {
+			for pi, p := range ps {
 				var completed, evicted, aborted, discards int
 				var retx, spans []float64
 				for trial := 0; trial < trials; trial++ {
-					cfg := base
-					cfg.Faults = &bus.FaultPlan{
-						Seed:      seed + int64(trial)*101,
-						Drop:      p,
-						Duplicate: p / 2,
-						JitterMax: p,
-					}
-					cfg.Retry = protocol.RetryPolicy{MaxAttempts: 3}
-					out, err := protocol.Run(cfg)
+					out := cells[pi*trials+trial].out
 					switch {
-					case err != nil:
+					case out == nil:
 						aborted++
 						continue
 					case !out.Completed:

@@ -1,0 +1,110 @@
+package protocol
+
+import (
+	"testing"
+
+	"dlsbl/internal/bus"
+	"dlsbl/internal/core"
+	"dlsbl/internal/dlt"
+	"dlsbl/internal/payment"
+	"dlsbl/internal/referee"
+	"dlsbl/internal/sig"
+)
+
+// TestEquivocationSurvivesDedup pins down an interaction between the
+// reliable transport and the paper's equivocation defense: (sender,
+// nonce) deduplication must not launder a re-signed, contradictory bid
+// into silence. When a processor transmits a second, different bid under
+// the nonce of its first one — disguising the cheat as a retransmission —
+// the transport keeps the first verified copy (so the protocol's view is
+// unchanged) and the discarded copy's signature remains independently
+// verifiable equivocation evidence that convicts the signer.
+func TestEquivocationSurvivesDedup(t *testing.T) {
+	net, err := bus.New(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := sig.NewRegistry()
+	keys := map[string]*sig.KeyPair{}
+	for i, id := range []string{"P1", "P2", referee.Account} {
+		k, err := sig.GenerateKeyPair(id, sig.DeterministicSource(int64(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Register(id, k.Public); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Attach(id); err != nil {
+			t.Fatal(err)
+		}
+		keys[id] = k
+	}
+	xp, err := newTransport(net, reg, RetryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// P1 signs two different bids and sends both under ONE nonce: the
+	// honest-looking original, then the contradiction dressed up as a
+	// retransmission.
+	first, err := sig.Seal(keys["P1"], referee.KindBid, referee.BidPayload{Proc: "P1", Bid: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := sig.Seal(keys["P1"], referee.KindBid, referee.BidPayload{Proc: "P1", Bid: 3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := net.NextNonce()
+	for _, env := range []sig.Envelope{first, second} {
+		if _, err := net.SendTagged("P1", referee.Account, referee.KindBid, env, 1, nonce); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The transport delivers exactly one copy — the first verified one.
+	if err := xp.pull(referee.Account); err != nil {
+		t.Fatal(err)
+	}
+	if xp.stats.DupDiscards != 1 {
+		t.Fatalf("DupDiscards = %d, want 1", xp.stats.DupDiscards)
+	}
+	m, ok := xp.takeNonce(referee.Account, "P1", nonce)
+	if !ok {
+		t.Fatal("deduplicated message not delivered at all")
+	}
+	var bp referee.BidPayload
+	if err := m.Env.Open(reg, &bp); err != nil {
+		t.Fatal(err)
+	}
+	if bp.Bid != 2 {
+		t.Fatalf("delivered bid = %v, want the FIRST copy (2)", bp.Bid)
+	}
+	if _, again := xp.takeNonce(referee.Account, "P1", nonce); again {
+		t.Fatal("second copy leaked through deduplication")
+	}
+
+	// The discarded envelope is still a valid signature over a different
+	// payload — exactly the evidence pair sig.IsEquivocation defines.
+	if !sig.IsEquivocation(reg, first, second) {
+		t.Fatal("contradictory signed bids not recognized as equivocation")
+	}
+
+	// And the referee convicts on it: P2 presents both envelopes, P1 is
+	// found guilty and the run terminates.
+	ledger, err := payment.NewLedger(UserID, referee.Account, "P1", "P2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := referee.New(reg, ledger, core.Mechanism{Network: dlt.NCPFE, Z: 0.1}, []string{"P1", "P2"}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ref.JudgeEquivocation("P2", first, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Guilty) != 1 || v.Guilty[0] != "P1" || !v.Terminates {
+		t.Fatalf("verdict = %+v, want P1 guilty and termination", v)
+	}
+}

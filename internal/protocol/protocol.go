@@ -69,6 +69,15 @@ type Config struct {
 	// the defaults documented on RetryPolicy. Ignored (but validated)
 	// when Faults is nil, since a reliable bus never retries.
 	Retry RetryPolicy
+	// Keys, when non-nil, is a warm keypair cache shared across runs:
+	// setup reuses cached pairs for the user, referee and processor
+	// identities instead of generating fresh ones, and deposits newly
+	// generated pairs back. Ed25519 key generation dominates Run's cost,
+	// so a long-lived pool pays it once per identity, not once per job.
+	// The economics are unaffected — payments, fines and utilities depend
+	// on bids and meters, never on key bytes — so a warm run's ledger is
+	// bit-identical to a cold run's with the same Seed.
+	Keys *sig.Keyring
 }
 
 func (c *Config) validate() error {
@@ -298,7 +307,16 @@ func setup(cfg Config) (*run, error) {
 	}
 	seed := cfg.Seed
 	newKey := func(id string) (*sig.KeyPair, error) {
+		// The per-identity seed advances whether or not the ring hits, so
+		// a partially warm ring generates the same keys a cold run would.
 		seed++
+		if k, ok := cfg.Keys.Get(id); ok {
+			if err := r.reg.Register(id, k.Public); err != nil {
+				return nil, err
+			}
+			r.keys[id] = k
+			return k, nil
+		}
 		k, err := sig.GenerateKeyPair(id, sig.DeterministicSource(seed))
 		if err != nil {
 			return nil, err
@@ -307,6 +325,11 @@ func setup(cfg Config) (*run, error) {
 			return nil, err
 		}
 		r.keys[id] = k
+		if cfg.Keys != nil {
+			if err := cfg.Keys.Put(k); err != nil {
+				return nil, err
+			}
+		}
 		return k, nil
 	}
 	var err error

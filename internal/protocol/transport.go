@@ -22,16 +22,16 @@ import (
 type RetryPolicy struct {
 	// MaxAttempts is the per-logical-message transmission budget
 	// (first send + retransmissions). Zero selects 8.
-	MaxAttempts int
+	MaxAttempts int `json:"max_attempts,omitempty"`
 	// BaseBackoff is the virtual-time wait before the first retry; each
 	// further retry doubles it. Zero selects 1.
-	BaseBackoff float64
+	BaseBackoff float64 `json:"base_backoff,omitempty"`
 	// MaxBackoff caps the doubling. Zero selects 32.
-	MaxBackoff float64
+	MaxBackoff float64 `json:"max_backoff,omitempty"`
 	// PhaseDeadline bounds the total backoff virtual time one phase may
 	// spend before unreachability is declared. Zero selects +Inf (the
 	// attempt budget alone governs).
-	PhaseDeadline float64
+	PhaseDeadline float64 `json:"phase_deadline,omitempty"`
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {

@@ -1,0 +1,164 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"dlsbl/internal/dlt"
+	"dlsbl/internal/session"
+	"dlsbl/internal/sig"
+)
+
+// PoolSpec declares a named processor pool: the DLS-BL-NCP system class,
+// the pool's private processing rates, the fine magnitude and the
+// reputation policy. It is the JSON body of POST /v1/pools.
+type PoolSpec struct {
+	Name string `json:"name"`
+	// Network is "ncp-fe" (default) or "ncp-nfe".
+	Network string `json:"network,omitempty"`
+	// TrueW are the pool's private per-unit processing times.
+	TrueW []float64 `json:"w"`
+	// Fine is the per-job fine magnitude F; 0 derives it per job from
+	// the bids (referee.SuggestedFine).
+	Fine float64 `json:"fine,omitempty"`
+	// Policy is "forgive" (default) or "ban-deviants".
+	Policy string `json:"policy,omitempty"`
+}
+
+// Pool is a registered processor pool: a persistent session whose
+// reputation state and warm keyring survive across the jobs the service
+// runs against it. All rounds against one pool execute on its single
+// runner goroutine, in admission order.
+type Pool struct {
+	spec      PoolSpec
+	network   dlt.Network
+	policy    session.Policy
+	sess      *session.Session
+	procNames []string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	fifo    []*Task
+	state   *session.State
+	closing bool
+}
+
+func parseNetwork(name string) (dlt.Network, error) {
+	switch strings.ToLower(name) {
+	case "", "ncp-fe", "ncpfe", "fe":
+		return dlt.NCPFE, nil
+	case "ncp-nfe", "ncpnfe", "nfe":
+		return dlt.NCPNFE, nil
+	default:
+		return 0, fmt.Errorf("service: unknown network %q (DLS-BL-NCP runs on ncp-fe or ncp-nfe)", name)
+	}
+}
+
+func parsePolicy(name string) (session.Policy, error) {
+	switch strings.ToLower(name) {
+	case "", "forgive":
+		return session.Forgive, nil
+	case "ban-deviants", "ban":
+		return session.BanDeviants, nil
+	default:
+		return 0, fmt.Errorf("service: unknown policy %q (forgive or ban-deviants)", name)
+	}
+}
+
+func newPool(spec PoolSpec) (*Pool, error) {
+	if spec.Name == "" {
+		return nil, errors.New("service: pool needs a name")
+	}
+	network, err := parseNetwork(spec.Network)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := parsePolicy(spec.Policy)
+	if err != nil {
+		return nil, err
+	}
+	sess := &session.Session{
+		Network: network,
+		TrueW:   append([]float64(nil), spec.TrueW...),
+		Fine:    spec.Fine,
+		Policy:  policy,
+		Keys:    sig.NewKeyring(),
+	}
+	state, err := sess.NewState()
+	if err != nil {
+		return nil, err
+	}
+	procNames := make([]string, len(spec.TrueW))
+	for i := range procNames {
+		procNames[i] = fmt.Sprintf("P%d", i+1)
+	}
+	p := &Pool{
+		spec:      spec,
+		network:   network,
+		policy:    policy,
+		sess:      sess,
+		procNames: procNames,
+		state:     state,
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p, nil
+}
+
+// bannedNames maps the banned mask to processor ids.
+func bannedNames(procs []string, banned []bool) []string {
+	var out []string
+	for i, b := range banned {
+		if b {
+			out = append(out, procs[i])
+		}
+	}
+	return out
+}
+
+// PoolSnapshot is a pool's publicly visible state, served by
+// GET /v1/pools. WarmKeys counts the cached keypairs — m+2 once the first
+// round has paid the key-generation cost for everyone.
+type PoolSnapshot struct {
+	Name              string    `json:"name"`
+	Network           string    `json:"network"`
+	Policy            string    `json:"policy"`
+	M                 int       `json:"m"`
+	TrueW             []float64 `json:"w"`
+	Fine              float64   `json:"fine,omitempty"`
+	Rounds            int       `json:"rounds"`
+	Queued            int       `json:"queued"`
+	Banned            []string  `json:"banned,omitempty"`
+	CumulativeUtility []float64 `json:"cumulative_utility"`
+	WarmKeys          int       `json:"warm_keys"`
+}
+
+// Snapshot returns the pool's current state.
+func (p *Pool) Snapshot() PoolSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolSnapshot{
+		Name:              p.spec.Name,
+		Network:           p.network.String(),
+		Policy:            p.policy.String(),
+		M:                 len(p.sess.TrueW),
+		TrueW:             append([]float64(nil), p.sess.TrueW...),
+		Fine:              p.spec.Fine,
+		Rounds:            p.state.Round,
+		Queued:            len(p.fifo),
+		Banned:            bannedNames(p.procNames, p.state.Banned),
+		CumulativeUtility: append([]float64(nil), p.state.CumulativeUtility...),
+		WarmKeys:          p.sess.Keys.Len(),
+	}
+}
+
+// Name returns the pool's name.
+func (p *Pool) Name() string { return p.spec.Name }
+
+// Rounds returns the number of rounds the pool has played.
+func (p *Pool) Rounds() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state.Round
+}

@@ -1,0 +1,372 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"dlsbl/internal/agent"
+	"dlsbl/internal/bus"
+	"dlsbl/internal/dlt"
+	"dlsbl/internal/protocol"
+	"dlsbl/internal/session"
+)
+
+func faultPlan(p float64) *bus.FaultPlan {
+	return &bus.FaultPlan{Seed: 42, Drop: p, Duplicate: p / 2}
+}
+
+func equalF64(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBatchMatchesSessionRun pins the service's core contract: a batch of
+// jobs against one pool — including a deviant round and the ensuing ban —
+// produces per-round payments, fines and utilities BIT-identical to a
+// sequential session.Run of the same jobs, even though the pool reuses
+// warm keys the direct session never sees.
+func TestBatchMatchesSessionRun(t *testing.T) {
+	w := []float64{1, 1.5, 2, 2.5}
+	srv := New(Config{Workers: 4, QueueDepth: 64})
+	defer srv.Close()
+	if _, err := srv.CreatePool(PoolSpec{Name: "p", TrueW: w, Policy: "ban-deviants"}); err != nil {
+		t.Fatal(err)
+	}
+
+	specs := make([]JobSpec, 6)
+	jobs := make([]session.Job, 6)
+	for i := range specs {
+		specs[i] = JobSpec{Z: 0.2, Seed: int64(i + 1)}
+		jobs[i] = session.Job{Z: 0.2, Seed: int64(i + 1)}
+	}
+	specs[1].Behaviors = []string{"", "payment-cheat-2x"}
+	jobs[1].Behaviors = []agent.Behavior{{}, agent.PaymentCheat}
+
+	tasks, err := srv.Submit("p", specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := &session.Session{Network: dlt.NCPFE, TrueW: w, Policy: session.BanDeviants}
+	rep, err := ref.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, task := range tasks {
+		res := task.Wait()
+		if res.Error != "" {
+			t.Fatalf("job %d: %s", i, res.Error)
+		}
+		if res.Round != i {
+			t.Fatalf("job %d ran as round %d", i, res.Round)
+		}
+		out := rep.Rounds[i]
+		if !equalF64(res.Payments, out.Payments) {
+			t.Errorf("round %d payments = %v, session.Run got %v", i, res.Payments, out.Payments)
+		}
+		if !equalF64(res.Fines, out.Fines) {
+			t.Errorf("round %d fines = %v, session.Run got %v", i, res.Fines, out.Fines)
+		}
+		if !equalF64(res.Utilities, out.Utilities) {
+			t.Errorf("round %d utilities = %v, session.Run got %v", i, res.Utilities, out.Utilities)
+		}
+	}
+	p, _ := srv.Pool("p")
+	snap := p.Snapshot()
+	if len(snap.Banned) != 1 || snap.Banned[0] != "P2" {
+		t.Fatalf("banned = %v, want [P2]", snap.Banned)
+	}
+	if !equalF64(snap.CumulativeUtility, rep.CumulativeUtility) {
+		t.Fatalf("cumulative utility = %v, session.Run got %v", snap.CumulativeUtility, rep.CumulativeUtility)
+	}
+	if want := len(w) + 2; snap.WarmKeys != want {
+		t.Fatalf("warm keys = %d, want %d (m processors + user + referee)", snap.WarmKeys, want)
+	}
+}
+
+// TestConcurrentSameSubmissionsSerialize hammers one pool from many
+// goroutines. Every job must run (rounds counter = total), and — the
+// serialization guarantee — every job's payments must be bit-identical to
+// a direct cold protocol.Run with the same seed, which could not hold if
+// two rounds interleaved inside the pool's session state.
+func TestConcurrentSameSubmissionsSerialize(t *testing.T) {
+	w := []float64{1, 2, 3, 4}
+	srv := New(Config{Workers: 4, QueueDepth: 256})
+	defer srv.Close()
+	if _, err := srv.CreatePool(PoolSpec{Name: "p", TrueW: w}); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 40
+	want := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		out, err := protocol.Run(protocol.Config{Network: dlt.NCPFE, Z: 0.2, TrueW: w, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out.Payments
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tasks, err := srv.Submit("p", []JobSpec{{Z: 0.2, Seed: int64(i + 1)}}, nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			res := tasks[0].Wait()
+			if res.Error != "" {
+				errs <- errors.New(res.Error)
+				return
+			}
+			if !equalF64(res.Payments, want[i]) {
+				errs <- fmt.Errorf("seed %d: payments %v, direct run got %v", i+1, res.Payments, want[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	p, _ := srv.Pool("p")
+	if p.Rounds() != n {
+		t.Fatalf("pool played %d rounds, want %d", p.Rounds(), n)
+	}
+}
+
+// TestDisjointPoolsOverlap checks the other half of the concurrency
+// contract: rounds against distinct pools run in parallel (peak running
+// protocol executions > 1), while each pool's own rounds stay ordered.
+func TestDisjointPoolsOverlap(t *testing.T) {
+	srv := New(Config{Workers: 8, QueueDepth: 256})
+	defer srv.Close()
+	const pools = 8
+	for i := 0; i < pools; i++ {
+		spec := PoolSpec{Name: fmt.Sprintf("pool%d", i), TrueW: []float64{1, 1.5, 2, 2.5, 3, 3.5}}
+		if _, err := srv.CreatePool(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var all []*Task
+	for i := 0; i < pools; i++ {
+		specs := make([]JobSpec, 10)
+		for j := range specs {
+			specs[j] = JobSpec{Z: 0.2, Seed: int64(100*i + j + 1)}
+		}
+		tasks, err := srv.Submit(fmt.Sprintf("pool%d", i), specs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, tasks...)
+	}
+	for _, task := range all {
+		if res := task.Wait(); res.Error != "" {
+			t.Fatal(res.Error)
+		}
+	}
+	m := srv.Metrics()
+	if m.Jobs.PeakRun < 2 {
+		t.Fatalf("peak concurrent runs = %d; disjoint pools never overlapped", m.Jobs.PeakRun)
+	}
+	for i := 0; i < pools; i++ {
+		p, _ := srv.Pool(fmt.Sprintf("pool%d", i))
+		if p.Rounds() != 10 {
+			t.Fatalf("pool%d played %d rounds, want 10", i, p.Rounds())
+		}
+	}
+}
+
+// TestQueueFullBackpressure pins the admission contract deterministically:
+// with the single runner parked via the test hook, a queue of depth 2
+// admits exactly two more jobs and refuses the next whole batch with
+// ErrQueueFull, leaving the queue untouched (all-or-nothing).
+func TestQueueFullBackpressure(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 2})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv.testHookBeforeRun = func(p *Pool, task *Task) {
+		once.Do(func() {
+			close(started)
+			<-release
+		})
+	}
+	if _, err := srv.CreatePool(PoolSpec{Name: "p", TrueW: []float64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := srv.Submit("p", []JobSpec{{Z: 0.2, Seed: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // runner holds job 1; queue is empty again
+
+	queued, err := srv.Submit("p", []JobSpec{{Z: 0.2, Seed: 2}, {Z: 0.2, Seed: 3}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Queued() != 2 {
+		t.Fatalf("queued = %d, want 2", srv.Queued())
+	}
+	if _, err := srv.Submit("p", []JobSpec{{Z: 0.2, Seed: 4}}, nil); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit error = %v, want ErrQueueFull", err)
+	}
+	// A too-large batch is refused whole even with one slot free.
+	if srv.Queued() != 2 {
+		t.Fatalf("rejected submission mutated the queue: %d", srv.Queued())
+	}
+	m := srv.Metrics()
+	if m.Jobs.Rejected != 1 {
+		t.Fatalf("rejected counter = %d, want 1", m.Jobs.Rejected)
+	}
+
+	close(release)
+	for _, task := range append(first, queued...) {
+		if res := task.Wait(); res.Error != "" {
+			t.Fatal(res.Error)
+		}
+	}
+	srv.Close()
+}
+
+// TestCloseDrains pins graceful shutdown: jobs admitted before Close all
+// deliver results, and submissions after Close fail with ErrClosed.
+func TestCloseDrains(t *testing.T) {
+	srv := New(Config{Workers: 2, QueueDepth: 64})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv.testHookBeforeRun = func(p *Pool, task *Task) {
+		once.Do(func() {
+			close(started)
+			<-release
+		})
+	}
+	if _, err := srv.CreatePool(PoolSpec{Name: "p", TrueW: []float64{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]JobSpec, 5)
+	for i := range specs {
+		specs[i] = JobSpec{Z: 0.2, Seed: int64(i + 1)}
+	}
+	tasks, err := srv.Submit("p", specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // four jobs still queued behind the parked runner
+
+	closed := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closed)
+	}()
+	close(release)
+	<-closed
+
+	for i, task := range tasks {
+		select {
+		case <-task.Done():
+		default:
+			t.Fatalf("Close returned with job %d unfinished", i)
+		}
+		if res := task.Result(); res.Error != "" {
+			t.Fatalf("job %d: %s", i, res.Error)
+		}
+	}
+	if m := srv.Metrics(); m.Jobs.Completed != 5 {
+		t.Fatalf("completed = %d, want 5", m.Jobs.Completed)
+	}
+	if _, err := srv.Submit("p", []JobSpec{{Z: 0.2, Seed: 9}}, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close submit error = %v, want ErrClosed", err)
+	}
+	if _, err := srv.CreatePool(PoolSpec{Name: "q", TrueW: []float64{1, 2}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close CreatePool error = %v, want ErrClosed", err)
+	}
+}
+
+// TestAdmissionValidation: unknown pools, behaviors and artifact names
+// fail the whole submission up front.
+func TestAdmissionValidation(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	if _, err := srv.CreatePool(PoolSpec{Name: "p", TrueW: []float64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Submit("ghost", []JobSpec{{Z: 0.2, Seed: 1}}, nil); !errors.Is(err, ErrUnknownPool) {
+		t.Fatalf("unknown pool error = %v", err)
+	}
+	if _, err := srv.Submit("p", []JobSpec{{Z: 0.2, Seed: 1, Behaviors: []string{"time-traveler"}}}, nil); err == nil {
+		t.Fatal("unknown behavior admitted")
+	}
+	if _, err := srv.Submit("p", []JobSpec{{Z: 0.2, Seed: 1}}, []string{"hologram"}); err == nil {
+		t.Fatal("unknown artifact admitted")
+	}
+	if _, err := srv.Submit("p", nil, nil); err == nil {
+		t.Fatal("empty job list admitted")
+	}
+	if _, err := srv.CreatePool(PoolSpec{Name: "p", TrueW: []float64{1, 2}}); err == nil {
+		t.Fatal("duplicate pool admitted")
+	}
+	if _, err := srv.CreatePool(PoolSpec{Name: "bad", TrueW: []float64{1}}); err == nil {
+		t.Fatal("one-processor pool admitted")
+	}
+	if _, err := srv.CreatePool(PoolSpec{Name: "bad", TrueW: []float64{1, 2}, Network: "ring"}); err == nil {
+		t.Fatal("unknown network admitted")
+	}
+	if _, err := srv.CreatePool(PoolSpec{Name: "bad", TrueW: []float64{1, 2}, Policy: "lenient"}); err == nil {
+		t.Fatal("unknown policy admitted")
+	}
+}
+
+// TestFaultyJobThroughService runs a job under a fault plan through the
+// pool and checks the transport counters surface in the result.
+func TestFaultyJobThroughService(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	if _, err := srv.CreatePool(PoolSpec{Name: "p", TrueW: []float64{1, 1.5, 2, 2.5}}); err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{
+		Z: 0.2, Seed: 7,
+		Faults: faultPlan(0.2),
+		Retry:  &protocol.RetryPolicy{MaxAttempts: 8},
+	}
+	tasks, err := srv.Submit("p", []JobSpec{spec}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tasks[0].Wait()
+	if res.Error != "" {
+		t.Fatalf("faulty job failed: %s", res.Error)
+	}
+	if res.Fault == nil || res.Fault.Retransmits == 0 {
+		t.Fatalf("fault stats = %+v, want retransmissions recorded", res.Fault)
+	}
+
+	// Payments under faults stay bit-identical to the direct run.
+	direct, err := protocol.Run(protocol.Config{
+		Network: dlt.NCPFE, Z: 0.2, TrueW: []float64{1, 1.5, 2, 2.5}, Seed: 7,
+		Faults: faultPlan(0.2), Retry: protocol.RetryPolicy{MaxAttempts: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalF64(res.Payments, direct.Payments) {
+		t.Fatalf("payments %v, direct faulty run got %v", res.Payments, direct.Payments)
+	}
+}

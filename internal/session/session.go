@@ -6,6 +6,13 @@
 // future jobs, forfeiting its stream of bonuses. The session tracks the
 // cumulative ledger across rounds and implements pluggable reputation
 // policies.
+//
+// The package exposes two granularities. Run plays a fixed slice of jobs
+// and returns an aggregate Report — the one-shot experiment shape. State
+// and Step expose the same machinery one round at a time, so a
+// long-running owner (internal/service keeps one State per named pool)
+// can interleave rounds with other work while the reputation state and
+// the warm Keys ring persist between jobs.
 package session
 
 import (
@@ -16,6 +23,7 @@ import (
 	"dlsbl/internal/bus"
 	"dlsbl/internal/dlt"
 	"dlsbl/internal/protocol"
+	"dlsbl/internal/sig"
 )
 
 // Policy decides what happens to processors the referee fined.
@@ -44,6 +52,10 @@ type Job struct {
 	Z         float64
 	Seed      int64
 	Behaviors []agent.Behavior
+	// NBlocks and BlockSize override the round's dataset granularity;
+	// zero selects the protocol defaults (64·m blocks of 32 bytes).
+	NBlocks   int
+	BlockSize int
 	// Faults, when non-nil, runs this round over an unreliable bus (see
 	// bus.FaultPlan); Retry bounds the round's retransmission machinery.
 	// A processor EVICTED for unreachability is not a deviant: it is not
@@ -64,6 +76,26 @@ type Session struct {
 	Fine float64
 	// Policy is the reputation rule.
 	Policy Policy
+	// Keys, when non-nil, keeps the pool warm between rounds: every round
+	// reuses the ring's cached Ed25519 pairs instead of regenerating
+	// them, cutting the dominant per-run cost. Payments are unaffected
+	// (see protocol.Config.Keys).
+	Keys *sig.Keyring
+}
+
+// State is the reputation state a pool carries between rounds. Step
+// mutates it in place; a fresh NewState starts a pool with a clean
+// record.
+type State struct {
+	// Round counts the jobs played so far.
+	Round int
+	// CumulativeUtility[i] sums processor i's utility over all rounds.
+	CumulativeUtility []float64
+	// Banned[i] is true if processor i was excluded at some point;
+	// BannedAfter[i] is the round index whose verdict banned it (-1 if
+	// never).
+	Banned      []bool
+	BannedAfter []int
 }
 
 // Report aggregates a session.
@@ -79,69 +111,107 @@ type Report struct {
 	BannedAfter []int
 }
 
+// NewState validates the pool and returns a clean reputation state.
+func (s *Session) NewState() (*State, error) {
+	m := len(s.TrueW)
+	if m < 2 {
+		return nil, errors.New("session: need at least two processors")
+	}
+	if s.Network != dlt.NCPFE && s.Network != dlt.NCPNFE {
+		return nil, fmt.Errorf("session: DLS-BL-NCP requires an NCP class, got %v", s.Network)
+	}
+	st := &State{
+		CumulativeUtility: make([]float64, m),
+		Banned:            make([]bool, m),
+		BannedAfter:       make([]int, m),
+	}
+	for i := range st.BannedAfter {
+		st.BannedAfter[i] = -1
+	}
+	return st, nil
+}
+
+// Step plays one job against the pool, forcing processors st has banned
+// to abstain, and folds the outcome into st. Under BanDeviants a fined
+// processor is banned from subsequent rounds; banning the
+// load-originating processor returns the round's outcome together with an
+// error (the pool has no load source without it) and leaves the ban
+// unrecorded, exactly as Run ends the session there. A protocol-level
+// failure returns a nil outcome and leaves st untouched.
+func (s *Session) Step(st *State, job Job) (*protocol.Outcome, error) {
+	m := len(s.TrueW)
+	origIdx := s.Network.Originator(m)
+	behaviors := make([]agent.Behavior, m)
+	for i := 0; i < m; i++ {
+		if i < len(job.Behaviors) {
+			behaviors[i] = job.Behaviors[i]
+		}
+		if st.Banned[i] {
+			behaviors[i] = agent.Behavior{Name: "banned", Abstain: true}
+		}
+	}
+	out, err := protocol.Run(protocol.Config{
+		Network:   s.Network,
+		Z:         job.Z,
+		TrueW:     s.TrueW,
+		Behaviors: behaviors,
+		Fine:      s.Fine,
+		NBlocks:   job.NBlocks,
+		BlockSize: job.BlockSize,
+		Seed:      job.Seed,
+		Faults:    job.Faults,
+		Retry:     job.Retry,
+		Keys:      s.Keys,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("session: round %d: %w", st.Round, err)
+	}
+	round := st.Round
+	st.Round++
+	for i := 0; i < m; i++ {
+		st.CumulativeUtility[i] += out.Utilities[i]
+	}
+	if s.Policy == BanDeviants {
+		for i := 0; i < m; i++ {
+			if out.Fines[i] > 0 && !st.Banned[i] {
+				if i == origIdx {
+					return out, fmt.Errorf("session: round %d banned the load-originating processor P%d; the pool has no load source", round, i+1)
+				}
+				st.Banned[i] = true
+				st.BannedAfter[i] = round
+			}
+		}
+	}
+	return out, nil
+}
+
 // Run plays the jobs in order. Under BanDeviants, a processor fined in
 // round r is forced to abstain from rounds r+1…; banning the
 // load-originating processor ends the session with an error (the pool
 // has no load source without it).
 func (s *Session) Run(jobs []Job) (*Report, error) {
-	m := len(s.TrueW)
-	if m < 2 {
-		return nil, errors.New("session: need at least two processors")
-	}
 	if len(jobs) == 0 {
 		return nil, errors.New("session: no jobs")
 	}
-	if s.Network != dlt.NCPFE && s.Network != dlt.NCPNFE {
-		return nil, fmt.Errorf("session: DLS-BL-NCP requires an NCP class, got %v", s.Network)
+	st, err := s.NewState()
+	if err != nil {
+		return nil, err
 	}
-	origIdx := s.Network.Originator(m)
-
 	rep := &Report{
-		CumulativeUtility: make([]float64, m),
-		Banned:            make([]bool, m),
-		BannedAfter:       make([]int, m),
+		CumulativeUtility: st.CumulativeUtility,
+		Banned:            st.Banned,
+		BannedAfter:       st.BannedAfter,
 	}
-	for i := range rep.BannedAfter {
-		rep.BannedAfter[i] = -1
-	}
-
-	for round, job := range jobs {
-		behaviors := make([]agent.Behavior, m)
-		for i := 0; i < m; i++ {
-			if i < len(job.Behaviors) {
-				behaviors[i] = job.Behaviors[i]
-			}
-			if rep.Banned[i] {
-				behaviors[i] = agent.Behavior{Name: "banned", Abstain: true}
-			}
+	for _, job := range jobs {
+		out, err := s.Step(st, job)
+		if out != nil {
+			rep.Rounds = append(rep.Rounds, out)
 		}
-		out, err := protocol.Run(protocol.Config{
-			Network:   s.Network,
-			Z:         job.Z,
-			TrueW:     s.TrueW,
-			Behaviors: behaviors,
-			Fine:      s.Fine,
-			Seed:      job.Seed,
-			Faults:    job.Faults,
-			Retry:     job.Retry,
-		})
 		if err != nil {
-			return nil, fmt.Errorf("session: round %d: %w", round, err)
-		}
-		rep.Rounds = append(rep.Rounds, out)
-		for i := 0; i < m; i++ {
-			rep.CumulativeUtility[i] += out.Utilities[i]
-		}
-		if s.Policy == BanDeviants {
-			for i := 0; i < m; i++ {
-				if out.Fines[i] > 0 && !rep.Banned[i] {
-					if i == origIdx {
-						return rep, fmt.Errorf("session: round %d banned the load-originating processor P%d; the pool has no load source", round, i+1)
-					}
-					rep.Banned[i] = true
-					rep.BannedAfter[i] = round
-				}
+			if out == nil {
+				return nil, err
 			}
+			return rep, err
 		}
 	}
 	return rep, nil

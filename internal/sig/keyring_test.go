@@ -1,0 +1,82 @@
+package sig
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestKeyringPutGet(t *testing.T) {
+	r := NewKeyring()
+	if _, ok := r.Get("P1"); ok {
+		t.Fatal("empty ring returned a key")
+	}
+	k1, err := GenerateKeyPair("P1", DeterministicSource(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put(k1); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Get("P1")
+	if !ok || got != k1 {
+		t.Fatal("ring did not return the deposited pair")
+	}
+
+	// First deposit wins: a second pair under the same identity is a
+	// no-op, so concurrent warmups cannot swap a pool's identity keys.
+	k2, err := GenerateKeyPair("P1", DeterministicSource(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put(k2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := r.Get("P1"); got != k1 {
+		t.Fatal("second Put replaced the first pair")
+	}
+	if r.Len() != 1 || len(r.Identities()) != 1 {
+		t.Fatalf("len = %d, identities = %v", r.Len(), r.Identities())
+	}
+}
+
+func TestKeyringNilSafety(t *testing.T) {
+	var r *Keyring
+	if _, ok := r.Get("P1"); ok {
+		t.Fatal("nil ring returned a key")
+	}
+	if err := r.Put(&KeyPair{}); err == nil {
+		t.Fatal("Put on nil ring should error")
+	}
+	if err := NewKeyring().Put(nil); err == nil {
+		t.Fatal("Put(nil) should error")
+	}
+	if r.Len() != 0 {
+		t.Fatal("nil ring has nonzero length")
+	}
+}
+
+func TestKeyringConcurrent(t *testing.T) {
+	r := NewKeyring()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k, err := GenerateKeyPair("P1", DeterministicSource(int64(i+1)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := r.Put(k); err != nil {
+				t.Error(err)
+			}
+			if _, ok := r.Get("P1"); !ok {
+				t.Error("Get after Put missed")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Len() != 1 {
+		t.Fatalf("len = %d after concurrent deposits of one identity", r.Len())
+	}
+}
