@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-service vet ci serve bench-smoke bench-payments bench-faults faults-soak fuzz-smoke clean
+.PHONY: all build test race race-service vet ci serve bench-smoke bench-payments bench-faults bench-multiload faults-soak fuzz-smoke fuzz-short cover clean
 
 all: build test
 
@@ -28,8 +28,30 @@ race-service:
 
 # The full gate a change must pass before merging: build, vet, the
 # race-enabled test suite (which includes the service load test and the
-# protocol transport under -race), and a short fuzz pass.
-ci: build vet race fuzz-smoke
+# protocol transport under -race), the coverage floor, and a short run
+# of every fuzz target.
+ci: build vet race cover fuzz-short
+
+# Statement-coverage gate. The floor is set just under the measured
+# suite-wide figure so a change that lands untested code fails loudly;
+# raise it when coverage rises, never lower it to make a change fit.
+COVER_FLOOR ?= 75.0
+cover:
+	$(GO) test -count=1 -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total statement coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || \
+		{ echo "coverage $$total% fell below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# Ten seconds of every fuzz target: the mechanism engine against the
+# naive baseline, envelope tampering, the DLT closed forms, and the
+# bid-session membership model.
+fuzz-short:
+	$(GO) test -run=NONE -fuzz=FuzzEngineParity -fuzztime=10s ./internal/core/
+	$(GO) test -run=NONE -fuzz=FuzzEnvelopeTampering -fuzztime=10s ./internal/sig/
+	$(GO) test -run=NONE -fuzz=FuzzOptimal -fuzztime=10s ./internal/dlt/
+	$(GO) test -run=NONE -fuzz=FuzzLinear -fuzztime=10s ./internal/dlt/
+	$(GO) test -run=NONE -fuzz=FuzzBidSessionMembership -fuzztime=10s ./internal/protocol/
 
 # Run the scheduling daemon with its demo pool on :8080. See the
 # README's "Service mode" section for the client conversation.
@@ -47,6 +69,11 @@ faults-soak:
 bench-faults:
 	$(GO) test -run=NONE -bench='BroadcastReliable|ProtocolRun' -benchmem ./internal/bus/ ./internal/protocol/
 	$(GO) run ./cmd/dls-bench -faults
+
+# Amortized multi-load bidding vs per-job bidding → BENCH_MULTILOAD.json:
+# wall time, bus traffic and the payment-parity check for k-job streams.
+bench-multiload:
+	$(GO) run ./cmd/dls-bench -multiload
 
 # One iteration of every benchmark — catches bit-rot in the bench
 # harness without paying for real measurements.

@@ -11,6 +11,7 @@
 //	dls-bench -list         # list experiments
 //	dls-bench -json         # benchmark the payment paths → BENCH_PAYMENTS.json
 //	dls-bench -faults       # benchmark the fault-tolerant transport → BENCH_FAULTS.json
+//	dls-bench -multiload    # benchmark amortized bidding → BENCH_MULTILOAD.json
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run experiments concurrently (results still print in order)")
 	jsonBench := flag.Bool("json", false, "benchmark the payment paths and write BENCH_PAYMENTS.json (honors -o)")
 	faultsBench := flag.Bool("faults", false, "benchmark the fault-tolerant transport and write BENCH_FAULTS.json (honors -o)")
+	multiloadBench := flag.Bool("multiload", false, "benchmark amortized multi-load bidding and write BENCH_MULTILOAD.json (honors -o)")
 	flag.Parse()
 
 	if *jsonBench {
@@ -50,6 +52,17 @@ func main() {
 			path = *outPath
 		}
 		if err := runFaultsBench(*seed, path); err != nil {
+			fmt.Fprintf(os.Stderr, "dls-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *multiloadBench {
+		path := "BENCH_MULTILOAD.json"
+		if *outPath != "" {
+			path = *outPath
+		}
+		if err := runMultiloadBench(*seed, path); err != nil {
 			fmt.Fprintf(os.Stderr, "dls-bench: %v\n", err)
 			os.Exit(1)
 		}

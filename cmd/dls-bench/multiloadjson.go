@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"dlsbl/internal/dlt"
+	"dlsbl/internal/protocol"
+	"dlsbl/internal/sig"
+)
+
+// The -multiload mode benchmarks amortized bidding end-to-end and writes
+// BENCH_MULTILOAD.json (sibling of BENCH_PAYMENTS.json and
+// BENCH_FAULTS.json): for each pool size it times a k-job stream played
+// per-job (full five phases every load) against the same stream played
+// through a protocol.BidSession (bid once, reuse k−1 times), records both
+// modes' bus traffic, and re-checks the payment parity the amortization
+// promises. Both modes run on a warm keyring so the comparison isolates
+// the bidding exchanges, not key generation.
+
+type multiloadCase struct {
+	Name    string  `json:"name"`
+	M       int     `json:"m"`
+	K       int     `json:"k"`
+	NsPerOp float64 `json:"ns_per_op"` // one full k-job stream
+	BytesOp float64 `json:"bytes_per_op"`
+	Iters   int     `json:"iterations"`
+
+	Deliveries int `json:"deliveries"` // bus deliveries for the whole stream
+	Messages   int `json:"messages"`
+	// Amortized-mode round shape: the bidding round's deliveries vs the
+	// steady-state reuse round's (per-job only sets Deliveries/Messages).
+	BidRound   int `json:"bid_round_deliveries,omitempty"`
+	ReuseRound int `json:"reuse_round_deliveries,omitempty"`
+}
+
+type multiloadReport struct {
+	Tool       string          `json:"tool"`
+	Seed       int64           `json:"seed"`
+	GoVersion  string          `json:"go_version"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	K          int             `json:"k"`
+	PayParity  bool            `json:"payments_identical"`
+	Cases      []multiloadCase `json:"cases"`
+}
+
+func runMultiloadBench(seed int64, path string) error {
+	const k = 8
+	report := multiloadReport{
+		Tool:       "dls-bench -multiload",
+		Seed:       seed,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		K:          k,
+		PayParity:  true,
+	}
+
+	for _, m := range []int{4, 16, 32} {
+		in := dlt.DefaultRandomInstance(newSeededRng(seed, m), dlt.NCPFE, m)
+		keys := sig.NewKeyring()
+
+		perJob := func() ([]*protocol.Outcome, int, int, error) {
+			outs := make([]*protocol.Outcome, k)
+			deliv, msgs := 0, 0
+			for j := 0; j < k; j++ {
+				out, err := protocol.Run(protocol.Config{
+					Network: dlt.NCPFE, Z: in.Z, TrueW: in.W,
+					Seed: seed + int64(j), NBlocks: 8 * m, Keys: keys,
+				})
+				if err != nil {
+					return nil, 0, 0, err
+				}
+				outs[j] = out
+				deliv += out.BusStats.Deliveries
+				msgs += out.BusStats.Messages
+			}
+			return outs, deliv, msgs, nil
+		}
+		amortized := func() ([]*protocol.Outcome, *multiloadCase, error) {
+			sess, err := protocol.NewBidSession(protocol.Config{
+				Network: dlt.NCPFE, Z: in.Z, TrueW: in.W, Keys: keys,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			outs := make([]*protocol.Outcome, k)
+			var c multiloadCase
+			for j := 0; j < k; j++ {
+				out, err := sess.Run(protocol.JobConfig{Seed: seed + int64(j), NBlocks: 8 * m})
+				if err != nil {
+					return nil, nil, err
+				}
+				outs[j] = out
+				c.Deliveries += out.BusStats.Deliveries
+				c.Messages += out.BusStats.Messages
+				if j == 0 {
+					c.BidRound = out.BusStats.Deliveries
+				} else {
+					c.ReuseRound = out.BusStats.Deliveries
+				}
+			}
+			return outs, &c, nil
+		}
+
+		// One traced pass for the traffic columns and the parity check.
+		perOuts, perDeliv, perMsgs, err := perJob()
+		if err != nil {
+			return fmt.Errorf("per-job/m=%d: %w", m, err)
+		}
+		amOuts, amCase, err := amortized()
+		if err != nil {
+			return fmt.Errorf("amortized/m=%d: %w", m, err)
+		}
+		for j := 0; j < k; j++ {
+			for i := range in.W {
+				if perOuts[j].Payments[i] != amOuts[j].Payments[i] {
+					report.PayParity = false
+				}
+			}
+		}
+
+		pc, err := measure(func() error { _, _, _, err := perJob(); return err })
+		if err != nil {
+			return fmt.Errorf("per-job/m=%d: %w", m, err)
+		}
+		report.Cases = append(report.Cases, multiloadCase{
+			Name: "multiload/per-job", M: m, K: k,
+			NsPerOp: pc.NsPerOp, BytesOp: pc.BytesPerOp, Iters: pc.Iterations,
+			Deliveries: perDeliv, Messages: perMsgs,
+		})
+
+		ac, err := measure(func() error { _, _, err := amortized(); return err })
+		if err != nil {
+			return fmt.Errorf("amortized/m=%d: %w", m, err)
+		}
+		amCase.Name, amCase.M, amCase.K = "multiload/amortized", m, k
+		amCase.NsPerOp, amCase.BytesOp, amCase.Iters = ac.NsPerOp, ac.BytesPerOp, ac.Iterations
+		report.Cases = append(report.Cases, *amCase)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("dls-bench: wrote %d multiload benchmark cases to %s (payment parity: %v)\n",
+		len(report.Cases), path, report.PayParity)
+	return nil
+}

@@ -315,6 +315,19 @@ type EvictionEvent = protocol.EvictionEvent
 // a trusted control processor (extension X11's baseline).
 func RunProtocolCP(cfg ProtocolConfig) (*ProtocolOutcome, error) { return protocol.RunCP(cfg) }
 
+// BidSession amortizes the Bidding phase across a stream of loads: bid
+// once, allocate many times, re-bid only on membership or rate change.
+// Payments are bit-identical to per-job bidding; per-job control traffic
+// drops Θ(m²) → Θ(m) after the first round (see DESIGN.md §10).
+type BidSession = protocol.BidSession
+
+// JobConfig is one load served by a BidSession.
+type JobConfig = protocol.JobConfig
+
+// NewBidSession validates the pool config (per-job fields must be unset)
+// and returns a session whose first Run bids and whose later Runs reuse.
+func NewBidSession(cfg ProtocolConfig) (*BidSession, error) { return protocol.NewBidSession(cfg) }
+
 // ---- Rendering and experiments ----
 
 // GanttOptions controls timeline rendering.

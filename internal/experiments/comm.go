@@ -33,6 +33,7 @@ func init() {
 					TrueW:   w,
 					Seed:    seed + int64(m),
 					NBlocks: 8 * m,
+					Keys:    expKeys,
 				})
 				if err != nil {
 					return Result{}, err

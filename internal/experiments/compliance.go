@@ -19,6 +19,7 @@ func complianceConfig() protocol.Config {
 		Z:       0.2,
 		TrueW:   append([]float64(nil), complianceTrueW...),
 		Seed:    11,
+		Keys:    expKeys,
 	}
 }
 

@@ -26,13 +26,13 @@ func init() {
 					w[i] = 0.5 + rng.Float64()*7.5
 				}
 				cp, err := protocol.RunCP(protocol.Config{
-					Network: dlt.CP, Z: 0.1, TrueW: w, Seed: seed, NBlocks: 8 * m,
+					Network: dlt.CP, Z: 0.1, TrueW: w, Seed: seed, NBlocks: 8 * m, Keys: expKeys,
 				})
 				if err != nil {
 					return Result{}, err
 				}
 				ncp, err := protocol.Run(protocol.Config{
-					Network: dlt.NCPFE, Z: 0.1, TrueW: w, Seed: seed, NBlocks: 8 * m,
+					Network: dlt.NCPFE, Z: 0.1, TrueW: w, Seed: seed, NBlocks: 8 * m, Keys: expKeys,
 				})
 				if err != nil {
 					return Result{}, err

@@ -1,15 +1,20 @@
 package experiments
 
 import (
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
+
+	"dlsbl/internal/dlt"
+	"dlsbl/internal/protocol"
+	"dlsbl/internal/sig"
 )
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 28 {
-		t.Fatalf("registry has %d experiments, want 28 (E1…E12 + X1…X16)", len(all))
+	if len(all) != 29 {
+		t.Fatalf("registry has %d experiments, want 29 (E1…E12 + X1…X17)", len(all))
 	}
 	for k := 0; k < 12; k++ {
 		want := "E" + strconv.Itoa(k+1)
@@ -17,7 +22,7 @@ func TestRegistryComplete(t *testing.T) {
 			t.Errorf("position %d: id %s, want %s", k, all[k].ID, want)
 		}
 	}
-	for k := 0; k < 16; k++ {
+	for k := 0; k < 17; k++ {
 		want := "X" + strconv.Itoa(k+1)
 		if all[12+k].ID != want {
 			t.Errorf("position %d: id %s, want %s", 12+k, all[12+k].ID, want)
@@ -260,5 +265,86 @@ func TestX16ParallelDeterministic(t *testing.T) {
 			t.Fatalf("X16 table not deterministic across parallel runs:\n--- first\n%s\n--- rerun\n%s",
 				first.Table.String(), again.Table.String())
 		}
+	}
+}
+
+// TestWarmKeyringParity pins the harness-wide keyring (expKeys) as pure
+// overhead removal: the same config run cold (fresh keys) and warm
+// (cached keys) must produce bit-identical economics, because bids,
+// allocations, meters and ledger flows never look at the key bytes.
+func TestWarmKeyringParity(t *testing.T) {
+	cfg := func(keys *sig.Keyring) protocol.Config {
+		return protocol.Config{
+			Network: dlt.NCPFE, Z: 0.2, TrueW: []float64{1, 1.5, 2, 2.5},
+			Seed: 11, Keys: keys,
+		}
+	}
+	cold, err := protocol.Run(cfg(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := protocol.Run(cfg(expKeys)) // first warm run also warms the ring
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewarm, err := protocol.Run(cfg(expKeys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string][]float64{"warm": warm.Payments, "rewarm": rewarm.Payments} {
+		if !reflect.DeepEqual(got, cold.Payments) {
+			t.Errorf("%s payments = %v, cold run got %v", name, got, cold.Payments)
+		}
+	}
+	if !reflect.DeepEqual(warm.Utilities, cold.Utilities) || !reflect.DeepEqual(rewarm.Utilities, cold.Utilities) {
+		t.Errorf("utilities diverge: cold %v warm %v rewarm %v", cold.Utilities, warm.Utilities, rewarm.Utilities)
+	}
+	if !reflect.DeepEqual(warm.Alloc, cold.Alloc) || warm.Makespan != cold.Makespan {
+		t.Errorf("schedule diverges: cold alloc %v warm %v", cold.Alloc, warm.Alloc)
+	}
+}
+
+// TestX17AmortizationShape pins X17's two claims: amortization never
+// moves a payment, and the reuse-round traffic is Θ(m) while the full
+// round stays Θ(m²).
+func TestX17AmortizationShape(t *testing.T) {
+	e, ok := ByID("X17")
+	if !ok {
+		t.Fatal("X17 not registered")
+	}
+	res, err := e.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Notes, "0 payment mismatches") {
+		t.Errorf("X17 amortization changed payments: %s", res.Notes)
+	}
+	// Parse the two exponents out of "∝ m^<p> (R²=…)".
+	var exps []float64
+	rest := res.Notes
+	for {
+		i := strings.Index(rest, "m^")
+		if i < 0 {
+			break
+		}
+		rest = rest[i+2:]
+		end := strings.IndexAny(rest, " (")
+		p, err := strconv.ParseFloat(rest[:end], 64)
+		if err != nil {
+			t.Fatalf("cannot parse exponent from %q", rest)
+		}
+		exps = append(exps, p)
+	}
+	if len(exps) != 2 {
+		t.Fatalf("X17 notes carry %d exponents, want 2: %s", len(exps), res.Notes)
+	}
+	if exps[0] < 1.7 || exps[0] > 2.2 {
+		t.Errorf("full-round exponent %v not ≈ 2", exps[0])
+	}
+	if exps[1] < 0.8 || exps[1] > 1.3 {
+		t.Errorf("reuse-round exponent %v not ≈ 1", exps[1])
+	}
+	if exps[0]-exps[1] < 0.5 {
+		t.Errorf("amortization did not drop the traffic order: full m^%.2f vs reuse m^%.2f", exps[0], exps[1])
 	}
 }

@@ -34,7 +34,7 @@ func init() {
 			for i := range w {
 				w[i] = 0.5 + rng.Float64()*7.5
 			}
-			base := protocol.Config{Network: dlt.NCPFE, Z: 0.1, TrueW: w, Seed: seed, NBlocks: 8 * m}
+			base := protocol.Config{Network: dlt.NCPFE, Z: 0.1, TrueW: w, Seed: seed, NBlocks: 8 * m, Keys: expKeys}
 			reliable, err := protocol.Run(base)
 			if err != nil {
 				return Result{}, err

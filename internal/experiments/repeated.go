@@ -33,7 +33,7 @@ func init() {
 						}
 						return jobs, nil
 					}
-					s := &session.Session{Network: dlt.NCPFE, TrueW: trueW, Fine: fine, Policy: policy}
+					s := &session.Session{Network: dlt.NCPFE, TrueW: trueW, Fine: fine, Policy: policy, Keys: expKeys}
 					honestJobs, err := mk(false)
 					if err != nil {
 						return Result{}, err

@@ -1,0 +1,432 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"dlsbl/internal/agent"
+	"dlsbl/internal/bus"
+	"dlsbl/internal/referee"
+	"dlsbl/internal/sig"
+)
+
+// Bid reuse across a stream of loads. The paper re-runs the full Θ(m²)
+// signed bid exchange for every load, but Theorem 2.2 (order-independence)
+// and the strategyproofness argument (Theorem 3.1) hold for ANY load size
+// once the bid vector is fixed: the bids are per-unit processing times,
+// independent of how much load arrives. A BidSession therefore runs the
+// Bidding phase once, keeps the verified signed bids, and serves any
+// number of Allocation/Processing/Payment rounds against them — re-bidding
+// only when the member set changes (join, leave, eviction, abstention) or
+// a processor announces a different rate. Per-job traffic drops from
+// Θ(m²) to Θ(m) after round one: Θ(m² + k·m) across k jobs.
+//
+// Every round gets a fresh session-salted round ID folded into the signed
+// per-round artifacts and the referee's audit transcript, so a message
+// captured in round j and replayed in round j+1 is detectable (its round
+// stamp no longer matches). The cached bid envelopes carry the ID of the
+// round they were signed in — their "bid epoch" — and the referee is bound
+// to both IDs each round (referee.BindRounds).
+
+// bidCache is the product of one clean Bidding phase: the agreed bid
+// vector, the signed envelopes behind it, and the bus traffic the exchange
+// cost (what every reuse round saves). It is valid for exactly the member
+// set and bid values it was captured with; BidSession re-bids the moment
+// either changes, and executeRound independently re-verifies every cached
+// envelope before serving a round from it.
+type bidCache struct {
+	epoch   string   // round ID the bids were signed in
+	procs   []string // participant ids, index order
+	bids    []float64
+	bidEnvs []sig.Envelope
+	fine    float64   // F in force when the bids were established
+	bidding bus.Stats // traffic the bid exchange cost
+	served  int       // reuse rounds served so far
+}
+
+// captureBidCache snapshots the verified bid set right after a clean
+// Bidding phase. Bidding is the first traffic on the bus, so the stats at
+// this instant are exactly the exchange's cost.
+func (r *run) captureBidCache() *bidCache {
+	return &bidCache{
+		epoch:   r.roundID,
+		procs:   append([]string(nil), r.procs...),
+		bids:    append([]float64(nil), r.bids...),
+		bidEnvs: append([]sig.Envelope(nil), r.bidEnvs...),
+		fine:    r.ref.Fine(),
+		bidding: r.net.Stats(),
+	}
+}
+
+// reuseBidding stands in for phaseBidding on a reuse round: it installs
+// the cached bid set after re-verifying every envelope against this
+// round's fresh PKI registry — the cache is trusted for liveness, never
+// for authenticity — and brings the referee into existence bound to the
+// current round and the cache's bid epoch. An O(m) pass instead of the
+// Θ(m²) exchange.
+func (r *run) reuseBidding(c *bidCache) error {
+	r.xp.beginPhase()
+	if r.bidEpoch != c.epoch {
+		return fmt.Errorf("protocol: round bound to bid epoch %q but cache holds epoch %q", r.bidEpoch, c.epoch)
+	}
+	if len(c.procs) != r.m {
+		return fmt.Errorf("protocol: bid cache holds %d processors, round has %d (stale member set)", len(c.procs), r.m)
+	}
+	for i, p := range r.procs {
+		if c.procs[i] != p {
+			return fmt.Errorf("protocol: bid cache processor %d is %s, round has %s (stale member set)", i, c.procs[i], p)
+		}
+	}
+	for i, env := range c.bidEnvs {
+		var bp referee.BidPayload
+		if err := env.Open(r.reg, &bp); err != nil {
+			return fmt.Errorf("protocol: cached bid of %s failed re-verification: %w", c.procs[i], err)
+		}
+		if env.Sender != c.procs[i] || bp.Proc != c.procs[i] {
+			return fmt.Errorf("protocol: cached bid %d signed by %q, want %q", i, env.Sender, c.procs[i])
+		}
+		if bp.Round != c.epoch {
+			return fmt.Errorf("protocol: cached bid of %s carries round %q, epoch is %q", c.procs[i], bp.Round, c.epoch)
+		}
+		if bp.Bid != c.bids[i] {
+			return fmt.Errorf("protocol: cached bid of %s is %v in the envelope, %v in the cache", c.procs[i], bp.Bid, c.bids[i])
+		}
+		if got := r.agents[i].Bid(); got != c.bids[i] {
+			return fmt.Errorf("protocol: %s now bids %v but the cache holds %v; a rebid round is required", c.procs[i], got, c.bids[i])
+		}
+	}
+	r.bids = append([]float64(nil), c.bids...)
+	r.bidEnvs = append([]sig.Envelope(nil), c.bidEnvs...)
+	var err error
+	r.ref, err = referee.New(r.reg, r.ledger, r.mech, r.procs, c.fine)
+	if err != nil {
+		return err
+	}
+	r.ref.BindRounds(r.roundID, r.bidEpoch)
+	r.outcome.FineMagnitude = c.fine
+	c.served++
+	r.ref.RecordBidReuse(c.epoch, c.served)
+	return nil
+}
+
+// JobConfig describes one load served by a BidSession. The session owns
+// the network class, bus rate z, member set, true rates, fine and keyring;
+// a job brings everything load-specific. Behaviors are indexed by the
+// session's member (config) index and default to honest; members that
+// left or were evicted are forced to Abstain regardless.
+type JobConfig struct {
+	// Z overrides nothing — the bus rate is session state. (Field order
+	// mirrors Config for the load-specific subset.)
+
+	// Seed drives key generation (first round only — later rounds hit the
+	// session keyring) and the synthetic dataset.
+	Seed int64
+	// NBlocks and BlockSize set the dataset granularity; zero selects the
+	// protocol defaults.
+	NBlocks   int
+	BlockSize int
+	// Behaviors assigns per-member strategies for this job.
+	Behaviors []agent.Behavior
+	// Faults and Retry configure the link layer for this job.
+	Faults *bus.FaultPlan
+	Retry  RetryPolicy
+}
+
+// bidProfile is what a member's Bidding-phase conduct would look like this
+// round: whether it participates, what it would bid, and whether it would
+// deviate during bidding (equivocate or raise a false accusation). Two
+// rounds with element-wise equal profiles produce byte-identical bid
+// exchanges, so the cached one can serve — the reuse decision is this
+// comparison and nothing else, which is what makes "never re-bids when
+// nothing changed" and "always re-bids when something did" hold by
+// construction.
+type bidProfile struct {
+	present   bool
+	bid       float64
+	hasSecond bool
+	second    float64
+	accuses   bool
+}
+
+// SessionStats counts what a BidSession did and saved.
+type SessionStats struct {
+	// Rounds is the number of Run calls that produced an outcome or error.
+	Rounds int
+	// Rebids is the number of rounds that ran a full Bidding phase.
+	Rebids int
+	// RoundsSinceRebid counts consecutive reuse rounds since the last
+	// rebid.
+	RoundsSinceRebid int
+	// BidEpoch is the round ID the cached bids were signed in; empty
+	// before the first successful bidding round.
+	BidEpoch string
+	// SavedMessages / SavedDeliveries / SavedUnits total the bus traffic
+	// the reuse rounds avoided (the cached Bidding exchange's cost, once
+	// per reuse round). Deliveries is the Θ(m²) term: m broadcasts × m−1
+	// receivers each.
+	SavedMessages   int
+	SavedDeliveries int
+	SavedUnits      int
+}
+
+// Member describes one active session member.
+type Member struct {
+	Index int     // config index, stable for the session's lifetime
+	ID    string  // processor id, "P<Index+1>"
+	W     float64 // announced per-unit processing time
+}
+
+// BidSession amortizes the Bidding phase across a stream of loads. It is
+// not safe for concurrent use: callers (the service layer's per-pool
+// runners, the session chainer) serialize rounds.
+//
+// Member indices are config indices: a member that leaves keeps its index
+// (as a permanent abstainer) so later joins never alias an old identity —
+// signed bids name "P<i+1>" and identity reuse would let an old member's
+// envelopes verify for a new one. Note the load originator
+// (Network.Originator) can never leave: NCP-FE pins P1, NCP-NFE pins the
+// highest index, so under NCP-NFE each Join transfers the originator role
+// to the newcomer.
+type BidSession struct {
+	base  Config // Network, Z, Fine, Keys; TrueW/Behaviors are per-round
+	trueW []float64
+	gone  []bool
+	salt  string
+
+	cache        *bidCache
+	cacheProfile []bidProfile
+
+	rounds     int
+	rebids     int
+	sinceRebid int
+	saved      bus.Stats
+}
+
+// NewBidSession creates a session over cfg's network class, bus rate,
+// initial member rates, fine policy and keyring. cfg.Behaviors, Seed,
+// NBlocks, BlockSize, Faults and Retry are per-job (JobConfig) and must be
+// zero here. A nil cfg.Keys gets a fresh keyring — the ring is what lets a
+// reuse round's fresh PKI registry verify envelopes signed rounds ago.
+func NewBidSession(cfg Config) (*BidSession, error) {
+	if cfg.Behaviors != nil || cfg.Faults != nil || cfg.NBlocks != 0 || cfg.BlockSize != 0 || cfg.Seed != 0 || (cfg.Retry != RetryPolicy{}) {
+		return nil, errors.New("protocol: per-job fields (Behaviors, Seed, NBlocks, BlockSize, Faults, Retry) belong in JobConfig, not the session Config")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &BidSession{
+		base:  cfg,
+		trueW: append([]float64(nil), cfg.TrueW...),
+		gone:  make([]bool, len(cfg.TrueW)),
+		salt:  sessionSalt(cfg),
+	}
+	if s.base.Keys == nil {
+		s.base.Keys = sig.NewKeyring()
+	}
+	return s, nil
+}
+
+// sessionSalt derives a deterministic session identifier from the
+// founding configuration, so round IDs are reproducible for a given
+// session history (no clock, no global RNG).
+func sessionSalt(cfg Config) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%g|%v", cfg.Network, cfg.Z, cfg.TrueW)
+	return fmt.Sprintf("s%016x", h.Sum64())
+}
+
+// Run serves one load. It decides reuse-vs-rebid by comparing this job's
+// bid profile against the cached one, stamps the round with a fresh
+// session-salted ID, and on a rebid round captures the new bid set. A
+// round that errors changes no session state other than consuming its
+// round number.
+func (s *BidSession) Run(job JobConfig) (*Outcome, error) {
+	s.rounds++
+	round := fmt.Sprintf("%s:r%d", s.salt, s.rounds)
+	cfg := s.roundConfig(job)
+	prof := profileFor(cfg)
+
+	if s.cache != nil && profilesEqual(prof, s.cacheProfile) {
+		out, _, err := executeRound(cfg, roundBinding{round: round, epoch: s.cache.epoch}, s.cache)
+		if err != nil {
+			return nil, err
+		}
+		s.sinceRebid++
+		s.saved.Messages += s.cache.bidding.Messages
+		s.saved.Deliveries += s.cache.bidding.Deliveries
+		s.saved.Units += s.cache.bidding.Units
+		return out, nil
+	}
+
+	out, cache, err := executeRound(cfg, roundBinding{round: round, epoch: round}, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.rebids++
+	s.sinceRebid = 0
+	// Bidding-phase evictions permanently remove members; the captured
+	// cache (if any) already holds survivors only, so the profile it is
+	// filed under must mark the evicted absent too.
+	for i, ev := range out.Evicted {
+		if ev && i < len(s.gone) {
+			s.gone[i] = true
+			prof[i] = bidProfile{}
+		}
+	}
+	if cache != nil {
+		// A terminated Bidding phase (equivocation verdict, unfounded
+		// accusation) yields no cache; the previous cache — if its member
+		// set still matches a future profile — remains serviceable.
+		s.cache = cache
+		s.cacheProfile = prof
+	}
+	return out, nil
+}
+
+// roundConfig assembles the per-round protocol Config: session state plus
+// the job's load-specific fields, with departed members forced to Abstain.
+func (s *BidSession) roundConfig(job JobConfig) Config {
+	cfg := Config{
+		Network:   s.base.Network,
+		Z:         s.base.Z,
+		TrueW:     append([]float64(nil), s.trueW...),
+		Fine:      s.base.Fine,
+		NBlocks:   job.NBlocks,
+		BlockSize: job.BlockSize,
+		Seed:      job.Seed,
+		Faults:    job.Faults,
+		Retry:     job.Retry,
+		Keys:      s.base.Keys,
+	}
+	behaviors := make([]agent.Behavior, len(s.trueW))
+	for i := range behaviors {
+		if i < len(job.Behaviors) {
+			behaviors[i] = job.Behaviors[i]
+		}
+		if s.gone[i] {
+			behaviors[i] = agent.Behavior{Name: "departed", Abstain: true}
+		}
+	}
+	cfg.Behaviors = behaviors
+	return cfg
+}
+
+// profileFor derives the bid profile a Config would produce, mirroring
+// agent.Bid/SecondBid exactly (same expressions, so float equality is
+// sound).
+func profileFor(cfg Config) []bidProfile {
+	prof := make([]bidProfile, len(cfg.TrueW))
+	for i, w := range cfg.TrueW {
+		var b agent.Behavior
+		if i < len(cfg.Behaviors) {
+			b = cfg.Behaviors[i]
+		}
+		b = b.Normalize()
+		if b.Abstain {
+			continue
+		}
+		p := bidProfile{present: true, bid: b.BidFactor * w, accuses: b.FalseEquivocationReport}
+		if b.Equivocate {
+			p.hasSecond = true
+			p.second = p.bid * b.EquivocationFactor
+		}
+		prof[i] = p
+	}
+	return prof
+}
+
+func profilesEqual(a, b []bidProfile) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Join adds a member with per-unit processing time w and returns its
+// config index. The next Run re-bids (the profile grew). Under NCP-NFE the
+// newcomer becomes the load originator (P_m originates).
+func (s *BidSession) Join(w float64) (int, error) {
+	if !(w > 0) || math.IsInf(w, 0) {
+		return 0, fmt.Errorf("protocol: invalid rate %v", w)
+	}
+	s.trueW = append(s.trueW, w)
+	s.gone = append(s.gone, false)
+	return len(s.trueW) - 1, nil
+}
+
+// Leave removes member i from all future rounds. The load originator
+// cannot leave (without it there is no load source), and at least two
+// members must remain. The next Run re-bids.
+func (s *BidSession) Leave(i int) error {
+	if i < 0 || i >= len(s.trueW) {
+		return fmt.Errorf("protocol: no member %d", i)
+	}
+	if s.gone[i] {
+		return fmt.Errorf("protocol: member P%d already left", i+1)
+	}
+	if i == s.base.Network.Originator(len(s.trueW)) {
+		return fmt.Errorf("protocol: the load-originating processor P%d cannot leave", i+1)
+	}
+	active := 0
+	for j, g := range s.gone {
+		if !g && j != i {
+			active++
+		}
+	}
+	if active < 2 {
+		return errors.New("protocol: need at least two remaining members")
+	}
+	s.gone[i] = true
+	return nil
+}
+
+// AnnounceRate records member i's new per-unit processing time. If the
+// value actually differs, the next Run re-bids; announcing the current
+// rate changes nothing and triggers no rebid (the profile is unchanged).
+func (s *BidSession) AnnounceRate(i int, w float64) error {
+	if i < 0 || i >= len(s.trueW) {
+		return fmt.Errorf("protocol: no member %d", i)
+	}
+	if s.gone[i] {
+		return fmt.Errorf("protocol: member P%d has left", i+1)
+	}
+	if !(w > 0) || math.IsInf(w, 0) {
+		return fmt.Errorf("protocol: invalid rate %v", w)
+	}
+	s.trueW[i] = w
+	return nil
+}
+
+// Members lists the active members.
+func (s *BidSession) Members() []Member {
+	var out []Member
+	for i, w := range s.trueW {
+		if !s.gone[i] {
+			out = append(out, Member{Index: i, ID: fmt.Sprintf("P%d", i+1), W: w})
+		}
+	}
+	return out
+}
+
+// Stats reports the session counters.
+func (s *BidSession) Stats() SessionStats {
+	st := SessionStats{
+		Rounds:           s.rounds,
+		Rebids:           s.rebids,
+		RoundsSinceRebid: s.sinceRebid,
+		SavedMessages:    s.saved.Messages,
+		SavedDeliveries:  s.saved.Deliveries,
+		SavedUnits:       s.saved.Units,
+	}
+	if s.cache != nil {
+		st.BidEpoch = s.cache.epoch
+	}
+	return st
+}

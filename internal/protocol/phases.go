@@ -30,7 +30,7 @@ func (r *run) bidExchange() (received [][]bus.Message, firstEnvs []sig.Envelope,
 	var msgs []logical
 	firstEnvs = make([]sig.Envelope, r.m)
 	for i, a := range r.agents {
-		env, err := sig.Seal(a.Key, referee.KindBid, referee.BidPayload{Proc: a.ID, Bid: a.Bid()})
+		env, err := sig.Seal(a.Key, referee.KindBid, referee.BidPayload{Proc: a.ID, Bid: a.Bid(), Round: r.roundID})
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -42,7 +42,7 @@ func (r *run) bidExchange() (received [][]bus.Message, firstEnvs []sig.Envelope,
 		msgs = append(msgs, logical{sender: i, env: env, nonce: nonce, primary: true})
 		if second, ok := a.SecondBid(); ok {
 			// Equivocators broadcast a second, contradictory bid.
-			env2, err := sig.Seal(a.Key, referee.KindBid, referee.BidPayload{Proc: a.ID, Bid: second})
+			env2, err := sig.Seal(a.Key, referee.KindBid, referee.BidPayload{Proc: a.ID, Bid: second, Round: r.roundID})
 			if err != nil {
 				return nil, nil, nil, err
 			}
@@ -267,6 +267,8 @@ func (r *run) phaseBidding() (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	// A round that runs its own Bidding phase IS its bids' epoch.
+	r.ref.BindRounds(r.roundID, r.bidEpoch)
 	r.outcome.FineMagnitude = fine
 	// Evictions are availability failures, not offenses: they enter the
 	// audit transcript (action "eviction") but carry no fine.
@@ -358,13 +360,16 @@ func (r *run) signedBidVector(i int) (sig.Envelope, error) {
 	a := r.agents[i]
 	envs := append([]sig.Envelope(nil), r.bidEnvs...)
 	if a.Behavior.TamperBidVectorEntry {
-		forged, err := sig.Seal(a.Key, referee.KindBid, referee.BidPayload{Proc: a.ID, Bid: a.TamperedOwnBid()})
+		// The forger stamps the current bid epoch — an off-epoch entry
+		// would be rejected outright; this way the fresh signature itself
+		// is what convicts (Lemma 5.2).
+		forged, err := sig.Seal(a.Key, referee.KindBid, referee.BidPayload{Proc: a.ID, Bid: a.TamperedOwnBid(), Round: r.bidEpoch})
 		if err != nil {
 			return sig.Envelope{}, err
 		}
 		envs[i] = forged
 	}
-	return sig.Seal(a.Key, referee.KindBidVector, referee.BidVectorPayload{Proc: a.ID, Bids: envs})
+	return sig.Seal(a.Key, referee.KindBidVector, referee.BidVectorPayload{Proc: a.ID, Bids: envs, Round: r.roundID})
 }
 
 // workDoneAt returns the termination compensations when a claim stops the
@@ -642,7 +647,7 @@ func (r *run) phasePayments() error {
 	subs := make(map[string][]sig.Envelope, r.m)
 	for i, a := range r.agents {
 		q := a.PaymentVector(out.Payment, i)
-		env, err := sig.Seal(a.Key, referee.KindPayment, referee.PaymentPayload{Proc: a.ID, Q: q})
+		env, err := sig.Seal(a.Key, referee.KindPayment, referee.PaymentPayload{Proc: a.ID, Q: q, Round: r.roundID})
 		if err != nil {
 			return err
 		}
@@ -653,7 +658,7 @@ func (r *run) phasePayments() error {
 		if a.Behavior.EquivocatePayments {
 			q2 := append([]float64(nil), q...)
 			q2[i] += 1
-			env2, err := sig.Seal(a.Key, referee.KindPayment, referee.PaymentPayload{Proc: a.ID, Q: q2})
+			env2, err := sig.Seal(a.Key, referee.KindPayment, referee.PaymentPayload{Proc: a.ID, Q: q2, Round: r.roundID})
 			if err != nil {
 				return err
 			}

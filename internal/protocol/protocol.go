@@ -182,6 +182,12 @@ type Outcome struct {
 	// dedup discards, backoff time, evictions); all zeros on a reliable
 	// bus.
 	Fault FaultStats
+	// RoundID is the session-salted round identifier this outcome was
+	// produced under; empty for standalone Run invocations.
+	RoundID string
+	// BidReused is true when the round was served from a BidSession's
+	// cached bid set instead of a fresh Bidding phase.
+	BidReused bool
 	// BusStats is the control-plane traffic (Theorem 5.4), including the
 	// bus-level fault counters (drops, duplicates, …).
 	BusStats bus.Stats
@@ -229,31 +235,78 @@ type run struct {
 	assigns []workload.Assignment
 	nBlocks int
 	origIdx int
+	// roundID / bidEpoch are the session round identifiers (see
+	// roundBinding); both empty for standalone runs.
+	roundID  string
+	bidEpoch string
 }
 
-// Run executes the protocol.
+// roundBinding names the session round a protocol execution belongs to.
+// round is the current round's session-salted ID, stamped on every signed
+// per-round artifact (bid vectors, payment vectors) and on every audit
+// entry; epoch is the round the bid set in force was signed in — equal to
+// round when this execution runs its own Bidding phase, older when it is
+// served from a BidSession cache. The zero value is the standalone case:
+// no message carries a round and none is checked.
+type roundBinding struct {
+	round string
+	epoch string
+}
+
+// Run executes the protocol standalone: five full phases, no session.
 func Run(cfg Config) (*Outcome, error) {
+	out, _, err := executeRound(cfg, roundBinding{}, nil)
+	return out, err
+}
+
+// executeRound executes one protocol round. With a nil cache it runs the
+// full five phases and, when Bidding completes cleanly, captures the
+// verified bid set into a fresh bidCache for reuse. With a non-nil cache
+// it skips the Θ(m²) bid exchange entirely: the cached, already-verified
+// signed bids are re-checked against this round's fresh PKI registry (an
+// O(m) pass) and the remaining phases run against them.
+func executeRound(cfg Config, rb roundBinding, cache *bidCache) (*Outcome, *bidCache, error) {
 	if err := cfg.validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	r, err := setup(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if terminated, err := r.phaseBidding(); err != nil || terminated {
-		return r.finish(err)
+	r.roundID, r.bidEpoch = rb.round, rb.epoch
+	var fresh *bidCache
+	finish := func(e error) (*Outcome, *bidCache, error) {
+		out, ferr := r.finish(e)
+		if ferr != nil {
+			return nil, nil, ferr
+		}
+		out.RoundID = rb.round
+		out.BidReused = cache != nil
+		return out, fresh, nil
+	}
+	if cache != nil {
+		if err := r.reuseBidding(cache); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		terminated, err := r.phaseBidding()
+		if err != nil || terminated {
+			// A terminated Bidding phase established no reusable bid set.
+			return finish(err)
+		}
+		fresh = r.captureBidCache()
 	}
 	if terminated, err := r.phaseAllocating(); err != nil || terminated {
-		return r.finish(err)
+		return finish(err)
 	}
 	if err := r.phaseProcessing(); err != nil {
-		return r.finish(err)
+		return finish(err)
 	}
 	if err := r.phasePayments(); err != nil {
-		return r.finish(err)
+		return finish(err)
 	}
 	r.outcome.Completed = true
-	return r.finish(nil)
+	return finish(nil)
 }
 
 func setup(cfg Config) (*run, error) {

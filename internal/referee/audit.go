@@ -16,15 +16,21 @@ import (
 // so no record can be silently altered, reordered or dropped without
 // breaking the chain.
 
-// AuditEntry is one transcript record.
+// AuditEntry is one transcript record. Round carries the session-salted
+// round ID the referee was bound to when the entry was sealed (empty for
+// standalone runs); it is covered by the entry hash, so the transcript
+// commits to WHICH round every adjudication belonged to — a replayed
+// message from an earlier round cannot be laundered into a later round's
+// chain without breaking it.
 type AuditEntry struct {
 	Seq      int      `json:"seq"`
-	Action   string   `json:"action"` // "verdict", "settlement", "meter", "payments", "eviction"
+	Action   string   `json:"action"` // "verdict", "settlement", "meter", "payments", "eviction", "bid-reuse"
 	Phase    string   `json:"phase"`
+	Round    string   `json:"round,omitempty"`
 	Guilty   []string `json:"guilty,omitempty"`
 	Detail   string   `json:"detail"`
 	PrevHash string   `json:"prev"`
-	Hash     string   `json:"hash"` // SHA-256 over (seq, action, phase, guilty, detail, prev)
+	Hash     string   `json:"hash"` // SHA-256 over (seq, action, phase, round, guilty, detail, prev)
 }
 
 // AuditLog is the referee's append-only, hash-chained transcript.
@@ -42,12 +48,20 @@ func (l *AuditLog) lastHash() string {
 	return l.entries[len(l.entries)-1].Hash
 }
 
-// Append records an action and returns the sealed entry.
+// Append records an action and returns the sealed entry. Standalone runs
+// have no round ID; session-bound callers use AppendRound.
 func (l *AuditLog) Append(action, phase string, guilty []string, detail string) AuditEntry {
+	return l.AppendRound("", action, phase, guilty, detail)
+}
+
+// AppendRound records an action stamped with the session round it belongs
+// to and returns the sealed entry.
+func (l *AuditLog) AppendRound(round, action, phase string, guilty []string, detail string) AuditEntry {
 	e := AuditEntry{
 		Seq:      len(l.entries),
 		Action:   action,
 		Phase:    phase,
+		Round:    round,
 		Guilty:   append([]string(nil), guilty...),
 		Detail:   detail,
 		PrevHash: l.lastHash(),

@@ -15,25 +15,35 @@ const (
 	KindClaim     = "dls/claim"      // misallocation claim
 )
 
-// BidPayload is the Bidding phase message S_Pi(b_i, P_i).
+// BidPayload is the Bidding phase message S_Pi(b_i, P_i). Round, when
+// non-empty, binds the bid to the session round it was broadcast in (its
+// bid epoch): a bid-reuse session folds a fresh session-salted round ID
+// into every signed artifact so the referee can tell a current-epoch bid
+// from a replayed or superseded one. Standalone runs leave it empty.
 type BidPayload struct {
-	Proc string  `json:"proc"`
-	Bid  float64 `json:"bid"`
+	Proc  string  `json:"proc"`
+	Bid   float64 `json:"bid"`
+	Round string  `json:"round,omitempty"`
 }
 
 // BidVectorPayload is the full vector of signed bids a party submits to
 // the referee when adjudicating an allocation claim. Every element is the
 // original signed bid envelope; a party can only alter its own entry by
 // signing a second, contradictory bid — which is equivocation evidence.
+// Round binds the vector to the round it was submitted in; a vector
+// captured in round j and replayed in round j+1 fails VerifyBidVector.
 type BidVectorPayload struct {
-	Proc string         `json:"proc"`
-	Bids []sig.Envelope `json:"bids"`
+	Proc  string         `json:"proc"`
+	Bids  []sig.Envelope `json:"bids"`
+	Round string         `json:"round,omitempty"`
 }
 
 // PaymentPayload is the Computing Payments submission S_Pi(P_i, Q).
+// Round binds the submission to its round, like BidVectorPayload.Round.
 type PaymentPayload struct {
-	Proc string    `json:"proc"`
-	Q    []float64 `json:"q"`
+	Proc  string    `json:"proc"`
+	Q     []float64 `json:"q"`
+	Round string    `json:"round,omitempty"`
 }
 
 // MetersPayload is the referee's broadcast of observed execution times

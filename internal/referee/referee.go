@@ -50,6 +50,14 @@ type Referee struct {
 	fine   float64
 	meters map[string]float64
 	audit  AuditLog
+
+	// Round binding for bid-reuse sessions. round is the current round's
+	// session-salted ID; bidEpoch is the round ID the cached bids were
+	// signed in (equal to round during a bidding round, older during a
+	// reuse round). Both empty for standalone runs, which disables every
+	// round check — legacy messages carry no Round field.
+	round    string
+	bidEpoch string
 }
 
 // New creates a referee for the given participant list (in processor
@@ -90,9 +98,31 @@ func New(reg *sig.Registry, ledger *payment.Ledger, mech core.Mechanism, procs [
 // Fine returns the publicly known fine magnitude F.
 func (r *Referee) Fine() float64 { return r.fine }
 
+// BindRounds attaches the referee to a bid-reuse session round: round is
+// the current round's session-salted ID (stamped on every audit entry and
+// demanded of every per-round artifact — bid vectors, payment vectors);
+// bidEpoch is the round the cached bids were signed in, demanded of every
+// bid envelope inside a vector and of equivocation evidence. A bidding
+// round passes round == bidEpoch; a reuse round passes the older epoch.
+// Never calling BindRounds (both empty) keeps the legacy behavior where
+// no message carries a Round field and none is checked.
+func (r *Referee) BindRounds(round, bidEpoch string) {
+	r.round = round
+	r.bidEpoch = bidEpoch
+}
+
+// RecordBidReuse enters a reuse decision into the transcript: this round
+// is being served from bids signed in epoch, sinceRebid rounds ago. The
+// entry makes the amortization auditable — a reviewer can check that the
+// member set never changed between the epoch entry and this one.
+func (r *Referee) RecordBidReuse(epoch string, sinceRebid int) AuditEntry {
+	return r.audit.AppendRound(r.round, "bid-reuse", "bidding", nil,
+		fmt.Sprintf("serving round from bids of epoch %s (%d rounds since rebid)", epoch, sinceRebid))
+}
+
 // audited appends a verdict to the hash-chained transcript and returns it.
 func (r *Referee) audited(v Verdict) Verdict {
-	r.audit.Append("verdict", v.Phase, v.Guilty, v.Reason)
+	r.audit.AppendRound(r.round, "verdict", v.Phase, v.Guilty, v.Reason)
 	return v
 }
 
@@ -103,7 +133,7 @@ func (r *Referee) audited(v Verdict) Verdict {
 // entry exists so the decision is auditable after the fact, clearly
 // distinguished from the "verdict" entries that carry fines.
 func (r *Referee) RecordEviction(proc, phase, reason string) AuditEntry {
-	return r.audit.Append("eviction", phase, nil, fmt.Sprintf("%s evicted: %s", proc, reason))
+	return r.audit.AppendRound(r.round, "eviction", phase, nil, fmt.Sprintf("%s evicted: %s", proc, reason))
 }
 
 // Transcript returns a copy of the audit log entries; VerifyEntries
@@ -149,11 +179,18 @@ func (r *Referee) CheckFineSufficient(compensations []float64) error {
 // contradictory signed bids. If the evidence holds the accused is fined
 // and the protocol terminates; if it is unfounded the accuser is fined
 // instead ("If the concerns are unfounded, P_j is penalized F").
+//
+// Under a bound session (BindRounds) both evidence envelopes must carry
+// bids of the CURRENT bid epoch. Two contradictory bids from different
+// epochs are not equivocation — a processor that announced a rate change
+// legitimately signs a new, different bid in the new epoch, and the old
+// one must not be usable to frame it. Cross-epoch "evidence" is therefore
+// unfounded and fines the accuser.
 func (r *Referee) JudgeEquivocation(accuser string, a, b sig.Envelope) (Verdict, error) {
 	if _, ok := r.index[accuser]; !ok {
 		return Verdict{}, fmt.Errorf("referee: unknown accuser %q", accuser)
 	}
-	if sig.IsEquivocation(r.reg, a, b) {
+	if sig.IsEquivocation(r.reg, a, b) && r.evidenceInEpoch(a) && r.evidenceInEpoch(b) {
 		if _, ok := r.index[a.Sender]; !ok {
 			return Verdict{}, fmt.Errorf("referee: equivocation by non-participant %q", a.Sender)
 		}
@@ -172,6 +209,22 @@ func (r *Referee) JudgeEquivocation(accuser string, a, b sig.Envelope) (Verdict,
 	}), nil
 }
 
+// evidenceInEpoch reports whether an equivocation-evidence envelope is a
+// bid of the current bid epoch. Outside a session (empty bidEpoch) every
+// envelope qualifies. An envelope that fails to open also qualifies —
+// sig.IsEquivocation has already vouched for both signatures by the time
+// this runs, so an unopenable payload cannot occur on the true branch.
+func (r *Referee) evidenceInEpoch(env sig.Envelope) bool {
+	if r.bidEpoch == "" {
+		return true
+	}
+	var bp BidPayload
+	if err := env.Open(r.reg, &bp); err != nil {
+		return true
+	}
+	return bp.Round == r.bidEpoch
+}
+
 // ---- Allocating Load phase ---------------------------------------------
 
 // VerifyBidVector checks one party's submitted vector of signed bids:
@@ -185,6 +238,10 @@ func (r *Referee) VerifyBidVector(env sig.Envelope) ([]float64, error) {
 	if vec.Proc != env.Sender {
 		return nil, fmt.Errorf("referee: vector payload names %q but was sent by %q", vec.Proc, env.Sender)
 	}
+	if vec.Round != r.round {
+		return nil, fmt.Errorf("referee: vector from %s carries round %q, current round is %q (stale-round replay?)",
+			env.Sender, vec.Round, r.round)
+	}
 	if len(vec.Bids) != len(r.procs) {
 		return nil, fmt.Errorf("referee: vector has %d bids for %d processors", len(vec.Bids), len(r.procs))
 	}
@@ -197,6 +254,10 @@ func (r *Referee) VerifyBidVector(env sig.Envelope) ([]float64, error) {
 		if bidEnv.Sender != r.procs[j] || bp.Proc != r.procs[j] {
 			return nil, fmt.Errorf("referee: bid %d in %s's vector signed by %q, want %q",
 				j, env.Sender, bidEnv.Sender, r.procs[j])
+		}
+		if bp.Round != r.bidEpoch {
+			return nil, fmt.Errorf("referee: bid %d in %s's vector signed in epoch %q, current bid epoch is %q",
+				j, env.Sender, bp.Round, r.bidEpoch)
 		}
 		if !(bp.Bid > 0) || math.IsInf(bp.Bid, 0) {
 			return nil, fmt.Errorf("referee: bid %d in %s's vector is invalid (%v)", j, env.Sender, bp.Bid)
@@ -343,7 +404,7 @@ func (r *Referee) RecordMeter(proc string, phi float64) error {
 		return fmt.Errorf("referee: invalid meter reading %v for %s", phi, proc)
 	}
 	r.meters[proc] = phi
-	r.audit.Append("meter", "processing", nil, fmt.Sprintf("%s reported φ=%.9g", proc, phi))
+	r.audit.AppendRound(r.round, "meter", "processing", nil, fmt.Sprintf("%s reported φ=%.9g", proc, phi))
 	return nil
 }
 
@@ -417,6 +478,10 @@ func (r *Referee) JudgePayments(bids, exec []float64, submissions map[string][]s
 		}
 		if envs[0].Sender != p || pp.Proc != p {
 			guilty[p] = "payment vector sender mismatch"
+			continue
+		}
+		if pp.Round != r.round {
+			guilty[p] = fmt.Sprintf("payment vector carries round %q, current round is %q (stale-round replay?)", pp.Round, r.round)
 			continue
 		}
 		if len(pp.Q) != m {
@@ -541,7 +606,7 @@ func (r *Referee) Settle(v Verdict, workDone map[string]float64) error {
 			return err
 		}
 	}
-	r.audit.Append("settlement", v.Phase, v.Guilty,
+	r.audit.AppendRound(r.round, "settlement", v.Phase, v.Guilty,
 		fmt.Sprintf("collected %.6g, work compensation %.6g, share %.6g to each of %d non-deviants", collected, paidWork, share, nonDeviating))
 	return nil
 }

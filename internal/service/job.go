@@ -117,6 +117,10 @@ type JobResult struct {
 	Completed     bool    `json:"completed"`
 	TerminatedIn  string  `json:"terminated_in,omitempty"`
 	FineMagnitude float64 `json:"fine_magnitude,omitempty"`
+	// BidReused marks a round served from the pool's cached bid set
+	// (Multiload pools); RoundID is its session-salted round identifier.
+	BidReused bool   `json:"bid_reused,omitempty"`
+	RoundID   string `json:"round_id,omitempty"`
 
 	Bids      []float64 `json:"bids,omitempty"`
 	Alloc     []float64 `json:"alloc,omitempty"`
@@ -149,6 +153,8 @@ func (r *JobResult) fill(out *protocol.Outcome, artifacts map[string]bool) {
 	r.Completed = out.Completed
 	r.TerminatedIn = out.TerminatedIn
 	r.FineMagnitude = out.FineMagnitude
+	r.BidReused = out.BidReused
+	r.RoundID = out.RoundID
 	r.Bids = out.Bids
 	r.Alloc = out.Alloc
 	r.Payments = out.Payments

@@ -25,6 +25,12 @@ type PoolSpec struct {
 	Fine float64 `json:"fine,omitempty"`
 	// Policy is "forgive" (default) or "ban-deviants".
 	Policy string `json:"policy,omitempty"`
+	// Multiload amortizes the Bidding phase across the pool's jobs: the
+	// pool bids once and later rounds reuse the cached signed bids,
+	// re-bidding only when the bid profile changes (ban, eviction,
+	// behavior change). Θ(m) control-plane traffic per job instead of
+	// Θ(m²); payments are unchanged. See session.Session.Multiload.
+	Multiload bool `json:"multiload,omitempty"`
 }
 
 // Pool is a registered processor pool: a persistent session whose
@@ -80,11 +86,12 @@ func newPool(spec PoolSpec) (*Pool, error) {
 		return nil, err
 	}
 	sess := &session.Session{
-		Network: network,
-		TrueW:   append([]float64(nil), spec.TrueW...),
-		Fine:    spec.Fine,
-		Policy:  policy,
-		Keys:    sig.NewKeyring(),
+		Network:   network,
+		TrueW:     append([]float64(nil), spec.TrueW...),
+		Fine:      spec.Fine,
+		Policy:    policy,
+		Keys:      sig.NewKeyring(),
+		Multiload: spec.Multiload,
 	}
 	state, err := sess.NewState()
 	if err != nil {
@@ -132,12 +139,23 @@ type PoolSnapshot struct {
 	Banned            []string  `json:"banned,omitempty"`
 	CumulativeUtility []float64 `json:"cumulative_utility"`
 	WarmKeys          int       `json:"warm_keys"`
+
+	// Amortized-bidding telemetry (Multiload pools). RoundsSinceRebid
+	// counts consecutive rounds served from the cached bids;
+	// MessagesSaved / DeliveriesSaved total the bus traffic the avoided
+	// Bidding exchanges would have cost (Deliveries is the Θ(m²) term).
+	Multiload        bool `json:"multiload,omitempty"`
+	Rebids           int  `json:"rebids,omitempty"`
+	RoundsSinceRebid int  `json:"rounds_since_rebid,omitempty"`
+	MessagesSaved    int  `json:"messages_saved,omitempty"`
+	DeliveriesSaved  int  `json:"deliveries_saved,omitempty"`
 }
 
 // Snapshot returns the pool's current state.
 func (p *Pool) Snapshot() PoolSnapshot {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	bs := p.state.BidStats()
 	return PoolSnapshot{
 		Name:              p.spec.Name,
 		Network:           p.network.String(),
@@ -150,6 +168,11 @@ func (p *Pool) Snapshot() PoolSnapshot {
 		Banned:            bannedNames(p.procNames, p.state.Banned),
 		CumulativeUtility: append([]float64(nil), p.state.CumulativeUtility...),
 		WarmKeys:          p.sess.Keys.Len(),
+		Multiload:         p.spec.Multiload,
+		Rebids:            bs.Rebids,
+		RoundsSinceRebid:  bs.RoundsSinceRebid,
+		MessagesSaved:     bs.SavedMessages,
+		DeliveriesSaved:   bs.SavedDeliveries,
 	}
 }
 

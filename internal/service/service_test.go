@@ -370,3 +370,124 @@ func TestFaultyJobThroughService(t *testing.T) {
 		t.Fatalf("payments %v, direct faulty run got %v", res.Payments, direct.Payments)
 	}
 }
+
+// TestMultiloadPoolAmortizesBidding pins the service's amortized-bidding
+// surface: a multiload pool bids once, streams bid_reused=true for every
+// later job, exposes the savings in its snapshot, and still produces
+// payments bit-identical to a per-job pool over the same specs.
+func TestMultiloadPoolAmortizesBidding(t *testing.T) {
+	w := []float64{1, 1.5, 2, 2.5}
+	srv := New(Config{Workers: 4, QueueDepth: 64})
+	defer srv.Close()
+	if _, err := srv.CreatePool(PoolSpec{Name: "amortized", TrueW: w, Multiload: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.CreatePool(PoolSpec{Name: "perjob", TrueW: w}); err != nil {
+		t.Fatal(err)
+	}
+
+	specs := make([]JobSpec, 5)
+	for i := range specs {
+		specs[i] = JobSpec{Z: 0.2, Seed: int64(i + 1)}
+	}
+
+	warm, err := srv.Submit("amortized", specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := srv.Submit("perjob", specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := len(w)
+	for i := range specs {
+		wres, cres := warm[i].Wait(), cold[i].Wait()
+		if wres.Error != "" || cres.Error != "" {
+			t.Fatalf("job %d: warm=%q cold=%q", i, wres.Error, cres.Error)
+		}
+		if wres.BidReused != (i > 0) {
+			t.Errorf("job %d: bid_reused = %v, want %v", i, wres.BidReused, i > 0)
+		}
+		if wres.RoundID == "" {
+			t.Errorf("job %d: multiload result has no round_id", i)
+		}
+		if cres.BidReused || cres.RoundID != "" {
+			t.Errorf("job %d: per-job pool leaked multiload fields: reused=%v id=%q",
+				i, cres.BidReused, cres.RoundID)
+		}
+		if !equalF64(wres.Payments, cres.Payments) {
+			t.Errorf("job %d payments diverge: multiload %v, per-job %v", i, wres.Payments, cres.Payments)
+		}
+		if !equalF64(wres.Utilities, cres.Utilities) {
+			t.Errorf("job %d utilities diverge: multiload %v, per-job %v", i, wres.Utilities, cres.Utilities)
+		}
+	}
+
+	p, _ := srv.Pool("amortized")
+	snap := p.Snapshot()
+	if !snap.Multiload {
+		t.Error("snapshot does not mark the pool multiload")
+	}
+	if snap.Rebids != 1 || snap.RoundsSinceRebid != len(specs)-1 {
+		t.Errorf("snapshot rebids=%d sinceRebid=%d, want 1 and %d", snap.Rebids, snap.RoundsSinceRebid, len(specs)-1)
+	}
+	// Each of the 4 reuse rounds skips m bid broadcasts (m·m deliveries).
+	if want := (len(specs) - 1) * m * m; snap.DeliveriesSaved != want {
+		t.Errorf("snapshot deliveries_saved=%d, want %d", snap.DeliveriesSaved, want)
+	}
+	if snap.MessagesSaved != (len(specs)-1)*m {
+		t.Errorf("snapshot messages_saved=%d, want %d", snap.MessagesSaved, (len(specs)-1)*m)
+	}
+
+	cp, _ := srv.Pool("perjob")
+	csnap := cp.Snapshot()
+	if csnap.Multiload || csnap.Rebids != 0 || csnap.DeliveriesSaved != 0 {
+		t.Errorf("per-job pool snapshot leaked multiload telemetry: %+v", csnap)
+	}
+}
+
+// TestMultiloadPoolRebidsAfterBan drives a ban-deviants multiload pool
+// through a cheat round and checks the service re-bids exactly once — the
+// ban flips the bid profile — then settles back into reuse.
+func TestMultiloadPoolRebidsAfterBan(t *testing.T) {
+	w := []float64{1, 1.5, 2, 2.5}
+	srv := New(Config{Workers: 2, QueueDepth: 64})
+	defer srv.Close()
+	if _, err := srv.CreatePool(PoolSpec{Name: "strict", TrueW: w, Policy: "ban-deviants", Multiload: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	specs := make([]JobSpec, 5)
+	for i := range specs {
+		specs[i] = JobSpec{Z: 0.2, Seed: int64(i + 1)}
+	}
+	specs[1].Behaviors = []string{"", "payment-cheat-2x"}
+
+	tasks, err := srv.Submit("strict", specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 0 bids; round 1 reuses (a payment cheat doesn't move the
+	// bids); round 2 re-bids because P2's ban forces it to abstain;
+	// rounds 3-4 reuse the post-ban cache.
+	wantReused := []bool{false, true, false, true, true}
+	for i, task := range tasks {
+		res := task.Wait()
+		if res.Error != "" {
+			t.Fatalf("job %d: %s", i, res.Error)
+		}
+		if res.BidReused != wantReused[i] {
+			t.Errorf("job %d: bid_reused = %v, want %v", i, res.BidReused, wantReused[i])
+		}
+	}
+
+	p, _ := srv.Pool("strict")
+	snap := p.Snapshot()
+	if snap.Rebids != 2 || snap.RoundsSinceRebid != 2 {
+		t.Errorf("snapshot rebids=%d sinceRebid=%d, want 2 and 2", snap.Rebids, snap.RoundsSinceRebid)
+	}
+	if got := snap.Banned; len(got) != 1 || got[0] != "P2" {
+		t.Errorf("banned = %v, want [P2]", got)
+	}
+}

@@ -81,6 +81,15 @@ type Session struct {
 	// them, cutting the dominant per-run cost. Payments are unaffected
 	// (see protocol.Config.Keys).
 	Keys *sig.Keyring
+	// Multiload amortizes the Bidding phase across the pool's rounds via
+	// a protocol.BidSession: the pool bids once and every later round is
+	// served from the cached signed bids — Θ(m) control-plane traffic per
+	// job instead of Θ(m²) — re-bidding automatically when the effective
+	// bid profile changes (a ban forcing abstention, a behavior change
+	// that moves a bid, an eviction). The first multiload round's Z
+	// founds the bid session; later rounds must carry the same Z. The
+	// economics are identical either way (see TestBidReuseParityProperty).
+	Multiload bool
 }
 
 // State is the reputation state a pool carries between rounds. Step
@@ -96,6 +105,39 @@ type State struct {
 	// never).
 	Banned      []bool
 	BannedAfter []int
+	// Traffic accumulates the pool's control-plane bus traffic across
+	// rounds, and — under Multiload — the traffic bid reuse avoided.
+	Traffic TrafficStats
+
+	// bid is the pool's amortized bidding session (Multiload only),
+	// created lazily on the first Step; bidZ is the Z it was founded
+	// with.
+	bid  *protocol.BidSession
+	bidZ float64
+}
+
+// TrafficStats totals a pool's control-plane traffic across rounds.
+type TrafficStats struct {
+	// Messages / Deliveries / Units are what actually crossed the bus
+	// (bus.Stats semantics: Messages counts a broadcast once, Deliveries
+	// counts receiver-side arrivals — the Θ(m²) term).
+	Messages   int
+	Deliveries int
+	Units      int
+	// MessagesSaved / DeliveriesSaved / UnitsSaved total the Bidding
+	// exchanges that bid reuse avoided; zero outside Multiload.
+	MessagesSaved   int
+	DeliveriesSaved int
+	UnitsSaved      int
+}
+
+// BidStats reports the pool's amortized-bidding counters (zero value
+// outside Multiload or before the first round).
+func (st *State) BidStats() protocol.SessionStats {
+	if st.bid == nil {
+		return protocol.SessionStats{}
+	}
+	return st.bid.Stats()
 }
 
 // Report aggregates a session.
@@ -150,21 +192,36 @@ func (s *Session) Step(st *State, job Job) (*protocol.Outcome, error) {
 			behaviors[i] = agent.Behavior{Name: "banned", Abstain: true}
 		}
 	}
-	out, err := protocol.Run(protocol.Config{
-		Network:   s.Network,
-		Z:         job.Z,
-		TrueW:     s.TrueW,
-		Behaviors: behaviors,
-		Fine:      s.Fine,
-		NBlocks:   job.NBlocks,
-		BlockSize: job.BlockSize,
-		Seed:      job.Seed,
-		Faults:    job.Faults,
-		Retry:     job.Retry,
-		Keys:      s.Keys,
-	})
+	var out *protocol.Outcome
+	var err error
+	if s.Multiload {
+		out, err = s.stepMultiload(st, job, behaviors)
+	} else {
+		out, err = protocol.Run(protocol.Config{
+			Network:   s.Network,
+			Z:         job.Z,
+			TrueW:     s.TrueW,
+			Behaviors: behaviors,
+			Fine:      s.Fine,
+			NBlocks:   job.NBlocks,
+			BlockSize: job.BlockSize,
+			Seed:      job.Seed,
+			Faults:    job.Faults,
+			Retry:     job.Retry,
+			Keys:      s.Keys,
+		})
+	}
 	if err != nil {
 		return nil, fmt.Errorf("session: round %d: %w", st.Round, err)
+	}
+	st.Traffic.Messages += out.BusStats.Messages
+	st.Traffic.Deliveries += out.BusStats.Deliveries
+	st.Traffic.Units += out.BusStats.Units
+	if st.bid != nil {
+		bs := st.bid.Stats()
+		st.Traffic.MessagesSaved = bs.SavedMessages
+		st.Traffic.DeliveriesSaved = bs.SavedDeliveries
+		st.Traffic.UnitsSaved = bs.SavedUnits
 	}
 	round := st.Round
 	st.Round++
@@ -183,6 +240,37 @@ func (s *Session) Step(st *State, job Job) (*protocol.Outcome, error) {
 		}
 	}
 	return out, nil
+}
+
+// stepMultiload serves one round from the pool's BidSession, founding it
+// on first use. Bans flow in as Abstain behaviors, so a freshly banned
+// processor flips the bid profile and the session re-bids on its own —
+// Step never needs to tell it.
+func (s *Session) stepMultiload(st *State, job Job, behaviors []agent.Behavior) (*protocol.Outcome, error) {
+	if st.bid == nil {
+		bid, err := protocol.NewBidSession(protocol.Config{
+			Network: s.Network,
+			Z:       job.Z,
+			TrueW:   s.TrueW,
+			Fine:    s.Fine,
+			Keys:    s.Keys,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st.bid, st.bidZ = bid, job.Z
+	}
+	if job.Z != st.bidZ {
+		return nil, fmt.Errorf("session: multiload pool founded with z=%v cannot serve a job with z=%v", st.bidZ, job.Z)
+	}
+	return st.bid.Run(protocol.JobConfig{
+		Seed:      job.Seed,
+		NBlocks:   job.NBlocks,
+		BlockSize: job.BlockSize,
+		Behaviors: behaviors,
+		Faults:    job.Faults,
+		Retry:     job.Retry,
+	})
 }
 
 // Run plays the jobs in order. Under BanDeviants, a processor fined in

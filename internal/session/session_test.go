@@ -131,3 +131,103 @@ func TestPolicyString(t *testing.T) {
 		t.Error("policy names wrong")
 	}
 }
+
+// TestMultiloadSessionReusesBids: with Multiload on, a pool bids once and
+// serves later rounds from the cache; economics match the per-job-bidding
+// session exactly, the traffic accounting shows the saved Θ(m²)
+// exchanges, and a ban flips the bid profile so the session re-bids on
+// its own.
+func TestMultiloadSessionReusesBids(t *testing.T) {
+	jobs := honestJobs(4)
+	perJob, err := pool().Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml := pool()
+	ml.Multiload = true
+	st, err := ml.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := len(ml.TrueW)
+	for r, job := range jobs {
+		out, err := ml.Step(st, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantReuse := r > 0; out.BidReused != wantReuse {
+			t.Fatalf("round %d: BidReused=%v, want %v", r, out.BidReused, wantReuse)
+		}
+		want := perJob.Rounds[r]
+		for i := 0; i < m; i++ {
+			if out.Payments[i] != want.Payments[i] || out.Utilities[i] != want.Utilities[i] {
+				t.Fatalf("round %d: multiload economics diverge from per-job bidding", r)
+			}
+		}
+	}
+	if st.Traffic.DeliveriesSaved != 3*m*m {
+		t.Fatalf("DeliveriesSaved = %d, want 3·m² = %d", st.Traffic.DeliveriesSaved, 3*m*m)
+	}
+	if bs := st.BidStats(); bs.Rounds != 4 || bs.Rebids != 1 || bs.RoundsSinceRebid != 3 {
+		t.Fatalf("BidStats = %+v, want 4 rounds, 1 rebid, 3 since", bs)
+	}
+
+	// A ban (P2 cheats) changes the profile: the next round re-bids
+	// without P2, and the one after reuses the post-ban bids.
+	cheat := Job{Z: 0.2, Seed: 50, Behaviors: []agent.Behavior{{}, agent.PaymentCheat}}
+	out, err := ml.Step(st, cheat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.BidReused {
+		t.Fatal("payment-only cheat should not force a rebid")
+	}
+	if !st.Banned[1] {
+		t.Fatal("cheat not banned")
+	}
+	out, err = ml.Step(st, Job{Z: 0.2, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.BidReused || out.Participated[1] {
+		t.Fatalf("post-ban round: BidReused=%v Participated[1]=%v, want fresh bidding without P2",
+			out.BidReused, out.Participated[1])
+	}
+	out, err = ml.Step(st, Job{Z: 0.2, Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.BidReused || out.Participated[1] {
+		t.Fatal("post-ban steady state should reuse the survivor bids")
+	}
+
+	// The founding Z is pinned.
+	if _, err := ml.Step(st, Job{Z: 0.3, Seed: 53}); err == nil {
+		t.Fatal("multiload pool accepted a job with a different z")
+	}
+}
+
+// TestMultiloadRunAggregates: the whole-slice Run entry point works in
+// multiload mode too, bans included.
+func TestMultiloadRunAggregates(t *testing.T) {
+	s := pool()
+	s.Multiload = true
+	jobs := honestJobs(4)
+	jobs[1].Behaviors = []agent.Behavior{{}, agent.PaymentCheat}
+	rep, err := s.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Banned[1] || rep.BannedAfter[1] != 1 {
+		t.Fatalf("cheat not banned: %v after %d", rep.Banned[1], rep.BannedAfter[1])
+	}
+	for r := 2; r < 4; r++ {
+		if rep.Rounds[r].Participated[1] || !rep.Rounds[r].Completed {
+			t.Fatalf("round %d wrong without banned P2", r)
+		}
+	}
+	if !rep.Rounds[1].BidReused || rep.Rounds[2].BidReused || !rep.Rounds[3].BidReused {
+		t.Fatalf("reuse pattern = [%v %v %v %v], want [false true false true]",
+			rep.Rounds[0].BidReused, rep.Rounds[1].BidReused, rep.Rounds[2].BidReused, rep.Rounds[3].BidReused)
+	}
+}
