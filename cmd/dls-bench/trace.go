@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dlsbl/internal/agent"
+	"dlsbl/internal/bus"
+	"dlsbl/internal/dlt"
+	"dlsbl/internal/obs"
+	"dlsbl/internal/protocol"
+	"dlsbl/internal/session"
+	"dlsbl/internal/sig"
+)
+
+// runTraceBench plays a canned faulty multiload session under one
+// recorder and writes the Chrome trace-event JSON: four jobs against a
+// Multiload pool. Job 0 loses a processor to a crash fault during its
+// founding Bidding phase (eviction, retransmit storm), job 1 is served
+// from the cached bids (bid_reused, short Bidding span), job 2 changes
+// a bid and forces a mid-stream re-bid, and job 3 reuses again — the
+// full repertoire in one picture. Open the output in chrome://tracing
+// or Perfetto; each processor is a thread row, the protocol phases are
+// the slices on the "protocol" row.
+func runTraceBench(seed int64, path string) error {
+	rec := obs.NewRecorder()
+	sess := &session.Session{
+		Network:   dlt.NCPFE,
+		TrueW:     []float64{1, 1.5, 2, 2.5},
+		Keys:      sig.NewKeyring(),
+		Multiload: true,
+	}
+	st, err := sess.NewState()
+	if err != nil {
+		return err
+	}
+	overbid := []agent.Behavior{{}, {Name: "overbid", BidFactor: 1.25}}
+	jobs := []session.Job{
+		{Z: 0.2, Seed: seed,
+			Faults: &bus.FaultPlan{Seed: seed, Unresponsive: []string{"P3"}},
+			Retry:  protocol.RetryPolicy{MaxAttempts: 2}},
+		{Z: 0.2, Seed: seed + 1},
+		{Z: 0.2, Seed: seed + 2, Behaviors: overbid},
+		{Z: 0.2, Seed: seed + 3, Behaviors: overbid},
+	}
+	for i, job := range jobs {
+		job.Tracer = rec
+		if _, err := sess.Step(st, job); err != nil {
+			return fmt.Errorf("trace job %d: %w", i, err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	bs := st.BidStats()
+	fmt.Printf("trace written to %s: %d jobs, %d rebids, %d deliveries saved (open in chrome://tracing)\n",
+		path, len(jobs), bs.Rebids, bs.SavedDeliveries)
+	return nil
+}

@@ -8,11 +8,17 @@
 //
 //	dls-serve -addr :8080
 //	dls-serve -addr :8080 -workers 8 -queue 512 -pools pools.json
+//	dls-serve -addr :8080 -debug-addr 127.0.0.1:6060 -log-format json
 //
 // With no -pools file a single demo pool named "default" (ncp-fe,
 // w = 1,1.5,2,2.5) is created. pools.json is a JSON array of pool specs:
 //
 //	[{"name":"alpha","network":"ncp-fe","w":[1,2,3],"policy":"ban-deviants"}]
+//
+// -debug-addr opens a SECOND listener serving net/http/pprof and expvar
+// — kept off the API mux so profiling endpoints are never exposed on
+// the service port; bind it to loopback. Logs are structured (log/slog);
+// -log-format selects text (default) or json.
 //
 // See the README's "Service mode" section for a curl walkthrough.
 // SIGINT/SIGTERM drain gracefully: in-flight and queued jobs finish,
@@ -22,52 +28,83 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"dlsbl/internal/obs"
 	"dlsbl/internal/service"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	debugAddr := flag.String("debug-addr", "", "debug listen address for pprof and expvar (empty = disabled; bind to loopback)")
 	workers := flag.Int("workers", 0, "max concurrent protocol runs (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 256, "job queue depth before submissions get 429")
 	poolsPath := flag.String("pools", "", "JSON file with an array of pool specs (empty = one demo pool)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	drainTimeout := flag.Duration("drain", 30*time.Second, "shutdown drain timeout")
 	flag.Parse()
 
-	specs, err := loadPools(*poolsPath)
+	logger, err := newLogger(*logFormat)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "dls-serve: %v\n", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
 	}
 
-	srv := service.New(service.Config{Workers: *workers, QueueDepth: *queue})
+	specs, err := loadPools(*poolsPath)
+	if err != nil {
+		fatal("loading pools", "error", err)
+	}
+
+	srv := service.New(service.Config{Workers: *workers, QueueDepth: *queue, Logger: logger})
 	for _, spec := range specs {
 		if _, err := srv.CreatePool(spec); err != nil {
-			log.Fatalf("creating pool %q: %v", spec.Name, err)
+			fatal("creating pool", "pool", spec.Name, "error", err)
 		}
-		log.Printf("pool %q ready (m=%d)", spec.Name, len(spec.TrueW))
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("dls-serve listening on %s (%d pools, queue depth %d)", *addr, len(specs), *queue)
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: debugMux()}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug server", "error", err)
+			}
+		}()
+		logger.Info("debug endpoints up", "addr", *debugAddr,
+			"paths", "/debug/pprof/, /debug/vars")
+	}
+
+	build := obs.Build()
+	logger.Info("dls-serve listening",
+		"addr", *addr, "pools", len(specs), "queue_depth", *queue,
+		"go", build.GoVersion, "version", build.Version,
+		"vcs_revision", build.VCSRevision, "vcs_modified", build.VCSModified)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		fatal("http server", "error", err)
 	case <-ctx.Done():
 	}
-	log.Print("draining: refusing new submissions, finishing queued jobs")
+	logger.Info("draining", "detail", "refusing new submissions, finishing queued jobs")
 
 	// Drain order matters: service.Close refuses new submissions and
 	// finishes every admitted job, which unblocks the streaming handlers;
@@ -77,10 +114,39 @@ func main() {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(shutdownCtx)
 	}
 	<-done
-	log.Print("drained; bye")
+	logger.Info("drained; bye")
+}
+
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (text or json)", format)
+	}
+}
+
+// debugMux serves the opt-in diagnostics: net/http/pprof profiles and
+// the expvar JSON dump. Registered by hand on a private mux (not
+// http.DefaultServeMux) so importing pprof does not leak profiling
+// endpoints onto the API listener.
+func debugMux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }
 
 func loadPools(path string) ([]service.PoolSpec, error) {

@@ -8,6 +8,7 @@
 //	dls-sim -net ncp-fe -z 0.2 -w 1,1.5,2,2.5
 //	dls-sim -w 1,1.5,2,2.5 -deviant 1=equivocator
 //	dls-sim -w 1,1.5,2,2.5 -deviant 0=shortship-originator -v
+//	dls-sim -w 1,1.5,2,2.5 -trace run.json   # chrome://tracing view
 //
 // The -deviant flag takes index=behavior, where behavior is one of the
 // named strategies (run with -behaviors to list them).
@@ -24,6 +25,7 @@ import (
 	"dlsbl/internal/agent"
 	"dlsbl/internal/dlt"
 	"dlsbl/internal/gantt"
+	"dlsbl/internal/obs"
 	"dlsbl/internal/protocol"
 )
 
@@ -38,6 +40,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for keys and dataset")
 	verbose := flag.Bool("v", false, "print verdicts, the invoice and the realized Gantt chart")
 	jsonOut := flag.Bool("json", false, "emit the full outcome as JSON")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run (open in chrome://tracing or Perfetto)")
 	listBehaviors := flag.Bool("behaviors", false, "list behavior names and exit")
 	flag.Parse()
 
@@ -81,16 +84,28 @@ func main() {
 		behaviors[idx] = b
 	}
 
-	out, err := protocol.Run(protocol.Config{
+	var rec *obs.Recorder
+	cfg := protocol.Config{
 		Network:   net,
 		Z:         *z,
 		TrueW:     w,
 		Behaviors: behaviors,
 		Fine:      *fine,
 		Seed:      *seed,
-	})
+	}
+	if *tracePath != "" {
+		rec = obs.NewRecorder()
+		cfg.Tracer = rec
+	}
+	out, err := protocol.Run(cfg)
 	if err != nil {
 		fail(err)
+	}
+	if rec != nil {
+		if err := writeTrace(*tracePath, rec); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (open in chrome://tracing)\n", *tracePath)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -154,6 +169,18 @@ func parseFloats(s string) ([]float64, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+func writeTrace(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

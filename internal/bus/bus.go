@@ -31,6 +31,7 @@ import (
 	"sort"
 	"sync"
 
+	"dlsbl/internal/obs"
 	"dlsbl/internal/sig"
 	"dlsbl/internal/sim"
 )
@@ -86,6 +87,7 @@ type Bus struct {
 	port   *sim.Resource
 	faults *faultState
 	nonce  uint64
+	tracer obs.Tracer
 }
 
 // New creates a reliable bus with per-unit-load transfer time z ≥ 0.
@@ -145,6 +147,25 @@ func (b *Bus) Endpoints() []string {
 	return append([]string(nil), b.order...)
 }
 
+// SetTracer installs an observability tracer on the control plane: every
+// delivery outcome (arrival, drop, corruption, duplication, delay,
+// reorder) is emitted as an obs event annotated with sender, receiver and
+// message kind. A nil tracer (the default) costs nothing on the delivery
+// path.
+func (b *Bus) SetTracer(t obs.Tracer) {
+	b.mu.Lock()
+	b.tracer = t
+	b.mu.Unlock()
+}
+
+// event emits one delivery-pipeline event. Caller holds the mutex.
+func (b *Bus) event(kind string, msg Message, to string) {
+	if b.tracer == nil {
+		return
+	}
+	b.tracer.Event(obs.Event{Kind: kind, From: msg.From, To: to, Msg: msg.Kind})
+}
+
 // NextNonce allocates a fresh logical-message nonce. The retry layer
 // tags every transmission of one logical message with the same nonce.
 func (b *Bus) NextNonce() uint64 {
@@ -162,31 +183,37 @@ func (b *Bus) deliver(to string, msg Message) {
 		b.inboxes[to] = append(b.inboxes[to], msg)
 		b.stats.Deliveries++
 		b.stats.DeliveredUnits += msg.Size
+		b.event(obs.EvDeliver, msg, to)
 		return
 	}
 	if fs.unreachable[msg.From] || fs.unreachable[to] {
 		b.stats.Dropped++
+		b.event(obs.EvDrop, msg, to)
 		return
 	}
 	p := fs.plan
 	if p.Drop > 0 && fs.rng.Float64() < p.Drop {
 		b.stats.Dropped++
+		b.event(obs.EvDrop, msg, to)
 		return
 	}
 	if p.Corrupt > 0 && fs.rng.Float64() < p.Corrupt {
 		msg = corruptEnvelope(msg)
 		b.stats.Corrupted++
+		b.event(obs.EvCorrupt, msg, to)
 	}
 	copies := 1
 	if p.Duplicate > 0 && fs.rng.Float64() < p.Duplicate {
 		copies = 2
 		b.stats.Duplicated++
+		b.event(obs.EvDuplicate, msg, to)
 	}
 	for c := 0; c < copies; c++ {
 		switch {
 		case p.Delay > 0 && fs.rng.Float64() < p.Delay:
 			b.staged[to] = append(b.staged[to], msg)
 			b.stats.Delayed++
+			b.event(obs.EvDelay, msg, to)
 		case p.Reorder > 0 && len(b.inboxes[to]) > 0 && fs.rng.Float64() < p.Reorder:
 			box := b.inboxes[to]
 			at := fs.rng.Intn(len(box))
@@ -195,11 +222,13 @@ func (b *Bus) deliver(to string, msg Message) {
 			box[at] = msg
 			b.inboxes[to] = box
 			b.stats.Reordered++
+			b.event(obs.EvReorder, msg, to)
 		default:
 			b.inboxes[to] = append(b.inboxes[to], msg)
 		}
 		b.stats.Deliveries++
 		b.stats.DeliveredUnits += msg.Size
+		b.event(obs.EvDeliver, msg, to)
 	}
 }
 

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export. The output is the JSON-object form of the
+// Trace Event Format ({"traceEvents": [...]}), loadable directly in
+// chrome://tracing and in Perfetto's legacy-trace importer. Phases render
+// as complete ("X") slices on a dedicated "protocol" track; per-message
+// events render as instant ("i") marks on one track per bus endpoint
+// (per-processor, plus the referee), so a faulty round visually shows
+// WHERE the drops, retransmissions and dedup hits landed while the phase
+// slices show where the time went.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const chromePID = 1
+
+// ChromeTrace converts records into trace-event form. The records are
+// expected in emission order (Recorder.Records returns them so); begin/
+// end pairs become complete slices, unclosed begins are closed at the
+// last record's timestamp.
+func ChromeTrace(recs []Record) ([]byte, error) {
+	tr := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{{
+		Name: "process_name", Ph: "M", PID: chromePID,
+		Args: map[string]any{"name": "dls-bl-ncp"},
+	}}}
+
+	// Track assignment: tid 0 is the protocol (phase slices and
+	// endpoint-less events); each bus endpoint gets its own track in
+	// order of first appearance.
+	tids := map[string]int{"": 0}
+	tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+		Name: "thread_name", Ph: "M", PID: chromePID, TID: 0,
+		Args: map[string]any{"name": "protocol"},
+	})
+	tidFor := func(endpoint string) int {
+		if id, ok := tids[endpoint]; ok {
+			return id
+		}
+		id := len(tids)
+		tids[endpoint] = id
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePID, TID: id,
+			Args: map[string]any{"name": endpoint},
+		})
+		return id
+	}
+
+	var lastTS float64
+	type open struct {
+		idx int // index of the begin record
+		rec Record
+	}
+	var stack []open
+	closeSpan := func(o open, endTS float64) {
+		dur := endTS - o.rec.TS
+		if dur < 0 {
+			dur = 0
+		}
+		args := map[string]any{}
+		if o.rec.Round != "" {
+			args["round"] = o.rec.Round
+		}
+		if o.rec.Epoch != "" {
+			args["epoch"] = o.rec.Epoch
+		}
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: o.rec.Name, Cat: "phase", Ph: "X",
+			TS: o.rec.TS, Dur: &dur, PID: chromePID, TID: 0, Args: args,
+		})
+	}
+
+	for i, rec := range recs {
+		if rec.TS > lastTS {
+			lastTS = rec.TS
+		}
+		switch rec.Type {
+		case "begin":
+			stack = append(stack, open{idx: i, rec: rec})
+		case "end":
+			for j := len(stack) - 1; j >= 0; j-- {
+				if stack[j].rec.Name == rec.Name {
+					closeSpan(stack[j], rec.TS)
+					stack = append(stack[:j], stack[j+1:]...)
+					break
+				}
+			}
+		case "event":
+			endpoint := rec.To
+			if endpoint == "" {
+				endpoint = rec.From
+			}
+			args := map[string]any{}
+			for k, v := range map[string]string{
+				"from": rec.From, "to": rec.To, "msg": rec.Msg,
+				"round": rec.Round, "phase": rec.Phase, "detail": rec.Detail,
+			} {
+				if v != "" {
+					args[k] = v
+				}
+			}
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: rec.Name, Cat: "event", Ph: "i", S: "t",
+				TS: rec.TS, PID: chromePID, TID: tidFor(endpoint), Args: args,
+			})
+		default:
+			return nil, fmt.Errorf("obs: unknown record type %q (seq %d)", rec.Type, rec.Seq)
+		}
+	}
+	// Unclosed spans (a run that errored out mid-phase) close at the last
+	// observed timestamp, innermost first.
+	for j := len(stack) - 1; j >= 0; j-- {
+		closeSpan(stack[j], lastTS)
+	}
+	return json.MarshalIndent(tr, "", " ")
+}
+
+// WriteChromeTrace writes the retained records as Chrome trace-event
+// JSON. Load the file via chrome://tracing ("Load") or ui.perfetto.dev
+// ("Open trace file").
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	data, err := ChromeTrace(r.Records())
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// drive emits a small but representative trace: two nested-free phases,
+// bus events inside them, and a protocol incident carrying its own round.
+func drive(t Tracer) {
+	t.BeginPhase(PhaseBidding, "s1:r1", "s1:r1")
+	t.Event(Event{Kind: EvDeliver, From: "P1", To: "P2", Msg: "dls/bid"})
+	t.Event(Event{Kind: EvDrop, From: "P2", To: "P3", Msg: "dls/bid"})
+	t.Event(Event{Kind: EvEviction, From: "P3", Round: "s1:r1", Detail: "unreachable"})
+	t.EndPhase(PhaseBidding)
+	t.BeginPhase(PhasePayments, "s1:r1", "s1:r1")
+	t.Event(Event{Kind: EvDeliver, From: "P1", To: "referee", Msg: "dls/payment"})
+	t.EndPhase(PhasePayments)
+}
+
+func TestRecorderSequencingAndAnnotation(t *testing.T) {
+	r := NewRecorder()
+	drive(r)
+	recs := r.Records()
+	if len(recs) != 8 {
+		t.Fatalf("got %d records, want 8", len(recs))
+	}
+	lastTS := -1.0
+	for i, rec := range recs {
+		if rec.Seq != i {
+			t.Errorf("record %d has seq %d", i, rec.Seq)
+		}
+		if rec.TS < lastTS {
+			t.Errorf("record %d timestamp %v went backwards (prev %v)", i, rec.TS, lastTS)
+		}
+		lastTS = rec.TS
+	}
+	// Events inherit the enclosing phase and its round.
+	if recs[1].Phase != PhaseBidding || recs[1].Round != "s1:r1" {
+		t.Errorf("deliver event not annotated: phase=%q round=%q", recs[1].Phase, recs[1].Round)
+	}
+	// An explicit event round wins over the span's.
+	if recs[3].Name != EvEviction || recs[3].Round != "s1:r1" {
+		t.Errorf("eviction event mangled: %+v", recs[3])
+	}
+	// Records() returns a copy.
+	recs[0].Name = "mutated"
+	if r.Records()[0].Name == "mutated" {
+		t.Error("Records() aliased the recorder's internal slice")
+	}
+}
+
+func TestEndPhaseWithoutBegin(t *testing.T) {
+	r := NewRecorder()
+	r.EndPhase("never-opened") // must not panic
+	r.Event(Event{Kind: EvDeliver, From: "a", To: "b"})
+	if got := len(r.Records()); got != 2 {
+		t.Fatalf("got %d records, want 2", got)
+	}
+	if r.Records()[1].Phase != "" {
+		t.Error("event outside any span should carry no phase")
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	drive(r)
+	var buf bytes.Buffer
+	if err := r.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var back []Record
+	for sc.Scan() {
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d: %v", len(back), err)
+		}
+		back = append(back, rec)
+	}
+	want := r.Records()
+	if len(back) != len(want) {
+		t.Fatalf("round-tripped %d records, want %d", len(back), len(want))
+	}
+	for i := range back {
+		if back[i] != want[i] {
+			t.Errorf("record %d changed in round trip:\n got %+v\nwant %+v", i, back[i], want[i])
+		}
+	}
+}
+
+func TestStreamRetainsNothingAndWritesLines(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewStream(&buf)
+	drive(s)
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Records()); got != 0 {
+		t.Fatalf("stream recorder retained %d records", got)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 8 {
+		t.Fatalf("stream wrote %d lines, want 8", lines)
+	}
+}
+
+func TestChromeTraceStructure(t *testing.T) {
+	r := NewRecorder()
+	drive(r)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var phases, instants, meta int
+	for _, ev := range tr.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			phases++
+			if ev["dur"].(float64) < 0 {
+				t.Errorf("negative span duration: %v", ev)
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected event phase %v", ev["ph"])
+		}
+	}
+	if phases != 2 {
+		t.Errorf("got %d phase slices, want 2", phases)
+	}
+	if instants != 4 {
+		t.Errorf("got %d instant events, want 4", instants)
+	}
+	if meta < 3 { // process + protocol thread + at least one endpoint thread
+		t.Errorf("got %d metadata events, want >= 3", meta)
+	}
+}
+
+func TestChromeTraceClosesDanglingSpans(t *testing.T) {
+	r := NewRecorder()
+	r.BeginPhase(PhaseBidding, "r", "r")
+	r.Event(Event{Kind: EvDeliver, From: "P1", To: "P2"})
+	// The run died mid-phase: no EndPhase.
+	data, err := ChromeTrace(r.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"ph": "X"`)) {
+		t.Error("dangling begin did not become a complete slice")
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi(nil, nil) != nil {
+		t.Error("Multi of nils must be nil (zero-cost path)")
+	}
+	a := NewRecorder()
+	if got := Multi(nil, a); got != Tracer(a) {
+		t.Error("Multi with one live tracer should return it unwrapped")
+	}
+	b := NewRecorder()
+	m := Multi(a, b)
+	m.BeginPhase(PhaseInit, "", "")
+	m.Event(Event{Kind: EvDeliver})
+	m.EndPhase(PhaseInit)
+	if len(a.Records()) != 3 || len(b.Records()) != 3 {
+		t.Errorf("fan-out failed: a=%d b=%d records", len(a.Records()), len(b.Records()))
+	}
+}
+
+func TestBuild(t *testing.T) {
+	bi := Build()
+	if bi.GoVersion == "" {
+		t.Error("Build() must always report the Go runtime version")
+	}
+	if bi.Module != "dlsbl" {
+		t.Errorf("module = %q, want dlsbl", bi.Module)
+	}
+	if again := Build(); again != bi {
+		t.Error("Build() must be stable across calls")
+	}
+}

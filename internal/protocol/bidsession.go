@@ -8,6 +8,7 @@ import (
 
 	"dlsbl/internal/agent"
 	"dlsbl/internal/bus"
+	"dlsbl/internal/obs"
 	"dlsbl/internal/referee"
 	"dlsbl/internal/sig"
 )
@@ -108,6 +109,13 @@ func (r *run) reuseBidding(c *bidCache) error {
 	r.outcome.FineMagnitude = c.fine
 	c.served++
 	r.ref.RecordBidReuse(c.epoch, c.served)
+	if r.tracer != nil {
+		r.tracer.Event(obs.Event{
+			Kind:   obs.EvBidReused,
+			Round:  r.roundID,
+			Detail: fmt.Sprintf("epoch %s, reuse round %d", c.epoch, c.served),
+		})
+	}
 	return nil
 }
 
@@ -132,6 +140,10 @@ type JobConfig struct {
 	// Faults and Retry configure the link layer for this job.
 	Faults *bus.FaultPlan
 	Retry  RetryPolicy
+	// Tracer receives this round's span and event records (see
+	// Config.Tracer); per-job because trace ownership follows the load,
+	// not the pool.
+	Tracer obs.Tracer
 }
 
 // bidProfile is what a member's Bidding-phase conduct would look like this
@@ -210,8 +222,8 @@ type BidSession struct {
 // zero here. A nil cfg.Keys gets a fresh keyring — the ring is what lets a
 // reuse round's fresh PKI registry verify envelopes signed rounds ago.
 func NewBidSession(cfg Config) (*BidSession, error) {
-	if cfg.Behaviors != nil || cfg.Faults != nil || cfg.NBlocks != 0 || cfg.BlockSize != 0 || cfg.Seed != 0 || (cfg.Retry != RetryPolicy{}) {
-		return nil, errors.New("protocol: per-job fields (Behaviors, Seed, NBlocks, BlockSize, Faults, Retry) belong in JobConfig, not the session Config")
+	if cfg.Behaviors != nil || cfg.Faults != nil || cfg.NBlocks != 0 || cfg.BlockSize != 0 || cfg.Seed != 0 || (cfg.Retry != RetryPolicy{}) || cfg.Tracer != nil {
+		return nil, errors.New("protocol: per-job fields (Behaviors, Seed, NBlocks, BlockSize, Faults, Retry, Tracer) belong in JobConfig, not the session Config")
 	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -299,6 +311,7 @@ func (s *BidSession) roundConfig(job JobConfig) Config {
 		Faults:    job.Faults,
 		Retry:     job.Retry,
 		Keys:      s.base.Keys,
+		Tracer:    job.Tracer,
 	}
 	behaviors := make([]agent.Behavior, len(s.trueW))
 	for i := range behaviors {

@@ -6,6 +6,7 @@ import (
 	"dlsbl/internal/bus"
 	"dlsbl/internal/core"
 	"dlsbl/internal/dlt"
+	"dlsbl/internal/obs"
 	"dlsbl/internal/payment"
 	"dlsbl/internal/referee"
 	"dlsbl/internal/sig"
@@ -93,6 +94,8 @@ func (r *run) bidExchange() (received [][]bus.Message, firstEnvs []sig.Envelope,
 			break
 		}
 		r.xp.stats.Timeouts++
+		r.xp.event(obs.Event{Kind: obs.EvTimeout, Msg: referee.KindBid,
+			Detail: fmt.Sprintf("%d bid deliveries outstanding", outstanding())})
 		if attempt >= r.xp.policy.MaxAttempts || r.xp.sleep(attempt) {
 			break
 		}
@@ -110,6 +113,7 @@ func (r *run) bidExchange() (received [][]bus.Message, firstEnvs []sig.Envelope,
 					return nil, nil, nil, err
 				}
 				r.xp.stats.Retransmits++
+				r.xp.event(obs.Event{Kind: obs.EvRetransmit, From: r.agents[lm.sender].ID, To: a.ID, Msg: referee.KindBid})
 			}
 		}
 	}

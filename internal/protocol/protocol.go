@@ -24,6 +24,7 @@ import (
 	"dlsbl/internal/bus"
 	"dlsbl/internal/core"
 	"dlsbl/internal/dlt"
+	"dlsbl/internal/obs"
 	"dlsbl/internal/payment"
 	"dlsbl/internal/referee"
 	"dlsbl/internal/sig"
@@ -78,6 +79,15 @@ type Config struct {
 	// on bids and meters, never on key bytes — so a warm run's ledger is
 	// bit-identical to a cold run's with the same Seed.
 	Keys *sig.Keyring
+	// Tracer, when non-nil, receives structured span and event records for
+	// the run: one span per protocol phase (with the session round ID and
+	// bid epoch), and one event per bus delivery outcome, transport
+	// decision (dedup hit, retransmit, timeout) and protocol incident
+	// (eviction, bid reuse, conviction). A Tracer only observes — the nil
+	// path executes the exact pre-tracing instruction stream, so payments
+	// and audit transcripts are bit-identical with tracing on or off
+	// (TestTracerNilParity).
+	Tracer obs.Tracer
 }
 
 func (c *Config) validate() error {
@@ -239,6 +249,10 @@ type run struct {
 	// roundBinding); both empty for standalone runs.
 	roundID  string
 	bidEpoch string
+	// tracer is cfg.Tracer, threaded here (and into the bus and the
+	// transport) so phases can emit protocol-level events; nil when
+	// tracing is off.
+	tracer obs.Tracer
 }
 
 // roundBinding names the session round a protocol execution belongs to.
@@ -269,11 +283,32 @@ func executeRound(cfg Config, rb roundBinding, cache *bidCache) (*Outcome, *bidC
 	if err := cfg.validate(); err != nil {
 		return nil, nil, err
 	}
+	// Phase spans. Every BeginPhase is paired with an EndPhase on every
+	// exit path — including terminating verdicts and errors — so a trace
+	// of a failed run still renders closed slices.
+	tr := cfg.Tracer
+	begin := func(name string) {
+		if tr != nil {
+			tr.BeginPhase(name, rb.round, rb.epoch)
+		}
+	}
+	end := func(name string) {
+		if tr != nil {
+			tr.EndPhase(name)
+		}
+	}
+	begin(obs.PhaseInit)
 	r, err := setup(cfg)
+	end(obs.PhaseInit)
 	if err != nil {
 		return nil, nil, err
 	}
 	r.roundID, r.bidEpoch = rb.round, rb.epoch
+	if tr != nil {
+		r.tracer = tr
+		r.net.SetTracer(tr)
+		r.xp.tracer = tr
+	}
 	var fresh *bidCache
 	finish := func(e error) (*Outcome, *bidCache, error) {
 		out, ferr := r.finish(e)
@@ -285,24 +320,38 @@ func executeRound(cfg Config, rb roundBinding, cache *bidCache) (*Outcome, *bidC
 		return out, fresh, nil
 	}
 	if cache != nil {
-		if err := r.reuseBidding(cache); err != nil {
+		begin(obs.PhaseBidding)
+		err := r.reuseBidding(cache)
+		end(obs.PhaseBidding)
+		if err != nil {
 			return nil, nil, err
 		}
 	} else {
+		begin(obs.PhaseBidding)
 		terminated, err := r.phaseBidding()
+		end(obs.PhaseBidding)
 		if err != nil || terminated {
 			// A terminated Bidding phase established no reusable bid set.
 			return finish(err)
 		}
 		fresh = r.captureBidCache()
 	}
-	if terminated, err := r.phaseAllocating(); err != nil || terminated {
+	begin(obs.PhaseAllocating)
+	terminated, err := r.phaseAllocating()
+	end(obs.PhaseAllocating)
+	if err != nil || terminated {
 		return finish(err)
 	}
-	if err := r.phaseProcessing(); err != nil {
+	begin(obs.PhaseProcessing)
+	err = r.phaseProcessing()
+	end(obs.PhaseProcessing)
+	if err != nil {
 		return finish(err)
 	}
-	if err := r.phasePayments(); err != nil {
+	begin(obs.PhasePayments)
+	err = r.phasePayments()
+	end(obs.PhasePayments)
+	if err != nil {
 		return finish(err)
 	}
 	r.outcome.Completed = true
@@ -560,6 +609,11 @@ func (r *run) applyEvictions(evict map[int]string, phase string) error {
 		})
 		r.evictedCfg = append(r.evictedCfg, r.part[i])
 		r.xp.stats.Evictions++
+		if r.tracer != nil {
+			r.tracer.Event(obs.Event{
+				Kind: obs.EvEviction, From: r.procs[i], Round: r.roundID, Detail: evict[i],
+			})
+		}
 	}
 	part := r.part[:0]
 	procs := r.procs[:0]
@@ -582,5 +636,12 @@ func (r *run) record(v referee.Verdict) {
 	r.outcome.Verdicts = append(r.outcome.Verdicts, v)
 	if v.Terminates {
 		r.outcome.TerminatedIn = v.Phase
+	}
+	if r.tracer != nil {
+		for _, g := range v.Guilty {
+			r.tracer.Event(obs.Event{
+				Kind: obs.EvConviction, From: g, Round: r.roundID, Detail: v.Reason,
+			})
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"dlsbl/internal/bus"
+	"dlsbl/internal/obs"
 	"dlsbl/internal/sig"
 )
 
@@ -125,6 +126,16 @@ type transport struct {
 	// phaseBackoff is the backoff virtual time accumulated in the current
 	// phase, checked against policy.PhaseDeadline.
 	phaseBackoff float64
+	// tracer receives transport-level events (dedup hits, corrupt
+	// discards, retransmits, timeouts); nil when tracing is off.
+	tracer obs.Tracer
+}
+
+// event emits one transport event when tracing is on.
+func (t *transport) event(e obs.Event) {
+	if t.tracer != nil {
+		t.tracer.Event(e)
+	}
 }
 
 func newTransport(net *bus.Bus, reg *sig.Registry, policy RetryPolicy) (*transport, error) {
@@ -173,11 +184,13 @@ func (t *transport) pull(id string) error {
 	for _, m := range msgs {
 		if m.Env.Verify(t.reg) != nil {
 			t.stats.CorruptDiscards++
+			t.event(obs.Event{Kind: obs.EvCorruptDiscard, From: m.From, To: id, Msg: m.Kind})
 			continue
 		}
 		k := nonceKey{from: m.From, nonce: m.Nonce}
 		if b.seen[k] {
 			t.stats.DupDiscards++
+			t.event(obs.Event{Kind: obs.EvDedupHit, From: m.From, To: id, Msg: m.Kind})
 			continue
 		}
 		b.seen[k] = true
@@ -212,6 +225,7 @@ func (t *transport) sendReliable(from, to, kind string, env sig.Envelope, size i
 		}
 		if attempt > 1 {
 			t.stats.Retransmits++
+			t.event(obs.Event{Kind: obs.EvRetransmit, From: from, To: to, Msg: kind})
 		}
 		if err := t.pull(to); err != nil {
 			return bus.Message{}, err
@@ -220,6 +234,7 @@ func (t *transport) sendReliable(from, to, kind string, env sig.Envelope, size i
 			return m, nil
 		}
 		t.stats.Timeouts++
+		t.event(obs.Event{Kind: obs.EvTimeout, From: from, To: to, Msg: kind})
 		if attempt >= t.policy.MaxAttempts || t.sleep(attempt) {
 			return bus.Message{}, fmt.Errorf("%w: %s → %s (%s) after %d attempts",
 				ErrUnreachable, from, to, kind, attempt)
@@ -256,6 +271,8 @@ func (t *transport) broadcastReliable(from, kind string, env sig.Envelope, size 
 			return nil, nil
 		}
 		t.stats.Timeouts++
+		t.event(obs.Event{Kind: obs.EvTimeout, From: from, Msg: kind,
+			Detail: fmt.Sprintf("%d receivers missing", len(missing))})
 		if attempt >= t.policy.MaxAttempts || t.sleep(attempt) {
 			var left []string
 			for _, r := range receivers {
@@ -271,6 +288,7 @@ func (t *transport) broadcastReliable(from, kind string, env sig.Envelope, size 
 					return nil, err
 				}
 				t.stats.Retransmits++
+				t.event(obs.Event{Kind: obs.EvRetransmit, From: from, To: r, Msg: kind})
 			}
 		}
 	}

@@ -24,7 +24,8 @@ type Submission struct {
 //	GET  /v1/pools        list pool snapshots
 //	GET  /v1/pools/{name} one pool snapshot
 //	POST /v1/jobs         submit a batch (Submission body) → NDJSON stream
-//	GET  /metrics         counters + latency quantiles (MetricsSnapshot)
+//	GET  /metrics         counters + latency quantiles (MetricsSnapshot);
+//	                      ?format=prometheus selects text exposition 0.0.4
 //	GET  /healthz         liveness probe
 //
 // Error statuses: 400 malformed body or unknown behavior/artifact name,
@@ -36,6 +37,12 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prometheus" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			w.WriteHeader(http.StatusOK)
+			_ = WritePrometheus(w, s.Metrics())
+			return
+		}
 		writeJSON(w, http.StatusOK, s.Metrics())
 	})
 	mux.HandleFunc("POST /v1/pools", s.handleCreatePool)

@@ -7,6 +7,7 @@ import (
 	"dlsbl/internal/agent"
 	"dlsbl/internal/bus"
 	"dlsbl/internal/dlt"
+	"dlsbl/internal/obs"
 	"dlsbl/internal/protocol"
 	"dlsbl/internal/referee"
 	"dlsbl/internal/session"
@@ -61,6 +62,10 @@ const (
 	ArtifactTimeline   = "timeline"
 	ArtifactTranscript = "transcript"
 	ArtifactVerdicts   = "verdicts"
+	// ArtifactTrace embeds the round's span/event records (obs.Record
+	// stream) in each result: the same data dls-sim -trace renders as a
+	// Chrome trace, per job over HTTP.
+	ArtifactTrace = "trace"
 )
 
 func parseArtifacts(names []string) (map[string]bool, error) {
@@ -70,10 +75,10 @@ func parseArtifacts(names []string) (map[string]bool, error) {
 	out := make(map[string]bool, len(names))
 	for _, n := range names {
 		switch n {
-		case ArtifactTimeline, ArtifactTranscript, ArtifactVerdicts:
+		case ArtifactTimeline, ArtifactTranscript, ArtifactVerdicts, ArtifactTrace:
 			out[n] = true
 		default:
-			return nil, fmt.Errorf("service: unknown artifact %q (timeline, transcript or verdicts)", n)
+			return nil, fmt.Errorf("service: unknown artifact %q (timeline, transcript, verdicts or trace)", n)
 		}
 	}
 	return out, nil
@@ -142,10 +147,13 @@ type JobResult struct {
 	QueueMS float64 `json:"queue_ms"`
 	RunMS   float64 `json:"run_ms"`
 
-	// Optional artifacts, selected per submission.
+	// Optional artifacts, selected per submission. Trace is the round's
+	// span/event record stream (see internal/obs); feed it to
+	// obs.ChromeTrace for a chrome://tracing view.
 	Timeline   *dlt.Timeline        `json:"timeline,omitempty"`
 	Transcript []referee.AuditEntry `json:"transcript,omitempty"`
 	Verdicts   []referee.Verdict    `json:"verdicts,omitempty"`
+	Trace      []obs.Record         `json:"trace,omitempty"`
 }
 
 // fill copies the protocol outcome into the result.

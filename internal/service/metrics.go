@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"dlsbl/internal/obs"
 	"dlsbl/internal/stats"
 )
 
@@ -164,6 +165,19 @@ type MetricsSnapshot struct {
 		QueueWait LatencySummary `json:"queue_wait"`
 		Run       LatencySummary `json:"run"`
 	} `json:"latency_ms"`
+	// Multiload aggregates the amortized-bidding savings server-wide:
+	// across every Multiload pool, the bus traffic the reused bids
+	// avoided (DeliveriesSaved is the Θ(m²) term) and the rebids the
+	// profile changes forced.
+	Multiload struct {
+		Pools           int `json:"pools"`
+		Rebids          int `json:"rebids"`
+		MessagesSaved   int `json:"messages_saved"`
+		DeliveriesSaved int `json:"deliveries_saved"`
+		UnitsSaved      int `json:"units_saved"`
+	} `json:"multiload"`
+	// Build identifies the running binary (module version, VCS revision).
+	Build obs.BuildInfo  `json:"build"`
 	Pools []PoolSnapshot `json:"pools"`
 }
 
@@ -198,7 +212,16 @@ func (s *Server) Metrics() MetricsSnapshot {
 	s.mu.Unlock()
 	sort.Slice(pools, func(i, j int) bool { return pools[i].spec.Name < pools[j].spec.Name })
 	for _, p := range pools {
-		snap.Pools = append(snap.Pools, p.Snapshot())
+		ps := p.Snapshot()
+		if ps.Multiload {
+			snap.Multiload.Pools++
+			snap.Multiload.Rebids += ps.Rebids
+			snap.Multiload.MessagesSaved += ps.MessagesSaved
+			snap.Multiload.DeliveriesSaved += ps.DeliveriesSaved
+			snap.Multiload.UnitsSaved += ps.UnitsSaved
+		}
+		snap.Pools = append(snap.Pools, ps)
 	}
+	snap.Build = obs.Build()
 	return snap
 }

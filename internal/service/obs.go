@@ -1,0 +1,111 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"dlsbl/internal/obs"
+)
+
+// poolObs is the pool-resident obs.Tracer: every round a pool plays runs
+// under it (composed with any per-job recorder via obs.Multi), folding
+// phase wall-clock durations into per-phase latency reservoirs and
+// counting bus/transport/protocol events by kind. It is the bridge from
+// the protocol's span stream to the service dashboard — GET /metrics
+// reads it through PoolSnapshot, so phase-level tail behavior (is
+// Bidding dominating? are retransmits climbing?) is visible without
+// asking any job for a trace artifact.
+//
+// The protocol emits spans strictly nested and single-threaded (one
+// runner goroutine per pool), but snapshots arrive from HTTP goroutines,
+// so every access takes the mutex.
+type poolObs struct {
+	mu     sync.Mutex
+	starts map[string]time.Time
+	phase  map[string]*ring
+	events map[string]int64
+}
+
+func newPoolObs() *poolObs {
+	return &poolObs{
+		starts: make(map[string]time.Time),
+		phase:  make(map[string]*ring),
+		events: make(map[string]int64),
+	}
+}
+
+// BeginPhase implements obs.Tracer.
+func (o *poolObs) BeginPhase(name, round, epoch string) {
+	o.mu.Lock()
+	o.starts[name] = time.Now()
+	o.mu.Unlock()
+}
+
+// EndPhase implements obs.Tracer.
+func (o *poolObs) EndPhase(name string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	t0, ok := o.starts[name]
+	if !ok {
+		return
+	}
+	delete(o.starts, name)
+	r := o.phase[name]
+	if r == nil {
+		r = &ring{}
+		o.phase[name] = r
+	}
+	r.add(float64(time.Since(t0)) / float64(time.Millisecond))
+}
+
+// Event implements obs.Tracer.
+func (o *poolObs) Event(e obs.Event) {
+	o.mu.Lock()
+	o.events[e.Kind]++
+	o.mu.Unlock()
+}
+
+// phaseSummaries reports per-phase duration statistics over the most
+// recent rounds, keyed by phase name.
+func (o *poolObs) phaseSummaries() map[string]LatencySummary {
+	o.mu.Lock()
+	samples := make(map[string][]float64, len(o.phase))
+	for name, r := range o.phase {
+		samples[name] = r.samples()
+	}
+	o.mu.Unlock()
+	if len(samples) == 0 {
+		return nil
+	}
+	out := make(map[string]LatencySummary, len(samples))
+	for name, xs := range samples {
+		out[name] = summarize(xs)
+	}
+	return out
+}
+
+// eventCounts copies the cumulative per-kind event counters.
+func (o *poolObs) eventCounts() map[string]int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.events) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(o.events))
+	for k, v := range o.events {
+		out[k] = v
+	}
+	return out
+}
+
+// sortedKeys returns m's keys in lexical order, for deterministic
+// exposition output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

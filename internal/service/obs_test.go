@@ -1,0 +1,232 @@
+package service
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// promSample matches a text-exposition sample line:
+// name{labels} value — the grammar a Prometheus scraper accepts.
+var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [0-9eE.+-]+$`)
+
+// TestPrometheusExposition runs jobs against a multiload pool, scrapes
+// GET /metrics?format=prometheus and verifies the body is structurally
+// parseable exposition: every non-comment line matches the sample
+// grammar, every family carries HELP and TYPE headers, and the phase
+// duration and event-counter families the pool tracer feeds are
+// present once a round has played.
+func TestPrometheusExposition(t *testing.T) {
+	srv := New(Config{Workers: 2, QueueDepth: 16})
+	defer srv.Close()
+	if _, err := srv.CreatePool(PoolSpec{Name: "p", TrueW: []float64{1, 1.5, 2, 2.5}, Multiload: true}); err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := srv.Submit("p", []JobSpec{{Z: 0.2, Seed: 1}, {Z: 0.2, Seed: 2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range tasks {
+		if res := task.Wait(); res.Error != "" {
+			t.Fatalf("job failed: %s", res.Error)
+		}
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q, want text/plain exposition", ct)
+	}
+
+	helped := map[string]bool{}
+	typed := map[string]bool{}
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			helped[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			typed[strings.Fields(line)[2]] = true
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Fatalf("unparseable sample line: %q", line)
+		}
+		seen[line[:strings.IndexAny(line, "{ ")]] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for name := range seen {
+		if !helped[name] || !typed[name] {
+			t.Errorf("family %s missing HELP or TYPE header", name)
+		}
+	}
+	for _, want := range []string{
+		"dlsbl_jobs_total", "dlsbl_protocol_rounds_total",
+		"dlsbl_pool_phase_ms", "dlsbl_pool_events_total",
+		"dlsbl_multiload_saved_total", "dlsbl_build_info",
+	} {
+		if !seen[want] {
+			t.Errorf("family %s absent from exposition", want)
+		}
+	}
+}
+
+// TestMultiloadServerAggregate pins the server-wide multiload rollup:
+// the snapshot's Multiload block must equal the sum over every
+// multiload pool of its saved-traffic counters, and count only
+// multiload pools.
+func TestMultiloadServerAggregate(t *testing.T) {
+	srv := New(Config{Workers: 4, QueueDepth: 64})
+	defer srv.Close()
+	for _, name := range []string{"a", "b"} {
+		if _, err := srv.CreatePool(PoolSpec{Name: name, TrueW: []float64{1, 2, 3}, Multiload: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := srv.CreatePool(PoolSpec{Name: "plain", TrueW: []float64{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b", "plain"} {
+		tasks, err := srv.Submit(name, []JobSpec{{Z: 0.2, Seed: 1}, {Z: 0.2, Seed: 2}, {Z: 0.2, Seed: 3}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, task := range tasks {
+			if res := task.Wait(); res.Error != "" {
+				t.Fatalf("pool %s: job failed: %s", name, res.Error)
+			}
+		}
+	}
+
+	snap := srv.Metrics()
+	if snap.Multiload.Pools != 2 {
+		t.Fatalf("Multiload.Pools = %d, want 2", snap.Multiload.Pools)
+	}
+	var msgs, dels, units, rebids int
+	for _, p := range snap.Pools {
+		if !p.Multiload {
+			if p.MessagesSaved != 0 || p.DeliveriesSaved != 0 {
+				t.Fatalf("non-multiload pool %s reports savings", p.Name)
+			}
+			continue
+		}
+		msgs += p.MessagesSaved
+		dels += p.DeliveriesSaved
+		units += p.UnitsSaved
+		rebids += p.Rebids
+	}
+	if dels == 0 {
+		t.Fatal("multiload pools played reuse rounds but saved no deliveries")
+	}
+	if snap.Multiload.MessagesSaved != msgs || snap.Multiload.DeliveriesSaved != dels ||
+		snap.Multiload.UnitsSaved != units || snap.Multiload.Rebids != rebids {
+		t.Fatalf("aggregate %+v does not sum the pools (want %d/%d/%d msgs/dels/units, %d rebids)",
+			snap.Multiload, msgs, dels, units, rebids)
+	}
+}
+
+// TestTraceArtifact submits with the "trace" artifact and checks each
+// result carries the round's record stream — spans properly nested,
+// all five phases present — while a submission without the artifact
+// carries none.
+func TestTraceArtifact(t *testing.T) {
+	srv := New(Config{Workers: 2, QueueDepth: 16})
+	defer srv.Close()
+	if _, err := srv.CreatePool(PoolSpec{Name: "p", TrueW: []float64{1, 1.5, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := srv.Submit("p", []JobSpec{{Z: 0.2, Seed: 1}}, []string{"trace"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tasks[0].Wait()
+	if res.Error != "" {
+		t.Fatalf("job failed: %s", res.Error)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("trace artifact requested but result carries no records")
+	}
+	phases := map[string]bool{}
+	depth := 0
+	for i, r := range res.Trace {
+		switch r.Type {
+		case "begin":
+			depth++
+			phases[r.Name] = true
+		case "end":
+			depth--
+			if depth < 0 {
+				t.Fatalf("record %d: end without begin", i)
+			}
+		}
+	}
+	if depth != 0 {
+		t.Fatalf("unbalanced spans in trace artifact (depth %d at end)", depth)
+	}
+	for _, want := range []string{"initialization", "bidding", "allocating", "processing", "payments"} {
+		if !phases[want] {
+			t.Errorf("phase %q missing from trace artifact", want)
+		}
+	}
+
+	plain, err := srv.Submit("p", []JobSpec{{Z: 0.2, Seed: 2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := plain[0].Wait(); len(res.Trace) != 0 {
+		t.Fatal("trace records present without the trace artifact")
+	}
+}
+
+// TestRingWraparound pins the latency reservoir at its capacity edge:
+// past ringCap observations the ring holds exactly the most recent
+// ringCap values, and samples() hands back a defensive copy the caller
+// can mutate without corrupting the reservoir.
+func TestRingWraparound(t *testing.T) {
+	var r ring
+	n := ringCap + 10
+	for i := 0; i < n; i++ {
+		r.add(float64(i))
+	}
+	got := r.samples()
+	if len(got) != ringCap {
+		t.Fatalf("samples() length %d, want %d", len(got), ringCap)
+	}
+	want := map[float64]bool{}
+	for i := n - ringCap; i < n; i++ {
+		want[float64(i)] = true
+	}
+	for _, x := range got {
+		if !want[x] {
+			t.Fatalf("sample %v is older than the last %d observations", x, ringCap)
+		}
+		delete(want, x)
+	}
+	if len(want) != 0 {
+		t.Fatalf("%d recent observations missing from the reservoir", len(want))
+	}
+
+	got[0] = -1
+	again := r.samples()
+	for _, x := range again {
+		if x == -1 {
+			t.Fatal("mutating samples() result corrupted the reservoir — not a defensive copy")
+		}
+	}
+}

@@ -43,6 +43,10 @@ type Pool struct {
 	policy    session.Policy
 	sess      *session.Session
 	procNames []string
+	// obs is the pool's resident tracer: every round runs under it, so
+	// phase-duration quantiles and bus-event counters accumulate across
+	// the pool's lifetime (see poolObs).
+	obs *poolObs
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -107,6 +111,7 @@ func newPool(spec PoolSpec) (*Pool, error) {
 		policy:    policy,
 		sess:      sess,
 		procNames: procNames,
+		obs:       newPoolObs(),
 		state:     state,
 	}
 	p.cond = sync.NewCond(&p.mu)
@@ -142,17 +147,33 @@ type PoolSnapshot struct {
 
 	// Amortized-bidding telemetry (Multiload pools). RoundsSinceRebid
 	// counts consecutive rounds served from the cached bids;
-	// MessagesSaved / DeliveriesSaved total the bus traffic the avoided
-	// Bidding exchanges would have cost (Deliveries is the Θ(m²) term).
+	// MessagesSaved / DeliveriesSaved / UnitsSaved total the bus traffic
+	// the avoided Bidding exchanges would have cost (Deliveries is the
+	// Θ(m²) term).
 	Multiload        bool `json:"multiload,omitempty"`
 	Rebids           int  `json:"rebids,omitempty"`
 	RoundsSinceRebid int  `json:"rounds_since_rebid,omitempty"`
 	MessagesSaved    int  `json:"messages_saved,omitempty"`
 	DeliveriesSaved  int  `json:"deliveries_saved,omitempty"`
+	UnitsSaved       int  `json:"units_saved,omitempty"`
+
+	// Traffic totals the pool's control-plane bus traffic across rounds
+	// (session.TrafficStats semantics: Deliveries is the Θ(m²) term).
+	Traffic session.TrafficStats `json:"traffic"`
+
+	// PhaseMS reports wall-clock duration statistics per protocol phase
+	// over the pool's most recent rounds; BusEvents counts bus, transport
+	// and protocol events by kind (obs event kinds: deliver, drop,
+	// retransmit, eviction, …) since the pool was created. Both come from
+	// the pool's resident tracer.
+	PhaseMS   map[string]LatencySummary `json:"phase_ms,omitempty"`
+	BusEvents map[string]int64          `json:"bus_events,omitempty"`
 }
 
 // Snapshot returns the pool's current state.
 func (p *Pool) Snapshot() PoolSnapshot {
+	phase := p.obs.phaseSummaries()
+	events := p.obs.eventCounts()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	bs := p.state.BidStats()
@@ -173,6 +194,10 @@ func (p *Pool) Snapshot() PoolSnapshot {
 		RoundsSinceRebid:  bs.RoundsSinceRebid,
 		MessagesSaved:     bs.SavedMessages,
 		DeliveriesSaved:   bs.SavedDeliveries,
+		UnitsSaved:        bs.SavedUnits,
+		Traffic:           p.state.Traffic,
+		PhaseMS:           phase,
+		BusEvents:         events,
 	}
 }
 

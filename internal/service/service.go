@@ -29,10 +29,14 @@ package service
 import (
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dlsbl/internal/obs"
 )
 
 // Errors the admission path reports; the HTTP layer maps them to status
@@ -52,6 +56,10 @@ type Config struct {
 	// across all pools; admissions beyond it fail with ErrQueueFull.
 	// Zero selects 256.
 	QueueDepth int
+	// Logger receives the server's structured event log (pool lifecycle,
+	// admissions, rejections, per-job completions, drain). Nil discards —
+	// the library default stays silent; dls-serve passes its slog root.
+	Logger *slog.Logger
 }
 
 // Server is the scheduling service.
@@ -60,6 +68,7 @@ type Server struct {
 	queueDepth int
 	sem        chan struct{} // worker slots
 	metrics    *metrics
+	log        *slog.Logger
 
 	mu     sync.Mutex
 	pools  map[string]*Pool
@@ -82,11 +91,15 @@ func New(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 256
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return &Server{
 		workers:    cfg.Workers,
 		queueDepth: cfg.QueueDepth,
 		sem:        make(chan struct{}, cfg.Workers),
 		metrics:    newMetrics(),
+		log:        cfg.Logger,
 		pools:      make(map[string]*Pool),
 	}
 }
@@ -110,6 +123,10 @@ func (s *Server) CreatePool(spec PoolSpec) (*Pool, error) {
 	s.pools[p.spec.Name] = p
 	s.runners.Add(1)
 	go s.runPool(p)
+	s.log.Info("pool created",
+		"pool", p.spec.Name, "network", p.network.String(),
+		"policy", p.policy.String(), "m", len(p.sess.TrueW),
+		"multiload", p.spec.Multiload)
 	return p, nil
 }
 
@@ -172,6 +189,9 @@ func (s *Server) Submit(pool string, jobs []JobSpec, artifacts []string) ([]*Tas
 	}
 	if !s.reserve(len(jobs)) {
 		s.metrics.rejected(len(jobs))
+		s.log.Warn("submission rejected",
+			"pool", pool, "jobs", len(jobs),
+			"queued", s.queued.Load(), "depth", s.queueDepth)
 		return nil, fmt.Errorf("%w: %d queued, depth %d", ErrQueueFull, s.queued.Load(), s.queueDepth)
 	}
 	now := time.Now()
@@ -196,6 +216,7 @@ func (s *Server) Submit(pool string, jobs []JobSpec, artifacts []string) ([]*Tas
 	p.cond.Broadcast()
 	p.mu.Unlock()
 	s.metrics.submitted(len(jobs))
+	s.log.Info("jobs submitted", "pool", pool, "jobs", len(jobs))
 	return tasks, nil
 }
 
@@ -231,11 +252,20 @@ func (s *Server) runPool(p *Pool) {
 }
 
 // runTask plays one round against the pool and fills the task's result.
+// Every round runs under the pool's resident tracer (phase quantiles,
+// event counters); a "trace" artifact additionally composes in a
+// per-job recorder whose records ride back in the result.
 func (s *Server) runTask(p *Pool, t *Task) {
 	started := time.Now()
 	res := JobResult{Event: "result", Pool: p.spec.Name, Job: t.index, Round: -1}
 	job, err := t.spec.toJob()
 	if err == nil {
+		var rec *obs.Recorder
+		job.Tracer = p.obs
+		if t.artifacts[ArtifactTrace] {
+			rec = obs.NewRecorder()
+			job.Tracer = obs.Multi(p.obs, rec)
+		}
 		p.mu.Lock()
 		res.Round = p.state.Round
 		out, stepErr := p.sess.Step(p.state, job)
@@ -246,6 +276,9 @@ func (s *Server) runTask(p *Pool, t *Task) {
 			res.fill(out, t.artifacts)
 			res.Banned = banned
 		}
+		if rec != nil {
+			res.Trace = rec.Records()
+		}
 	}
 	if err != nil {
 		res.Error = err.Error()
@@ -254,6 +287,16 @@ func (s *Server) runTask(p *Pool, t *Task) {
 	res.RunMS = float64(time.Since(started)) / float64(time.Millisecond)
 	t.res = res
 	s.metrics.finished(res)
+	if res.Error != "" {
+		s.log.Error("job failed",
+			"pool", p.spec.Name, "job", t.index, "round", res.Round,
+			"run_ms", res.RunMS, "error", res.Error)
+	} else {
+		s.log.Info("job finished",
+			"pool", p.spec.Name, "job", t.index, "round", res.Round,
+			"completed", res.Completed, "queue_ms", res.QueueMS,
+			"run_ms", res.RunMS)
+	}
 }
 
 // Queued returns the number of admitted jobs not yet picked up.
@@ -271,6 +314,7 @@ func (s *Server) Close() {
 		pools = append(pools, p)
 	}
 	s.mu.Unlock()
+	s.log.Info("server draining", "pools", len(pools), "queued", s.queued.Load())
 	for _, p := range pools {
 		p.mu.Lock()
 		p.closing = true
@@ -278,4 +322,5 @@ func (s *Server) Close() {
 		p.mu.Unlock()
 	}
 	s.runners.Wait()
+	s.log.Info("server closed")
 }

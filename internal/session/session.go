@@ -22,6 +22,7 @@ import (
 	"dlsbl/internal/agent"
 	"dlsbl/internal/bus"
 	"dlsbl/internal/dlt"
+	"dlsbl/internal/obs"
 	"dlsbl/internal/protocol"
 	"dlsbl/internal/sig"
 )
@@ -64,6 +65,9 @@ type Job struct {
 	// strategic cheating.
 	Faults *bus.FaultPlan
 	Retry  protocol.RetryPolicy
+	// Tracer receives this round's span and event records (see
+	// protocol.Config.Tracer); nil costs nothing.
+	Tracer obs.Tracer
 }
 
 // Session is a processor pool playing repeated jobs.
@@ -209,6 +213,7 @@ func (s *Session) Step(st *State, job Job) (*protocol.Outcome, error) {
 			Faults:    job.Faults,
 			Retry:     job.Retry,
 			Keys:      s.Keys,
+			Tracer:    job.Tracer,
 		})
 	}
 	if err != nil {
@@ -270,6 +275,7 @@ func (s *Session) stepMultiload(st *State, job Job, behaviors []agent.Behavior) 
 		Behaviors: behaviors,
 		Faults:    job.Faults,
 		Retry:     job.Retry,
+		Tracer:    job.Tracer,
 	})
 }
 

@@ -190,3 +190,39 @@ func TestQuantile(t *testing.T) {
 		}
 	}
 }
+
+// TestQuantileEdgeCases pins the estimator's contract at the edges the
+// service's latency reservoirs can feed it: out-of-range q clamps to
+// the extremes, every q of a singleton returns the sample, NaN samples
+// sort first (Go's sort.Float64s orders NaN before other values, so
+// q=0 surfaces the NaN and q=1 still reaches the true maximum), and
+// the input slice is never reordered in place.
+func TestQuantileEdgeCases(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if got := Quantile(xs, -0.5); got != 1 {
+		t.Errorf("Quantile(q=-0.5) = %v, want clamp to min 1", got)
+	}
+	if got := Quantile(xs, 1.5); got != 3 {
+		t.Errorf("Quantile(q=1.5) = %v, want clamp to max 3", got)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile reordered its input: %v", xs)
+	}
+
+	for _, q := range []float64{0, 0.25, 1} {
+		if got := Quantile([]float64{7}, q); got != 7 {
+			t.Errorf("Quantile(single, q=%v) = %v, want 7", q, got)
+		}
+	}
+	if got := Quantile(nil, 0); got != 0 {
+		t.Errorf("Quantile(empty, 0) = %v, want 0", got)
+	}
+
+	withNaN := []float64{math.NaN(), 1, 2}
+	if got := Quantile(withNaN, 0); !math.IsNaN(got) {
+		t.Errorf("Quantile(NaN sample, q=0) = %v, want NaN (NaNs sort first)", got)
+	}
+	if got := Quantile(withNaN, 1); got != 2 {
+		t.Errorf("Quantile(NaN sample, q=1) = %v, want 2", got)
+	}
+}
