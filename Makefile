@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-service vet ci serve bench-smoke bench-payments bench-faults bench-multiload bench-obs faults-soak fuzz-smoke fuzz-short cover clean
+.PHONY: all build test race race-service vet ci serve bench-smoke bench-payments bench-faults bench-multiload bench-hotpath bench-obs faults-soak fuzz-smoke fuzz-short cover clean
 
 all: build test
 
@@ -28,9 +28,10 @@ race-service:
 
 # The full gate a change must pass before merging: build, vet, the
 # race-enabled test suite (which includes the service load test and the
-# protocol transport under -race), the coverage floor, and a short run
-# of every fuzz target.
-ci: build vet race cover fuzz-short
+# protocol transport under -race), the coverage floor, a short run of
+# every fuzz target, and the envelope hot-path benchmark (which doubles
+# as the payment-parity and zero-alloc regression check).
+ci: build vet race cover fuzz-short bench-hotpath
 
 # Statement-coverage gate. The floor is set just under the measured
 # suite-wide figure so a change that lands untested code fails loudly;
@@ -48,14 +49,16 @@ cover:
 		{ echo "coverage $$total% fell below the $(COVER_FLOOR)% floor"; exit 1; }
 
 # Ten seconds of every fuzz target: the mechanism engine against the
-# naive baseline, envelope tampering, the DLT closed forms, and the
-# bid-session membership model.
+# naive baseline, envelope tampering, the DLT closed forms, the
+# bid-session membership model, and the binary payload codec
+# differentially against JSON.
 fuzz-short:
 	$(GO) test -run=NONE -fuzz=FuzzEngineParity -fuzztime=10s ./internal/core/
 	$(GO) test -run=NONE -fuzz=FuzzEnvelopeTampering -fuzztime=10s ./internal/sig/
 	$(GO) test -run=NONE -fuzz=FuzzOptimal -fuzztime=10s ./internal/dlt/
 	$(GO) test -run=NONE -fuzz=FuzzLinear -fuzztime=10s ./internal/dlt/
 	$(GO) test -run=NONE -fuzz=FuzzBidSessionMembership -fuzztime=10s ./internal/protocol/
+	$(GO) test -run=NONE -fuzz=FuzzPayloadCodec -fuzztime=10s ./internal/referee/
 
 # Run the scheduling daemon with its demo pool on :8080. See the
 # README's "Service mode" section for the client conversation.
@@ -78,6 +81,12 @@ bench-faults:
 # wall time, bus traffic and the payment-parity check for k-job streams.
 bench-multiload:
 	$(GO) run ./cmd/dls-bench -multiload
+
+# Envelope hot path → BENCH_HOTPATH.json: reuse-round ns/op legacy vs
+# hot (binary codec + verify memo), payment parity across arms, the
+# zero-alloc guards, and a sustained service soak (rounds/min, p99).
+bench-hotpath:
+	$(GO) run ./cmd/dls-bench -hotpath
 
 # One iteration of every benchmark — catches bit-rot in the bench
 # harness without paying for real measurements.

@@ -1,0 +1,340 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"time"
+
+	"dlsbl/internal/dlt"
+	"dlsbl/internal/protocol"
+	"dlsbl/internal/referee"
+	"dlsbl/internal/service"
+	"dlsbl/internal/sig"
+)
+
+// The -hotpath mode benchmarks the verification + codec fast path and
+// writes BENCH_HOTPATH.json: for each pool size it founds two identical
+// BidSessions — the legacy arm (JSON codec, memoization disabled) and the
+// hot arm (binary codec, verified-envelope memo) — measures the
+// steady-state reuse-round ns_per_op of each, re-checks payment parity
+// across the arms, reports the micro allocs/op of the envelope hot path,
+// and finishes with a sustained service soak (rounds/min, p99 round
+// latency) through a multiload pool running the hot path end to end.
+
+type hotpathCase struct {
+	Name    string  `json:"name"`
+	M       int     `json:"m"`
+	K       int     `json:"k"`
+	NsPerOp float64 `json:"ns_per_op"` // one steady-state reuse round
+	BytesOp float64 `json:"bytes_per_op"`
+	Iters   int     `json:"iterations"`
+	// StreamNsPerOp is one whole k-job stream (bid round + k−1 reuse
+	// rounds), the unit BENCH_MULTILOAD reports.
+	StreamNsPerOp float64 `json:"stream_ns_per_op"`
+}
+
+type hotpathAllocs struct {
+	// All four must stay at 0; TestHotPathAllocs and TestBinaryCodecAllocs
+	// guard the same numbers in CI.
+	SealInto      float64 `json:"seal_into"`
+	MemoHitVerify float64 `json:"memo_hit_verify"`
+	BinaryEncode  float64 `json:"binary_encode"`
+	BinaryDecode  float64 `json:"binary_decode"`
+}
+
+type hotpathSoak struct {
+	M          int     `json:"m"`
+	Jobs       int     `json:"jobs"`
+	Seconds    float64 `json:"seconds"`
+	RoundsMin  float64 `json:"rounds_per_min"`
+	P50RoundMS float64 `json:"p50_round_ms"`
+	P99RoundMS float64 `json:"p99_round_ms"`
+}
+
+type hotpathReport struct {
+	Tool       string `json:"tool"`
+	Seed       int64  `json:"seed"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	K          int    `json:"k"`
+	PayParity  bool   `json:"payments_identical"`
+
+	// SpeedupReuseRound is legacy/hot reuse-round ns_per_op at m=16,
+	// measured in this run; SpeedupVsMultiload compares the hot arm's
+	// k-job stream against the committed BENCH_MULTILOAD amortized
+	// baseline at m=16 (0 when that file is absent).
+	SpeedupReuseRound  float64 `json:"speedup_reuse_round_m16"`
+	SpeedupVsMultiload float64 `json:"speedup_vs_bench_multiload_m16"`
+
+	Cases  []hotpathCase `json:"cases"`
+	Allocs hotpathAllocs `json:"allocs_per_op"`
+	Soak   hotpathSoak   `json:"soak"`
+}
+
+// hotpathArm founds a BidSession, plays the bidding round, and returns a
+// closure running one steady-state reuse round (same job every time, so
+// the profile never changes and every timed round reuses).
+func hotpathArm(in dlt.Instance, keys *sig.Keyring, seed int64, m int, codec sig.Codec, memo *sig.VerifyMemo) (func() (*protocol.Outcome, error), error) {
+	sess, err := protocol.NewBidSession(protocol.Config{
+		Network: dlt.NCPFE, Z: in.Z, TrueW: in.W, Keys: keys,
+		Codec: codec, Memo: memo,
+	})
+	if err != nil {
+		return nil, err
+	}
+	job := protocol.JobConfig{Seed: seed, NBlocks: 8 * m}
+	if _, err := sess.Run(job); err != nil { // bid round
+		return nil, err
+	}
+	return func() (*protocol.Outcome, error) { return sess.Run(job) }, nil
+}
+
+// allocsPerRun is testing.AllocsPerRun without the testing package: mean
+// mallocs across n calls, after one warm-up call. GC is off during the
+// loop and the minimum of three trials is kept, so stray runtime
+// allocations on other goroutines can't smear a genuinely zero-alloc
+// operation into a fraction.
+func allocsPerRun(n int, f func()) float64 {
+	f()
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	best := math.Inf(1)
+	for trial := 0; trial < 3; trial++ {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < n; i++ {
+			f()
+		}
+		runtime.ReadMemStats(&after)
+		if got := float64(after.Mallocs-before.Mallocs) / float64(n); got < best {
+			best = got
+		}
+	}
+	return best
+}
+
+func hotpathAllocGuards() (hotpathAllocs, error) {
+	var a hotpathAllocs
+	k, err := sig.GenerateKeyPair("P1", sig.DeterministicSource(1))
+	if err != nil {
+		return a, err
+	}
+	reg := sig.NewRegistry()
+	if err := reg.Register("P1", k.Public); err != nil {
+		return a, err
+	}
+	bid := referee.BidPayload{Proc: "P1", Bid: 1.5, Round: "s0:r1"}
+	buf := bid.AppendBinary(nil)
+	var warm sig.Envelope
+	if err := sig.SealInto(k, referee.KindBid, buf, &warm); err != nil {
+		return a, err
+	}
+	a.SealInto = allocsPerRun(500, func() {
+		if err := sig.SealInto(k, referee.KindBid, buf, &warm); err != nil {
+			panic(err)
+		}
+	})
+	ver := sig.NewBatchVerifier(reg, sig.NewVerifyMemo())
+	if err := ver.Verify(&warm); err != nil {
+		return a, err
+	}
+	a.MemoHitVerify = allocsPerRun(500, func() {
+		if err := ver.Verify(&warm); err != nil {
+			panic(err)
+		}
+	})
+	a.BinaryEncode = allocsPerRun(500, func() { buf = bid.AppendBinary(buf[:0]) })
+	var dec referee.BidPayload
+	if err := dec.DecodeBinary(buf); err != nil {
+		return a, err
+	}
+	a.BinaryDecode = allocsPerRun(500, func() {
+		if err := dec.DecodeBinary(buf); err != nil {
+			panic(err)
+		}
+	})
+	return a, nil
+}
+
+// hotpathSoakRun drives a multiload service pool (which runs the hot path
+// by default) with a sustained job stream and reports throughput and
+// round-latency quantiles.
+func hotpathSoakRun(seed int64, m, jobs int) (hotpathSoak, error) {
+	s := hotpathSoak{M: m, Jobs: jobs}
+	in := dlt.DefaultRandomInstance(newSeededRng(seed, m), dlt.NCPFE, m)
+	srv := service.New(service.Config{Workers: 2, QueueDepth: jobs})
+	defer srv.Close()
+	if _, err := srv.CreatePool(service.PoolSpec{Name: "soak", TrueW: in.W, Multiload: true}); err != nil {
+		return s, err
+	}
+	specs := make([]service.JobSpec, jobs)
+	for i := range specs {
+		specs[i] = service.JobSpec{Z: in.Z, Seed: seed + int64(i), NBlocks: 8 * m}
+	}
+	start := time.Now()
+	tasks, err := srv.Submit("soak", specs, nil)
+	if err != nil {
+		return s, err
+	}
+	lat := make([]float64, 0, jobs)
+	for i, task := range tasks {
+		res := task.Wait()
+		if res.Error != "" {
+			return s, fmt.Errorf("soak job %d: %s", i, res.Error)
+		}
+		lat = append(lat, res.RunMS)
+	}
+	elapsed := time.Since(start)
+	sort.Float64s(lat)
+	s.Seconds = elapsed.Seconds()
+	s.RoundsMin = float64(jobs) / elapsed.Minutes()
+	s.P50RoundMS = lat[len(lat)/2]
+	s.P99RoundMS = lat[len(lat)*99/100]
+	return s, nil
+}
+
+// multiloadBaseline reads the committed BENCH_MULTILOAD.json and returns
+// the amortized stream ns_per_op at m (0 when unavailable).
+func multiloadBaseline(m int) float64 {
+	data, err := os.ReadFile("BENCH_MULTILOAD.json")
+	if err != nil {
+		return 0
+	}
+	var rep multiloadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return 0
+	}
+	for _, c := range rep.Cases {
+		if c.Name == "multiload/amortized" && c.M == m {
+			return c.NsPerOp
+		}
+	}
+	return 0
+}
+
+func runHotpathBench(seed int64, path string) error {
+	const k = 8
+	report := hotpathReport{
+		Tool:       "dls-bench -hotpath",
+		Seed:       seed,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		K:          k,
+		PayParity:  true,
+	}
+
+	arms := []struct {
+		name  string
+		codec sig.Codec
+		memo  func() *sig.VerifyMemo
+	}{
+		{"hotpath/legacy", sig.CodecJSON, sig.DisabledVerifyMemo},
+		{"hotpath/hot", sig.CodecBinary, sig.NewVerifyMemo},
+	}
+
+	for _, m := range []int{4, 16, 32} {
+		in := dlt.DefaultRandomInstance(newSeededRng(seed, m), dlt.NCPFE, m)
+
+		// Parity pass: one k-job stream per arm, same seeds, payments
+		// must agree bit-exactly.
+		var payments [][]float64
+		var streamNs [2]float64
+		var reuseNs [2]hotpathCase
+		for ai, arm := range arms {
+			keys := sig.NewKeyring()
+			stream := func() ([]*protocol.Outcome, error) {
+				sess, err := protocol.NewBidSession(protocol.Config{
+					Network: dlt.NCPFE, Z: in.Z, TrueW: in.W, Keys: keys,
+					Codec: arm.codec, Memo: arm.memo(),
+				})
+				if err != nil {
+					return nil, err
+				}
+				outs := make([]*protocol.Outcome, k)
+				for j := 0; j < k; j++ {
+					out, err := sess.Run(protocol.JobConfig{Seed: seed + int64(j), NBlocks: 8 * m})
+					if err != nil {
+						return nil, err
+					}
+					outs[j] = out
+				}
+				return outs, nil
+			}
+			outs, err := stream()
+			if err != nil {
+				return fmt.Errorf("%s/m=%d: %w", arm.name, m, err)
+			}
+			if ai == 0 {
+				payments = make([][]float64, k)
+				for j := range outs {
+					payments[j] = outs[j].Payments
+				}
+			} else {
+				for j := range outs {
+					for i := range in.W {
+						if outs[j].Payments[i] != payments[j][i] {
+							report.PayParity = false
+						}
+					}
+				}
+			}
+
+			sc, err := measure(func() error { _, err := stream(); return err })
+			if err != nil {
+				return fmt.Errorf("%s/m=%d stream: %w", arm.name, m, err)
+			}
+			streamNs[ai] = sc.NsPerOp
+
+			round, err := hotpathArm(in, keys, seed, m, arm.codec, arm.memo())
+			if err != nil {
+				return fmt.Errorf("%s/m=%d: %w", arm.name, m, err)
+			}
+			rc, err := measure(func() error { _, err := round(); return err })
+			if err != nil {
+				return fmt.Errorf("%s/m=%d reuse round: %w", arm.name, m, err)
+			}
+			reuseNs[ai] = hotpathCase{
+				Name: arm.name, M: m, K: k,
+				NsPerOp: rc.NsPerOp, BytesOp: rc.BytesPerOp, Iters: rc.Iterations,
+				StreamNsPerOp: sc.NsPerOp,
+			}
+			report.Cases = append(report.Cases, reuseNs[ai])
+		}
+		if m == 16 {
+			if reuseNs[1].NsPerOp > 0 {
+				report.SpeedupReuseRound = reuseNs[0].NsPerOp / reuseNs[1].NsPerOp
+			}
+			if base := multiloadBaseline(16); base > 0 && streamNs[1] > 0 {
+				report.SpeedupVsMultiload = base / streamNs[1]
+			}
+		}
+	}
+
+	allocs, err := hotpathAllocGuards()
+	if err != nil {
+		return fmt.Errorf("alloc guards: %w", err)
+	}
+	report.Allocs = allocs
+
+	soak, err := hotpathSoakRun(seed, 16, 200)
+	if err != nil {
+		return fmt.Errorf("soak: %w", err)
+	}
+	report.Soak = soak
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("dls-bench: wrote %d hotpath benchmark cases to %s (payment parity: %v, reuse-round speedup %.2fx, vs BENCH_MULTILOAD %.2fx)\n",
+		len(report.Cases), path, report.PayParity, report.SpeedupReuseRound, report.SpeedupVsMultiload)
+	return nil
+}

@@ -12,6 +12,7 @@
 //	dls-bench -json         # benchmark the payment paths → BENCH_PAYMENTS.json
 //	dls-bench -faults       # benchmark the fault-tolerant transport → BENCH_FAULTS.json
 //	dls-bench -multiload    # benchmark amortized bidding → BENCH_MULTILOAD.json
+//	dls-bench -hotpath      # benchmark the envelope hot path → BENCH_HOTPATH.json
 //	dls-bench -trace        # canned faulty multiload run → TRACE.json (chrome://tracing)
 package main
 
@@ -34,6 +35,7 @@ func main() {
 	jsonBench := flag.Bool("json", false, "benchmark the payment paths and write BENCH_PAYMENTS.json (honors -o)")
 	faultsBench := flag.Bool("faults", false, "benchmark the fault-tolerant transport and write BENCH_FAULTS.json (honors -o)")
 	multiloadBench := flag.Bool("multiload", false, "benchmark amortized multi-load bidding and write BENCH_MULTILOAD.json (honors -o)")
+	hotpathBench := flag.Bool("hotpath", false, "benchmark batch verification and the zero-alloc envelope hot path and write BENCH_HOTPATH.json (honors -o)")
 	traceBench := flag.Bool("trace", false, "run a canned faulty multiload session and write a Chrome trace to TRACE.json (honors -o)")
 	flag.Parse()
 
@@ -65,6 +67,17 @@ func main() {
 			path = *outPath
 		}
 		if err := runMultiloadBench(*seed, path); err != nil {
+			fmt.Fprintf(os.Stderr, "dls-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *hotpathBench {
+		path := "BENCH_HOTPATH.json"
+		if *outPath != "" {
+			path = *outPath
+		}
+		if err := runHotpathBench(*seed, path); err != nil {
 			fmt.Fprintf(os.Stderr, "dls-bench: %v\n", err)
 			os.Exit(1)
 		}

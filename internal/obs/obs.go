@@ -43,9 +43,14 @@ const (
 	EvTimeout        = "timeout"         // a retry round ended with deliveries still missing
 
 	// Protocol phases.
-	EvEviction   = "eviction"   // a processor was removed for unreachability
-	EvBidReused  = "bid_reused" // a round was served from a BidSession's cached bids
-	EvConviction = "conviction" // a verdict fined a processor
+	EvEviction   = "eviction"    // a processor was removed for unreachability
+	EvBidReused  = "bid_reused"  // a round was served from a BidSession's cached bids
+	EvBidSpliced = "bid_spliced" // a single changed member re-bid; the rest of the cache was spliced in
+	EvConviction = "conviction"  // a verdict fined a processor
+
+	// Verification fast path (internal/sig.BatchVerifier).
+	EvVerifyBatch   = "verify_batch"    // a batch of envelopes was verified in one pass
+	EvVerifyMemoHit = "verify_memo_hit" // verifications skipped via the verified-envelope memo
 )
 
 // Phase names used for spans. Initialization covers setup (identities,

@@ -38,13 +38,26 @@ import (
 // either changes, and executeRound independently re-verifies every cached
 // envelope before serving a round from it.
 type bidCache struct {
-	epoch   string   // round ID the bids were signed in
+	epoch   string   // base epoch: round ID of the last full bid exchange
 	procs   []string // participant ids, index order
 	bids    []float64
 	bidEnvs []sig.Envelope
+	// epochs, when non-nil, holds the per-participant epoch each cached
+	// bid was actually signed in — a spliced cache mixes the base epoch
+	// with the splice rounds' fresh IDs. Nil means epoch applies
+	// uniformly (a cache straight from a full exchange).
+	epochs  []string
 	fine    float64   // F in force when the bids were established
 	bidding bus.Stats // traffic the bid exchange cost
 	served  int       // reuse rounds served so far
+}
+
+// epochFor returns the epoch cached bid i was signed in.
+func (c *bidCache) epochFor(i int) string {
+	if c.epochs != nil {
+		return c.epochs[i]
+	}
+	return c.epoch
 }
 
 // captureBidCache snapshots the verified bid set right after a clean
@@ -80,32 +93,27 @@ func (r *run) reuseBidding(c *bidCache) error {
 			return fmt.Errorf("protocol: bid cache processor %d is %s, round has %s (stale member set)", i, c.procs[i], p)
 		}
 	}
-	for i, env := range c.bidEnvs {
-		var bp referee.BidPayload
-		if err := env.Open(r.reg, &bp); err != nil {
-			return fmt.Errorf("protocol: cached bid of %s failed re-verification: %w", c.procs[i], err)
-		}
-		if env.Sender != c.procs[i] || bp.Proc != c.procs[i] {
-			return fmt.Errorf("protocol: cached bid %d signed by %q, want %q", i, env.Sender, c.procs[i])
-		}
-		if bp.Round != c.epoch {
-			return fmt.Errorf("protocol: cached bid of %s carries round %q, epoch is %q", c.procs[i], bp.Round, c.epoch)
-		}
-		if bp.Bid != c.bids[i] {
-			return fmt.Errorf("protocol: cached bid of %s is %v in the envelope, %v in the cache", c.procs[i], bp.Bid, c.bids[i])
-		}
-		if got := r.agents[i].Bid(); got != c.bids[i] {
-			return fmt.Errorf("protocol: %s now bids %v but the cache holds %v; a rebid round is required", c.procs[i], got, c.bids[i])
-		}
+	if err := r.checkCachedBids(c); err != nil {
+		return err
 	}
 	r.bids = append([]float64(nil), c.bids...)
 	r.bidEnvs = append([]sig.Envelope(nil), c.bidEnvs...)
+	if c.epochs != nil {
+		r.epochs = append([]string(nil), c.epochs...)
+	}
 	var err error
 	r.ref, err = referee.New(r.reg, r.ledger, r.mech, r.procs, c.fine)
 	if err != nil {
 		return err
 	}
-	r.ref.BindRounds(r.roundID, r.bidEpoch)
+	r.ref.UseVerifier(r.ver)
+	if c.epochs != nil {
+		if err := r.ref.BindRoundsSpliced(r.roundID, r.bidEpoch, c.epochs); err != nil {
+			return err
+		}
+	} else {
+		r.ref.BindRounds(r.roundID, r.bidEpoch)
+	}
 	r.outcome.FineMagnitude = c.fine
 	c.served++
 	r.ref.RecordBidReuse(c.epoch, c.served)
@@ -117,6 +125,333 @@ func (r *run) reuseBidding(c *bidCache) error {
 		})
 	}
 	return nil
+}
+
+// checkCachedBids re-verifies every cached envelope against this round's
+// fresh PKI registry and re-checks its binding to the cache — sender,
+// epoch, bid value and the agent's current announced bid. With a memo the
+// batch verification collapses into memo hits for bit-identical envelopes
+// that verified in an earlier round; the payload decodes and the value
+// checks run in full either way.
+func (r *run) checkCachedBids(c *bidCache) error {
+	var memoBefore int
+	if r.ver != nil && r.ver.Memo().Enabled() {
+		memoBefore = r.ver.Stats().MemoHits
+		if errs := r.ver.VerifyEach(c.bidEnvs); errs != nil {
+			for i, err := range errs {
+				if err != nil {
+					return fmt.Errorf("protocol: cached bid of %s failed re-verification: %w", c.procs[i], err)
+				}
+			}
+		}
+		if r.tracer != nil {
+			st := r.ver.Stats()
+			r.tracer.Event(obs.Event{
+				Kind:   obs.EvVerifyBatch,
+				Round:  r.roundID,
+				Detail: fmt.Sprintf("%d cached bids, %d memo hits", len(c.bidEnvs), st.MemoHits-memoBefore),
+			})
+			if h := st.MemoHits - memoBefore; h > 0 {
+				r.tracer.Event(obs.Event{
+					Kind:   obs.EvVerifyMemoHit,
+					Round:  r.roundID,
+					Detail: fmt.Sprintf("%d verifications skipped", h),
+				})
+			}
+		}
+	}
+	for i := range c.bidEnvs {
+		env := &c.bidEnvs[i]
+		var bp referee.BidPayload
+		if err := r.open(env, &bp); err != nil {
+			return fmt.Errorf("protocol: cached bid of %s failed re-verification: %w", c.procs[i], err)
+		}
+		if env.Sender != c.procs[i] || bp.Proc != c.procs[i] {
+			return fmt.Errorf("protocol: cached bid %d signed by %q, want %q", i, env.Sender, c.procs[i])
+		}
+		if bp.Round != c.epochFor(i) {
+			return fmt.Errorf("protocol: cached bid of %s carries round %q, epoch is %q", c.procs[i], bp.Round, c.epochFor(i))
+		}
+		if bp.Bid != c.bids[i] {
+			return fmt.Errorf("protocol: cached bid of %s is %v in the envelope, %v in the cache", c.procs[i], bp.Bid, c.bids[i])
+		}
+		if got := r.agents[i].Bid(); got != c.bids[i] {
+			return fmt.Errorf("protocol: %s now bids %v but the cache holds %v; a rebid round is required", c.procs[i], got, c.bids[i])
+		}
+	}
+	return nil
+}
+
+// ---- Incremental re-bid (bid splicing) ------------------------------------
+//
+// A full re-bid costs the Θ(m²) exchange even when only ONE member's
+// conduct changed — a rate announcement, a join, a leave. For those
+// single-member deltas the session runs an incremental re-bid instead:
+// the changed member broadcasts one fresh bid (Θ(m) deliveries), every
+// other member's cached envelope is re-verified and spliced in unchanged,
+// and the referee is bound to per-processor epochs
+// (referee.BindRoundsSpliced) so each bid is checked against the round it
+// was actually signed in. Any deviation from the happy path — deviants in
+// either profile, an unreachable peer, a stale cache — falls back to the
+// full exchange.
+
+// spliceKind classifies the single-member delta an incremental re-bid
+// absorbs.
+type spliceKind int
+
+const (
+	spliceRate  spliceKind = iota // one member announced a different rate
+	spliceJoin                    // one member joined (appended config index)
+	spliceLeave                   // one member left
+)
+
+func (k spliceKind) String() string {
+	switch k {
+	case spliceRate:
+		return "rate-change"
+	case spliceJoin:
+		return "join"
+	default:
+		return "leave"
+	}
+}
+
+// spliceOp names the changed member in participant space: oldIdx indexes
+// the cached participant list (-1 for a join), newIdx this round's (-1
+// for a leave).
+type spliceOp struct {
+	kind   spliceKind
+	oldIdx int
+	newIdx int
+}
+
+// spliceDelta compares the cached bid profile with this round's and
+// reports the single-member delta between them, if that is all that
+// separates them. Profiles with bidding-phase deviants (equivocators,
+// false accusers) are never spliceable — their exchanges are not made of
+// independent per-member broadcasts.
+func spliceDelta(old, new []bidProfile) (spliceOp, bool) {
+	clean := func(ps []bidProfile) bool {
+		for _, p := range ps {
+			if p.present && (p.hasSecond || p.accuses) {
+				return false
+			}
+		}
+		return true
+	}
+	if !clean(old) || !clean(new) {
+		return spliceOp{}, false
+	}
+	// rank maps a config index to its participant index.
+	rank := func(ps []bidProfile, idx int) int {
+		n := 0
+		for i := 0; i < idx; i++ {
+			if ps[i].present {
+				n++
+			}
+		}
+		return n
+	}
+	if len(new) == len(old)+1 {
+		for i := range old {
+			if old[i] != new[i] {
+				return spliceOp{}, false
+			}
+		}
+		if !new[len(new)-1].present {
+			return spliceOp{}, false
+		}
+		return spliceOp{kind: spliceJoin, oldIdx: -1, newIdx: rank(new, len(new)-1)}, true
+	}
+	if len(new) != len(old) {
+		return spliceOp{}, false
+	}
+	diff := -1
+	for i := range old {
+		if old[i] != new[i] {
+			if diff >= 0 {
+				return spliceOp{}, false
+			}
+			diff = i
+		}
+	}
+	if diff < 0 {
+		return spliceOp{}, false
+	}
+	switch {
+	case old[diff].present && new[diff].present:
+		return spliceOp{kind: spliceRate, oldIdx: rank(old, diff), newIdx: rank(new, diff)}, true
+	case old[diff].present && !new[diff].present:
+		return spliceOp{kind: spliceLeave, oldIdx: rank(old, diff), newIdx: -1}, true
+	default:
+		// A member (re)appearing mid-list has no append position to splice
+		// into; only appended joins are spliceable.
+		return spliceOp{}, false
+	}
+}
+
+// spliceBidding stands in for phaseBidding on an incremental re-bid
+// round. It aligns this round's participants with the cache, re-verifies
+// every kept envelope (memoized when the run has a memo), has the changed
+// member broadcast its fresh bid under the current round ID, forwards the
+// incumbent bids to a joining newcomer, and binds the referee to the
+// resulting per-processor epochs. It returns the spliced cache future
+// reuse rounds serve from.
+func (r *run) spliceBidding(c *bidCache, sp spliceOp) (*bidCache, error) {
+	r.xp.beginPhase()
+	if r.bidEpoch != c.epoch {
+		return nil, fmt.Errorf("protocol: round bound to bid epoch %q but cache holds epoch %q", r.bidEpoch, c.epoch)
+	}
+	// src[i] is the cached index serving participant i; -1 marks the
+	// freshly bidding member.
+	src := make([]int, r.m)
+	switch sp.kind {
+	case spliceRate:
+		if r.m != len(c.procs) || sp.newIdx < 0 || sp.newIdx >= r.m {
+			return nil, fmt.Errorf("protocol: splice: round has %d participants, cache holds %d (stale member set)", r.m, len(c.procs))
+		}
+		for i := range src {
+			src[i] = i
+		}
+		src[sp.newIdx] = -1
+	case spliceJoin:
+		if r.m != len(c.procs)+1 || sp.newIdx != r.m-1 {
+			return nil, fmt.Errorf("protocol: splice: join must append (round has %d participants, cache holds %d)", r.m, len(c.procs))
+		}
+		for i := 0; i < r.m-1; i++ {
+			src[i] = i
+		}
+		src[r.m-1] = -1
+	case spliceLeave:
+		if r.m != len(c.procs)-1 || sp.oldIdx < 0 || sp.oldIdx >= len(c.procs) {
+			return nil, fmt.Errorf("protocol: splice: round has %d participants, cache holds %d (stale member set)", r.m, len(c.procs))
+		}
+		for i := range src {
+			if i < sp.oldIdx {
+				src[i] = i
+			} else {
+				src[i] = i + 1
+			}
+		}
+	}
+	for i, s := range src {
+		if s >= 0 && c.procs[s] != r.procs[i] {
+			return nil, fmt.Errorf("protocol: splice: participant %d is %s, cache holds %s (stale member set)", i, r.procs[i], c.procs[s])
+		}
+	}
+
+	// Kept envelopes: re-verified against this round's fresh registry and
+	// re-checked against the cache, exactly as a reuse round would.
+	r.bids = make([]float64, r.m)
+	r.bidEnvs = make([]sig.Envelope, r.m)
+	epochs := make([]string, r.m)
+	for i, s := range src {
+		if s < 0 {
+			continue
+		}
+		env := &c.bidEnvs[s]
+		var bp referee.BidPayload
+		if err := r.open(env, &bp); err != nil {
+			return nil, fmt.Errorf("protocol: cached bid of %s failed re-verification: %w", c.procs[s], err)
+		}
+		if env.Sender != c.procs[s] || bp.Proc != c.procs[s] {
+			return nil, fmt.Errorf("protocol: cached bid %d signed by %q, want %q", s, env.Sender, c.procs[s])
+		}
+		if bp.Round != c.epochFor(s) {
+			return nil, fmt.Errorf("protocol: cached bid of %s carries round %q, epoch is %q", c.procs[s], bp.Round, c.epochFor(s))
+		}
+		if bp.Bid != c.bids[s] {
+			return nil, fmt.Errorf("protocol: cached bid of %s is %v in the envelope, %v in the cache", c.procs[s], bp.Bid, c.bids[s])
+		}
+		if got := r.agents[i].Bid(); got != c.bids[s] {
+			return nil, fmt.Errorf("protocol: %s now bids %v but the cache holds %v; a full rebid is required", c.procs[s], got, c.bids[s])
+		}
+		r.bids[i] = c.bids[s]
+		r.bidEnvs[i] = c.bidEnvs[s]
+		epochs[i] = c.epochFor(s)
+	}
+
+	// The changed member broadcasts its fresh bid, signed in THIS round —
+	// its new bid epoch. Θ(m) deliveries instead of the Θ(m²) exchange.
+	changed := ""
+	if sp.newIdx >= 0 {
+		a := r.agents[sp.newIdx]
+		changed = a.ID
+		env, err := r.seal(a.Key, referee.KindBid, referee.BidPayload{Proc: a.ID, Bid: a.Bid(), Round: r.roundID})
+		if err != nil {
+			return nil, err
+		}
+		others := make([]string, 0, r.m-1)
+		for i, p := range r.procs {
+			if i != sp.newIdx {
+				others = append(others, p)
+			}
+		}
+		missing, err := r.xp.broadcastReliable(a.ID, referee.KindBid, env, 1, others)
+		if err != nil {
+			return nil, err
+		}
+		if len(missing) > 0 {
+			return nil, fmt.Errorf("%w: spliced bid of %s undelivered to %v", ErrUnreachable, a.ID, missing)
+		}
+		r.bids[sp.newIdx] = a.Bid()
+		r.bidEnvs[sp.newIdx] = env
+		epochs[sp.newIdx] = r.roundID
+	} else {
+		changed = c.procs[sp.oldIdx]
+	}
+	// A joining newcomer holds none of the cached bids: each incumbent
+	// forwards its own signed envelope point-to-point (Θ(m) unicasts).
+	if sp.kind == spliceJoin {
+		newcomer := r.procs[sp.newIdx]
+		for i, s := range src {
+			if s < 0 {
+				continue
+			}
+			if _, err := r.xp.sendReliable(r.procs[i], newcomer, referee.KindBid, r.bidEnvs[i], 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// The spliced bid vector is a new public vector, so a derived fine is
+	// re-derived from it exactly as a full exchange would — a join or a
+	// rate change can move the suggested F. An explicitly configured fine
+	// is fixed either way.
+	fine := r.cfg.Fine
+	if fine == 0 {
+		fine = referee.SuggestedFine(r.bids, 4)
+	}
+	var err error
+	r.ref, err = referee.New(r.reg, r.ledger, r.mech, r.procs, fine)
+	if err != nil {
+		return nil, err
+	}
+	r.ref.UseVerifier(r.ver)
+	if err := r.ref.BindRoundsSpliced(r.roundID, r.bidEpoch, epochs); err != nil {
+		return nil, err
+	}
+	r.epochs = epochs
+	r.outcome.FineMagnitude = fine
+	r.ref.RecordBidSplice(changed, sp.kind.String(), c.epoch)
+	if r.tracer != nil {
+		r.tracer.Event(obs.Event{
+			Kind:   obs.EvBidSpliced,
+			Round:  r.roundID,
+			Detail: fmt.Sprintf("%s of %s onto epoch %s", sp.kind, changed, c.epoch),
+		})
+	}
+	return &bidCache{
+		epoch:   c.epoch,
+		procs:   append([]string(nil), r.procs...),
+		bids:    append([]float64(nil), r.bids...),
+		bidEnvs: append([]sig.Envelope(nil), r.bidEnvs...),
+		epochs:  epochs,
+		fine:    fine,
+		// Future reuse rounds save (approximately) the last full
+		// exchange's traffic; the splice itself cost only Θ(m).
+		bidding: c.bidding,
+	}, nil
 }
 
 // JobConfig describes one load served by a BidSession. The session owns
@@ -168,6 +503,10 @@ type SessionStats struct {
 	Rounds int
 	// Rebids is the number of rounds that ran a full Bidding phase.
 	Rebids int
+	// IncrementalRebids is the number of rounds that spliced a single
+	// changed member's fresh bid into the cached set instead of running
+	// the full exchange.
+	IncrementalRebids int
 	// RoundsSinceRebid counts consecutive reuse rounds since the last
 	// rebid.
 	RoundsSinceRebid int
@@ -212,6 +551,7 @@ type BidSession struct {
 
 	rounds     int
 	rebids     int
+	splices    int
 	sinceRebid int
 	saved      bus.Stats
 }
@@ -237,6 +577,15 @@ func NewBidSession(cfg Config) (*BidSession, error) {
 	if s.base.Keys == nil {
 		s.base.Keys = sig.NewKeyring()
 	}
+	if s.base.Memo == nil {
+		// Sessions memoize by default: their whole point is reusing the
+		// same envelopes round after round, which is exactly what the
+		// verified-envelope memo collapses into hits. Outcomes are
+		// unaffected (a hit only skips re-verifying a byte-identical,
+		// already-verified envelope); pass sig.DisabledVerifyMemo() to
+		// opt out.
+		s.base.Memo = sig.NewVerifyMemo()
+	}
 	return s, nil
 }
 
@@ -261,7 +610,7 @@ func (s *BidSession) Run(job JobConfig) (*Outcome, error) {
 	prof := profileFor(cfg)
 
 	if s.cache != nil && profilesEqual(prof, s.cacheProfile) {
-		out, _, err := executeRound(cfg, roundBinding{round: round, epoch: s.cache.epoch}, s.cache)
+		out, _, err := executeRound(cfg, roundBinding{round: round, epoch: s.cache.epoch}, s.cache, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -272,7 +621,25 @@ func (s *BidSession) Run(job JobConfig) (*Outcome, error) {
 		return out, nil
 	}
 
-	out, cache, err := executeRound(cfg, roundBinding{round: round, epoch: round}, nil)
+	// Single-member delta against the cached profile: try the incremental
+	// re-bid first. Any failure on the spliced path — an unreachable peer,
+	// a stale cache, a downstream phase error — falls back to the full
+	// exchange below; the aborted attempt built only per-round state, so
+	// nothing leaks into the retry (which reuses this round's ID).
+	if s.cache != nil {
+		if sp, ok := spliceDelta(s.cacheProfile, prof); ok {
+			out, spliced, err := executeRound(cfg, roundBinding{round: round, epoch: s.cache.epoch}, s.cache, &sp)
+			if err == nil {
+				s.splices++
+				s.sinceRebid = 0
+				s.cache = spliced
+				s.cacheProfile = prof
+				return out, nil
+			}
+		}
+	}
+
+	out, cache, err := executeRound(cfg, roundBinding{round: round, epoch: round}, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -312,6 +679,8 @@ func (s *BidSession) roundConfig(job JobConfig) Config {
 		Retry:     job.Retry,
 		Keys:      s.base.Keys,
 		Tracer:    job.Tracer,
+		Codec:     s.base.Codec,
+		Memo:      s.base.Memo,
 	}
 	behaviors := make([]agent.Behavior, len(s.trueW))
 	for i := range behaviors {
@@ -431,12 +800,13 @@ func (s *BidSession) Members() []Member {
 // Stats reports the session counters.
 func (s *BidSession) Stats() SessionStats {
 	st := SessionStats{
-		Rounds:           s.rounds,
-		Rebids:           s.rebids,
-		RoundsSinceRebid: s.sinceRebid,
-		SavedMessages:    s.saved.Messages,
-		SavedDeliveries:  s.saved.Deliveries,
-		SavedUnits:       s.saved.Units,
+		Rounds:            s.rounds,
+		Rebids:            s.rebids,
+		IncrementalRebids: s.splices,
+		RoundsSinceRebid:  s.sinceRebid,
+		SavedMessages:     s.saved.Messages,
+		SavedDeliveries:   s.saved.Deliveries,
+		SavedUnits:        s.saved.Units,
 	}
 	if s.cache != nil {
 		st.BidEpoch = s.cache.epoch

@@ -31,7 +31,7 @@ func (r *run) bidExchange() (received [][]bus.Message, firstEnvs []sig.Envelope,
 	var msgs []logical
 	firstEnvs = make([]sig.Envelope, r.m)
 	for i, a := range r.agents {
-		env, err := sig.Seal(a.Key, referee.KindBid, referee.BidPayload{Proc: a.ID, Bid: a.Bid(), Round: r.roundID})
+		env, err := r.seal(a.Key, referee.KindBid, referee.BidPayload{Proc: a.ID, Bid: a.Bid(), Round: r.roundID})
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -43,7 +43,7 @@ func (r *run) bidExchange() (received [][]bus.Message, firstEnvs []sig.Envelope,
 		msgs = append(msgs, logical{sender: i, env: env, nonce: nonce, primary: true})
 		if second, ok := a.SecondBid(); ok {
 			// Equivocators broadcast a second, contradictory bid.
-			env2, err := sig.Seal(a.Key, referee.KindBid, referee.BidPayload{Proc: a.ID, Bid: second, Round: r.roundID})
+			env2, err := r.seal(a.Key, referee.KindBid, referee.BidPayload{Proc: a.ID, Bid: second, Round: r.roundID})
 			if err != nil {
 				return nil, nil, nil, err
 			}
@@ -209,7 +209,7 @@ func (r *run) phaseBidding() (bool, error) {
 		seen := make(map[string]*seenBid)
 		for _, msg := range received[i] {
 			var bp referee.BidPayload
-			if err := msg.Env.Open(r.reg, &bp); err != nil {
+			if err := r.open(&msg.Env, &bp); err != nil {
 				continue // failed verification: discarded (paper)
 			}
 			if bp.Proc != msg.Env.Sender {
@@ -271,6 +271,7 @@ func (r *run) phaseBidding() (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	r.ref.UseVerifier(r.ver)
 	// A round that runs its own Bidding phase IS its bids' epoch.
 	r.ref.BindRounds(r.roundID, r.bidEpoch)
 	r.outcome.FineMagnitude = fine
@@ -364,16 +365,16 @@ func (r *run) signedBidVector(i int) (sig.Envelope, error) {
 	a := r.agents[i]
 	envs := append([]sig.Envelope(nil), r.bidEnvs...)
 	if a.Behavior.TamperBidVectorEntry {
-		// The forger stamps the current bid epoch — an off-epoch entry
-		// would be rejected outright; this way the fresh signature itself
-		// is what convicts (Lemma 5.2).
-		forged, err := sig.Seal(a.Key, referee.KindBid, referee.BidPayload{Proc: a.ID, Bid: a.TamperedOwnBid(), Round: r.bidEpoch})
+		// The forger stamps its own current bid epoch (per-processor after
+		// a splice) — an off-epoch entry would be rejected outright; this
+		// way the fresh signature itself is what convicts (Lemma 5.2).
+		forged, err := r.seal(a.Key, referee.KindBid, referee.BidPayload{Proc: a.ID, Bid: a.TamperedOwnBid(), Round: r.epochOf(i)})
 		if err != nil {
 			return sig.Envelope{}, err
 		}
 		envs[i] = forged
 	}
-	return sig.Seal(a.Key, referee.KindBidVector, referee.BidVectorPayload{Proc: a.ID, Bids: envs, Round: r.roundID})
+	return r.seal(a.Key, referee.KindBidVector, referee.BidVectorPayload{Proc: a.ID, Bids: envs, Round: r.roundID})
 }
 
 // workDoneAt returns the termination compensations when a claim stops the
@@ -606,7 +607,7 @@ func (r *run) phaseProcessing() error {
 
 	// Referee broadcasts the meter vector; every processor must end up
 	// holding a verified copy (the payment computation depends on it).
-	env, err := sig.Seal(r.refKey, referee.KindMeters, referee.MetersPayload{Phi: phi})
+	env, err := r.seal(r.refKey, referee.KindMeters, referee.MetersPayload{Phi: phi})
 	if err != nil {
 		return err
 	}
@@ -651,7 +652,7 @@ func (r *run) phasePayments() error {
 	subs := make(map[string][]sig.Envelope, r.m)
 	for i, a := range r.agents {
 		q := a.PaymentVector(out.Payment, i)
-		env, err := sig.Seal(a.Key, referee.KindPayment, referee.PaymentPayload{Proc: a.ID, Q: q, Round: r.roundID})
+		env, err := r.seal(a.Key, referee.KindPayment, referee.PaymentPayload{Proc: a.ID, Q: q, Round: r.roundID})
 		if err != nil {
 			return err
 		}
@@ -662,7 +663,7 @@ func (r *run) phasePayments() error {
 		if a.Behavior.EquivocatePayments {
 			q2 := append([]float64(nil), q...)
 			q2[i] += 1
-			env2, err := sig.Seal(a.Key, referee.KindPayment, referee.PaymentPayload{Proc: a.ID, Q: q2, Round: r.roundID})
+			env2, err := r.seal(a.Key, referee.KindPayment, referee.PaymentPayload{Proc: a.ID, Q: q2, Round: r.roundID})
 			if err != nil {
 				return err
 			}

@@ -88,6 +88,24 @@ type Config struct {
 	// and audit transcripts are bit-identical with tracing on or off
 	// (TestTracerNilParity).
 	Tracer obs.Tracer
+	// Codec selects the envelope payload encoding for the hot phase
+	// payloads the run seals (bids, bid vectors, payments, meters). The
+	// zero value is CodecJSON — the legacy wire format. CodecBinary uses
+	// the deterministic length-prefixed encoding (sig.BinaryAppender),
+	// which skips encoding/json on the hot path; both encodings are
+	// self-describing on the wire, so receivers need no configuration and
+	// mixed traffic decodes fine. Payments, verdicts and transcripts are
+	// bit-identical under either codec (TestHotPathParity).
+	Codec sig.Codec
+	// Memo, when non-nil, routes every envelope verification in the run
+	// (transport arrivals, cached bids, referee re-opens) through a
+	// sig.BatchVerifier consulting this verified-envelope memo. A memo hit
+	// is possible only for a byte-identical envelope that already verified
+	// against the same registered key, so adjudications are unchanged —
+	// the memo is what lets a BidSession's reuse rounds skip re-verifying
+	// bit-identical cached envelopes. Share one memo across the rounds of
+	// a session or pool; nil keeps the legacy per-envelope verification.
+	Memo *sig.VerifyMemo
 }
 
 func (c *Config) validate() error {
@@ -116,6 +134,9 @@ func (c *Config) validate() error {
 	}
 	if err := c.Retry.validate(); err != nil {
 		return err
+	}
+	if c.Codec != sig.CodecJSON && c.Codec != sig.CodecBinary {
+		return fmt.Errorf("protocol: unknown payload codec %d", c.Codec)
 	}
 	return nil
 }
@@ -198,6 +219,11 @@ type Outcome struct {
 	// BidReused is true when the round was served from a BidSession's
 	// cached bid set instead of a fresh Bidding phase.
 	BidReused bool
+	// BidSpliced is true when the round ran an incremental re-bid: a
+	// single changed member broadcast a fresh bid and the referee spliced
+	// it into the cached bid set (everyone else's bid stayed in its
+	// original epoch). Mutually exclusive with BidReused.
+	BidSpliced bool
 	// BusStats is the control-plane traffic (Theorem 5.4), including the
 	// bus-level fault counters (drops, duplicates, …).
 	BusStats bus.Stats
@@ -249,10 +275,38 @@ type run struct {
 	// roundBinding); both empty for standalone runs.
 	roundID  string
 	bidEpoch string
+	// epochs, when non-nil, holds the per-participant bid epoch in force
+	// (spliced caches mix epochs); nil means bidEpoch applies uniformly.
+	epochs []string
+	// ver is the run's batch verifier (non-nil iff cfg.Memo is set); the
+	// transport and the referee route verification through it.
+	ver *sig.BatchVerifier
 	// tracer is cfg.Tracer, threaded here (and into the bus and the
 	// transport) so phases can emit protocol-level events; nil when
 	// tracing is off.
 	tracer obs.Tracer
+}
+
+// epochOf returns the bid epoch in force for participant i.
+func (r *run) epochOf(i int) string {
+	if r.epochs != nil {
+		return r.epochs[i]
+	}
+	return r.bidEpoch
+}
+
+// seal signs v under the run's configured payload codec.
+func (r *run) seal(k *sig.KeyPair, kind string, v any) (sig.Envelope, error) {
+	return sig.SealCodec(k, kind, v, r.cfg.Codec)
+}
+
+// open verifies an envelope (through the batch verifier when the run has
+// one) and decodes its payload.
+func (r *run) open(env *sig.Envelope, v any) error {
+	if r.ver != nil {
+		return r.ver.Open(env, v)
+	}
+	return env.Open(r.reg, v)
 }
 
 // roundBinding names the session round a protocol execution belongs to.
@@ -269,7 +323,7 @@ type roundBinding struct {
 
 // Run executes the protocol standalone: five full phases, no session.
 func Run(cfg Config) (*Outcome, error) {
-	out, _, err := executeRound(cfg, roundBinding{}, nil)
+	out, _, err := executeRound(cfg, roundBinding{}, nil, nil)
 	return out, err
 }
 
@@ -278,8 +332,10 @@ func Run(cfg Config) (*Outcome, error) {
 // verified bid set into a fresh bidCache for reuse. With a non-nil cache
 // it skips the Θ(m²) bid exchange entirely: the cached, already-verified
 // signed bids are re-checked against this round's fresh PKI registry (an
-// O(m) pass) and the remaining phases run against them.
-func executeRound(cfg Config, rb roundBinding, cache *bidCache) (*Outcome, *bidCache, error) {
+// O(m) pass) and the remaining phases run against them. A non-nil splice
+// additionally runs the incremental re-bid path: one changed member
+// broadcasts a fresh bid and the cache supplies everyone else's.
+func executeRound(cfg Config, rb roundBinding, cache *bidCache, splice *spliceOp) (*Outcome, *bidCache, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, nil, err
 	}
@@ -316,17 +372,26 @@ func executeRound(cfg Config, rb roundBinding, cache *bidCache) (*Outcome, *bidC
 			return nil, nil, ferr
 		}
 		out.RoundID = rb.round
-		out.BidReused = cache != nil
+		out.BidReused = cache != nil && splice == nil
+		out.BidSpliced = cache != nil && splice != nil
 		return out, fresh, nil
 	}
-	if cache != nil {
+	switch {
+	case cache != nil && splice != nil:
+		begin(obs.PhaseBidding)
+		fresh, err = r.spliceBidding(cache, *splice)
+		end(obs.PhaseBidding)
+		if err != nil {
+			return nil, nil, err
+		}
+	case cache != nil:
 		begin(obs.PhaseBidding)
 		err := r.reuseBidding(cache)
 		end(obs.PhaseBidding)
 		if err != nil {
 			return nil, nil, err
 		}
-	} else {
+	default:
 		begin(obs.PhaseBidding)
 		terminated, err := r.phaseBidding()
 		end(obs.PhaseBidding)
@@ -475,6 +540,13 @@ func setup(cfg Config) (*run, error) {
 	if r.xp, err = newTransport(r.net, r.reg, cfg.Retry); err != nil {
 		return nil, err
 	}
+	if cfg.Memo != nil {
+		// One batch verifier per run (it is not concurrency-safe), but the
+		// memo it consults is the caller's and outlives the run — that is
+		// what makes reuse rounds' verifications collapse into memo hits.
+		r.ver = sig.NewBatchVerifier(r.reg, cfg.Memo)
+		r.xp.ver = r.ver
+	}
 	for _, id := range append(append([]string(nil), r.procs...), referee.Account) {
 		if err := r.net.Attach(id); err != nil {
 			return nil, err
@@ -486,7 +558,11 @@ func setup(cfg Config) (*run, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	data := workload.SyntheticData(rng, r.nBlocks*blockSize)
-	if r.dataset, err = workload.Prepare(r.userKey, data, blockSize); err != nil {
+	// Lazy preparation: chunking and identification happen now, the ~8·m
+	// per-block user signatures only when a block's integrity is actually
+	// contested (Dataset.Seal / Verify). Sealing is deterministic, so a
+	// contested round's dataset is bit-identical to an eager one's.
+	if r.dataset, err = workload.PrepareLazy(r.userKey, data, blockSize); err != nil {
 		return nil, err
 	}
 	return r, nil

@@ -129,6 +129,19 @@ type transport struct {
 	// tracer receives transport-level events (dedup hits, corrupt
 	// discards, retransmits, timeouts); nil when tracing is off.
 	tracer obs.Tracer
+	// ver, when non-nil, routes arrival verification through the run's
+	// memoized batch verifier (see Config.Memo); nil keeps plain
+	// per-envelope verification.
+	ver *sig.BatchVerifier
+}
+
+// verify checks one arriving envelope, through the batch verifier when
+// the run has one.
+func (t *transport) verify(e *sig.Envelope) error {
+	if t.ver != nil {
+		return t.ver.Verify(e)
+	}
+	return e.Verify(t.reg)
 }
 
 // event emits one transport event when tracing is on.
@@ -181,8 +194,9 @@ func (t *transport) pull(id string) error {
 		return err
 	}
 	b := t.buf(id)
-	for _, m := range msgs {
-		if m.Env.Verify(t.reg) != nil {
+	for i := range msgs {
+		m := msgs[i]
+		if t.verify(&msgs[i].Env) != nil {
 			t.stats.CorruptDiscards++
 			t.event(obs.Event{Kind: obs.EvCorruptDiscard, From: m.From, To: id, Msg: m.Kind})
 			continue

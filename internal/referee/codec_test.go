@@ -1,0 +1,162 @@
+package referee
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"dlsbl/internal/sig"
+)
+
+// codecPayloads returns one representative value per hot-path payload
+// type, including the awkward cases: empty strings, empty slices, NaN-free
+// negative and subnormal floats, and a nested envelope.
+func codecPayloads() []any {
+	return []any{
+		BidPayload{Proc: "P1", Bid: 1.5, Round: "s01:r3"},
+		BidPayload{}, // zero value: empty strings, zero bid
+		PaymentPayload{Proc: "P2", Q: []float64{0.25, -1, 5e-324}, Round: "s01:r3"},
+		PaymentPayload{Proc: "P2"}, // no q at all
+		MetersPayload{Phi: []float64{0.125, 2.5, 3.75}},
+		BidVectorPayload{
+			Proc: "P1",
+			Bids: []sig.Envelope{
+				{Sender: "P1", Kind: KindBid, Payload: []byte(`{"proc":"P1"}`), Signature: []byte{1, 2}},
+				{Sender: "P2", Kind: KindBid, Payload: []byte{0xD1, 1, 'b'}, Signature: []byte{3}},
+			},
+			Round: "s01:r3",
+		},
+	}
+}
+
+// roundTrip encodes v with the binary codec and decodes into a fresh
+// value of the same type, returning the decode result as an interface.
+func roundTrip(t *testing.T, v any) any {
+	t.Helper()
+	enc := v.(sig.BinaryAppender).AppendBinary(nil)
+	out := reflect.New(reflect.TypeOf(v))
+	if err := out.Interface().(sig.BinaryDecoder).DecodeBinary(enc); err != nil {
+		t.Fatalf("%T: decode: %v", v, err)
+	}
+	return out.Elem().Interface()
+}
+
+// TestBinaryCodecRoundTrip pins the binary codec against the JSON codec:
+// every hot-path payload round-trips bit-exactly (floats via their
+// IEEE-754 bit patterns), and the two codecs agree on the decoded value.
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	for _, v := range codecPayloads() {
+		got := roundTrip(t, v)
+		if !payloadEqual(v, got) {
+			t.Errorf("%T binary round trip:\n got %+v\nwant %+v", v, got, v)
+		}
+
+		// JSON agreement: marshaling the original and the binary round
+		// trip must produce identical documents.
+		a, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%T: JSON disagrees after binary round trip:\n got %s\nwant %s", v, b, a)
+		}
+	}
+}
+
+// payloadEqual compares payloads, treating nil and empty slices as equal
+// (the decoder reuses capacity, so an empty slice decodes as empty, not
+// nil — JSON output is identical either way except for q, which both
+// codecs preserve as present-and-empty).
+func payloadEqual(a, b any) bool {
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	return string(ja) == string(jb)
+}
+
+// TestBinaryCodecSelfDescribing checks mixed-codec interop end to end: a
+// binary-sealed envelope opens into the payload struct with no codec
+// configuration on the receiving side, and a JSON-sealed one still does.
+func TestBinaryCodecSelfDescribing(t *testing.T) {
+	k, err := sig.GenerateKeyPair("P1", sig.DeterministicSource(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := sig.NewRegistry()
+	if err := reg.Register("P1", k.Public); err != nil {
+		t.Fatal(err)
+	}
+	want := BidPayload{Proc: "P1", Bid: 2.25, Round: "s9:r1"}
+	for _, codec := range []sig.Codec{sig.CodecJSON, sig.CodecBinary} {
+		env, err := sig.SealCodec(k, KindBid, want, codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got BidPayload
+		if err := env.Open(reg, &got); err != nil {
+			t.Fatalf("%v: %v", codec, err)
+		}
+		if got != want {
+			t.Errorf("%v: got %+v, want %+v", codec, got, want)
+		}
+	}
+}
+
+// TestBinaryCodecRejectsMalformed checks the decoder's strictness: a
+// wrong type tag, a truncated body and trailing garbage all error instead
+// of decoding something plausible.
+func TestBinaryCodecRejectsMalformed(t *testing.T) {
+	enc := BidPayload{Proc: "P1", Bid: 1.5}.AppendBinary(nil)
+
+	var p PaymentPayload
+	if err := p.DecodeBinary(enc); err == nil {
+		t.Error("bid payload decoded under the payment tag")
+	}
+	var b BidPayload
+	if err := b.DecodeBinary(enc[:len(enc)-3]); err == nil {
+		t.Error("truncated payload decoded")
+	}
+	if err := b.DecodeBinary(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+// TestBinaryCodecAllocs is the CI allocs guard for the codec half of the
+// envelope hot path: encoding into a warm buffer and decoding into a warm
+// struct must both be allocation-free.
+func TestBinaryCodecAllocs(t *testing.T) {
+	bid := BidPayload{Proc: "P1", Bid: 1.5, Round: "s01:r3"}
+	pay := PaymentPayload{Proc: "P1", Q: []float64{0.25, 0.5, 0.25}, Round: "s01:r3"}
+	buf := make([]byte, 0, 256)
+	if n := testing.AllocsPerRun(200, func() {
+		buf = bid.AppendBinary(buf[:0])
+		buf = pay.AppendBinary(buf[:0])
+	}); n != 0 {
+		t.Errorf("AppendBinary into a warm buffer: %v allocs/op, want 0", n)
+	}
+
+	bidEnc := bid.AppendBinary(nil)
+	payEnc := pay.AppendBinary(nil)
+	var gotBid BidPayload
+	var gotPay PaymentPayload
+	// Warm the targets once so strings and slices have their capacity.
+	if err := gotBid.DecodeBinary(bidEnc); err != nil {
+		t.Fatal(err)
+	}
+	if err := gotPay.DecodeBinary(payEnc); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := gotBid.DecodeBinary(bidEnc); err != nil {
+			t.Fatal(err)
+		}
+		if err := gotPay.DecodeBinary(payEnc); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("DecodeBinary into a warm struct: %v allocs/op, want 0", n)
+	}
+}

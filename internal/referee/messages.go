@@ -1,6 +1,10 @@
 package referee
 
-import "dlsbl/internal/sig"
+import (
+	"fmt"
+
+	"dlsbl/internal/sig"
+)
 
 // Envelope kinds and payload types for every signed message the protocol
 // exchanges. They live here because the referee is the arbiter of their
@@ -59,4 +63,97 @@ type ClaimPayload struct {
 	Proc      string `json:"proc"`
 	Delivered int    `json:"delivered"`
 	Expected  int    `json:"expected"`
+}
+
+// ---- Binary hot-path codec -------------------------------------------------
+//
+// Each hot phase payload implements sig.BinaryAppender/BinaryDecoder: a
+// deterministic length-prefixed encoding behind a per-type tag byte, so
+// sig.SealCodec(..., sig.CodecBinary) skips encoding/json on the round's
+// hot path while JSON envelopes stay decodable (the codecs are
+// self-describing — see sig.Codec).
+
+// Binary payload type tags.
+const (
+	tagBid       = 'b'
+	tagBidVector = 'v'
+	tagPayment   = 'p'
+	tagMeters    = 'm'
+)
+
+// AppendBinary implements sig.BinaryAppender.
+func (p BidPayload) AppendBinary(dst []byte) []byte {
+	dst = sig.AppendBinaryHeader(dst, tagBid)
+	dst = sig.AppendString(dst, p.Proc)
+	dst = sig.AppendFloat(dst, p.Bid)
+	return sig.AppendString(dst, p.Round)
+}
+
+// DecodeBinary implements sig.BinaryDecoder.
+func (p *BidPayload) DecodeBinary(src []byte) error {
+	r := sig.NewBinReader(src, tagBid)
+	r.StringInto(&p.Proc)
+	p.Bid = r.Float()
+	r.StringInto(&p.Round)
+	return r.Close()
+}
+
+// AppendBinary implements sig.BinaryAppender.
+func (p BidVectorPayload) AppendBinary(dst []byte) []byte {
+	dst = sig.AppendBinaryHeader(dst, tagBidVector)
+	dst = sig.AppendString(dst, p.Proc)
+	dst = sig.AppendUvarint(dst, uint64(len(p.Bids)))
+	for _, e := range p.Bids {
+		dst = e.AppendBinary(dst)
+	}
+	return sig.AppendString(dst, p.Round)
+}
+
+// DecodeBinary implements sig.BinaryDecoder.
+func (p *BidVectorPayload) DecodeBinary(src []byte) error {
+	r := sig.NewBinReader(src, tagBidVector)
+	r.StringInto(&p.Proc)
+	n := r.Uvarint()
+	if n > uint64(len(src)) { // each envelope takes ≥4 bytes; cheap sanity bound
+		return fmt.Errorf("%w: bid vector length %d", sig.ErrBinaryPayload, n)
+	}
+	if uint64(cap(p.Bids)) < n {
+		p.Bids = make([]sig.Envelope, n)
+	}
+	p.Bids = p.Bids[:n]
+	for i := range p.Bids {
+		r.DecodeEnvelope(&p.Bids[i])
+	}
+	r.StringInto(&p.Round)
+	return r.Close()
+}
+
+// AppendBinary implements sig.BinaryAppender.
+func (p PaymentPayload) AppendBinary(dst []byte) []byte {
+	dst = sig.AppendBinaryHeader(dst, tagPayment)
+	dst = sig.AppendString(dst, p.Proc)
+	dst = sig.AppendFloats(dst, p.Q)
+	return sig.AppendString(dst, p.Round)
+}
+
+// DecodeBinary implements sig.BinaryDecoder.
+func (p *PaymentPayload) DecodeBinary(src []byte) error {
+	r := sig.NewBinReader(src, tagPayment)
+	r.StringInto(&p.Proc)
+	r.FloatsInto(&p.Q)
+	r.StringInto(&p.Round)
+	return r.Close()
+}
+
+// AppendBinary implements sig.BinaryAppender.
+func (p MetersPayload) AppendBinary(dst []byte) []byte {
+	dst = sig.AppendBinaryHeader(dst, tagMeters)
+	return sig.AppendFloats(dst, p.Phi)
+}
+
+// DecodeBinary implements sig.BinaryDecoder.
+func (p *MetersPayload) DecodeBinary(src []byte) error {
+	r := sig.NewBinReader(src, tagMeters)
+	r.FloatsInto(&p.Phi)
+	return r.Close()
 }

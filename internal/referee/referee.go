@@ -58,6 +58,17 @@ type Referee struct {
 	// round check — legacy messages carry no Round field.
 	round    string
 	bidEpoch string
+	// epochs, when non-nil, carries per-processor bid epochs (processor
+	// index order) for rounds served from a spliced cache: after an
+	// incremental re-bid the changed member's bid was signed in a newer
+	// round than everyone else's. Nil means the uniform bidEpoch applies.
+	epochs []string
+
+	// ver, when non-nil, routes envelope verification through a memoized
+	// batch verifier. Purely an accelerator: a memo hit is possible only
+	// for a byte-identical envelope that already verified against the
+	// same registry (see sig.VerifyMemo), so adjudications are unchanged.
+	ver *sig.BatchVerifier
 }
 
 // New creates a referee for the given participant list (in processor
@@ -109,6 +120,61 @@ func (r *Referee) Fine() float64 { return r.fine }
 func (r *Referee) BindRounds(round, bidEpoch string) {
 	r.round = round
 	r.bidEpoch = bidEpoch
+	r.epochs = nil
+}
+
+// BindRoundsSpliced attaches the referee to a round served from a
+// spliced bid cache: bidEpoch is the base epoch (the last full
+// exchange), and epochs[j] is the epoch processor j's bid in force was
+// actually signed in — newer than the base for members that re-bid
+// incrementally. epochs must be in processor index order and cover every
+// processor.
+func (r *Referee) BindRoundsSpliced(round, bidEpoch string, epochs []string) error {
+	if len(epochs) != len(r.procs) {
+		return fmt.Errorf("referee: %d epochs for %d processors", len(epochs), len(r.procs))
+	}
+	r.round = round
+	r.bidEpoch = bidEpoch
+	r.epochs = append([]string(nil), epochs...)
+	return nil
+}
+
+// epochFor returns the bid epoch in force for processor index j.
+func (r *Referee) epochFor(j int) string {
+	if r.epochs != nil {
+		return r.epochs[j]
+	}
+	return r.bidEpoch
+}
+
+// UseVerifier routes the referee's envelope verification through a
+// memoized batch verifier; nil restores plain per-envelope verification.
+func (r *Referee) UseVerifier(v *sig.BatchVerifier) { r.ver = v }
+
+// open verifies an envelope (through the verifier when set) and decodes
+// its payload.
+func (r *Referee) open(env *sig.Envelope, v any) error {
+	if r.ver != nil {
+		return r.ver.Open(env, v)
+	}
+	return env.Open(r.reg, v)
+}
+
+// isEquivocation is sig.IsEquivocation through the verifier when set.
+func (r *Referee) isEquivocation(a, b sig.Envelope) bool {
+	if r.ver != nil {
+		return r.ver.IsEquivocation(a, b)
+	}
+	return sig.IsEquivocation(r.reg, a, b)
+}
+
+// RecordBidSplice enters an incremental re-bid into the transcript: this
+// round spliced proc's freshly signed bid into the cached bid set, with
+// every other member's bid left in its original epoch. The entry keeps
+// the amortization auditable alongside RecordBidReuse's.
+func (r *Referee) RecordBidSplice(proc, kind, baseEpoch string) AuditEntry {
+	return r.audit.AppendRound(r.round, "bid-splice", "bidding", nil,
+		fmt.Sprintf("%s of %s spliced into bid set of epoch %s", kind, proc, baseEpoch))
 }
 
 // RecordBidReuse enters a reuse decision into the transcript: this round
@@ -190,7 +256,7 @@ func (r *Referee) JudgeEquivocation(accuser string, a, b sig.Envelope) (Verdict,
 	if _, ok := r.index[accuser]; !ok {
 		return Verdict{}, fmt.Errorf("referee: unknown accuser %q", accuser)
 	}
-	if sig.IsEquivocation(r.reg, a, b) && r.evidenceInEpoch(a) && r.evidenceInEpoch(b) {
+	if r.isEquivocation(a, b) && r.evidenceInEpoch(a) && r.evidenceInEpoch(b) {
 		if _, ok := r.index[a.Sender]; !ok {
 			return Verdict{}, fmt.Errorf("referee: equivocation by non-participant %q", a.Sender)
 		}
@@ -210,19 +276,24 @@ func (r *Referee) JudgeEquivocation(accuser string, a, b sig.Envelope) (Verdict,
 }
 
 // evidenceInEpoch reports whether an equivocation-evidence envelope is a
-// bid of the current bid epoch. Outside a session (empty bidEpoch) every
-// envelope qualifies. An envelope that fails to open also qualifies —
-// sig.IsEquivocation has already vouched for both signatures by the time
-// this runs, so an unopenable payload cannot occur on the true branch.
+// bid of the sender's current bid epoch (per-processor after a splice).
+// Outside a session (empty bidEpoch) every envelope qualifies. An
+// envelope that fails to open also qualifies — sig.IsEquivocation has
+// already vouched for both signatures by the time this runs, so an
+// unopenable payload cannot occur on the true branch.
 func (r *Referee) evidenceInEpoch(env sig.Envelope) bool {
 	if r.bidEpoch == "" {
 		return true
 	}
 	var bp BidPayload
-	if err := env.Open(r.reg, &bp); err != nil {
+	if err := r.open(&env, &bp); err != nil {
 		return true
 	}
-	return bp.Round == r.bidEpoch
+	epoch := r.bidEpoch
+	if j, ok := r.index[env.Sender]; ok {
+		epoch = r.epochFor(j)
+	}
+	return bp.Round == epoch
 }
 
 // ---- Allocating Load phase ---------------------------------------------
@@ -232,7 +303,7 @@ func (r *Referee) evidenceInEpoch(env sig.Envelope) bool {
 // j, and payload consistent. It returns the plain bid values on success.
 func (r *Referee) VerifyBidVector(env sig.Envelope) ([]float64, error) {
 	var vec BidVectorPayload
-	if err := env.Open(r.reg, &vec); err != nil {
+	if err := r.open(&env, &vec); err != nil {
 		return nil, err
 	}
 	if vec.Proc != env.Sender {
@@ -246,18 +317,19 @@ func (r *Referee) VerifyBidVector(env sig.Envelope) ([]float64, error) {
 		return nil, fmt.Errorf("referee: vector has %d bids for %d processors", len(vec.Bids), len(r.procs))
 	}
 	bids := make([]float64, len(r.procs))
-	for j, bidEnv := range vec.Bids {
+	for j := range vec.Bids {
+		bidEnv := &vec.Bids[j]
 		var bp BidPayload
-		if err := bidEnv.Open(r.reg, &bp); err != nil {
+		if err := r.open(bidEnv, &bp); err != nil {
 			return nil, fmt.Errorf("referee: bid %d in %s's vector: %w", j, env.Sender, err)
 		}
 		if bidEnv.Sender != r.procs[j] || bp.Proc != r.procs[j] {
 			return nil, fmt.Errorf("referee: bid %d in %s's vector signed by %q, want %q",
 				j, env.Sender, bidEnv.Sender, r.procs[j])
 		}
-		if bp.Round != r.bidEpoch {
+		if bp.Round != r.epochFor(j) {
 			return nil, fmt.Errorf("referee: bid %d in %s's vector signed in epoch %q, current bid epoch is %q",
-				j, env.Sender, bp.Round, r.bidEpoch)
+				j, env.Sender, bp.Round, r.epochFor(j))
 		}
 		if !(bp.Bid > 0) || math.IsInf(bp.Bid, 0) {
 			return nil, fmt.Errorf("referee: bid %d in %s's vector is invalid (%v)", j, env.Sender, bp.Bid)
@@ -461,7 +533,7 @@ func (r *Referee) JudgePayments(bids, exec []float64, submissions map[string][]s
 		if len(envs) > 1 {
 			contradictory := false
 			for k := 1; k < len(envs); k++ {
-				if sig.IsEquivocation(r.reg, envs[0], envs[k]) {
+				if r.isEquivocation(envs[0], envs[k]) {
 					contradictory = true
 					break
 				}
@@ -472,7 +544,7 @@ func (r *Referee) JudgePayments(bids, exec []float64, submissions map[string][]s
 			}
 		}
 		var pp PaymentPayload
-		if err := envs[0].Open(r.reg, &pp); err != nil {
+		if err := r.open(&envs[0], &pp); err != nil {
 			guilty[p] = fmt.Sprintf("payment vector rejected: %v", err)
 			continue
 		}

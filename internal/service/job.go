@@ -123,9 +123,12 @@ type JobResult struct {
 	TerminatedIn  string  `json:"terminated_in,omitempty"`
 	FineMagnitude float64 `json:"fine_magnitude,omitempty"`
 	// BidReused marks a round served from the pool's cached bid set
-	// (Multiload pools); RoundID is its session-salted round identifier.
-	BidReused bool   `json:"bid_reused,omitempty"`
-	RoundID   string `json:"round_id,omitempty"`
+	// (Multiload pools); BidSpliced marks a round that re-bid only the one
+	// changed member and spliced it into the cache; RoundID is the round's
+	// session-salted identifier.
+	BidReused  bool   `json:"bid_reused,omitempty"`
+	BidSpliced bool   `json:"bid_spliced,omitempty"`
+	RoundID    string `json:"round_id,omitempty"`
 
 	Bids      []float64 `json:"bids,omitempty"`
 	Alloc     []float64 `json:"alloc,omitempty"`
@@ -162,6 +165,7 @@ func (r *JobResult) fill(out *protocol.Outcome, artifacts map[string]bool) {
 	r.TerminatedIn = out.TerminatedIn
 	r.FineMagnitude = out.FineMagnitude
 	r.BidReused = out.BidReused
+	r.BidSpliced = out.BidSpliced
 	r.RoundID = out.RoundID
 	r.Bids = out.Bids
 	r.Alloc = out.Alloc

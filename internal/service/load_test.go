@@ -38,6 +38,7 @@ func TestLoad200ConcurrentJobs(t *testing.T) {
 
 	srv := New(Config{Workers: 4, QueueDepth: totalJobs})
 	defer srv.Close()
+	srv.testHookDuringRun = overlapRendezvous(2)
 	poolNames := make([]string, nPools)
 	for i := range poolNames {
 		poolNames[i] = fmt.Sprintf("pool-%02d", i)

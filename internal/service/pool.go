@@ -96,6 +96,13 @@ func newPool(spec PoolSpec) (*Pool, error) {
 		Policy:    policy,
 		Keys:      sig.NewKeyring(),
 		Multiload: spec.Multiload,
+		// Warm pools run the hot path: binary payload codec plus a
+		// pool-lifetime verified-envelope memo, so repeat rounds skip both
+		// encoding/json and re-verification of bit-identical envelopes.
+		// Payments and transcripts are bit-identical to the legacy path
+		// (TestHotPathParity).
+		Codec: sig.CodecBinary,
+		Memo:  sig.NewVerifyMemo(),
 	}
 	state, err := sess.NewState()
 	if err != nil {
@@ -150,12 +157,20 @@ type PoolSnapshot struct {
 	// MessagesSaved / DeliveriesSaved / UnitsSaved total the bus traffic
 	// the avoided Bidding exchanges would have cost (Deliveries is the
 	// Θ(m²) term).
-	Multiload        bool `json:"multiload,omitempty"`
-	Rebids           int  `json:"rebids,omitempty"`
-	RoundsSinceRebid int  `json:"rounds_since_rebid,omitempty"`
-	MessagesSaved    int  `json:"messages_saved,omitempty"`
-	DeliveriesSaved  int  `json:"deliveries_saved,omitempty"`
-	UnitsSaved       int  `json:"units_saved,omitempty"`
+	Multiload         bool `json:"multiload,omitempty"`
+	Rebids            int  `json:"rebids,omitempty"`
+	IncrementalRebids int  `json:"incremental_rebids,omitempty"`
+	RoundsSinceRebid  int  `json:"rounds_since_rebid,omitempty"`
+	MessagesSaved     int  `json:"messages_saved,omitempty"`
+	DeliveriesSaved   int  `json:"deliveries_saved,omitempty"`
+	UnitsSaved        int  `json:"units_saved,omitempty"`
+
+	// Verified-envelope memo telemetry (the hot-path verification cache
+	// every pool carries): VerifyMemoHits counts Ed25519 verifications
+	// skipped because the envelope had already verified bit-identically;
+	// VerifyMemoSize is the current number of memoized digests.
+	VerifyMemoHits int64 `json:"verify_memo_hits,omitempty"`
+	VerifyMemoSize int   `json:"verify_memo_size,omitempty"`
 
 	// Traffic totals the pool's control-plane bus traffic across rounds
 	// (session.TrafficStats semantics: Deliveries is the Θ(m²) term).
@@ -177,6 +192,7 @@ func (p *Pool) Snapshot() PoolSnapshot {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	bs := p.state.BidStats()
+	ms := p.sess.Memo.Stats()
 	return PoolSnapshot{
 		Name:              p.spec.Name,
 		Network:           p.network.String(),
@@ -191,10 +207,13 @@ func (p *Pool) Snapshot() PoolSnapshot {
 		WarmKeys:          p.sess.Keys.Len(),
 		Multiload:         p.spec.Multiload,
 		Rebids:            bs.Rebids,
+		IncrementalRebids: bs.IncrementalRebids,
 		RoundsSinceRebid:  bs.RoundsSinceRebid,
 		MessagesSaved:     bs.SavedMessages,
 		DeliveriesSaved:   bs.SavedDeliveries,
 		UnitsSaved:        bs.SavedUnits,
+		VerifyMemoHits:    ms.Hits,
+		VerifyMemoSize:    ms.Size,
 		Traffic:           p.state.Traffic,
 		PhaseMS:           phase,
 		BusEvents:         events,

@@ -81,6 +81,12 @@ type Server struct {
 	// leaves the queue and before it takes a worker slot. Tests use it to
 	// hold a runner in a deterministic spot.
 	testHookBeforeRun func(p *Pool, t *Task)
+	// testHookDuringRun, when set, runs on the pool runner inside the
+	// worker-slot section, after the running-jobs gauge is raised and
+	// before the round executes. Tests use it to pin cross-pool
+	// concurrency deterministically (rounds are now fast enough that two
+	// runners rarely overlap by accident on a small box).
+	testHookDuringRun func(p *Pool, t *Task)
 }
 
 // New creates a server. Pools are added with CreatePool.
@@ -244,6 +250,9 @@ func (s *Server) runPool(p *Pool) {
 		}
 		s.sem <- struct{}{}
 		s.metrics.runStarted()
+		if h := s.testHookDuringRun; h != nil {
+			h(p, t)
+		}
 		s.runTask(p, t)
 		s.metrics.runFinished()
 		<-s.sem

@@ -149,12 +149,33 @@ func TestConcurrentSameSubmissionsSerialize(t *testing.T) {
 	}
 }
 
+// overlapRendezvous returns a testHookDuringRun that blocks every runner
+// inside the worker-slot section until n of them are there at once, then
+// releases everyone (later arrivals pass straight through). It pins the
+// cross-pool concurrency contract deterministically: the running-jobs
+// gauge provably reaches n, however fast individual rounds are.
+func overlapRendezvous(n int) func(*Pool, *Task) {
+	var mu sync.Mutex
+	met := make(chan struct{})
+	count := 0
+	return func(*Pool, *Task) {
+		mu.Lock()
+		count++
+		if count == n {
+			close(met)
+		}
+		mu.Unlock()
+		<-met
+	}
+}
+
 // TestDisjointPoolsOverlap checks the other half of the concurrency
 // contract: rounds against distinct pools run in parallel (peak running
 // protocol executions > 1), while each pool's own rounds stay ordered.
 func TestDisjointPoolsOverlap(t *testing.T) {
 	srv := New(Config{Workers: 8, QueueDepth: 256})
 	defer srv.Close()
+	srv.testHookDuringRun = overlapRendezvous(2)
 	const pools = 8
 	for i := 0; i < pools; i++ {
 		spec := PoolSpec{Name: fmt.Sprintf("pool%d", i), TrueW: []float64{1, 1.5, 2, 2.5, 3, 3.5}}
@@ -449,7 +470,9 @@ func TestMultiloadPoolAmortizesBidding(t *testing.T) {
 
 // TestMultiloadPoolRebidsAfterBan drives a ban-deviants multiload pool
 // through a cheat round and checks the service re-bids exactly once — the
-// ban flips the bid profile — then settles back into reuse.
+// ban flips the bid profile. Because the ban is a single-member change
+// (P2 leaves), that re-bid is an incremental splice, not a full Θ(m²)
+// exchange; the pool then settles back into reuse.
 func TestMultiloadPoolRebidsAfterBan(t *testing.T) {
 	w := []float64{1, 1.5, 2, 2.5}
 	srv := New(Config{Workers: 2, QueueDepth: 64})
@@ -469,9 +492,10 @@ func TestMultiloadPoolRebidsAfterBan(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Round 0 bids; round 1 reuses (a payment cheat doesn't move the
-	// bids); round 2 re-bids because P2's ban forces it to abstain;
-	// rounds 3-4 reuse the post-ban cache.
+	// bids); round 2 splices because P2's ban forces it to abstain — a
+	// single-member leave; rounds 3-4 reuse the post-ban cache.
 	wantReused := []bool{false, true, false, true, true}
+	wantSpliced := []bool{false, false, true, false, false}
 	for i, task := range tasks {
 		res := task.Wait()
 		if res.Error != "" {
@@ -480,12 +504,19 @@ func TestMultiloadPoolRebidsAfterBan(t *testing.T) {
 		if res.BidReused != wantReused[i] {
 			t.Errorf("job %d: bid_reused = %v, want %v", i, res.BidReused, wantReused[i])
 		}
+		if res.BidSpliced != wantSpliced[i] {
+			t.Errorf("job %d: bid_spliced = %v, want %v", i, res.BidSpliced, wantSpliced[i])
+		}
 	}
 
 	p, _ := srv.Pool("strict")
 	snap := p.Snapshot()
-	if snap.Rebids != 2 || snap.RoundsSinceRebid != 2 {
-		t.Errorf("snapshot rebids=%d sinceRebid=%d, want 2 and 2", snap.Rebids, snap.RoundsSinceRebid)
+	if snap.Rebids != 1 || snap.IncrementalRebids != 1 || snap.RoundsSinceRebid != 2 {
+		t.Errorf("snapshot rebids=%d incremental=%d sinceRebid=%d, want 1, 1 and 2",
+			snap.Rebids, snap.IncrementalRebids, snap.RoundsSinceRebid)
+	}
+	if snap.VerifyMemoHits == 0 {
+		t.Errorf("verify_memo_hits = 0, want > 0 (reuse rounds should hit the pool memo)")
 	}
 	if got := snap.Banned; len(got) != 1 || got[0] != "P2" {
 		t.Errorf("banned = %v, want [P2]", got)

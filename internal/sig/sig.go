@@ -64,19 +64,34 @@ func (d *detSource) Read(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// signingBytes builds the domain-separated byte string that is actually
-// signed: len-prefixed (kind, sender, payload) so no field boundary can be
-// shifted between them.
-func signingBytes(kind, sender string, payload []byte) []byte {
-	var buf bytes.Buffer
-	for _, part := range [][]byte{[]byte(kind), []byte(sender), payload} {
-		var n [8]byte
-		binary.BigEndian.PutUint64(n[:], uint64(len(part)))
-		buf.Write(n[:])
-		buf.Write(part)
-	}
-	return buf.Bytes()
+// appendSigningBytes appends the domain-separated byte string that is
+// actually signed: len-prefixed (kind, sender, payload) so no field
+// boundary can be shifted between them. Append-style so hot paths can
+// reuse one pooled buffer instead of allocating per signature.
+func appendSigningBytes(dst []byte, kind, sender string, payload []byte) []byte {
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(kind)))
+	dst = append(dst, n[:]...)
+	dst = append(dst, kind...)
+	binary.BigEndian.PutUint64(n[:], uint64(len(sender)))
+	dst = append(dst, n[:]...)
+	dst = append(dst, sender...)
+	binary.BigEndian.PutUint64(n[:], uint64(len(payload)))
+	dst = append(dst, n[:]...)
+	dst = append(dst, payload...)
+	return dst
 }
+
+// signingBytes is the allocating form of appendSigningBytes, kept for
+// cold paths and tests.
+func signingBytes(kind, sender string, payload []byte) []byte {
+	return appendSigningBytes(nil, kind, sender, payload)
+}
+
+// sbPool recycles signing-byte buffers across Seal/Verify calls. Buffers
+// returned to the pool keep their grown capacity, so steady-state sign
+// and verify perform zero allocations.
+var sbPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
 
 // Registry is the PKI: it maps identities to registered public keys.
 // Registration is first-write-wins; re-registering an identity is an
@@ -109,8 +124,21 @@ func (r *Registry) Register(id string, pub ed25519.PublicKey) error {
 	return nil
 }
 
-// PublicKey looks an identity up.
+// PublicKey looks an identity up. The returned slice is a copy:
+// Register already copies on write, and handing out the internal slice
+// would let a caller silently mutate the PKI's registered key.
 func (r *Registry) PublicKey(id string) (ed25519.PublicKey, bool) {
+	k, ok := r.lookup(id)
+	if !ok {
+		return nil, false
+	}
+	return append(ed25519.PublicKey(nil), k...), true
+}
+
+// lookup returns the registered key without copying. Package-internal
+// hot paths (Verify, the batch verifier) use it and must never retain or
+// mutate the result.
+func (r *Registry) lookup(id string) (ed25519.PublicKey, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	k, ok := r.keys[id]
@@ -148,8 +176,42 @@ func Seal(k *KeyPair, kind string, v any) (Envelope, error) {
 	if err != nil {
 		return Envelope{}, fmt.Errorf("sig: marshaling %s payload: %w", kind, err)
 	}
-	sigBytes := ed25519.Sign(k.private, signingBytes(kind, k.ID, payload))
+	return sealPayload(k, kind, payload)
+}
+
+// sealPayload signs an already-encoded payload. The signing bytes are
+// assembled in a pooled buffer, so sealing allocates only the envelope's
+// own payload and signature slices.
+func sealPayload(k *KeyPair, kind string, payload []byte) (Envelope, error) {
+	if k == nil || len(k.private) == 0 {
+		return Envelope{}, errors.New("sig: sealing requires a private key")
+	}
+	bp := sbPool.Get().(*[]byte)
+	msg := appendSigningBytes((*bp)[:0], kind, k.ID, payload)
+	sigBytes := ed25519.Sign(k.private, msg)
+	*bp = msg[:0]
+	sbPool.Put(bp)
 	return Envelope{Sender: k.ID, Kind: kind, Payload: payload, Signature: sigBytes}, nil
+}
+
+// SealInto signs an already-encoded payload into a reused envelope: the
+// payload and signature are copied into e's existing capacity, and the
+// signing bytes come from the pooled buffer. Sealing into a warm envelope
+// is the zero-allocation sign path (see TestHotPathAllocs); Seal remains
+// the convenient allocating form.
+func SealInto(k *KeyPair, kind string, payload []byte, e *Envelope) error {
+	if k == nil || len(k.private) == 0 {
+		return errors.New("sig: sealing requires a private key")
+	}
+	bp := sbPool.Get().(*[]byte)
+	msg := appendSigningBytes((*bp)[:0], kind, k.ID, payload)
+	e.Sender = k.ID
+	e.Kind = kind
+	e.Payload = append(e.Payload[:0], payload...)
+	e.Signature = append(e.Signature[:0], ed25519.Sign(k.private, msg)...)
+	*bp = msg[:0]
+	sbPool.Put(bp)
+	return nil
 }
 
 // Errors reported by envelope verification.
@@ -160,25 +222,35 @@ var (
 
 // Verify checks the envelope's signature against the registry.
 func (e Envelope) Verify(reg *Registry) error {
-	pub, ok := reg.PublicKey(e.Sender)
+	pub, ok := reg.lookup(e.Sender)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownSender, e.Sender)
 	}
-	if !ed25519.Verify(pub, signingBytes(e.Kind, e.Sender, e.Payload), e.Signature) {
+	return verifyWithKey(pub, &e)
+}
+
+// verifyWithKey checks the signature against an already-resolved public
+// key, assembling the signing bytes in a pooled buffer.
+func verifyWithKey(pub ed25519.PublicKey, e *Envelope) error {
+	bp := sbPool.Get().(*[]byte)
+	msg := appendSigningBytes((*bp)[:0], e.Kind, e.Sender, e.Payload)
+	ok := ed25519.Verify(pub, msg, e.Signature)
+	*bp = msg[:0]
+	sbPool.Put(bp)
+	if !ok {
 		return fmt.Errorf("%w: sender %q kind %q", ErrBadSignature, e.Sender, e.Kind)
 	}
 	return nil
 }
 
-// Open verifies the envelope and unmarshals its payload into v.
+// Open verifies the envelope and decodes its payload into v: binary
+// payloads (leading codec magic byte) through v's BinaryDecoder
+// implementation, everything else as JSON.
 func (e Envelope) Open(reg *Registry, v any) error {
 	if err := e.Verify(reg); err != nil {
 		return err
 	}
-	if err := json.Unmarshal(e.Payload, v); err != nil {
-		return fmt.Errorf("sig: unmarshaling %s payload from %q: %w", e.Kind, e.Sender, err)
-	}
-	return nil
+	return decodePayload(e.Kind, e.Sender, e.Payload, v)
 }
 
 // Equal reports whether two envelopes are byte-identical.

@@ -55,16 +55,40 @@ func (b Block) Verify(reg *sig.Registry) error {
 	return nil
 }
 
-// Dataset is the user's prepared load: equal-sized signed blocks.
+// Dataset is the user's prepared load: equal-sized signed blocks. A
+// dataset from PrepareLazy defers the per-block signatures until Seal —
+// the unexported signer is the user's key held for that purpose (nil for
+// eagerly prepared datasets, which are fully sealed on construction).
 type Dataset struct {
 	User   string
 	Blocks []Block
+
+	signer *sig.KeyPair
 }
 
 // Prepare divides data into ceil(len/blockSize) equal-sized blocks (the
 // final block zero-padded to keep sizes equal), appends unique
 // identifiers, and signs each aggregate with the user's key.
 func Prepare(user *sig.KeyPair, data []byte, blockSize int) (*Dataset, error) {
+	ds, err := PrepareLazy(user, data, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := ds.Seal(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// PrepareLazy chunks and identifies the blocks like Prepare but defers
+// the user's per-block Ed25519 signatures until Seal (or Verify, which
+// seals first). Signing every block dominates Initialization — ~8·m
+// signatures per protocol round at the default granularity — yet the
+// envelopes are only consumed when a block's integrity is actually
+// contested, so rounds that never open a block skip the cost entirely.
+// Sealing is deterministic (Ed25519), so Prepare and PrepareLazy+Seal
+// yield bit-identical datasets.
+func PrepareLazy(user *sig.KeyPair, data []byte, blockSize int) (*Dataset, error) {
 	if user == nil {
 		return nil, errors.New("workload: nil user key")
 	}
@@ -75,7 +99,7 @@ func Prepare(user *sig.KeyPair, data []byte, blockSize int) (*Dataset, error) {
 		return nil, errors.New("workload: empty data")
 	}
 	n := (len(data) + blockSize - 1) / blockSize
-	ds := &Dataset{User: user.ID, Blocks: make([]Block, 0, n)}
+	ds := &Dataset{User: user.ID, Blocks: make([]Block, 0, n), signer: user}
 	for i := 0; i < n; i++ {
 		chunk := make([]byte, blockSize)
 		lo := i * blockSize
@@ -85,20 +109,41 @@ func Prepare(user *sig.KeyPair, data []byte, blockSize int) (*Dataset, error) {
 		}
 		copy(chunk, data[lo:hi])
 		id := fmt.Sprintf("%s/block-%06d", user.ID, i)
-		digest := sha256.Sum256(chunk)
-		env, err := sig.Seal(user, BlockKind, blockClaim{ID: id, Digest: digest[:]})
-		if err != nil {
-			return nil, fmt.Errorf("workload: signing block %d: %w", i, err)
-		}
-		ds.Blocks = append(ds.Blocks, Block{ID: id, Data: chunk, Env: env})
+		ds.Blocks = append(ds.Blocks, Block{ID: id, Data: chunk})
 	}
 	return ds, nil
 }
 
-// Verify checks every block of the dataset.
+// Seal signs every still-unsealed block with the user's key. It is a
+// no-op on eagerly prepared (or already sealed) datasets.
+func (d *Dataset) Seal() error {
+	if d.signer == nil {
+		return nil
+	}
+	for i := range d.Blocks {
+		b := &d.Blocks[i]
+		if len(b.Env.Signature) > 0 {
+			continue
+		}
+		digest := sha256.Sum256(b.Data)
+		env, err := sig.Seal(d.signer, BlockKind, blockClaim{ID: b.ID, Digest: digest[:]})
+		if err != nil {
+			return fmt.Errorf("workload: signing block %d: %w", i, err)
+		}
+		b.Env = env
+	}
+	d.signer = nil
+	return nil
+}
+
+// Verify checks every block of the dataset, sealing lazily prepared
+// blocks first.
 func (d *Dataset) Verify(reg *sig.Registry) error {
 	if len(d.Blocks) == 0 {
 		return errors.New("workload: dataset has no blocks")
+	}
+	if err := d.Seal(); err != nil {
+		return err
 	}
 	seen := make(map[string]bool, len(d.Blocks))
 	for _, b := range d.Blocks {
