@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-service vet ci serve bench-smoke bench-payments bench-faults bench-multiload bench-hotpath bench-obs faults-soak fuzz-smoke fuzz-short cover clean
+.PHONY: all build test race race-service vet doccheck net-smoke ci serve bench-smoke bench-payments bench-faults bench-multiload bench-hotpath bench-obs faults-soak fuzz-smoke fuzz-short cover clean
 
 all: build test
 
@@ -26,12 +26,26 @@ vet:
 race-service:
 	$(GO) test -race ./internal/service/... ./internal/protocol/...
 
+# Doc-comment lint over the packages whose godoc is part of the repo's
+# contract: every exported top-level symbol must carry a doc comment.
+doccheck:
+	$(GO) run ./cmd/doccheck ./internal/protocol ./internal/sig ./internal/netbus ./internal/bus
+
+# The 3-process loopback deployment check: build dls-serve and dls-node,
+# boot 1 driver + 2 workers over real UDP sockets, run a full round and
+# assert bit-identical payments/transcript against the simulated bus
+# (dls-serve -net-round's built-in parity verdict). Skips gracefully
+# where loopback sockets are unavailable.
+net-smoke:
+	$(GO) test -run=TestNetSmokeMultiProcess -v -count=1 ./internal/netbus/
+
 # The full gate a change must pass before merging: build, vet, the
-# race-enabled test suite (which includes the service load test and the
-# protocol transport under -race), the coverage floor, a short run of
-# every fuzz target, and the envelope hot-path benchmark (which doubles
-# as the payment-parity and zero-alloc regression check).
-ci: build vet race cover fuzz-short bench-hotpath
+# doc-comment lint, the race-enabled test suite (which includes the
+# service load test and the protocol transport under -race), the
+# coverage floor, a short run of every fuzz target, the envelope
+# hot-path benchmark (which doubles as the payment-parity and zero-alloc
+# regression check), and the multi-process loopback smoke.
+ci: build vet doccheck race cover fuzz-short bench-hotpath net-smoke
 
 # Statement-coverage gate. The floor is set just under the measured
 # suite-wide figure so a change that lands untested code fails loudly;
@@ -50,8 +64,9 @@ cover:
 
 # Ten seconds of every fuzz target: the mechanism engine against the
 # naive baseline, envelope tampering, the DLT closed forms, the
-# bid-session membership model, and the binary payload codec
-# differentially against JSON.
+# bid-session membership model, the binary payload codec differentially
+# against JSON, and the netbus datagram receive path (decode totality +
+# canonical re-encode fixpoint).
 fuzz-short:
 	$(GO) test -run=NONE -fuzz=FuzzEngineParity -fuzztime=10s ./internal/core/
 	$(GO) test -run=NONE -fuzz=FuzzEnvelopeTampering -fuzztime=10s ./internal/sig/
@@ -59,6 +74,7 @@ fuzz-short:
 	$(GO) test -run=NONE -fuzz=FuzzLinear -fuzztime=10s ./internal/dlt/
 	$(GO) test -run=NONE -fuzz=FuzzBidSessionMembership -fuzztime=10s ./internal/protocol/
 	$(GO) test -run=NONE -fuzz=FuzzPayloadCodec -fuzztime=10s ./internal/referee/
+	$(GO) test -run=NONE -fuzz=FuzzWireFrame -fuzztime=10s ./internal/netbus/
 
 # Run the scheduling daemon with its demo pool on :8080. See the
 # README's "Service mode" section for the client conversation.

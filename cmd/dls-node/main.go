@@ -1,0 +1,86 @@
+// Command dls-node runs one mailbox node of the netbus: a stateless
+// relay process that hosts the inboxes of the protocol endpoints
+// assigned to it in the peer table and answers FtMsg/FtDrain/FtPing
+// datagrams over UDP. It never dials out and never originates traffic —
+// all protocol logic (agents, referee, retry/backoff) lives in the
+// driver process (dls-serve -net-round); a dls-node only stores and
+// forwards sealed envelopes.
+//
+// Usage:
+//
+//	dls-node -config peers.json -node w1
+//
+// peers.json is the shared static peer table (see docs/DEPLOY.md):
+//
+//	{"nodes": {
+//	  "serve": {"addr": "127.0.0.1:9000", "endpoints": ["referee"]},
+//	  "w1":    {"addr": "127.0.0.1:9001", "endpoints": ["P1", "P2"]},
+//	  "w2":    {"addr": "127.0.0.1:9002", "endpoints": ["P3", "P4"]}
+//	}}
+//
+// Once the socket is bound the process prints a single "ready" line on
+// stdout (machine-readable, used by the smoke test and deploy scripts):
+//
+//	ready node=w1 addr=127.0.0.1:9001 endpoints=P1,P2
+//
+// SIGINT/SIGTERM close the socket and exit 0, printing the node's
+// traffic counters on stderr. The wire format is documented in
+// docs/WIRE.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"dlsbl/internal/netbus"
+)
+
+func main() {
+	configPath := flag.String("config", "", "peer-table JSON file (required)")
+	nodeName := flag.String("node", "", "this process's node name in the peer table (required)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "dls-node: %v\n", err)
+		os.Exit(1)
+	}
+	if *configPath == "" || *nodeName == "" {
+		fail(fmt.Errorf("both -config and -node are required"))
+	}
+
+	cfg, err := netbus.LoadConfig(*configPath)
+	if err != nil {
+		fail(err)
+	}
+	node, err := netbus.ListenNode(cfg, *nodeName)
+	if err != nil {
+		fail(err)
+	}
+
+	// The ready line is the startup contract: once printed, the socket
+	// is bound and every hosted mailbox answers.
+	fmt.Printf("ready node=%s addr=%s endpoints=%s\n",
+		*nodeName, node.LocalAddr(), strings.Join(cfg.Nodes[*nodeName].Endpoints, ","))
+
+	errc := make(chan error, 1)
+	go func() { errc <- node.Serve() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil {
+			fail(err)
+		}
+	case <-sigc:
+		node.Close()
+		<-errc
+	}
+	st := node.Stats()
+	fmt.Fprintf(os.Stderr, "dls-node %s: enqueued=%d dedup_hits=%d drains=%d bad_frames=%d\n",
+		*nodeName, st.Enqueued, st.DedupHits, st.Drains, st.BadFrames)
+}

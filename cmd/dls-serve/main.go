@@ -23,6 +23,18 @@
 // See the README's "Service mode" section for a curl walkthrough.
 // SIGINT/SIGTERM drain gracefully: in-flight and queued jobs finish,
 // new submissions get 503, then the process exits.
+//
+// # Multi-process mode (-net-round)
+//
+// With -net-round the daemon is bypassed entirely: the process becomes
+// the one-shot driver of a multi-process deployment. It dials the
+// netbus as the -net-node entry of the -net-config peer table, waits
+// for every dls-node worker to answer pings, then runs one full
+// bid→allocate→compute→pay round whose control plane crosses real UDP
+// sockets — and, as a built-in check, the same round on the in-process
+// simulated bus with the same seed and keyring. It prints a JSON report
+// with the payments and a parity verdict and exits non-zero if the two
+// runs differ anywhere. See docs/DEPLOY.md for a loopback walkthrough.
 package main
 
 import (
@@ -51,7 +63,25 @@ func main() {
 	poolsPath := flag.String("pools", "", "JSON file with an array of pool specs (empty = one demo pool)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	drainTimeout := flag.Duration("drain", 30*time.Second, "shutdown drain timeout")
+	netRound := flag.Bool("net-round", false, "one-shot mode: drive one round over the UDP netbus, check parity against the simulated bus, print JSON, exit")
+	netConfig := flag.String("net-config", "", "net-round: peer-table JSON file (see docs/DEPLOY.md)")
+	netNode := flag.String("net-node", "serve", "net-round: this process's node name in the peer table")
+	netNetwork := flag.String("net-network", "ncp-fe", "net-round: network class: ncp-fe or ncp-nfe")
+	netW := flag.String("net-w", "1,1.5,2,2.5", "net-round: comma-separated true w_i work parameters")
+	netZ := flag.Float64("net-z", 0.2, "net-round: per-unit bus transfer time z")
+	netSeed := flag.Int64("net-seed", 7, "net-round: deterministic RNG seed")
 	flag.Parse()
+
+	if *netRound {
+		os.Exit(runNetRound(netRoundOpts{
+			config:  *netConfig,
+			node:    *netNode,
+			network: *netNetwork,
+			w:       *netW,
+			z:       *netZ,
+			seed:    *netSeed,
+		}))
+	}
 
 	logger, err := newLogger(*logFormat)
 	if err != nil {

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"time"
+
+	"dlsbl/internal/dlt"
+	"dlsbl/internal/netbus"
+	"dlsbl/internal/protocol"
+	"dlsbl/internal/sig"
+)
+
+// netRoundOpts collects the -net-* flags for the one-shot multi-process
+// mode.
+type netRoundOpts struct {
+	config  string
+	node    string
+	network string
+	w       string
+	z       float64
+	seed    int64
+}
+
+// netRoundReport is the JSON document net-round prints on stdout.
+type netRoundReport struct {
+	Network   string    `json:"network"`
+	Seed      int64     `json:"seed"`
+	W         []float64 `json:"w"`
+	Payments  []float64 `json:"payments"`
+	Fines     []float64 `json:"fines"`
+	Utilities []float64 `json:"utilities"`
+	Makespan  float64   `json:"makespan"`
+	Dropped   int       `json:"dropped"`
+	Parity    string    `json:"parity"`
+	Diverged  []string  `json:"diverged,omitempty"`
+}
+
+// runNetRound executes one full protocol round twice — over the real
+// UDP netbus described by the peer table, with this process as the
+// driver node, and over the in-process simulated bus with the same seed
+// and keyring — then prints a JSON report carrying the net run's
+// payments and a parity verdict. The exit code is 0 when payments,
+// fines, utilities, verdicts and the referee transcript are
+// bit-identical across the two media, 1 otherwise.
+func runNetRound(o netRoundOpts) int {
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "dls-serve: net-round: %v\n", err)
+		return 1
+	}
+	var network dlt.Network
+	switch strings.ToLower(o.network) {
+	case "ncp-fe", "ncpfe", "fe":
+		network = dlt.NCPFE
+	case "ncp-nfe", "ncpnfe", "nfe":
+		network = dlt.NCPNFE
+	default:
+		return fail(fmt.Errorf("unknown network %q (DLS-BL-NCP runs on ncp-fe or ncp-nfe)", o.network))
+	}
+	w, err := parseW(o.w)
+	if err != nil {
+		return fail(err)
+	}
+	if o.config == "" {
+		return fail(fmt.Errorf("-net-config is required"))
+	}
+	cfg, err := netbus.LoadConfig(o.config)
+	if err != nil {
+		return fail(err)
+	}
+
+	medium, err := netbus.Dial(cfg, o.node, netbus.Options{})
+	if err != nil {
+		return fail(err)
+	}
+	defer medium.Close()
+	if err := awaitPeers(medium, cfg, o.node, 10*time.Second); err != nil {
+		return fail(err)
+	}
+
+	// One keyring for both runs: the acceptance criterion is parity with
+	// identical seed AND keyring, so signatures (and therefore the
+	// hash-chained referee transcript) match byte for byte.
+	keys := sig.NewKeyring()
+	base := protocol.Config{
+		Network: network,
+		Z:       o.z,
+		TrueW:   w,
+		Seed:    o.seed,
+		Keys:    keys,
+	}
+
+	simCfg := base
+	simOut, err := protocol.Run(simCfg)
+	if err != nil {
+		return fail(fmt.Errorf("simulated-bus run: %w", err))
+	}
+	netCfg := base
+	netCfg.Medium = medium
+	netOut, err := protocol.Run(netCfg)
+	if err != nil {
+		return fail(fmt.Errorf("netbus run: %w", err))
+	}
+
+	var diverged []string
+	check := func(field string, sim, net any) {
+		if !reflect.DeepEqual(sim, net) {
+			diverged = append(diverged, field)
+		}
+	}
+	check("payments", simOut.Payments, netOut.Payments)
+	check("fines", simOut.Fines, netOut.Fines)
+	check("utilities", simOut.Utilities, netOut.Utilities)
+	check("verdicts", simOut.Verdicts, netOut.Verdicts)
+	check("transcript", simOut.Transcript, netOut.Transcript)
+
+	report := netRoundReport{
+		Network:   o.network,
+		Seed:      o.seed,
+		W:         w,
+		Payments:  netOut.Payments,
+		Fines:     netOut.Fines,
+		Utilities: netOut.Utilities,
+		Makespan:  netOut.Makespan,
+		Dropped:   medium.Stats().Dropped,
+		Parity:    "ok",
+	}
+	if len(diverged) > 0 {
+		report.Parity = "FAIL"
+		report.Diverged = diverged
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(report); err != nil {
+		return fail(err)
+	}
+	if report.Parity != "ok" {
+		fmt.Fprintf(os.Stderr, "dls-serve: net-round: parity FAIL (%s)\n", strings.Join(diverged, ", "))
+		return 1
+	}
+	return 0
+}
+
+// awaitPeers pings every remote node of the peer table until all answer
+// or the deadline passes — worker processes may still be binding their
+// sockets when the driver starts.
+func awaitPeers(m *netbus.Medium, cfg *netbus.Config, local string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for name := range cfg.Nodes {
+		if name == local {
+			continue
+		}
+		for {
+			err := m.Ping(name)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("node %q not answering pings: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// parseW parses a comma-separated list of w_i work parameters.
+func parseW(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing w %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

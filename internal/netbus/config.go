@@ -1,0 +1,117 @@
+// Package netbus is the real-socket implementation of bus.Medium: the
+// control-plane envelopes of the DLS-BL-NCP protocol framed onto UDP
+// datagrams, so one round can span OS processes (and machines).
+//
+// Topology is a static peer table (Config): named nodes, each with a
+// UDP address and the set of protocol endpoints (processor and referee
+// identities) whose mailboxes it hosts. The process driving the
+// protocol opens a Medium (Dial); every other process runs a Node
+// (cmd/dls-node) — a stateless mailbox server in the relay-node shape:
+// it never dials, never originates, only answers the datagrams that
+// reach it. A message addressed to an endpoint physically transits the
+// UDP socket of the node that owns it; drains pull it back with
+// cumulative acknowledgement, so a lost response datagram is re-asked
+// without losing or duplicating mail.
+//
+// Reliability layering mirrors the simulated bus exactly: the netbus
+// delivers best-effort with deadline-driven resends below, and the
+// protocol's reliable transport (retry, backoff, (sender, nonce) dedup,
+// eviction) sits unchanged on top. A datagram lost beyond the medium's
+// resend budget is surfaced as a drop — the same fault vocabulary
+// (drop/retransmit/dedup_hit) the simulated bus uses, so obs events and
+// bus.Stats keep their meaning on real sockets. docs/WIRE.md documents
+// the frame format; docs/DEPLOY.md the multi-process deployment.
+package netbus
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+)
+
+// NodeSpec describes one process in the peer table: where it listens
+// and which protocol endpoints' mailboxes it hosts.
+type NodeSpec struct {
+	// Addr is the node's UDP listen address, host:port. Port 0 is
+	// allowed for tests (the bound address is discoverable via
+	// Node.LocalAddr), but a multi-process table needs fixed ports.
+	Addr string `json:"addr"`
+	// Endpoints are the protocol identities (e.g. "P1", "referee")
+	// whose mailboxes this node hosts. Each endpoint belongs to exactly
+	// one node.
+	Endpoints []string `json:"endpoints"`
+}
+
+// Config is the static peer table every process loads at startup: the
+// complete map of node names to specs. Discovery is by configuration,
+// not gossip — the mechanism's membership is fixed per round anyway.
+type Config struct {
+	Nodes map[string]NodeSpec `json:"nodes"`
+}
+
+// LoadConfig reads and validates a peer-table JSON file.
+func LoadConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("netbus: reading peer table: %w", err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("netbus: parsing %s: %w", path, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
+// Validate checks the table: at least one node, resolvable addresses,
+// and every endpoint owned by exactly one node.
+func (c *Config) Validate() error {
+	if c == nil || len(c.Nodes) == 0 {
+		return fmt.Errorf("netbus: empty peer table")
+	}
+	owners := make(map[string]string)
+	for name, spec := range c.Nodes {
+		if name == "" {
+			return fmt.Errorf("netbus: node with empty name")
+		}
+		if _, err := net.ResolveUDPAddr("udp", spec.Addr); err != nil {
+			return fmt.Errorf("netbus: node %q address %q: %w", name, spec.Addr, err)
+		}
+		for _, ep := range spec.Endpoints {
+			if ep == "" {
+				return fmt.Errorf("netbus: node %q hosts an empty endpoint id", name)
+			}
+			if prev, dup := owners[ep]; dup {
+				return fmt.Errorf("netbus: endpoint %q owned by both %q and %q", ep, prev, name)
+			}
+			owners[ep] = name
+		}
+	}
+	return nil
+}
+
+// Owner returns the node hosting the endpoint's mailbox.
+func (c *Config) Owner(endpoint string) (node string, ok bool) {
+	for name, spec := range c.Nodes {
+		for _, ep := range spec.Endpoints {
+			if ep == endpoint {
+				return name, true
+			}
+		}
+	}
+	return "", false
+}
+
+// Endpoints returns every endpoint in the table, sorted.
+func (c *Config) Endpoints() []string {
+	var eps []string
+	for _, spec := range c.Nodes {
+		eps = append(eps, spec.Endpoints...)
+	}
+	sort.Strings(eps)
+	return eps
+}

@@ -1,0 +1,404 @@
+package netbus
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"dlsbl/internal/bus"
+	"dlsbl/internal/obs"
+	"dlsbl/internal/sig"
+)
+
+// Options tune the driver side of the netbus. The zero value selects
+// the documented defaults.
+type Options struct {
+	// AckTimeout is how long one request waits for its reply before
+	// resending. Zero selects 150ms.
+	AckTimeout time.Duration
+	// MaxAttempts is the per-frame transmission budget (first send +
+	// resends) before the delivery is declared dropped. Zero selects 8.
+	MaxAttempts int
+}
+
+func (o Options) withDefaults() Options {
+	if o.AckTimeout == 0 {
+		o.AckTimeout = 150 * time.Millisecond
+	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = 8
+	}
+	return o
+}
+
+// Medium is the driver-process side of the netbus: a bus.Medium whose
+// deliveries to remote endpoints cross real UDP sockets to the nodes
+// hosting their mailboxes, while endpoints assigned to the local node
+// are delivered in-process. The protocol's reliable transport runs on
+// top unchanged; below it, the Medium resends unacknowledged frames on
+// a deadline and, when the budget runs out, records the copy as dropped
+// — exactly the fault vocabulary of the simulated bus, so the retry
+// layer's recovery path is identical on both media.
+//
+// A Medium is safe for concurrent use but, like the simulated bus, is
+// driven sequentially by the deterministic protocol. It is long-lived:
+// one Medium serves any number of protocol runs, so Attach is
+// idempotent for endpoints the peer table knows.
+type Medium struct {
+	mu   sync.Mutex
+	name string
+	conn *net.UDPConn
+	opts Options
+
+	owners map[string]string       // endpoint → node name
+	addrs  map[string]*net.UDPAddr // node name → address
+
+	attached map[string]bool
+	order    []string // attached endpoints, sorted
+
+	local  map[string][]bus.Message // mailboxes of locally hosted endpoints
+	ackSeq map[string]uint64        // per remote endpoint: highest consumed seq
+
+	session  uint64 // high 32 bits of every frame nonce
+	frameCtr uint64
+	nonce    uint64 // logical protocol nonce counter
+
+	stats  bus.Stats
+	tracer obs.Tracer
+
+	rbuf []byte // receive buffer, reused across requests
+	wbuf []byte // send buffer, reused across frames
+}
+
+// Dial opens the driver side of the netbus as the named node of the
+// peer table: it binds that node's UDP address, resolves every other
+// node, and hosts the local node's endpoints in-process. The caller is
+// the only process that may drive protocol traffic over this table.
+func Dial(cfg *Config, local string, opts Options) (*Medium, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	spec, ok := cfg.Nodes[local]
+	if !ok {
+		return nil, fmt.Errorf("netbus: node %q not in peer table", local)
+	}
+	laddr, err := net.ResolveUDPAddr("udp", spec.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("netbus: node %q: %w", local, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("netbus: node %q listening on %s: %w", local, spec.Addr, err)
+	}
+	m := &Medium{
+		name:     local,
+		conn:     conn,
+		opts:     opts.withDefaults(),
+		owners:   make(map[string]string),
+		addrs:    make(map[string]*net.UDPAddr),
+		attached: make(map[string]bool),
+		local:    make(map[string][]bus.Message),
+		ackSeq:   make(map[string]uint64),
+		rbuf:     make([]byte, MaxFrame+1),
+	}
+	// Frame nonces are salted with a random session id so a fresh
+	// driver never collides with a node's resend-dedup window left over
+	// from an earlier driver. Protocol determinism is untouched: frame
+	// nonces exist below the logical nonces the protocol sees.
+	var salt [4]byte
+	if _, err := cryptorand.Read(salt[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netbus: session salt: %w", err)
+	}
+	m.session = uint64(binary.BigEndian.Uint32(salt[:])) << 32
+	for name, spec := range cfg.Nodes {
+		if name != local {
+			addr, err := net.ResolveUDPAddr("udp", spec.Addr)
+			if err != nil {
+				conn.Close()
+				return nil, fmt.Errorf("netbus: node %q: %w", name, err)
+			}
+			m.addrs[name] = addr
+		}
+		for _, ep := range spec.Endpoints {
+			m.owners[ep] = name
+		}
+	}
+	return m, nil
+}
+
+// LocalAddr returns the driver's bound UDP address.
+func (m *Medium) LocalAddr() net.Addr { return m.conn.LocalAddr() }
+
+// Close releases the socket.
+func (m *Medium) Close() error { return m.conn.Close() }
+
+// SetTracer installs an observability tracer on the delivery path; the
+// netbus emits the bus fault vocabulary (deliver/drop) plus transport
+// vocabulary for its own machinery (retransmit for frame resends,
+// dedup_hit when a node reports one). Nil (the default) costs nothing.
+func (m *Medium) SetTracer(t obs.Tracer) {
+	m.mu.Lock()
+	m.tracer = t
+	m.mu.Unlock()
+}
+
+// event emits one delivery event. Caller holds the mutex.
+func (m *Medium) event(kind, from, to, msg string) {
+	if m.tracer != nil {
+		m.tracer.Event(obs.Event{Kind: kind, From: from, To: to, Msg: msg})
+	}
+}
+
+// Attach registers an endpoint. The endpoint must exist in the peer
+// table; re-attaching a known endpoint is a no-op so one long-lived
+// Medium can serve many protocol runs.
+func (m *Medium) Attach(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	owner, ok := m.owners[id]
+	if !ok {
+		return fmt.Errorf("netbus: endpoint %q not in peer table", id)
+	}
+	if m.attached[id] {
+		return nil
+	}
+	m.attached[id] = true
+	i := sort.SearchStrings(m.order, id)
+	m.order = append(m.order, "")
+	copy(m.order[i+1:], m.order[i:])
+	m.order[i] = id
+	if owner == m.name {
+		m.local[id] = nil
+	}
+	return nil
+}
+
+// Endpoints returns the attached identities, sorted.
+func (m *Medium) Endpoints() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.order...)
+}
+
+// NextNonce allocates a fresh logical-message nonce.
+func (m *Medium) NextNonce() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nonce++
+	return m.nonce
+}
+
+// Stats returns a snapshot of the traffic counters. On the netbus,
+// Dropped counts deliveries the resend budget could not confirm and
+// Duplicated counts node-reported resend dedups; both stay zero on a
+// healthy loopback.
+func (m *Medium) Stats() bus.Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// nextFrameNonce allocates a session-salted frame nonce. Caller holds
+// the mutex.
+func (m *Medium) nextFrameNonce() uint64 {
+	m.frameCtr++
+	return m.session | (m.frameCtr & 0xFFFFFFFF)
+}
+
+// request transmits the frame to addr and waits for a reply of the
+// wanted type carrying the same nonce, resending on deadline. It
+// returns the reply frame and how many transmissions it took, or an
+// error after the budget. Caller holds the mutex (the protocol drives
+// the medium sequentially; the socket round-trip is the critical path
+// either way).
+func (m *Medium) request(addr *net.UDPAddr, frame []byte, nonce uint64, want byte) (Frame, int, error) {
+	for attempt := 1; attempt <= m.opts.MaxAttempts; attempt++ {
+		if _, err := m.conn.WriteToUDP(frame, addr); err != nil {
+			return Frame{}, attempt, fmt.Errorf("netbus: send to %s: %w", addr, err)
+		}
+		deadline := time.Now().Add(m.opts.AckTimeout)
+		for {
+			if err := m.conn.SetReadDeadline(deadline); err != nil {
+				return Frame{}, attempt, err
+			}
+			sz, _, err := m.conn.ReadFromUDP(m.rbuf)
+			if err != nil {
+				if errors.Is(err, net.ErrClosed) {
+					return Frame{}, attempt, fmt.Errorf("netbus: medium closed")
+				}
+				break // deadline: resend
+			}
+			f, derr := DecodeFrame(m.rbuf[:sz])
+			if derr != nil || f.Nonce != nonce || f.Type != want {
+				continue // stale or malformed reply; keep waiting
+			}
+			return f, attempt, nil
+		}
+	}
+	return Frame{}, m.opts.MaxAttempts, fmt.Errorf("netbus: no %d-reply from %s after %d attempts",
+		want, addr, m.opts.MaxAttempts)
+}
+
+// deliver places one message in the destination endpoint's mailbox —
+// appending locally, or shipping an FtMsg frame to the owner node and
+// awaiting its ack. Delivery failure beyond the resend budget is a
+// drop, not an error. Caller holds the mutex.
+func (m *Medium) deliver(to string, msg bus.Message) {
+	owner := m.owners[to]
+	if owner == m.name {
+		m.local[to] = append(m.local[to], msg)
+		m.stats.Deliveries++
+		m.stats.DeliveredUnits += msg.Size
+		m.event(obs.EvDeliver, msg.From, to, msg.Kind)
+		return
+	}
+	nonce := m.nextFrameNonce()
+	m.wbuf = AppendMsgFrame(m.wbuf[:0], nonce, m.name, to, msg)
+	_, attempts, err := m.request(m.addrs[owner], m.wbuf, nonce, FtAck)
+	if attempts > 1 {
+		for i := 1; i < attempts; i++ {
+			m.event(obs.EvRetransmit, msg.From, to, msg.Kind)
+		}
+	}
+	if err != nil {
+		m.stats.Dropped++
+		m.event(obs.EvDrop, msg.From, to, msg.Kind)
+		return
+	}
+	m.stats.Deliveries++
+	m.stats.DeliveredUnits += msg.Size
+	m.event(obs.EvDeliver, msg.From, to, msg.Kind)
+}
+
+// checkSend validates one transmission's addressing. Caller holds the
+// mutex.
+func (m *Medium) checkSend(from string, size int) error {
+	if size < 0 {
+		return errors.New("netbus: negative message size")
+	}
+	if !m.attached[from] {
+		return fmt.Errorf("netbus: unknown sender %q", from)
+	}
+	return nil
+}
+
+// BroadcastTagged delivers env to every attached endpoint except the
+// sender, in sorted endpoint order (the simulated bus's order, so
+// deterministic runs stay comparable across media).
+func (m *Medium) BroadcastTagged(from, kind string, env sig.Envelope, size int, nonce uint64) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkSend(from, size); err != nil {
+		return 0, err
+	}
+	if nonce == 0 {
+		m.nonce++
+		nonce = m.nonce
+	}
+	msg := bus.Message{From: from, To: bus.BroadcastAddr, Kind: kind, Size: size, Nonce: nonce, Env: env}
+	m.stats.Messages++
+	m.stats.Units += size
+	m.stats.Broadcasts++
+	for _, id := range m.order {
+		if id == from {
+			continue
+		}
+		m.deliver(id, msg)
+	}
+	return nonce, nil
+}
+
+// SendTagged delivers env to a single endpoint under the given logical
+// nonce (0 allocates one).
+func (m *Medium) SendTagged(from, to, kind string, env sig.Envelope, size int, nonce uint64) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkSend(from, size); err != nil {
+		return 0, err
+	}
+	if !m.attached[to] {
+		return 0, fmt.Errorf("netbus: unknown receiver %q", to)
+	}
+	if nonce == 0 {
+		m.nonce++
+		nonce = m.nonce
+	}
+	msg := bus.Message{From: from, To: to, Kind: kind, Size: size, Nonce: nonce, Env: env}
+	m.stats.Messages++
+	m.stats.Units += size
+	m.stats.Unicasts++
+	m.deliver(to, msg)
+	return nonce, nil
+}
+
+// Drain removes and returns the endpoint's queued messages in arrival
+// order. For a remote endpoint this asks the owner node, cumulatively
+// acknowledging everything already consumed, and keeps asking while the
+// node reports more than fits one datagram. An unreachable node yields
+// an empty drain — indistinguishable from silence, which is exactly
+// what the protocol's retry layer knows how to handle.
+func (m *Medium) Drain(id string) ([]bus.Message, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.attached[id] {
+		return nil, fmt.Errorf("netbus: unknown endpoint %q", id)
+	}
+	owner := m.owners[id]
+	if owner == m.name {
+		msgs := m.local[id]
+		m.local[id] = nil
+		return msgs, nil
+	}
+	var out []bus.Message
+	for {
+		nonce := m.nextFrameNonce()
+		m.wbuf = AppendDrainFrame(m.wbuf[:0], nonce, m.name, id, m.ackSeq[id])
+		rsp, _, err := m.request(m.addrs[owner], m.wbuf, nonce, FtDrainRsp)
+		if err != nil {
+			return out, nil // silence; the retry layer above recovers
+		}
+		endpoint, batch, derr := DecodeDrainRspBody(rsp.Body)
+		if derr != nil || endpoint != id {
+			return out, nil
+		}
+		for _, sm := range batch {
+			if sm.Seq <= m.ackSeq[id] {
+				m.stats.Duplicated++
+				m.event(obs.EvDedupHit, sm.Msg.From, id, sm.Msg.Kind)
+				continue
+			}
+			m.ackSeq[id] = sm.Seq
+			out = append(out, sm.Msg)
+		}
+		if rsp.Flags&FlagMore == 0 {
+			return out, nil
+		}
+	}
+}
+
+// Ping probes the named node and returns nil when it answers within
+// the resend budget. Used for startup readiness checks.
+func (m *Medium) Ping(node string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	addr, ok := m.addrs[node]
+	if !ok {
+		if node == m.name {
+			return nil
+		}
+		return fmt.Errorf("netbus: node %q not in peer table", node)
+	}
+	nonce := m.nextFrameNonce()
+	m.wbuf = AppendControlFrame(m.wbuf[:0], FtPing, nonce, m.name)
+	_, _, err := m.request(addr, m.wbuf, nonce, FtPong)
+	return err
+}
+
+// The netbus driver is a bus.Medium.
+var _ bus.Medium = (*Medium)(nil)

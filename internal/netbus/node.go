@@ -1,0 +1,247 @@
+package netbus
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// NodeStats counts what a mailbox node did; read them with Node.Stats.
+type NodeStats struct {
+	// Enqueued counts messages accepted into a mailbox.
+	Enqueued uint64
+	// DedupHits counts resent FtMsg frames recognized by frame nonce
+	// and acked without re-enqueueing.
+	DedupHits uint64
+	// Drains counts drain requests answered.
+	Drains uint64
+	// BadFrames counts datagrams rejected as malformed (wrong magic or
+	// version, truncation, oversize, unknown endpoint, unparsable body).
+	BadFrames uint64
+}
+
+// seenCap bounds the per-node resend-dedup window. Entries are evicted
+// FIFO; the window only needs to cover the driver's resend horizon
+// (milliseconds), so a few thousand frames is generous.
+const seenCap = 8192
+
+// seenKey identifies an FtMsg frame for resend deduplication.
+type seenKey struct {
+	node  string
+	nonce uint64
+}
+
+// mailbox holds one endpoint's undrained messages with per-message
+// sequence numbers for cumulative acknowledgement.
+type mailbox struct {
+	nextSeq uint64
+	queue   []SeqMsg
+}
+
+// Node is a mailbox server: it hosts the inboxes of the endpoints
+// assigned to it in the peer table and answers FtMsg/FtDrain/FtPing
+// datagrams. A Node is stateless beyond its mailboxes — it never dials
+// out and never originates traffic, every reply goes to the datagram's
+// source address (the relay-node shape).
+type Node struct {
+	name string
+	conn *net.UDPConn
+
+	mu       sync.Mutex
+	boxes    map[string]*mailbox
+	seen     map[seenKey]bool
+	seenFIFO []seenKey
+	stats    NodeStats
+
+	closed chan struct{}
+}
+
+// ListenNode binds the named node's UDP socket per the peer table and
+// prepares a mailbox for each endpoint it hosts. Call Serve to start
+// answering.
+func ListenNode(cfg *Config, name string) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	spec, ok := cfg.Nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("netbus: node %q not in peer table", name)
+	}
+	addr, err := net.ResolveUDPAddr("udp", spec.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("netbus: node %q: %w", name, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netbus: node %q listening on %s: %w", name, spec.Addr, err)
+	}
+	n := &Node{
+		name:   name,
+		conn:   conn,
+		boxes:  make(map[string]*mailbox, len(spec.Endpoints)),
+		seen:   make(map[seenKey]bool, seenCap),
+		closed: make(chan struct{}),
+	}
+	for _, ep := range spec.Endpoints {
+		n.boxes[ep] = &mailbox{}
+	}
+	return n, nil
+}
+
+// Name returns the node's peer-table name.
+func (n *Node) Name() string { return n.name }
+
+// LocalAddr returns the bound UDP address (useful when the table said
+// port 0).
+func (n *Node) LocalAddr() net.Addr { return n.conn.LocalAddr() }
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() NodeStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Close shuts the socket down; a blocked Serve returns.
+func (n *Node) Close() error {
+	select {
+	case <-n.closed:
+		return nil
+	default:
+	}
+	close(n.closed)
+	return n.conn.Close()
+}
+
+// Serve answers datagrams until Close. It runs the receive loop on the
+// calling goroutine and returns nil after a clean Close.
+func (n *Node) Serve() error {
+	buf := make([]byte, MaxFrame+1)
+	out := make([]byte, 0, 2048)
+	for {
+		sz, src, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-n.closed:
+				return nil
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("netbus: node %q receive: %w", n.name, err)
+		}
+		out = n.handle(out[:0], buf[:sz])
+		if len(out) > 0 {
+			// Best-effort reply; a lost reply is re-asked by the driver.
+			_, _ = n.conn.WriteToUDP(out, src)
+		}
+	}
+}
+
+// handle processes one datagram and appends the reply frame (if any) to
+// out.
+func (n *Node) handle(out, datagram []byte) []byte {
+	f, err := DecodeFrame(datagram)
+	if err != nil {
+		n.mu.Lock()
+		n.stats.BadFrames++
+		n.mu.Unlock()
+		return out // malformed datagrams are dropped silently, never answered
+	}
+	switch f.Type {
+	case FtPing:
+		return AppendControlFrame(out, FtPong, f.Nonce, n.name)
+	case FtMsg:
+		return n.handleMsg(out, f)
+	case FtDrain:
+		return n.handleDrain(out, f)
+	default:
+		// Acks, pongs and drain responses are driver-bound; a node
+		// receiving one ignores it.
+		return out
+	}
+}
+
+// handleMsg enqueues a delivery (or recognizes a resend) and acks.
+func (n *Node) handleMsg(out []byte, f Frame) []byte {
+	dest, m, err := DecodeMsgBody(f.Body)
+	if err != nil {
+		n.mu.Lock()
+		n.stats.BadFrames++
+		n.mu.Unlock()
+		return out
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	box, ok := n.boxes[dest]
+	if !ok {
+		n.stats.BadFrames++
+		return out // not our endpoint: drop, no ack
+	}
+	k := seenKey{node: f.Node, nonce: f.Nonce}
+	if n.seen[k] {
+		// The driver resent because our ack was lost; ack again without
+		// enqueueing a duplicate.
+		n.stats.DedupHits++
+		return AppendControlFrame(out, FtAck, f.Nonce, n.name)
+	}
+	if len(n.seenFIFO) >= seenCap {
+		delete(n.seen, n.seenFIFO[0])
+		n.seenFIFO = n.seenFIFO[1:]
+	}
+	n.seen[k] = true
+	n.seenFIFO = append(n.seenFIFO, k)
+	box.nextSeq++
+	box.queue = append(box.queue, SeqMsg{Seq: box.nextSeq, Msg: m})
+	n.stats.Enqueued++
+	return AppendControlFrame(out, FtAck, f.Nonce, n.name)
+}
+
+// handleDrain prunes acknowledged mail and returns what remains, cut to
+// fit one datagram (FlagMore marks a truncated batch).
+func (n *Node) handleDrain(out []byte, f Frame) []byte {
+	endpoint, ackSeq, err := DecodeDrainBody(f.Body)
+	if err != nil {
+		n.mu.Lock()
+		n.stats.BadFrames++
+		n.mu.Unlock()
+		return out
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	box, ok := n.boxes[endpoint]
+	if !ok {
+		n.stats.BadFrames++
+		return out
+	}
+	// Cumulative ack: everything at or below ackSeq was consumed by the
+	// driver and can be forgotten. Idempotent — a resent drain with the
+	// same ackSeq re-sends the same batch.
+	keep := box.queue[:0]
+	for _, sm := range box.queue {
+		if sm.Seq > ackSeq {
+			keep = append(keep, sm)
+		}
+	}
+	box.queue = keep
+	// Cut the batch so the response frame stays under MaxFrame. The
+	// per-message overhead is dominated by the envelope; estimate with
+	// the exact body encoding.
+	budget := MaxFrame - 256 // header + endpoint + count headroom
+	var batch []SeqMsg
+	used := 0
+	more := false
+	for _, sm := range box.queue {
+		sz := len(appendMessage(nil, sm.Msg)) + 12
+		if used+sz > budget {
+			more = true
+			break
+		}
+		batch = append(batch, sm)
+		used += sz
+	}
+	n.stats.Drains++
+	return AppendDrainRspFrame(out, f.Nonce, n.name, endpoint, batch, more)
+}

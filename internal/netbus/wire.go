@@ -1,0 +1,345 @@
+package netbus
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dlsbl/internal/bus"
+	"dlsbl/internal/sig"
+)
+
+// The on-wire frame format. Every UDP datagram the netbus exchanges is
+// exactly one frame:
+//
+//	offset size field
+//	0      4    magic "DLSB"
+//	4      1    wire version (0x01)
+//	5      1    frame type
+//	6      1    flags (FlagMore on drain responses)
+//	7      1    reserved, must be 0
+//	8      4    length: total frame size in bytes, big-endian uint32
+//	12     8    frame nonce, big-endian uint64
+//	20     …    sender node name: uvarint length + UTF-8 bytes
+//	…      …    type-specific body
+//
+// The frame nonce correlates requests with replies (a reply echoes the
+// request's nonce) and deduplicates resends at the receiver; it is NOT
+// the protocol's logical message nonce, which travels inside message
+// bodies. The length field lets a receiver reject truncated datagrams
+// (length > datagram) and trailing garbage (length < datagram) even
+// though UDP preserves datagram boundaries — a relay that fragments or
+// pads is caught, not silently misparsed. docs/WIRE.md is the normative
+// spec; TestWireGoldenBytes pins the golden example embedded there.
+
+// Magic opens every netbus frame.
+const Magic = "DLSB"
+
+// Version is the wire version this implementation speaks. Receivers
+// reject every other value — there is no negotiation on a datagram
+// medium; mixed-version deployments must upgrade nodes first (see
+// docs/WIRE.md §versioning).
+const Version = 1
+
+// MaxFrame bounds a frame (and thus a datagram) in bytes. It sits under
+// the 65,507-byte UDP payload ceiling with room for kernel headroom;
+// oversized frames are rejected before parsing.
+const MaxFrame = 60000
+
+// headerFixed is the size of the fixed-width header prefix (everything
+// before the sender name).
+const headerFixed = 20
+
+// Frame types.
+const (
+	// FtMsg carries one control-plane message into an endpoint's
+	// mailbox. Body: message encoding (see appendMessage).
+	FtMsg = byte(iota + 1)
+	// FtAck acknowledges an FtMsg; the nonce echoes the acked frame's.
+	// Empty body.
+	FtAck
+	// FtDrain asks the owner node for an endpoint's queued messages.
+	// Body: endpoint string, then a cumulative-ack sequence number
+	// (uvarint): the node deletes everything at or below it and returns
+	// what remains.
+	FtDrain
+	// FtDrainRsp returns queued messages. Body: endpoint string, count
+	// uvarint, then count × (seq uvarint + message encoding), ascending
+	// by seq. FlagMore is set when the batch was cut to fit MaxFrame.
+	FtDrainRsp
+	// FtPing probes a node for liveness. Empty body.
+	FtPing
+	// FtPong answers a ping; the nonce echoes the ping's. Empty body.
+	FtPong
+)
+
+// FlagMore marks a drain response that was truncated to fit MaxFrame:
+// more messages remain queued and the drainer should ask again.
+const FlagMore = byte(1 << 0)
+
+// Frame decode errors. ErrWire is the root every specific error wraps,
+// so callers can reject any malformed datagram with one errors.Is.
+var (
+	ErrWire       = errors.New("netbus: malformed frame")
+	ErrBadMagic   = fmt.Errorf("%w: bad magic", ErrWire)
+	ErrBadVersion = fmt.Errorf("%w: unsupported wire version", ErrWire)
+	ErrTruncated  = fmt.Errorf("%w: truncated frame", ErrWire)
+	ErrOversize   = fmt.Errorf("%w: frame exceeds MaxFrame", ErrWire)
+)
+
+// Frame is one parsed datagram: the fixed header plus the raw,
+// type-specific body. Body aliases the datagram buffer — callers that
+// retain a Frame past the next socket read must copy it.
+type Frame struct {
+	Type  byte
+	Flags byte
+	Nonce uint64
+	Node  string // sending node's name from the peer table
+	Body  []byte
+}
+
+// AppendFrame appends a complete frame (header + body) to dst and
+// returns the extended slice. The length field is computed from the
+// final size.
+func AppendFrame(dst []byte, typ, flags byte, nonce uint64, node string, body []byte) []byte {
+	start := len(dst)
+	dst = append(dst, Magic...)
+	dst = append(dst, Version, typ, flags, 0)
+	dst = append(dst, 0, 0, 0, 0) // length backpatched below
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], nonce)
+	dst = append(dst, n[:]...)
+	dst = binary.AppendUvarint(dst, uint64(len(node)))
+	dst = append(dst, node...)
+	dst = append(dst, body...)
+	binary.BigEndian.PutUint32(dst[start+8:start+12], uint32(len(dst)-start))
+	return dst
+}
+
+// DecodeFrame parses one datagram. It rejects wrong magic, unknown
+// versions, unknown frame types, length/datagram mismatches (truncation
+// either way) and frames above MaxFrame. The returned Body aliases data.
+func DecodeFrame(data []byte) (Frame, error) {
+	if len(data) < headerFixed {
+		return Frame{}, fmt.Errorf("%w: %d bytes, header needs %d", ErrTruncated, len(data), headerFixed)
+	}
+	if string(data[:4]) != Magic {
+		return Frame{}, ErrBadMagic
+	}
+	if data[4] != Version {
+		return Frame{}, fmt.Errorf("%w: got %d, speak %d", ErrBadVersion, data[4], Version)
+	}
+	typ := data[5]
+	if typ < FtMsg || typ > FtPong {
+		return Frame{}, fmt.Errorf("%w: unknown frame type %d", ErrWire, typ)
+	}
+	flags := data[6]
+	if flags&^FlagMore != 0 || (flags != 0 && typ != FtDrainRsp) {
+		return Frame{}, fmt.Errorf("%w: unknown flag bits %#x on frame type %d", ErrWire, flags, typ)
+	}
+	if data[7] != 0 {
+		return Frame{}, fmt.Errorf("%w: nonzero reserved byte", ErrWire)
+	}
+	length := binary.BigEndian.Uint32(data[8:12])
+	if length > MaxFrame {
+		return Frame{}, fmt.Errorf("%w: declared length %d", ErrOversize, length)
+	}
+	if uint64(length) > uint64(len(data)) {
+		return Frame{}, fmt.Errorf("%w: declared %d bytes, datagram has %d", ErrTruncated, length, len(data))
+	}
+	if uint64(length) < uint64(len(data)) {
+		return Frame{}, fmt.Errorf("%w: %d trailing bytes past declared length", ErrWire, uint64(len(data))-uint64(length))
+	}
+	r := wireReader{buf: data, off: headerFixed}
+	node := r.str()
+	if r.err != nil {
+		return Frame{}, r.err
+	}
+	return Frame{
+		Type:  typ,
+		Flags: flags,
+		Nonce: binary.BigEndian.Uint64(data[12:20]),
+		Node:  node,
+		Body:  data[r.off:],
+	}, nil
+}
+
+// wireReader is a bounds-checked cursor over frame bodies. Unlike
+// sig.BinReader it carries no payload magic — frame bodies are framed by
+// the header, not self-describing.
+type wireReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *wireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: "+format, append([]any{ErrWire}, args...)...)
+	}
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	x, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("truncated varint")
+		return 0
+	}
+	if n > 1 && r.buf[r.off+n-1] == 0 {
+		// Exactly one encoding per value: resend dedup and the fuzzed
+		// decode→encode fixpoint both rely on byte-stable frames.
+		r.fail("non-minimal varint")
+		return 0
+	}
+	r.off += n
+	return x
+}
+
+func (r *wireReader) take(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail("length %d exceeds remaining %d bytes", n, len(r.buf)-r.off)
+		return nil
+	}
+	b := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b
+}
+
+func (r *wireReader) str() string   { return string(r.take(r.uvarint())) }
+func (r *wireReader) bytes() []byte { return append([]byte(nil), r.take(r.uvarint())...) }
+func (r *wireReader) rest() int     { return len(r.buf) - r.off }
+func (r *wireReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d trailing body bytes", ErrWire, len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// appendMessage appends the body encoding of one control-plane message:
+// from, to, kind (uvarint-prefixed strings), abstract size (uvarint),
+// the logical protocol nonce (uvarint), then the sealed envelope in the
+// internal/sig nested-envelope encoding (sender, kind, payload,
+// signature, each uvarint-prefixed).
+func appendMessage(dst []byte, m bus.Message) []byte {
+	dst = sig.AppendString(dst, m.From)
+	dst = sig.AppendString(dst, m.To)
+	dst = sig.AppendString(dst, m.Kind)
+	dst = sig.AppendUvarint(dst, uint64(m.Size))
+	dst = sig.AppendUvarint(dst, m.Nonce)
+	return m.Env.AppendBinary(dst)
+}
+
+// readMessage parses one appendMessage encoding from the cursor.
+func (r *wireReader) readMessage() bus.Message {
+	var m bus.Message
+	m.From = r.str()
+	m.To = r.str()
+	m.Kind = r.str()
+	size := r.uvarint()
+	if size > MaxFrame {
+		r.fail("absurd message size %d", size)
+		return m
+	}
+	m.Size = int(size)
+	m.Nonce = r.uvarint()
+	m.Env.Sender = r.str()
+	m.Env.Kind = r.str()
+	m.Env.Payload = r.bytes()
+	m.Env.Signature = r.bytes()
+	return m
+}
+
+// AppendMsgFrame frames one mailbox delivery (FtMsg). dest names the
+// endpoint whose mailbox receives the copy — distinct from the
+// message's own To, which stays "*" for broadcast emissions so drained
+// messages are byte-comparable with the simulated bus's.
+func AppendMsgFrame(dst []byte, nonce uint64, node, dest string, m bus.Message) []byte {
+	body := sig.AppendString(nil, dest)
+	body = appendMessage(body, m)
+	return AppendFrame(dst, FtMsg, 0, nonce, node, body)
+}
+
+// DecodeMsgBody parses an FtMsg body into the destination endpoint and
+// the delivered message.
+func DecodeMsgBody(body []byte) (dest string, m bus.Message, err error) {
+	r := wireReader{buf: body}
+	dest = r.str()
+	m = r.readMessage()
+	if err := r.done(); err != nil {
+		return "", bus.Message{}, err
+	}
+	return dest, m, nil
+}
+
+// AppendDrainFrame frames a drain request (FtDrain) for the endpoint,
+// cumulatively acknowledging every sequence number at or below ackSeq.
+func AppendDrainFrame(dst []byte, nonce uint64, node, endpoint string, ackSeq uint64) []byte {
+	body := sig.AppendString(nil, endpoint)
+	body = sig.AppendUvarint(body, ackSeq)
+	return AppendFrame(dst, FtDrain, 0, nonce, node, body)
+}
+
+// DecodeDrainBody parses an FtDrain body.
+func DecodeDrainBody(body []byte) (endpoint string, ackSeq uint64, err error) {
+	r := wireReader{buf: body}
+	endpoint = r.str()
+	ackSeq = r.uvarint()
+	return endpoint, ackSeq, r.done()
+}
+
+// SeqMsg is one mailbox entry in a drain response: the per-mailbox
+// sequence number and the stored message.
+type SeqMsg struct {
+	Seq uint64
+	Msg bus.Message
+}
+
+// AppendDrainRspFrame frames a drain response (FtDrainRsp) carrying the
+// batch; more marks a batch truncated to fit MaxFrame.
+func AppendDrainRspFrame(dst []byte, nonce uint64, node, endpoint string, batch []SeqMsg, more bool) []byte {
+	body := sig.AppendString(nil, endpoint)
+	body = sig.AppendUvarint(body, uint64(len(batch)))
+	for _, sm := range batch {
+		body = sig.AppendUvarint(body, sm.Seq)
+		body = appendMessage(body, sm.Msg)
+	}
+	var flags byte
+	if more {
+		flags |= FlagMore
+	}
+	return AppendFrame(dst, FtDrainRsp, flags, nonce, node, body)
+}
+
+// DecodeDrainRspBody parses an FtDrainRsp body.
+func DecodeDrainRspBody(body []byte) (endpoint string, batch []SeqMsg, err error) {
+	r := wireReader{buf: body}
+	endpoint = r.str()
+	n := r.uvarint()
+	if n > uint64(r.rest()) { // every entry takes ≥ 7 bytes; cheap bound
+		return "", nil, fmt.Errorf("%w: drain batch count %d", ErrWire, n)
+	}
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		seq := r.uvarint()
+		m := r.readMessage()
+		batch = append(batch, SeqMsg{Seq: seq, Msg: m})
+	}
+	if err := r.done(); err != nil {
+		return "", nil, err
+	}
+	return endpoint, batch, nil
+}
+
+// AppendControlFrame frames a bodyless control frame (FtAck, FtPing,
+// FtPong) under the given nonce.
+func AppendControlFrame(dst []byte, typ byte, nonce uint64, node string) []byte {
+	return AppendFrame(dst, typ, 0, nonce, node, nil)
+}

@@ -1,0 +1,81 @@
+package netbus_test
+
+import (
+	"bytes"
+	"encoding/hex"
+	"os"
+	"strings"
+	"testing"
+
+	"dlsbl/internal/bus"
+	"dlsbl/internal/netbus"
+	"dlsbl/internal/sig"
+)
+
+// goldenHexFromDoc extracts the contents of the single ```hex fence in
+// docs/WIRE.md — the normative golden frame.
+func goldenHexFromDoc(t *testing.T) []byte {
+	t.Helper()
+	raw, err := os.ReadFile("../../docs/WIRE.md")
+	if err != nil {
+		t.Fatalf("reading the wire spec: %v", err)
+	}
+	doc := string(raw)
+	i := strings.Index(doc, "```hex\n")
+	if i < 0 {
+		t.Fatal("docs/WIRE.md has no ```hex fence — the golden example is gone")
+	}
+	rest := doc[i+len("```hex\n"):]
+	j := strings.Index(rest, "```")
+	if j < 0 {
+		t.Fatal("docs/WIRE.md: unterminated ```hex fence")
+	}
+	compact := strings.NewReplacer("\n", "", " ", "", "\t", "").Replace(rest[:j])
+	frame, err := hex.DecodeString(compact)
+	if err != nil {
+		t.Fatalf("docs/WIRE.md golden hex does not decode: %v", err)
+	}
+	return frame
+}
+
+// TestWireGoldenBytes keeps docs/WIRE.md honest: the golden frame
+// embedded in the spec must be byte-identical to what the encoder
+// produces for the documented inputs, and must decode back to them.
+func TestWireGoldenBytes(t *testing.T) {
+	golden := goldenHexFromDoc(t)
+
+	// Reproduce the documented construction.
+	k, err := sig.GenerateKeyPair("P1", sig.DeterministicSource(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := sig.Seal(k, "dls/bid", map[string]any{"bid": 1.5, "proc": "P1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := bus.Message{From: "P1", To: "*", Kind: "dls/bid", Size: 1, Nonce: 7, Env: env}
+	frame := netbus.AppendMsgFrame(nil, 0xC0FFEE, "w1", "P1", msg)
+
+	if !bytes.Equal(frame, golden) {
+		t.Fatalf("docs/WIRE.md golden frame drifted from the encoder:\n doc  %x\n code %x", golden, frame)
+	}
+
+	// And the documented frame decodes to the documented fields.
+	f, err := netbus.DecodeFrame(golden)
+	if err != nil {
+		t.Fatalf("golden frame does not decode: %v", err)
+	}
+	if f.Type != netbus.FtMsg || f.Nonce != 0xC0FFEE || f.Node != "w1" {
+		t.Errorf("golden header %+v, want FtMsg nonce=0xC0FFEE node=w1", f)
+	}
+	dest, m, err := netbus.DecodeMsgBody(f.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dest != "P1" || m.From != "P1" || m.To != "*" || m.Kind != "dls/bid" || m.Nonce != 7 {
+		t.Errorf("golden body: dest=%q msg=%+v", dest, m)
+	}
+	if string(m.Env.Payload) != `{"bid":1.5,"proc":"P1"}` {
+		t.Errorf("golden payload %q", m.Env.Payload)
+	}
+}

@@ -205,6 +205,7 @@ const (
 	spliceLeave                   // one member left
 )
 
+// String names the splice kind for transcript entries and logs.
 func (k spliceKind) String() string {
 	switch k {
 	case spliceRate:

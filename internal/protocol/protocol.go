@@ -97,6 +97,18 @@ type Config struct {
 	// mixed traffic decodes fine. Payments, verdicts and transcripts are
 	// bit-identical under either codec (TestHotPathParity).
 	Codec sig.Codec
+	// Medium, when non-nil, carries the run's control-plane traffic
+	// instead of a freshly built simulated bus: every signed envelope
+	// (bids, bid vectors, meters, payments) travels through it, with the
+	// retry/dedup/eviction machinery of the reliable transport layered
+	// on top unchanged. internal/netbus provides the real-socket (UDP)
+	// implementation, so a Medium-backed run can span OS processes; the
+	// simulated bus remains the deterministic default when Medium is
+	// nil. The run attaches its processor and referee identities on
+	// setup, so a long-lived Medium must accept re-attachment of known
+	// endpoints (bus.Medium documents this). Mutually exclusive with
+	// Faults — an external medium owns its own failure behavior.
+	Medium bus.Medium
 	// Memo, when non-nil, routes every envelope verification in the run
 	// (transport arrivals, cached bids, referee re-opens) through a
 	// sig.BatchVerifier consulting this verified-envelope memo. A memo hit
@@ -131,6 +143,9 @@ func (c *Config) validate() error {
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
+	}
+	if c.Medium != nil && c.Faults != nil {
+		return errors.New("protocol: Medium and Faults are mutually exclusive (an external medium owns its own failure behavior)")
 	}
 	if err := c.Retry.validate(); err != nil {
 		return err
@@ -251,7 +266,7 @@ type run struct {
 	agents     []*agent.Agent
 	keys       map[string]*sig.KeyPair
 	reg        *sig.Registry
-	net        *bus.Bus
+	net        bus.Medium
 	xp         *transport
 	ledger     *payment.Ledger
 	ref        *referee.Referee
@@ -534,7 +549,9 @@ func setup(cfg Config) (*run, error) {
 			}
 		}
 	}
-	if r.net, err = bus.NewFaulty(cfg.Z, cfg.Faults); err != nil {
+	if cfg.Medium != nil {
+		r.net = cfg.Medium
+	} else if r.net, err = bus.NewFaulty(cfg.Z, cfg.Faults); err != nil {
 		return nil, err
 	}
 	if r.xp, err = newTransport(r.net, r.reg, cfg.Retry); err != nil {

@@ -112,13 +112,15 @@ type rxBuf struct {
 	seen    map[nonceKey]bool
 }
 
-// transport layers idempotent, retrying delivery over the bus. It owns
-// every endpoint's inbox: phases consume verified messages through
-// takeNonce instead of draining the bus directly, so duplicated, delayed
-// and retransmitted copies collapse into exactly-once delivery to the
-// protocol logic.
+// transport layers idempotent, retrying delivery over the medium. It
+// owns every endpoint's inbox: phases consume verified messages through
+// takeNonce instead of draining the medium directly, so duplicated,
+// delayed and retransmitted copies collapse into exactly-once delivery
+// to the protocol logic. The medium is any bus.Medium — the simulated
+// bus or a real socket (internal/netbus); the retry/dedup/eviction
+// machinery here is identical over both.
 type transport struct {
-	net    *bus.Bus
+	net    bus.Medium
 	reg    *sig.Registry
 	policy RetryPolicy
 	rx     map[string]*rxBuf
@@ -151,7 +153,7 @@ func (t *transport) event(e obs.Event) {
 	}
 }
 
-func newTransport(net *bus.Bus, reg *sig.Registry, policy RetryPolicy) (*transport, error) {
+func newTransport(net bus.Medium, reg *sig.Registry, policy RetryPolicy) (*transport, error) {
 	if err := policy.validate(); err != nil {
 		return nil, err
 	}

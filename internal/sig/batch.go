@@ -311,6 +311,8 @@ func (b *BatchVerifier) VerifyEach(envs []Envelope) []error {
 // verdict.
 type errDefer struct{ idx int }
 
+// Error satisfies the error interface; the value is internal and never
+// escapes VerifyAll.
 func (e errDefer) Error() string { return "sig: deferred to duplicate envelope" }
 
 // VerifyAll verifies a whole profile of envelopes in one pass and

@@ -57,6 +57,8 @@ func DeterministicSource(seed int64) io.Reader {
 
 type detSource struct{ rng *mrand.Rand }
 
+// Read fills p with seeded pseudo-random bytes (io.Reader for key
+// generation).
 func (d *detSource) Read(p []byte) (int, error) {
 	for i := range p {
 		p[i] = byte(d.rng.Intn(256))
