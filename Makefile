@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-service vet doccheck net-smoke ci serve bench-smoke bench-payments bench-faults bench-multiload bench-hotpath bench-obs faults-soak fuzz-smoke fuzz-short cover clean
+.PHONY: all build test race race-service vet doccheck net-smoke ci serve bench-smoke bench-payments bench-faults bench-multiload bench-hotpath bench-pipeline bench-obs faults-soak fuzz-smoke fuzz-short cover clean
 
 all: build test
 
@@ -44,8 +44,10 @@ net-smoke:
 # service load test and the protocol transport under -race), the
 # coverage floor, a short run of every fuzz target, the envelope
 # hot-path benchmark (which doubles as the payment-parity and zero-alloc
-# regression check), and the multi-process loopback smoke.
-ci: build vet doccheck race cover fuzz-short bench-hotpath net-smoke
+# regression check), the pipelined-packing benchmark (which asserts the
+# 1.3x-over-FIFO throughput target at batch depth >= 4), and the
+# multi-process loopback smoke.
+ci: build vet doccheck race cover fuzz-short bench-hotpath bench-pipeline net-smoke
 
 # Statement-coverage gate. The floor is set just under the measured
 # suite-wide figure so a change that lands untested code fails loudly;
@@ -65,14 +67,16 @@ cover:
 # Ten seconds of every fuzz target: the mechanism engine against the
 # naive baseline, envelope tampering, the DLT closed forms, the
 # bid-session membership model, the binary payload codec differentially
-# against JSON, and the netbus datagram receive path (decode totality +
-# canonical re-encode fixpoint).
+# against JSON, the netbus datagram receive path (decode totality +
+# canonical re-encode fixpoint), and the installment round-ID grammar
+# (parse/print fixed point).
 fuzz-short:
 	$(GO) test -run=NONE -fuzz=FuzzEngineParity -fuzztime=10s ./internal/core/
 	$(GO) test -run=NONE -fuzz=FuzzEnvelopeTampering -fuzztime=10s ./internal/sig/
 	$(GO) test -run=NONE -fuzz=FuzzOptimal -fuzztime=10s ./internal/dlt/
 	$(GO) test -run=NONE -fuzz=FuzzLinear -fuzztime=10s ./internal/dlt/
 	$(GO) test -run=NONE -fuzz=FuzzBidSessionMembership -fuzztime=10s ./internal/protocol/
+	$(GO) test -run=NONE -fuzz=FuzzRoundRef -fuzztime=10s ./internal/protocol/
 	$(GO) test -run=NONE -fuzz=FuzzPayloadCodec -fuzztime=10s ./internal/referee/
 	$(GO) test -run=NONE -fuzz=FuzzWireFrame -fuzztime=10s ./internal/netbus/
 
@@ -103,6 +107,15 @@ bench-multiload:
 # zero-alloc guards, and a sustained service soak (rounds/min, p99).
 bench-hotpath:
 	$(GO) run ./cmd/dls-bench -hotpath
+
+# Pipelined cross-job packing vs the FIFO runner → BENCH_PIPELINE.json:
+# the D×R sweep on the default m=16 pool, the live-protocol replay of
+# the D=4, R=4 cell, and the meets_target verdict (speedup >= 1.3 at
+# batch depth >= 4). Fails if the target is missed.
+bench-pipeline:
+	$(GO) run ./cmd/dls-bench -pipeline
+	@grep -q '"meets_target": true' BENCH_PIPELINE.json || \
+		{ echo "BENCH_PIPELINE.json missed the 1.3x throughput target"; exit 1; }
 
 # One iteration of every benchmark — catches bit-rot in the bench
 # harness without paying for real measurements.

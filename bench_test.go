@@ -65,6 +65,7 @@ func BenchmarkX12AffineMechanism(b *testing.B)    { benchExperiment(b, "X12") }
 func BenchmarkX13CostlyVerification(b *testing.B) { benchExperiment(b, "X13") }
 func BenchmarkX14RepeatedPlay(b *testing.B)       { benchExperiment(b, "X14") }
 func BenchmarkX15TwoParam(b *testing.B)           { benchExperiment(b, "X15") }
+func BenchmarkX18Pipeline(b *testing.B)           { benchExperiment(b, "X18") }
 
 // ---- Ablation: closed-form allocation vs independent bisection solver ----
 

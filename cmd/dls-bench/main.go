@@ -13,6 +13,7 @@
 //	dls-bench -faults       # benchmark the fault-tolerant transport → BENCH_FAULTS.json
 //	dls-bench -multiload    # benchmark amortized bidding → BENCH_MULTILOAD.json
 //	dls-bench -hotpath      # benchmark the envelope hot path → BENCH_HOTPATH.json
+//	dls-bench -pipeline     # pipelined packing vs FIFO sweep → BENCH_PIPELINE.json
 //	dls-bench -trace        # canned faulty multiload run → TRACE.json (chrome://tracing)
 package main
 
@@ -36,6 +37,7 @@ func main() {
 	faultsBench := flag.Bool("faults", false, "benchmark the fault-tolerant transport and write BENCH_FAULTS.json (honors -o)")
 	multiloadBench := flag.Bool("multiload", false, "benchmark amortized multi-load bidding and write BENCH_MULTILOAD.json (honors -o)")
 	hotpathBench := flag.Bool("hotpath", false, "benchmark batch verification and the zero-alloc envelope hot path and write BENCH_HOTPATH.json (honors -o)")
+	pipelineBench := flag.Bool("pipeline", false, "benchmark pipelined cross-job packing against the FIFO runner and write BENCH_PIPELINE.json (honors -o)")
 	traceBench := flag.Bool("trace", false, "run a canned faulty multiload session and write a Chrome trace to TRACE.json (honors -o)")
 	flag.Parse()
 
@@ -78,6 +80,17 @@ func main() {
 			path = *outPath
 		}
 		if err := runHotpathBench(*seed, path); err != nil {
+			fmt.Fprintf(os.Stderr, "dls-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *pipelineBench {
+		path := "BENCH_PIPELINE.json"
+		if *outPath != "" {
+			path = *outPath
+		}
+		if err := runPipelineBench(*seed, path); err != nil {
 			fmt.Fprintf(os.Stderr, "dls-bench: %v\n", err)
 			os.Exit(1)
 		}

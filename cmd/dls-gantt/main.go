@@ -6,6 +6,13 @@
 //
 //	dls-gantt -net ncp-fe -z 0.2 -w 1,1.5,2,2.5,3
 //	dls-gantt -net cp -z 0.5 -w 2,2,2 -width 100
+//
+// With -rounds > 1 the chart shows the pipelined schedule instead: the
+// load split into that many installments (equal or geometric -policy)
+// under the throughput-balanced allocation, one stacked sub-bar per
+// installment so the comm/compute overlap is visible.
+//
+//	dls-gantt -net ncp-fe -z 0.2 -w 1,1.5,2,2.5,3 -rounds 4 -policy geometric
 package main
 
 import (
@@ -25,6 +32,8 @@ func main() {
 	wList := flag.String("w", "1,1.5,2,2.5,3", "comma-separated per-unit processing times")
 	width := flag.Int("width", 72, "chart width in cells")
 	svgPath := flag.String("svg", "", "additionally write the chart as an SVG file")
+	rounds := flag.Int("rounds", 1, "installment rounds (>1 renders the pipelined schedule)")
+	policyName := flag.String("policy", "equal", "installment division policy: equal or geometric")
 	flag.Parse()
 
 	net, err := parseNetwork(*netName)
@@ -35,8 +44,12 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	policy, err := dlt.ParseRoundPolicy(*policyName)
+	if err != nil {
+		fail(err)
+	}
 	in := dlt.Instance{Network: net, Z: *z, W: w}
-	out, err := gantt.Figure(in, gantt.Options{Width: *width, ShowBus: true, ShowTimes: true})
+	out, err := gantt.FigureRounds(in, *rounds, policy, gantt.Options{Width: *width, ShowBus: true, ShowTimes: true})
 	if err != nil {
 		fail(err)
 	}

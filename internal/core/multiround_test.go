@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dlsbl/internal/dlt"
+)
+
+// TestRunRoundsDegenerate: rounds ≤ 1 delegates to the single-round
+// engine, so the outcome is bit-identical to Run.
+func TestRunRoundsDegenerate(t *testing.T) {
+	m := Mechanism{Network: dlt.NCPFE, Z: 0.2}
+	bids := []float64{3, 2, 4, 5}
+	exec := []float64{3, 2.5, 4, 5}
+	want, err := m.Run(bids, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rounds := range []int{0, 1} {
+		got, err := m.RunRounds(bids, exec, rounds, dlt.EqualRounds, WithVerification)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("rounds=%d diverges from single-round Run", rounds)
+		}
+	}
+}
+
+// TestRunRoundsIdentities: the multi-round mechanism keeps the structural
+// identities of Definition 3.1 — utility equals bonus, payment equals
+// compensation plus bonus, user cost is the payment total — and truthful
+// full-speed execution yields a non-negative bonus for every agent
+// (voluntary participation in the installment class).
+func TestRunRoundsIdentities(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, net := range []dlt.Network{dlt.CP, dlt.NCPFE} {
+		for trial := 0; trial < 25; trial++ {
+			n := 2 + rng.Intn(10)
+			bids := make([]float64, n)
+			for i := range bids {
+				bids[i] = 1 + 2*rng.Float64()
+			}
+			m := Mechanism{Network: net, Z: 0.05 + 0.2*rng.Float64()}
+			rounds := 2 + rng.Intn(6)
+			out, err := m.RunRounds(bids, TruthfulExec(bids), rounds, dlt.GeometricRounds, WithVerification)
+			if err != nil {
+				t.Fatalf("%v n=%d R=%d: %v", net, n, rounds, err)
+			}
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				if math.Abs(out.Utility[i]-out.Bonus[i]) > 1e-12 {
+					t.Errorf("%v n=%d R=%d: U[%d]=%v but B[%d]=%v", net, n, rounds, i, out.Utility[i], i, out.Bonus[i])
+				}
+				if math.Abs(out.Payment[i]-(out.Compensation[i]+out.Bonus[i])) > 1e-12 {
+					t.Errorf("%v n=%d R=%d: Q[%d] != C+B", net, n, rounds, i)
+				}
+				if out.Bonus[i] < -1e-9 {
+					t.Errorf("%v n=%d R=%d: truthful agent %d has negative bonus %v", net, n, rounds, i, out.Bonus[i])
+				}
+				if math.Abs(out.Compensation[i]-out.Alloc[i]*bids[i]) > 1e-12 {
+					t.Errorf("%v n=%d R=%d: C[%d] != α·w̃", net, n, rounds, i)
+				}
+				sum += out.Payment[i]
+			}
+			if math.Abs(sum-out.UserCost) > 1e-9 {
+				t.Errorf("%v n=%d R=%d: user cost %v, payments sum %v", net, n, rounds, out.UserCost, sum)
+			}
+		}
+	}
+}
+
+// TestRunRoundsSlowExecutionCostsBonus: executing slower than bid shrinks
+// the realized-makespan term and with it the bonus — the verification
+// incentive survives in the installment class.
+func TestRunRoundsSlowExecutionCostsBonus(t *testing.T) {
+	m := Mechanism{Network: dlt.NCPFE, Z: 0.1}
+	bids := []float64{3, 2, 4, 5, 2.5}
+	honest, err := m.RunRounds(bids, TruthfulExec(bids), 4, dlt.EqualRounds, WithVerification)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := TruthfulExec(bids)
+	slow[2] *= 1.4
+	lazy, err := m.RunRounds(bids, slow, 4, dlt.EqualRounds, WithVerification)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazy.Bonus[2] >= honest.Bonus[2] {
+		t.Errorf("slow execution did not shrink the bonus: %v -> %v", honest.Bonus[2], lazy.Bonus[2])
+	}
+	if _, err := m.RunRounds(bids[:1], bids[:1], 4, dlt.EqualRounds, WithVerification); err == nil {
+		t.Error("lone agent accepted")
+	}
+	if _, err := m.RunRounds(bids, []float64{1, -1, 1, 1, 1}, 4, dlt.EqualRounds, WithVerification); err == nil {
+		t.Error("negative execution value accepted")
+	}
+}

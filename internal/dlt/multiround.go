@@ -11,10 +11,11 @@ import (
 // into R installments lets every processor start on a small chunk early —
 // the idea behind the multi-round algorithms the paper cites as related
 // work (Yang, van der Raadt & Casanova). This module provides a
-// simulation-exact multi-round schedule builder used by the ablation
-// benches; it supports the CP and NCP-FE classes (the NFE originator
-// cannot overlap transmission with computation, so multi-round degenerates
-// to single-round there).
+// simulation-exact multi-round schedule builder; it supports the CP and
+// NCP-FE classes (the NFE originator cannot overlap transmission with
+// computation, so multi-round degenerates to single-round there). The
+// builder is shared by the ablation benches and, since the pipelined
+// scheduler landed, by the distributed protocol's installment rounds.
 
 // RoundPolicy chooses how the unit load is divided across rounds.
 type RoundPolicy int
@@ -35,26 +36,60 @@ func (p RoundPolicy) String() string {
 	return "geometric"
 }
 
+// ParseRoundPolicy maps a policy name ("equal" or "geometric") back to
+// its RoundPolicy, the inverse of String.
+func ParseRoundPolicy(s string) (RoundPolicy, error) {
+	switch s {
+	case "equal":
+		return EqualRounds, nil
+	case "geometric":
+		return GeometricRounds, nil
+	}
+	return 0, fmt.Errorf("dlt: unknown round policy %q", s)
+}
+
+// InstallmentFeasible reports whether a load on the given network class
+// can be served in the given number of installment rounds. Any network
+// accepts a single round; more than one requires an originator that
+// overlaps transmission with computation (CP or NCP-FE).
+func InstallmentFeasible(n Network, rounds int) error {
+	if rounds < 1 {
+		return errors.New("dlt: rounds must be >= 1")
+	}
+	if rounds > 1 && n == NCPNFE {
+		return errors.New("dlt: multi-round requires an overlapping originator (CP or NCP-FE)")
+	}
+	return nil
+}
+
 // MultiRound builds an R-round schedule: each round's total fraction is
 // chosen by the policy and split across processors in the single-round
 // optimal proportions. Within a round the bus serves processors in index
 // order; a processor executes chunks in arrival order, back-to-back when
 // possible. Returns the explicit timeline.
 func MultiRound(in Instance, rounds int, policy RoundPolicy) (Timeline, error) {
-	if err := in.Validate(); err != nil {
-		return Timeline{}, err
-	}
-	if rounds < 1 {
-		return Timeline{}, errors.New("dlt: rounds must be >= 1")
-	}
-	if in.Network == NCPNFE {
-		return Timeline{}, errors.New("dlt: multi-round requires an overlapping originator (CP or NCP-FE)")
-	}
-	per, err := roundFractions(rounds, policy)
+	prop, err := Optimal(in)
 	if err != nil {
 		return Timeline{}, err
 	}
-	prop, err := Optimal(in)
+	return MultiRoundSchedule(in, prop, rounds, policy)
+}
+
+// MultiRoundSchedule builds the R-round timeline for an explicit
+// per-processor allocation (fractions summing to 1). MultiRound is the
+// common case of the single-round optimal allocation; the pipelined
+// protocol passes the realized allocation from a live round instead.
+func MultiRoundSchedule(in Instance, a Allocation, rounds int, policy RoundPolicy) (Timeline, error) {
+	if err := in.Validate(); err != nil {
+		return Timeline{}, err
+	}
+	if err := InstallmentFeasible(in.Network, rounds); err != nil {
+		return Timeline{}, err
+	}
+	if len(a) != in.M() {
+		return Timeline{}, fmt.Errorf("dlt: allocation has %d entries for %d processors", len(a), in.M())
+	}
+	per, err := RoundFractions(rounds, policy)
 	if err != nil {
 		return Timeline{}, err
 	}
@@ -64,7 +99,7 @@ func MultiRound(in Instance, rounds int, policy RoundPolicy) (Timeline, error) {
 	procFree := make([]float64, m)
 	for r := 0; r < rounds; r++ {
 		for i := 0; i < m; i++ {
-			frac := per[r] * prop[i]
+			frac := per[r] * a[i]
 			if frac == 0 {
 				continue
 			}
@@ -91,7 +126,133 @@ func MultiRound(in Instance, rounds int, policy RoundPolicy) (Timeline, error) {
 	return tl, nil
 }
 
-func roundFractions(rounds int, policy RoundPolicy) ([]float64, error) {
+// PipelinedAllocation computes the steady-state throughput-optimal load
+// split for installment pipelining: the allocation minimizing the
+// bottleneck resource occupancy per load, max(bus time, max_i w_i·α_i).
+// In the single-round optimum the first-served processor computes for the
+// entire makespan, so back-to-back loads leave a pipelined scheduler no
+// room to improve; the balanced allocation instead equalizes per-load
+// busy time across processors (α_i ∝ 1/w_i) — the steady-state principle
+// of the multi-load literature (Gallet, Robert & Vivien; Cao, Wu &
+// Robertazzi) — shrinking the bottleneck per-load cost toward the fluid
+// bound 1/Σ(1/w_i). When the bus is the scarce resource (z·Σ_{i≠0}1/w_i
+// > 1 on NCP-FE), the originator absorbs load until its computation and
+// the bus drain in lockstep.
+func PipelinedAllocation(in Instance) (Allocation, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if in.Network == NCPNFE {
+		return nil, errors.New("dlt: pipelined allocation requires an overlapping originator (CP or NCP-FE)")
+	}
+	m := in.M()
+	a := make(Allocation, m)
+	if in.Network == NCPFE {
+		s := 0.0
+		for i := 1; i < m; i++ {
+			s += 1 / in.W[i]
+		}
+		if in.Z*s <= 1 {
+			// Compute-bound: every processor, originator included, works
+			// the same per-load time t = 1/Σ(1/w_i); the bus drains its
+			// z·(1−α_0) within t.
+			t := 1 / (1/in.W[0] + s)
+			for i := range a {
+				a[i] = t / in.W[i]
+			}
+		} else {
+			// Bus-bound: the originator takes load until its computation
+			// w_0·α_0 matches the bus's z·(1−α_0); the rest splits ∝ 1/w.
+			a[0] = in.Z / (in.W[0] + in.Z)
+			for i := 1; i < m; i++ {
+				a[i] = (1 - a[0]) / (in.W[i] * s)
+			}
+		}
+	} else {
+		// CP: no computing originator; balancing the workers' busy times
+		// gives α_i ∝ 1/w_i in both the compute- and bus-bound cases.
+		s := 0.0
+		for i := range a {
+			s += 1 / in.W[i]
+		}
+		for i := range a {
+			a[i] = 1 / (in.W[i] * s)
+		}
+	}
+	sum := 0.0
+	for _, x := range a {
+		sum += x
+	}
+	for i := range a {
+		a[i] /= sum
+	}
+	return a, nil
+}
+
+// MultiRoundMakespanWithSpeeds evaluates the R-installment greedy
+// schedule's makespan for a FIXED allocation when the processors execute
+// at the given speeds (communication still at the instance's bids-derived
+// fractions and bus rate). This is the multi-round analogue of
+// MakespanWithSpeeds, used by the payment rule's realized-makespan term.
+func MultiRoundMakespanWithSpeeds(in Instance, a Allocation, rounds int, policy RoundPolicy, speeds []float64) (float64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	if err := InstallmentFeasible(in.Network, rounds); err != nil {
+		return 0, err
+	}
+	m := in.M()
+	if len(a) != m || len(speeds) != m {
+		return 0, fmt.Errorf("dlt: allocation/speeds have %d/%d entries for %d processors", len(a), len(speeds), m)
+	}
+	per, err := RoundFractions(rounds, policy)
+	if err != nil {
+		return 0, err
+	}
+	run := in.Clone()
+	run.W = append([]float64(nil), speeds...)
+	f := make([]float64, m)
+	multiRoundFinishes(run, a, per, f)
+	t := 0.0
+	for _, fi := range f {
+		if fi > t {
+			t = fi
+		}
+	}
+	return t, nil
+}
+
+// multiRoundFinishes fills f with each processor's finish time in the
+// greedy installment schedule — the span-free core of MultiRoundSchedule,
+// tight enough to sit inside MultiRoundOptimal's fixed-point loop.
+func multiRoundFinishes(in Instance, a Allocation, per []float64, f []float64) {
+	bus := 0.0
+	for i := range f {
+		f[i] = 0
+	}
+	for _, p := range per {
+		for i := 0; i < in.M(); i++ {
+			frac := p * a[i]
+			if frac == 0 {
+				continue
+			}
+			arrival := 0.0
+			if !(in.Network == NCPFE && i == 0) {
+				bus += in.Z * frac
+				arrival = bus
+			}
+			start := math.Max(arrival, f[i])
+			f[i] = start + in.W[i]*frac
+		}
+	}
+}
+
+// RoundFractions returns the per-round load fractions for the policy:
+// rounds entries, each positive, summing to 1.
+func RoundFractions(rounds int, policy RoundPolicy) ([]float64, error) {
+	if rounds < 1 {
+		return nil, errors.New("dlt: rounds must be >= 1")
+	}
 	per := make([]float64, rounds)
 	switch policy {
 	case EqualRounds:

@@ -201,7 +201,7 @@ func TestRoundPolicyString(t *testing.T) {
 }
 
 func TestRoundFractionsGeometric(t *testing.T) {
-	per, err := roundFractions(3, GeometricRounds)
+	per, err := RoundFractions(3, GeometricRounds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func TestRoundFractionsGeometric(t *testing.T) {
 			t.Errorf("per[%d] = %v, want %v", i, per[i], want[i])
 		}
 	}
-	if _, err := roundFractions(2, RoundPolicy(9)); err == nil {
+	if _, err := RoundFractions(2, RoundPolicy(9)); err == nil {
 		t.Error("unknown policy accepted")
 	}
 }

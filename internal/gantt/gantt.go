@@ -59,7 +59,18 @@ func Render(tl dlt.Timeline, opt Options) (string, error) {
 		return c
 	}
 
-	rows := make([][]rune, m)
+	// A pipelined (multi-installment) timeline stacks one sub-bar per
+	// installment round under each processor, so the comm/compute overlap
+	// between consecutive installments is visible; single-round timelines
+	// (every span at Round 0) render exactly as before.
+	maxRound := 0
+	for _, s := range tl.Spans {
+		if s.Round > maxRound {
+			maxRound = s.Round
+		}
+	}
+	stack := maxRound + 1
+	rows := make([][]rune, m*stack)
 	for i := range rows {
 		rows[i] = idleRow(width)
 	}
@@ -67,6 +78,9 @@ func Render(tl dlt.Timeline, opt Options) (string, error) {
 	for _, s := range tl.Spans {
 		if s.Proc < 0 || s.Proc >= m {
 			return "", fmt.Errorf("gantt: span for unknown processor %d", s.Proc)
+		}
+		if s.Round < 0 || s.Round > maxRound {
+			return "", fmt.Errorf("gantt: span carries round %d", s.Round)
 		}
 		glyph := cellComp
 		if s.Kind == dlt.Comm {
@@ -80,7 +94,7 @@ func Render(tl dlt.Timeline, opt Options) (string, error) {
 			}
 		}
 		for c := lo; c < hi; c++ {
-			rows[s.Proc][c] = glyph
+			rows[s.Proc*stack+s.Round][c] = glyph
 			if s.BusOwner {
 				busRow[c] = cellComm
 			}
@@ -89,17 +103,26 @@ func Render(tl dlt.Timeline, opt Options) (string, error) {
 
 	finish := tl.FinishTimes()
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s  z=%.3g  makespan=%.6g\n", tl.Instance.Network, tl.Instance.Z, tl.Makespan)
+	fmt.Fprintf(&b, "%s  z=%.3g  makespan=%.6g", tl.Instance.Network, tl.Instance.Z, tl.Makespan)
+	if stack > 1 {
+		fmt.Fprintf(&b, "  installments=%d", stack)
+	}
+	b.WriteByte('\n')
 	if opt.ShowBus {
 		fmt.Fprintf(&b, "%-5s |%s|\n", "bus", string(busRow))
 	}
 	for i := 0; i < m; i++ {
-		label := fmt.Sprintf("P%d", i+1)
-		fmt.Fprintf(&b, "%-5s |%s|", label, string(rows[i]))
-		if opt.ShowTimes {
-			fmt.Fprintf(&b, " T=%.6g (w=%.3g, α=%.4f)", finish[i], tl.Instance.W[i], fracOf(tl, i))
+		for r := 0; r < stack; r++ {
+			label := fmt.Sprintf("P%d", i+1)
+			if stack > 1 {
+				label = fmt.Sprintf("P%d.%d", i+1, r+1)
+			}
+			fmt.Fprintf(&b, "%-5s |%s|", label, string(rows[i*stack+r]))
+			if opt.ShowTimes && r == stack-1 {
+				fmt.Fprintf(&b, " T=%.6g (w=%.3g, α=%.4f)", finish[i], tl.Instance.W[i], fracOf(tl, i))
+			}
+			b.WriteByte('\n')
 		}
-		b.WriteByte('\n')
 	}
 	fmt.Fprintf(&b, "legend: %c comm  %c compute  %c idle\n", cellComm, cellComp, cellIdle)
 	return b.String(), nil
@@ -113,6 +136,25 @@ func Figure(in dlt.Instance, opt Options) (string, error) {
 		return "", err
 	}
 	tl, err := dlt.Schedule(in, a)
+	if err != nil {
+		return "", err
+	}
+	return Render(tl, opt)
+}
+
+// FigureRounds renders the pipelined counterpart: the load split into
+// `rounds` installments under the throughput-balanced allocation
+// (dlt.PipelinedAllocation), with one stacked sub-bar per installment.
+// rounds <= 1 falls back to Figure.
+func FigureRounds(in dlt.Instance, rounds int, policy dlt.RoundPolicy, opt Options) (string, error) {
+	if rounds <= 1 {
+		return Figure(in, opt)
+	}
+	a, err := dlt.PipelinedAllocation(in)
+	if err != nil {
+		return "", err
+	}
+	tl, err := dlt.MultiRoundSchedule(in, a, rounds, policy)
 	if err != nil {
 		return "", err
 	}

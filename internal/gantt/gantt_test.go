@@ -160,3 +160,45 @@ func TestTinySpansVisible(t *testing.T) {
 		}
 	}
 }
+
+// TestFigureRoundsStacks: a pipelined timeline renders one sub-bar per
+// installment under each processor (labels P1.1…P1.R), reports the
+// installment count in the header, and falls back to the single-round
+// figure at rounds <= 1.
+func TestFigureRoundsStacks(t *testing.T) {
+	in := dlt.Instance{Network: dlt.NCPFE, Z: 0.2, W: []float64{1, 1.5, 2}}
+	out, err := FigureRounds(in, 3, dlt.GeometricRounds, Options{Width: 40, ShowBus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "installments=3") {
+		t.Errorf("header misses installment count:\n%s", out)
+	}
+	for _, label := range []string{"P1.1", "P1.3", "P3.1", "P3.3"} {
+		if !strings.Contains(out, label+" ") {
+			t.Errorf("missing stacked sub-bar %s:\n%s", label, out)
+		}
+	}
+	if strings.Contains(out, "P1.4") {
+		t.Errorf("more sub-bars than installments:\n%s", out)
+	}
+
+	single, err := FigureRounds(in, 1, dlt.EqualRounds, Options{Width: 40, ShowBus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	figure, err := Figure(in, Options{Width: 40, ShowBus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single != figure {
+		t.Error("rounds=1 diverges from the single-round figure")
+	}
+	if strings.Contains(figure, "installments=") || strings.Contains(figure, "P1.1") {
+		t.Errorf("single-round figure changed shape:\n%s", figure)
+	}
+
+	if _, err := FigureRounds(dlt.Instance{Network: dlt.NCPNFE, Z: 0.2, W: []float64{1, 2}}, 3, dlt.EqualRounds, Options{Width: 40}); err == nil {
+		t.Error("NCP-NFE pipelined figure accepted")
+	}
+}

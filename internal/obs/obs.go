@@ -51,6 +51,10 @@ const (
 	// Verification fast path (internal/sig.BatchVerifier).
 	EvVerifyBatch   = "verify_batch"    // a batch of envelopes was verified in one pass
 	EvVerifyMemoHit = "verify_memo_hit" // verifications skipped via the verified-envelope memo
+
+	// Pipelined scheduler (internal/pipeline).
+	EvInstallment = "installment" // a sub-round served one installment of a pipelined load
+	EvPacked      = "packed"      // a batch of jobs was packed into one shared bus schedule
 )
 
 // Phase names used for spans. Initialization covers setup (identities,

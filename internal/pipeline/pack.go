@@ -1,0 +1,216 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dlsbl/internal/dlt"
+	"dlsbl/internal/protocol"
+)
+
+// Job is one load admitted to a packed schedule: its realized per-unit
+// execution rates, its agreed allocation, and its installment plan.
+// Processor indices are pool participant indices, shared across every job
+// in the batch.
+type Job struct {
+	// ID names the job in the plan's spans (informational).
+	ID string
+	// Size scales the load: per-processor work is Size·Alloc[i]·Exec[i].
+	// Zero selects 1 (the unit load every protocol round distributes).
+	Size float64
+	// Exec are the realized per-unit processing times, participant order.
+	Exec []float64
+	// Alloc are the agreed load fractions (summing to 1), same order.
+	Alloc dlt.Allocation
+	// Rounds is the number of installments (>= 1); Policy divides the
+	// load across them.
+	Rounds int
+	Policy dlt.RoundPolicy
+}
+
+// JobFromOutcome derives a packer Job from a completed protocol outcome
+// (plain or aggregated), reading the realized rates and allocation of the
+// surviving participants.
+func JobFromOutcome(id string, out *protocol.Outcome, rounds int, policy dlt.RoundPolicy) (Job, error) {
+	if out == nil || !out.Completed {
+		return Job{}, fmt.Errorf("pipeline: job %s: only completed outcomes can be packed", id)
+	}
+	_, alloc, err := realized(out)
+	if err != nil {
+		return Job{}, err
+	}
+	var w []float64
+	for i := range out.Procs {
+		if out.Participated[i] && !out.Evicted[i] {
+			w = append(w, out.Exec[i])
+		}
+	}
+	return Job{ID: id, Exec: w, Alloc: alloc, Rounds: rounds, Policy: policy}, nil
+}
+
+// Span is one activity of a packed plan: job Job's round-r chunk for
+// processor Proc. BusOwner marks the one-port communications.
+type Span struct {
+	// Job indexes the plan's Jobs slice.
+	Job int
+	// Proc is the pool participant index.
+	Proc int
+	// Kind is dlt.Comm or dlt.Comp.
+	Kind dlt.SpanKind
+	// Start and End are virtual times; Frac is the fraction of job Job's
+	// load this span carries.
+	Start, End, Frac float64
+	// Round is the installment index within job Job.
+	Round int
+	// BusOwner is true for spans occupying the shared one-port bus.
+	BusOwner bool
+}
+
+// Plan is a packed multi-job schedule over the shared bus.
+type Plan struct {
+	// Z is the bus rate the plan was built for; Network its class.
+	Network dlt.Network
+	Z       float64
+	// Jobs are the admitted jobs, in admission (bus service) order.
+	Jobs []Job
+	// Spans is the packed schedule, every span tagged with its job.
+	Spans []Span
+	// Finish[j] is job j's completion time in the packed schedule.
+	Finish []float64
+	// Makespan is the batch completion time: max over Finish.
+	Makespan float64
+	// FIFOTotal is the baseline the packing is measured against: the sum
+	// of the jobs' serial single-round makespans — what the pre-pipeline
+	// FIFO runner would have taken, one load fully served before the
+	// next starts.
+	FIFOTotal float64
+}
+
+// Pack builds the shared schedule for a batch of jobs on one pool. The
+// bus serves installment waves round-robin across jobs in admission
+// order — job 0's installment k, job 1's installment k, … — so early
+// installments of every job reach the processors quickly and distinct
+// jobs' computations overlap on disjoint per-processor time. The packing
+// never reorders work within a job (installments stay in order on the
+// bus and on every processor) and never moves money: it is pure
+// virtual-time placement of the already-agreed transfers.
+func Pack(network dlt.Network, z float64, jobs []Job) (Plan, error) {
+	if len(jobs) == 0 {
+		return Plan{}, errors.New("pipeline: no jobs to pack")
+	}
+	if !(z >= 0) || math.IsInf(z, 0) {
+		return Plan{}, fmt.Errorf("pipeline: invalid z=%v", z)
+	}
+	if network == dlt.NCPNFE {
+		// The NFE originator computes only after all its transmissions
+		// finish, so comm/compute overlap — the whole point of packing —
+		// is unavailable.
+		return Plan{}, errors.New("pipeline: packing requires an overlapping originator (CP or NCP-FE)")
+	}
+	m := len(jobs[0].Exec)
+	plan := Plan{Network: network, Z: z, Jobs: jobs, Finish: make([]float64, len(jobs))}
+	maxRounds := 0
+	fracs := make([][]float64, len(jobs))
+	for j := range jobs {
+		job := &plan.Jobs[j]
+		if job.Size == 0 {
+			job.Size = 1
+		}
+		if len(job.Exec) != m || len(job.Alloc) != m {
+			return Plan{}, fmt.Errorf("pipeline: job %d has %d/%d processor entries, batch has %d", j, len(job.Exec), len(job.Alloc), m)
+		}
+		if err := dlt.InstallmentFeasible(network, job.Rounds); err != nil {
+			return Plan{}, fmt.Errorf("pipeline: job %d: %w", j, err)
+		}
+		per, err := dlt.RoundFractions(job.Rounds, job.Policy)
+		if err != nil {
+			return Plan{}, fmt.Errorf("pipeline: job %d: %w", j, err)
+		}
+		fracs[j] = per
+		if job.Rounds > maxRounds {
+			maxRounds = job.Rounds
+		}
+		// FIFO baseline: the job alone under the FIFO runner's own rule —
+		// single round at the single-round optimal split — serially, one
+		// load fully served before the next starts.
+		in := dlt.Instance{Network: network, Z: z, W: job.Exec}
+		_, single, err := dlt.OptimalMakespan(in)
+		if err != nil {
+			return Plan{}, fmt.Errorf("pipeline: job %d: %w", j, err)
+		}
+		plan.FIFOTotal += single * job.Size
+	}
+
+	origIdx := -1
+	if network == dlt.NCPFE {
+		origIdx = dlt.NCPFE.Originator(m)
+	}
+	bus := 0.0
+	procFree := make([]float64, m)
+	for r := 0; r < maxRounds; r++ {
+		for j := range plan.Jobs {
+			job := &plan.Jobs[j]
+			if r >= job.Rounds {
+				continue
+			}
+			for i := 0; i < m; i++ {
+				frac := fracs[j][r] * job.Alloc[i] * job.Size
+				if frac == 0 {
+					continue
+				}
+				arrival := 0.0
+				if i != origIdx {
+					end := bus + z*frac
+					plan.Spans = append(plan.Spans, Span{Job: j, Proc: i, Kind: dlt.Comm, Start: bus, End: end, Frac: frac, Round: r, BusOwner: true})
+					bus = end
+					arrival = end
+				}
+				start := math.Max(arrival, procFree[i])
+				end := start + job.Exec[i]*frac
+				plan.Spans = append(plan.Spans, Span{Job: j, Proc: i, Kind: dlt.Comp, Start: start, End: end, Frac: frac, Round: r})
+				procFree[i] = end
+				if end > plan.Finish[j] {
+					plan.Finish[j] = end
+				}
+			}
+		}
+	}
+	for _, f := range plan.Finish {
+		if f > plan.Makespan {
+			plan.Makespan = f
+		}
+	}
+	return plan, nil
+}
+
+// Speedup is the packed batch's throughput gain over the FIFO baseline:
+// FIFOTotal / Makespan (1 means no gain; >1 means the packed schedule
+// finishes the same work that much faster).
+func (p *Plan) Speedup() float64 {
+	if p.Makespan <= 0 {
+		return 1
+	}
+	return p.FIFOTotal / p.Makespan
+}
+
+// JobTimeline extracts job j's spans as a standalone dlt.Timeline (in the
+// packed batch's shared clock), for rendering and per-job makespan
+// reporting. The per-job transcripts, verdicts and payments live on the
+// job's own protocol outcomes; this is only its realized schedule.
+func (p *Plan) JobTimeline(j int) (dlt.Timeline, error) {
+	if j < 0 || j >= len(p.Jobs) {
+		return dlt.Timeline{}, fmt.Errorf("pipeline: no job %d in plan of %d", j, len(p.Jobs))
+	}
+	tl := dlt.Timeline{Instance: dlt.Instance{Network: p.Network, Z: p.Z, W: append([]float64(nil), p.Jobs[j].Exec...)}}
+	for _, s := range p.Spans {
+		if s.Job != j {
+			continue
+		}
+		tl.Spans = append(tl.Spans, dlt.Span{Proc: s.Proc, Kind: s.Kind, Start: s.Start, End: s.End, Frac: s.Frac, Round: s.Round, BusOwner: s.BusOwner})
+		if s.End > tl.Makespan {
+			tl.Makespan = s.End
+		}
+	}
+	return tl, nil
+}

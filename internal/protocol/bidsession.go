@@ -8,6 +8,7 @@ import (
 
 	"dlsbl/internal/agent"
 	"dlsbl/internal/bus"
+	"dlsbl/internal/dlt"
 	"dlsbl/internal/obs"
 	"dlsbl/internal/referee"
 	"dlsbl/internal/sig"
@@ -114,6 +115,7 @@ func (r *run) reuseBidding(c *bidCache) error {
 	} else {
 		r.ref.BindRounds(r.roundID, r.bidEpoch)
 	}
+	r.recordInstallment()
 	r.outcome.FineMagnitude = c.fine
 	c.served++
 	r.ref.RecordBidReuse(c.epoch, c.served)
@@ -432,6 +434,7 @@ func (r *run) spliceBidding(c *bidCache, sp spliceOp) (*bidCache, error) {
 	if err := r.ref.BindRoundsSpliced(r.roundID, r.bidEpoch, epochs); err != nil {
 		return nil, err
 	}
+	r.recordInstallment()
 	r.epochs = epochs
 	r.outcome.FineMagnitude = fine
 	r.ref.RecordBidSplice(changed, sp.kind.String(), c.epoch)
@@ -563,8 +566,8 @@ type BidSession struct {
 // zero here. A nil cfg.Keys gets a fresh keyring — the ring is what lets a
 // reuse round's fresh PKI registry verify envelopes signed rounds ago.
 func NewBidSession(cfg Config) (*BidSession, error) {
-	if cfg.Behaviors != nil || cfg.Faults != nil || cfg.NBlocks != 0 || cfg.BlockSize != 0 || cfg.Seed != 0 || (cfg.Retry != RetryPolicy{}) || cfg.Tracer != nil {
-		return nil, errors.New("protocol: per-job fields (Behaviors, Seed, NBlocks, BlockSize, Faults, Retry, Tracer) belong in JobConfig, not the session Config")
+	if cfg.Behaviors != nil || cfg.Faults != nil || cfg.NBlocks != 0 || cfg.BlockSize != 0 || cfg.Seed != 0 || (cfg.Retry != RetryPolicy{}) || cfg.Tracer != nil || cfg.LoadFrac != 0 {
+		return nil, errors.New("protocol: per-job fields (Behaviors, Seed, NBlocks, BlockSize, Faults, Retry, Tracer, LoadFrac) belong in JobConfig, not the session Config")
 	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -606,12 +609,64 @@ func sessionSalt(cfg Config) string {
 // round number.
 func (s *BidSession) Run(job JobConfig) (*Outcome, error) {
 	s.rounds++
-	round := fmt.Sprintf("%s:r%d", s.salt, s.rounds)
+	return s.serve(job, RoundRef{Salt: s.salt, Round: s.rounds}, 1, 1, 1, 0)
+}
+
+// NextRound reserves and returns the next session round number. The
+// pipelined scheduler (internal/pipeline) reserves a round up front and
+// serves it in installment sub-rounds via RunSub; plain Run reserves its
+// own round. A reserved round that is never served simply leaves a gap
+// in the numbering — round IDs only ever need to be distinct.
+func (s *BidSession) NextRound() int {
+	s.rounds++
+	return s.rounds
+}
+
+// RunSub serves installment k (1-based) of `of` sub-rounds of session
+// round n (from NextRound), carrying frac of the load divided under the
+// given policy. The sub-round is a full protocol round under the ID
+// "<salt>:rN.iK" — served from the cached bid set when the profile
+// allows, re-bidding otherwise, exactly like Run — with the money flow
+// scaled by frac (Config.LoadFrac) and the allocation/payment rule
+// switched to the installment class (dlt.PipelinedAllocation +
+// multi-round makespan terms). With of=1 the ID collapses to the plain
+// "<salt>:rN" and the round is byte-identical to a Run round, allocation
+// rule included.
+func (s *BidSession) RunSub(job JobConfig, n, k, of int, frac float64, policy dlt.RoundPolicy) (*Outcome, error) {
+	if n < 1 || n > s.rounds {
+		return nil, fmt.Errorf("protocol: sub-round of unreserved session round %d", n)
+	}
+	if k < 1 || of < 1 || k > of {
+		return nil, fmt.Errorf("protocol: installment %d of %d out of range", k, of)
+	}
+	if !(frac > 0) || frac > 1 {
+		return nil, fmt.Errorf("protocol: installment fraction %v outside (0,1]", frac)
+	}
+	rr := RoundRef{Salt: s.salt, Round: n}
+	if of > 1 {
+		rr.Installment = k
+	}
+	return s.serve(job, rr, k, of, frac, policy)
+}
+
+// serve executes one (sub-)round under the given round reference,
+// deciding reuse vs incremental re-bid vs full exchange by bid-profile
+// comparison. frac scales the money flow; inst/instOf/policy mark the
+// installment for the referee's transcript and select the installment
+// allocation rule (1/1 for whole-load rounds, which skip both).
+func (s *BidSession) serve(job JobConfig, rr RoundRef, inst, instOf int, frac float64, policy dlt.RoundPolicy) (*Outcome, error) {
+	round := rr.String()
 	cfg := s.roundConfig(job)
+	cfg.LoadFrac = frac
 	prof := profileFor(cfg)
+	rb := roundBinding{round: round}
+	if instOf > 1 {
+		rb.inst, rb.instOf, rb.policy = inst, instOf, policy
+	}
 
 	if s.cache != nil && profilesEqual(prof, s.cacheProfile) {
-		out, _, err := executeRound(cfg, roundBinding{round: round, epoch: s.cache.epoch}, s.cache, nil)
+		rb.epoch = s.cache.epoch
+		out, _, err := executeRound(cfg, rb, s.cache, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -629,7 +684,8 @@ func (s *BidSession) Run(job JobConfig) (*Outcome, error) {
 	// nothing leaks into the retry (which reuses this round's ID).
 	if s.cache != nil {
 		if sp, ok := spliceDelta(s.cacheProfile, prof); ok {
-			out, spliced, err := executeRound(cfg, roundBinding{round: round, epoch: s.cache.epoch}, s.cache, &sp)
+			rb.epoch = s.cache.epoch
+			out, spliced, err := executeRound(cfg, rb, s.cache, &sp)
 			if err == nil {
 				s.splices++
 				s.sinceRebid = 0
@@ -640,7 +696,8 @@ func (s *BidSession) Run(job JobConfig) (*Outcome, error) {
 		}
 	}
 
-	out, cache, err := executeRound(cfg, roundBinding{round: round, epoch: round}, nil, nil)
+	rb.epoch = round
+	out, cache, err := executeRound(cfg, rb, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -786,6 +843,12 @@ func (s *BidSession) AnnounceRate(i int, w float64) error {
 	s.trueW[i] = w
 	return nil
 }
+
+// Network returns the session's network class.
+func (s *BidSession) Network() dlt.Network { return s.base.Network }
+
+// Z returns the session's per-unit bus communication time.
+func (s *BidSession) Z() float64 { return s.base.Z }
 
 // Members lists the active members.
 func (s *BidSession) Members() []Member {

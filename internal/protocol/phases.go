@@ -274,6 +274,7 @@ func (r *run) phaseBidding() (bool, error) {
 	r.ref.UseVerifier(r.ver)
 	// A round that runs its own Bidding phase IS its bids' epoch.
 	r.ref.BindRounds(r.roundID, r.bidEpoch)
+	r.recordInstallment()
 	r.outcome.FineMagnitude = fine
 	// Evictions are availability failures, not offenses: they enter the
 	// audit transcript (action "eviction") but carry no fine.
@@ -339,10 +340,24 @@ func (r *run) phaseBidding() (bool, error) {
 
 // ---- Phase: Allocating Load -------------------------------------------------
 
+// allocate applies the round's allocation rule to a bid vector: the
+// paper's single-round optimal split for whole-load rounds, the
+// steady-state balanced split (dlt.PipelinedAllocation) for installment
+// sub-rounds — where the single-round rule would keep the first-served
+// processor busy for the entire makespan and leave the pipeline nothing
+// to overlap.
+func (r *run) allocate(bids []float64) (dlt.Allocation, error) {
+	in := dlt.Instance{Network: r.cfg.Network, Z: r.cfg.Z, W: bids}
+	if r.instOf > 1 {
+		return dlt.PipelinedAllocation(in)
+	}
+	return dlt.Optimal(in)
+}
+
 // recomputeCounts is the referee's recomputation callback: from an agreed
 // bid vector to per-processor block counts.
 func (r *run) recomputeCounts(bids []float64) ([]int, error) {
-	alloc, err := dlt.Optimal(dlt.Instance{Network: r.cfg.Network, Z: r.cfg.Z, W: bids})
+	alloc, err := r.allocate(bids)
 	if err != nil {
 		return nil, err
 	}
@@ -384,11 +399,11 @@ func (r *run) signedBidVector(i int) (sig.Envelope, error) {
 func (r *run) workDoneAt(deliveryOrder []int, upTo int) map[string]float64 {
 	work := make(map[string]float64)
 	if r.cfg.Network == dlt.NCPFE {
-		work[r.procs[r.origIdx]] = r.alloc[r.origIdx] * r.agents[r.origIdx].Exec()
+		work[r.procs[r.origIdx]] = r.alloc[r.origIdx] * r.agents[r.origIdx].Exec() * r.loadFrac
 	}
 	for pos := 0; pos < upTo; pos++ {
 		i := deliveryOrder[pos]
-		work[r.procs[i]] = r.alloc[i] * r.agents[i].Exec()
+		work[r.procs[i]] = r.alloc[i] * r.agents[i].Exec() * r.loadFrac
 	}
 	return work
 }
@@ -398,7 +413,7 @@ func (r *run) workDoneAt(deliveryOrder []int, upTo int) map[string]float64 {
 func (r *run) phaseAllocating() (bool, error) {
 	r.xp.beginPhase()
 	var err error
-	r.alloc, err = dlt.Optimal(dlt.Instance{Network: r.cfg.Network, Z: r.cfg.Z, W: r.bids})
+	r.alloc, err = r.allocate(r.bids)
 	if err != nil {
 		return false, err
 	}
@@ -576,7 +591,11 @@ func (r *run) phaseProcessing() error {
 	work := make([]float64, r.m)
 	for i, a := range r.agents {
 		exec[i] = a.Exec()
-		phi[i] = r.alloc[i] * exec[i]
+		// φ_i covers the load actually processed this round — the whole
+		// load ordinarily, an installment's share on a pipelined
+		// sub-round. At loadFrac=1 the multiplication is by the constant
+		// 1, so the meters are bit-identical to the unscaled path.
+		phi[i] = r.alloc[i] * exec[i] * r.loadFrac
 		work[i] = phi[i]
 		if err := r.ref.RecordMeter(a.ID, phi[i]); err != nil {
 			return err
@@ -601,6 +620,17 @@ func (r *run) phaseProcessing() error {
 	}
 	if err != nil {
 		return err
+	}
+	if r.loadFrac != 1 {
+		// An installment sub-round moves loadFrac of the load; every term
+		// of the one-port schedule is linear in the load, so the realized
+		// sub-round timeline is the unit schedule scaled down.
+		for i := range tl.Spans {
+			tl.Spans[i].Start *= r.loadFrac
+			tl.Spans[i].End *= r.loadFrac
+			tl.Spans[i].Frac *= r.loadFrac
+		}
+		tl.Makespan *= r.loadFrac
 	}
 	r.outcome.Timeline = tl
 	r.outcome.Makespan = tl.Makespan
@@ -634,12 +664,26 @@ func (r *run) phasePayments() error {
 	derived := make([]float64, r.m)
 	for j := range derived {
 		if r.alloc[j] > 0 {
-			derived[j] = r.outcome.Phi[j] / r.alloc[j]
+			// The meters cover α_j·loadFrac of the load, so the per-unit
+			// rate divides the fraction back out (a division by exactly
+			// α_j when loadFrac is 1).
+			derived[j] = r.outcome.Phi[j] / (r.alloc[j] * r.loadFrac)
 		} else {
 			derived[j] = r.bids[j]
 		}
 	}
-	if err := r.engine.RunInto(r.bids, derived, core.WithVerification, &r.payOut); err != nil {
+	if r.instOf > 1 {
+		// Installment sub-round: the R-installment payment rule (balanced
+		// allocation, multi-round makespan terms). The zero-alloc engine
+		// hot path stays reserved for whole-load rounds, which are the
+		// only payment hot path.
+		mout, err := core.Mechanism{Network: r.cfg.Network, Z: r.cfg.Z}.
+			RunRounds(r.bids, derived, r.instOf, r.policy, core.WithVerification)
+		if err != nil {
+			return err
+		}
+		r.payOut = *mout
+	} else if err := r.engine.RunInto(r.bids, derived, core.WithVerification, &r.payOut); err != nil {
 		return err
 	}
 	out := &r.payOut
@@ -684,19 +728,24 @@ func (r *run) phasePayments() error {
 	}
 
 	// Forward Q to the payment infrastructure as an invoice: the user
-	// remits payment.
+	// remits payment. Q is per-unit-load; the installment's share scales
+	// it, so across a pipelined load the per-installment payments sum to
+	// (telescope into) the single-round payment — exactly so at
+	// loadFrac=1, where the scaling multiplies by the constant 1.
+	paid := make([]float64, len(q))
 	inv := payment.Invoice{Payer: UserID}
 	for i, p := range r.procs {
+		paid[i] = q[i] * r.loadFrac
 		inv.Lines = append(inv.Lines, payment.InvoiceLine{
 			Account: p,
 			Memo:    fmt.Sprintf("payment Q for %s (C=%.6g, B=%.6g)", p, out.Compensation[i], out.Bonus[i]),
-			Amount:  q[i],
+			Amount:  paid[i],
 		})
 	}
 	if err := r.ledger.PayInvoice(inv); err != nil {
 		return err
 	}
 	r.outcome.Invoice = inv
-	r.outcome.Payments = q
+	r.outcome.Payments = paid
 	return nil
 }

@@ -109,6 +109,15 @@ type Config struct {
 	// endpoints (bus.Medium documents this). Mutually exclusive with
 	// Faults — an external medium owns its own failure behavior.
 	Medium bus.Medium
+	// LoadFrac is the fraction of the full load this run serves; zero
+	// selects 1 (the whole load). The pipelined scheduler sets it on
+	// installment sub-rounds so the money flow scales with the work: the
+	// meters φ_i, payments, fines-eligible work compensation and the
+	// user's invoice all carry the factor, and the per-installment
+	// payments telescope back to the single-round payment (exactly so at
+	// LoadFrac=1, where every scaling multiplication is by the float
+	// constant 1 and therefore bit-identical to the unscaled path).
+	LoadFrac float64
 	// Memo, when non-nil, routes every envelope verification in the run
 	// (transport arrivals, cached bids, referee re-opens) through a
 	// sig.BatchVerifier consulting this verified-envelope memo. A memo hit
@@ -152,6 +161,9 @@ func (c *Config) validate() error {
 	}
 	if c.Codec != sig.CodecJSON && c.Codec != sig.CodecBinary {
 		return fmt.Errorf("protocol: unknown payload codec %d", c.Codec)
+	}
+	if c.LoadFrac != 0 && (!(c.LoadFrac > 0) || c.LoadFrac > 1) {
+		return fmt.Errorf("protocol: load fraction %v outside (0,1]", c.LoadFrac)
 	}
 	return nil
 }
@@ -239,6 +251,21 @@ type Outcome struct {
 	// it into the cached bid set (everyone else's bid stayed in its
 	// original epoch). Mutually exclusive with BidReused.
 	BidSpliced bool
+	// Installment is the 1-based installment number when this outcome is
+	// one sub-round of a pipelined load; 0 for whole-load rounds.
+	Installment int
+	// LoadFraction is the fraction of the full load this outcome covers:
+	// 1 for whole-load rounds, the installment's share for sub-rounds,
+	// and 1 again for an aggregated pipelined outcome (its installments
+	// sum to the whole load).
+	LoadFraction float64
+	// Installments holds the per-installment outcomes of a pipelined
+	// load, in installment order. Each carries its own sub-round ID and
+	// independently verifiable Transcript; the aggregate's own Transcript
+	// is nil (there is no single referee log spanning sub-rounds — that
+	// separability is what keeps per-job and per-installment evidence
+	// auditable in isolation). Nil for ordinary rounds.
+	Installments []*Outcome
 	// BusStats is the control-plane traffic (Theorem 5.4), including the
 	// bus-level fault counters (drops, duplicates, …).
 	BusStats bus.Stats
@@ -290,6 +317,14 @@ type run struct {
 	// roundBinding); both empty for standalone runs.
 	roundID  string
 	bidEpoch string
+	// loadFrac is cfg.LoadFrac with the zero default resolved to 1, and
+	// inst/instOf name the installment this run serves (0/0 for
+	// whole-load rounds). policy is the load's installment division
+	// policy; it only matters when instOf > 1.
+	loadFrac float64
+	inst     int
+	instOf   int
+	policy   dlt.RoundPolicy
 	// epochs, when non-nil, holds the per-participant bid epoch in force
 	// (spliced caches mix epochs); nil means bidEpoch applies uniformly.
 	epochs []string
@@ -334,6 +369,14 @@ func (r *run) open(env *sig.Envelope, v any) error {
 type roundBinding struct {
 	round string
 	epoch string
+	// inst / instOf, when instOf > 1, mark this execution as installment
+	// inst of instOf sub-rounds of one pipelined load; the referee enters
+	// an "installment" transcript entry so the audit shows the structure.
+	// policy is the load's installment division policy — it selects the
+	// R-installment makespan terms of the payment rule.
+	inst   int
+	instOf int
+	policy dlt.RoundPolicy
 }
 
 // Run executes the protocol standalone: five full phases, no session.
@@ -375,6 +418,7 @@ func executeRound(cfg Config, rb roundBinding, cache *bidCache, splice *spliceOp
 		return nil, nil, err
 	}
 	r.roundID, r.bidEpoch = rb.round, rb.epoch
+	r.inst, r.instOf, r.policy = rb.inst, rb.instOf, rb.policy
 	if tr != nil {
 		r.tracer = tr
 		r.net.SetTracer(tr)
@@ -471,9 +515,13 @@ func setup(cfg Config) (*run, error) {
 		reg:     sig.NewRegistry(),
 		mech:    core.Mechanism{Network: cfg.Network, Z: cfg.Z},
 		engine:  core.NewPaymentEngine(cfg.Network, cfg.Z),
-		outcome: &Outcome{},
-		origIdx: cfg.Network.Originator(m),
-		nBlocks: cfg.NBlocks,
+		outcome:  &Outcome{},
+		origIdx:  cfg.Network.Originator(m),
+		nBlocks:  cfg.NBlocks,
+		loadFrac: cfg.LoadFrac,
+	}
+	if r.loadFrac == 0 {
+		r.loadFrac = 1
 	}
 	if r.nBlocks == 0 {
 		r.nBlocks = 64 * m
@@ -593,6 +641,8 @@ func (r *run) finish(err error) (*Outcome, error) {
 		return nil, err
 	}
 	o := r.outcome
+	o.Installment = r.inst
+	o.LoadFraction = r.loadFrac
 	o.BusStats = r.net.Stats()
 	o.Fault = r.xp.stats
 	if r.ref != nil {
@@ -723,6 +773,23 @@ func (r *run) applyEvictions(evict map[int]string, phase string) error {
 	r.m = len(part)
 	r.origIdx = r.cfg.Network.Originator(r.m)
 	return nil
+}
+
+// recordInstallment enters the installment boundary into the referee's
+// transcript (and the trace) on sub-rounds; whole-load rounds skip it, so
+// their transcripts are byte-identical to the pre-pipelining ones.
+func (r *run) recordInstallment() {
+	if r.instOf <= 1 || r.ref == nil {
+		return
+	}
+	r.ref.RecordInstallment(r.inst, r.instOf, r.loadFrac, r.policy)
+	if r.tracer != nil {
+		r.tracer.Event(obs.Event{
+			Kind:   obs.EvInstallment,
+			Round:  r.roundID,
+			Detail: fmt.Sprintf("installment %d/%d carrying load fraction %.9g", r.inst, r.instOf, r.loadFrac),
+		})
+	}
 }
 
 func (r *run) record(v referee.Verdict) {

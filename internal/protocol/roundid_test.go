@@ -1,0 +1,88 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRoundRefRoundTrip: every canonical identifier parses back to its
+// fields and re-renders byte-for-byte.
+func TestRoundRefRoundTrip(t *testing.T) {
+	cases := []RoundRef{
+		{Salt: "s0011223344556677", Round: 1},
+		{Salt: "s0011223344556677", Round: 12, Installment: 3},
+		{Salt: "x", Round: 2147483637, Installment: 1},
+		{Salt: "with.dots.and-r", Round: 7, Installment: 10},
+	}
+	for _, want := range cases {
+		s := want.String()
+		got, err := ParseRoundRef(s)
+		if err != nil {
+			t.Fatalf("ParseRoundRef(%q): %v", s, err)
+		}
+		if got != want {
+			t.Errorf("ParseRoundRef(%q) = %+v, want %+v", s, got, want)
+		}
+		if got.String() != s {
+			t.Errorf("round trip of %q produced %q", s, got.String())
+		}
+	}
+}
+
+// TestParseRoundRefRejects: anything but the canonical spelling is
+// refused — missing salt, extra colons, leading zeros, zero or negative
+// counters, junk suffixes. One canonical spelling per round is what makes
+// replayed-artifact detection a string comparison.
+func TestParseRoundRefRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"s01",              // no colon
+		":r1",              // empty salt
+		"s01:r1:i2",        // extra colon
+		"s01:x1",           // wrong round marker
+		"s01:r",            // no round number
+		"s01:r0",           // rounds are 1-based
+		"s01:r01",          // leading zero
+		"s01:r1.",          // dangling separator
+		"s01:r1.2",         // missing installment marker
+		"s01:r1.i",         // no installment number
+		"s01:r1.i0",        // installments are 1-based
+		"s01:r1.i007",      // leading zeros
+		"s01:r1.i2.i3",     // double installment
+		"s01:r+1",          // sign
+		"s01:r1.i2 ",       // trailing junk
+		"s01:r99999999999", // overflows a plausible counter
+	}
+	for _, s := range bad {
+		if ref, err := ParseRoundRef(s); err == nil {
+			t.Errorf("ParseRoundRef(%q) accepted as %+v", s, ref)
+		}
+	}
+}
+
+// FuzzRoundRef: the parser never panics, and accepts exactly the fixed
+// points of String — every accepted input re-renders to itself, with
+// in-range fields.
+func FuzzRoundRef(f *testing.F) {
+	f.Add("s0011223344556677:r1")
+	f.Add("s0011223344556677:r12.i3")
+	f.Add("x:r2147483637.i1")
+	f.Add("s01:r01")
+	f.Add(":r1.i2")
+	f.Add("s01:r1.i2.i3")
+	f.Fuzz(func(t *testing.T, s string) {
+		ref, err := ParseRoundRef(s)
+		if err != nil {
+			return
+		}
+		if ref.Salt == "" || strings.Contains(ref.Salt, ":") {
+			t.Fatalf("accepted %q with bad salt %q", s, ref.Salt)
+		}
+		if ref.Round <= 0 || ref.Installment < 0 {
+			t.Fatalf("accepted %q with out-of-range fields %+v", s, ref)
+		}
+		if got := ref.String(); got != s {
+			t.Fatalf("accepted %q but re-renders as %q", s, got)
+		}
+	})
+}

@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"dlsbl/internal/core"
+	"dlsbl/internal/dlt"
 	"dlsbl/internal/payment"
 	"dlsbl/internal/sig"
 )
@@ -69,6 +70,12 @@ type Referee struct {
 	// for a byte-identical envelope that already verified against the
 	// same registry (see sig.VerifyMemo), so adjudications are unchanged.
 	ver *sig.BatchVerifier
+
+	// instRounds/instPolicy, set by RecordInstallment, mark this round as
+	// an installment sub-round of a pipelined load: payment recomputation
+	// then uses the R-installment rule. Zero for whole-load rounds.
+	instRounds int
+	instPolicy dlt.RoundPolicy
 }
 
 // New creates a referee for the given participant list (in processor
@@ -184,6 +191,21 @@ func (r *Referee) RecordBidSplice(proc, kind, baseEpoch string) AuditEntry {
 func (r *Referee) RecordBidReuse(epoch string, sinceRebid int) AuditEntry {
 	return r.audit.AppendRound(r.round, "bid-reuse", "bidding", nil,
 		fmt.Sprintf("serving round from bids of epoch %s (%d rounds since rebid)", epoch, sinceRebid))
+}
+
+// RecordInstallment enters an installment boundary into the transcript:
+// this round is sub-round k of `of` installments of one pipelined load,
+// carrying the given fraction of it under the given division policy. The
+// entry makes the pipelining auditable — a reviewer can check that a
+// load's installment fractions sum to 1 and that every sub-round carried
+// a distinct round ID (which is what keeps cross-installment replays
+// convictable) — and arms the referee's payment recomputation with the
+// installment rule, so a payment dispute in a pipelined sub-round is
+// judged against the R-installment truth, not the single-round one.
+func (r *Referee) RecordInstallment(k, of int, frac float64, policy dlt.RoundPolicy) AuditEntry {
+	r.instRounds, r.instPolicy = of, policy
+	return r.audit.AppendRound(r.round, "installment", "bidding", nil,
+		fmt.Sprintf("installment %d/%d (%s) carrying load fraction %.9g", k, of, policy, frac))
 }
 
 // audited appends a verdict to the hash-chained transcript and returns it.
@@ -586,8 +608,9 @@ func (r *Referee) JudgePayments(bids, exec []float64, submissions map[string][]s
 	}
 
 	// Disagreement (or prior guilt): the referee recomputes the truth
-	// from the bids and the meter-derived execution values.
-	out, err := r.mech.Run(bids, exec)
+	// from the bids and the meter-derived execution values — under the
+	// installment payment rule when this round is a pipelined sub-round.
+	out, err := r.mech.RunRounds(bids, exec, r.instRounds, r.instPolicy, core.WithVerification)
 	if err != nil {
 		return Verdict{}, nil, fmt.Errorf("referee: recomputing payments: %w", err)
 	}

@@ -32,6 +32,12 @@ type JobSpec struct {
 	// Retry bounds the retransmission machinery.
 	Faults *bus.FaultPlan        `json:"faults,omitempty"`
 	Retry  *protocol.RetryPolicy `json:"retry,omitempty"`
+	// Installments pipelines this job: > 1 serves the load in that many
+	// installment sub-rounds, overlapping communication with computation
+	// (requires a Multiload pool). InstallmentPolicy is "equal" (default)
+	// or "geometric".
+	Installments      int    `json:"installments,omitempty"`
+	InstallmentPolicy string `json:"installment_policy,omitempty"`
 }
 
 // toJob resolves the spec into a session job, rejecting unknown behavior
@@ -46,6 +52,17 @@ func (spec JobSpec) toJob() (session.Job, error) {
 	}
 	if spec.Retry != nil {
 		job.Retry = *spec.Retry
+	}
+	if spec.Installments < 0 {
+		return session.Job{}, fmt.Errorf("installments must be >= 0, got %d", spec.Installments)
+	}
+	job.Installments = spec.Installments
+	if spec.InstallmentPolicy != "" {
+		p, err := dlt.ParseRoundPolicy(spec.InstallmentPolicy)
+		if err != nil {
+			return session.Job{}, err
+		}
+		job.InstallmentPolicy = p
 	}
 	for _, name := range spec.Behaviors {
 		b, ok := agent.ByName(name)
@@ -94,6 +111,10 @@ type Task struct {
 	enqueued  time.Time
 	done      chan struct{}
 	res       JobResult
+	// out keeps the round's protocol outcome until the runner finishes
+	// with the task (pipelined pools pack a batch's outcomes after the
+	// rounds play); it is never exposed to the submitter.
+	out *protocol.Outcome
 }
 
 // Done is closed when the job's result is available.
@@ -138,6 +159,16 @@ type JobResult struct {
 	UserCost  float64   `json:"user_cost,omitempty"`
 	Makespan  float64   `json:"makespan,omitempty"`
 
+	// Installments is the number of sub-rounds a pipelined job was served
+	// in (0 for whole-load jobs). On a pipelined pool (PipelineDepth > 1),
+	// PackedWith counts the jobs of this job's shared bus schedule,
+	// PackedMakespan is this job's finish time inside it, and BatchSpeedup
+	// is the batch's throughput gain over serving its jobs FIFO.
+	Installments   int     `json:"installments,omitempty"`
+	PackedWith     int     `json:"packed_with,omitempty"`
+	PackedMakespan float64 `json:"packed_makespan,omitempty"`
+	BatchSpeedup   float64 `json:"batch_speedup,omitempty"`
+
 	// Banned is the pool's ban list AFTER this round settled.
 	Banned    []string                 `json:"banned,omitempty"`
 	Evictions []protocol.EvictionEvent `json:"evictions,omitempty"`
@@ -174,6 +205,7 @@ func (r *JobResult) fill(out *protocol.Outcome, artifacts map[string]bool) {
 	r.Utilities = out.Utilities
 	r.UserCost = out.UserCost
 	r.Makespan = out.Makespan
+	r.Installments = len(out.Installments)
 	r.Evictions = out.Evictions
 	if out.Fault != (protocol.FaultStats{}) || len(out.Evictions) > 0 {
 		f := out.Fault

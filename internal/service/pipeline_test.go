@@ -1,0 +1,177 @@
+package service
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestPipelinedPoolValidation: PipelineDepth > 1 demands a multiload
+// ncp-fe pool, and installment jobs demand a multiload pool.
+func TestPipelinedPoolValidation(t *testing.T) {
+	w := []float64{1, 1.5, 2}
+	srv := New(Config{Workers: 2, QueueDepth: 16})
+	defer srv.Close()
+	if _, err := srv.CreatePool(PoolSpec{Name: "a", TrueW: w, PipelineDepth: 4}); err == nil {
+		t.Error("pipelined pool without multiload accepted")
+	}
+	if _, err := srv.CreatePool(PoolSpec{Name: "b", TrueW: w, Network: "ncp-nfe", Multiload: true, PipelineDepth: 4}); err == nil {
+		t.Error("pipelined ncp-nfe pool accepted")
+	}
+	if _, err := srv.CreatePool(PoolSpec{Name: "c", TrueW: w, PipelineDepth: -1}); err == nil {
+		t.Error("negative pipeline depth accepted")
+	}
+	if _, err := srv.Submit("a", []JobSpec{{Z: 0.2, Seed: 1, InstallmentPolicy: "nope"}}, nil); !strings.Contains(errString(err), "round policy") {
+		t.Errorf("bad installment policy error = %v", err)
+	}
+	// Installment jobs against a plain (non-multiload) pool fail at run
+	// time with a clear error, not silently as whole loads.
+	if _, err := srv.CreatePool(PoolSpec{Name: "plain", TrueW: w}); err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := srv.Submit("plain", []JobSpec{{Z: 0.2, Seed: 1, Installments: 4}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := tasks[0].Wait(); !strings.Contains(res.Error, "Multiload") {
+		t.Errorf("installments on a plain pool: error = %q", res.Error)
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// TestPipelinedPoolPacksBatch: a PipelineDepth=4 pool grabs a 4-job batch,
+// plays each job's economics in order, and packs the realized installment
+// schedules into one shared bus plan — every result carries the batch's
+// packed finish time and a speedup over FIFO, and the pool's telemetry
+// counts the packed jobs.
+func TestPipelinedPoolPacksBatch(t *testing.T) {
+	w := []float64{1, 1.2, 1.4, 1.6, 1.8, 2, 1.1, 1.3}
+	srv := New(Config{Workers: 2, QueueDepth: 32})
+	defer srv.Close()
+	p, err := srv.CreatePool(PoolSpec{Name: "pipe", TrueW: w, Multiload: true, PipelineDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]JobSpec, 4)
+	for i := range specs {
+		specs[i] = JobSpec{Z: 0.1, Seed: int64(i + 1), Installments: 4, InstallmentPolicy: "geometric"}
+	}
+	tasks, err := srv.Submit("pipe", specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var speedup float64
+	for i, task := range tasks {
+		res := task.Wait()
+		if res.Error != "" {
+			t.Fatalf("job %d: %s", i, res.Error)
+		}
+		if !res.Completed || res.Installments != 4 {
+			t.Fatalf("job %d: completed=%v installments=%d", i, res.Completed, res.Installments)
+		}
+		if res.PackedWith != 4 || !(res.PackedMakespan > 0) {
+			t.Errorf("job %d: packed_with=%d packed_makespan=%v", i, res.PackedWith, res.PackedMakespan)
+		}
+		if res.BatchSpeedup <= 1 {
+			t.Errorf("job %d: batch speedup %v, want > 1", i, res.BatchSpeedup)
+		}
+		if i == 0 {
+			speedup = res.BatchSpeedup
+		} else if res.BatchSpeedup != speedup {
+			t.Errorf("job %d reports speedup %v, job 0 reported %v", i, res.BatchSpeedup, speedup)
+		}
+	}
+	snap := p.Snapshot()
+	if snap.PipelineDepth != 4 || snap.PackedJobs != 4 || snap.Rounds != 4 {
+		t.Errorf("snapshot depth=%d packed=%d rounds=%d", snap.PipelineDepth, snap.PackedJobs, snap.Rounds)
+	}
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, srv.Metrics()); err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		`dlsbl_pool_pipeline_depth{pool="pipe"} 4`,
+		`dlsbl_pool_installments_in_flight{pool="pipe"}`,
+		`dlsbl_pool_packed_jobs_total{pool="pipe"} 4`,
+	} {
+		if !strings.Contains(sb.String(), family) {
+			t.Errorf("prometheus exposition missing %q", family)
+		}
+	}
+}
+
+// TestPipelinedDegenerateParity is the correctness anchor the pipelined
+// runner hangs off: with PipelineDepth=1 and whole loads (R=1), a pool is
+// byte-for-byte the plain FIFO runner — over randomized pools with
+// deviants and bus faults, every result field that carries money or
+// verdicts is bit-identical to a depth-0 pool playing the same jobs.
+func TestPipelinedDegenerateParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	behaviors := []string{"", "", "", "overbid-1.5x", "underbid-0.6x", "payment-cheat-2x"}
+	for trial := 0; trial < 8; trial++ {
+		m := 3 + rng.Intn(4)
+		w := make([]float64, m)
+		for i := range w {
+			w[i] = 1 + rng.Float64()
+		}
+		nJobs := 2 + rng.Intn(4)
+		specs := make([]JobSpec, nJobs)
+		for j := range specs {
+			specs[j] = JobSpec{Z: 0.2, Seed: rng.Int63n(1 << 30)}
+			for i := 1; i < m; i++ {
+				if rng.Intn(4) == 0 {
+					specs[j].Behaviors = append(specs[j].Behaviors, behaviors[rng.Intn(len(behaviors))])
+				} else {
+					specs[j].Behaviors = append(specs[j].Behaviors, "")
+				}
+			}
+			if rng.Intn(3) == 0 {
+				specs[j].Faults = faultPlan(0.1)
+			}
+		}
+
+		run := func(depth int) []JobResult {
+			srv := New(Config{Workers: 2, QueueDepth: 64})
+			defer srv.Close()
+			if _, err := srv.CreatePool(PoolSpec{Name: "p", TrueW: w, Multiload: true, PipelineDepth: depth}); err != nil {
+				t.Fatal(err)
+			}
+			tasks, err := srv.Submit("p", specs, []string{ArtifactTranscript, ArtifactVerdicts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := make([]JobResult, len(tasks))
+			for i, task := range tasks {
+				out[i] = task.Wait()
+			}
+			return out
+		}
+		plain, piped := run(0), run(1)
+		for j := range plain {
+			a, b := plain[j], piped[j]
+			if a.Error != b.Error || a.Completed != b.Completed {
+				t.Fatalf("trial %d job %d: error/completed diverge: %+v vs %+v", trial, j, a, b)
+			}
+			if !equalF64(a.Payments, b.Payments) || !equalF64(a.Fines, b.Fines) || !equalF64(a.Utilities, b.Utilities) {
+				t.Fatalf("trial %d job %d: money diverges between depth 0 and 1", trial, j)
+			}
+			if a.RoundID != b.RoundID || a.UserCost != b.UserCost || a.Makespan != b.Makespan {
+				t.Fatalf("trial %d job %d: round id or totals diverge", trial, j)
+			}
+			if len(a.Verdicts) != len(b.Verdicts) || len(a.Transcript) != len(b.Transcript) {
+				t.Fatalf("trial %d job %d: verdicts/transcript shape diverges", trial, j)
+			}
+			for k := range a.Transcript {
+				if a.Transcript[k].Hash != b.Transcript[k].Hash {
+					t.Fatalf("trial %d job %d: transcript hash chain diverges at entry %d", trial, j, k)
+				}
+			}
+		}
+	}
+}

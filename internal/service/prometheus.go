@@ -83,6 +83,19 @@ func WritePrometheus(w io.Writer, snap MetricsSnapshot) error {
 		sample("dlsbl_pool_bus_deliveries_total", fmt.Sprintf("pool=%q", p.Name), float64(p.Traffic.Deliveries))
 	}
 
+	family("dlsbl_pool_pipeline_depth", "Configured pipeline depth (jobs a runner batch packs into one bus schedule; <=1 is plain FIFO).", "gauge")
+	for _, p := range snap.Pools {
+		sample("dlsbl_pool_pipeline_depth", fmt.Sprintf("pool=%q", p.Name), float64(p.PipelineDepth))
+	}
+	family("dlsbl_pool_installments_in_flight", "Installment sub-rounds of the load being served right now.", "gauge")
+	for _, p := range snap.Pools {
+		sample("dlsbl_pool_installments_in_flight", fmt.Sprintf("pool=%q", p.Name), float64(p.InstallmentsInFlight))
+	}
+	family("dlsbl_pool_packed_jobs_total", "Jobs packed into shared bus schedules over the pool's lifetime.", "counter")
+	for _, p := range snap.Pools {
+		sample("dlsbl_pool_packed_jobs_total", fmt.Sprintf("pool=%q", p.Name), float64(p.PackedJobs))
+	}
+
 	family("dlsbl_pool_phase_ms", "Per-phase wall-clock duration quantiles over a pool's recent rounds.", "gauge")
 	for _, p := range snap.Pools {
 		for _, phase := range sortedKeys(p.PhaseMS) {

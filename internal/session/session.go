@@ -23,6 +23,7 @@ import (
 	"dlsbl/internal/bus"
 	"dlsbl/internal/dlt"
 	"dlsbl/internal/obs"
+	"dlsbl/internal/pipeline"
 	"dlsbl/internal/protocol"
 	"dlsbl/internal/sig"
 )
@@ -68,6 +69,13 @@ type Job struct {
 	// Tracer receives this round's span and event records (see
 	// protocol.Config.Tracer); nil costs nothing.
 	Tracer obs.Tracer
+	// Installments pipelines this job: > 1 serves the load in that many
+	// installment sub-rounds (pipeline.RunLoad) under InstallmentPolicy,
+	// overlapping communication with computation. Requires Multiload (the
+	// sub-rounds ride the pool's cached bids) and an overlap-capable
+	// network class; 0 or 1 serves the load whole, unchanged.
+	Installments      int
+	InstallmentPolicy dlt.RoundPolicy
 }
 
 // Session is a processor pool playing repeated jobs.
@@ -207,6 +215,9 @@ func (s *Session) Step(st *State, job Job) (*protocol.Outcome, error) {
 	}
 	var out *protocol.Outcome
 	var err error
+	if job.Installments > 1 && !s.Multiload {
+		return nil, fmt.Errorf("session: round %d: installment pipelining requires a Multiload pool", st.Round)
+	}
 	if s.Multiload {
 		out, err = s.stepMultiload(st, job, behaviors)
 	} else {
@@ -281,7 +292,7 @@ func (s *Session) stepMultiload(st *State, job Job, behaviors []agent.Behavior) 
 	if job.Z != st.bidZ {
 		return nil, fmt.Errorf("session: multiload pool founded with z=%v cannot serve a job with z=%v", st.bidZ, job.Z)
 	}
-	return st.bid.Run(protocol.JobConfig{
+	jc := protocol.JobConfig{
 		Seed:      job.Seed,
 		NBlocks:   job.NBlocks,
 		BlockSize: job.BlockSize,
@@ -289,7 +300,15 @@ func (s *Session) stepMultiload(st *State, job Job, behaviors []agent.Behavior) 
 		Faults:    job.Faults,
 		Retry:     job.Retry,
 		Tracer:    job.Tracer,
-	})
+	}
+	if job.Installments > 1 {
+		return pipeline.RunLoad(st.bid, pipeline.Load{
+			Job:    jc,
+			Rounds: job.Installments,
+			Policy: job.InstallmentPolicy,
+		})
+	}
+	return st.bid.Run(jc)
 }
 
 // Run plays the jobs in order. Under BanDeviants, a processor fined in
