@@ -1,0 +1,180 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"dlsbl/internal/adversarytest"
+	"dlsbl/internal/dlt"
+	"dlsbl/internal/obs"
+	"dlsbl/internal/protocol"
+	"dlsbl/internal/referee"
+)
+
+// The -adversary mode drives the seeded Byzantine adversary tiers
+// (internal/adversarytest) through the full protocol and writes
+// BENCH_ADVERSARY.json: per-tier wall time plus the defensive outcome —
+// who survived, who was evicted, who was fined. MeetsTarget is the CI
+// gate: every honest survivor set completes its round, and the framer is
+// convicted in every framing case; any run where an adversary stops the
+// honest pool or an honest processor pays a fine fails the build.
+
+type adversaryCase struct {
+	Name    string  `json:"name"`
+	Tier    string  `json:"tier"`
+	M       int     `json:"m"`
+	NsPerOp float64 `json:"ns_per_op"`
+
+	Completed  bool     `json:"completed"`
+	Evicted    []string `json:"evicted,omitempty"`
+	Fined      []string `json:"fined,omitempty"`
+	OK         bool     `json:"ok"`
+	Iterations int      `json:"iterations"`
+}
+
+type adversaryReport struct {
+	Tool       string          `json:"tool"`
+	Seed       int64           `json:"seed"`
+	GoVersion  string          `json:"go_version"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Cases      []adversaryCase `json:"cases"`
+	// MeetsTarget: in every case the honest survivors finished the round
+	// and no honest processor was fined; in every framing case the
+	// framer was convicted and its rival kept its seat.
+	MeetsTarget bool `json:"meets_target"`
+}
+
+func runAdversaryBench(seed int64, path string) error {
+	report := adversaryReport{
+		Tool:        "dls-bench -adversary",
+		Seed:        seed,
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		MeetsTarget: true,
+	}
+
+	const m = 6
+	in := dlt.DefaultRandomInstance(newSeededRng(seed, m), dlt.NCPFE, m)
+	base := protocol.Config{Network: dlt.NCPFE, Z: in.Z, TrueW: in.W, Seed: seed, NBlocks: 8 * m}
+	thresh := referee.CorroborationThreshold(m)
+	victim := adversarytest.ProcID(m - 1)
+	receivers := func(n int) []string {
+		var ids []string
+		for i := 0; i < n; i++ {
+			ids = append(ids, adversarytest.ProcID(i))
+		}
+		return ids
+	}
+
+	cases := []struct {
+		name, tier string
+		cfg        func() protocol.Config
+		// ok judges the defensive outcome beyond bare completion.
+		ok func(out *protocol.Outcome) bool
+	}{
+		{"adversary/drop-below-threshold", "targeted-faults",
+			func() protocol.Config {
+				cfg := base
+				cfg.Faults = adversarytest.Blackhole(seed, victim, receivers(thresh-1)...)
+				return cfg
+			},
+			func(out *protocol.Outcome) bool { return len(out.Evictions) == 0 }},
+		{"adversary/drop-at-threshold", "targeted-faults",
+			func() protocol.Config {
+				cfg := base
+				cfg.Faults = adversarytest.Blackhole(seed, victim, receivers(thresh)...)
+				return cfg
+			},
+			func(out *protocol.Outcome) bool {
+				return len(out.Evictions) == 1 && out.Evictions[0].Proc == victim
+			}},
+		{"adversary/random-pairs", "targeted-faults",
+			func() protocol.Config {
+				cfg := base
+				cfg.Faults = adversarytest.RandomPairs(seed, m, 4, 0.8)
+				return cfg
+			},
+			func(out *protocol.Outcome) bool { return true }},
+		{"adversary/framing", "framing",
+			func() protocol.Config {
+				cfg := base
+				cfg.Behaviors = adversarytest.Framing(m, 0)
+				return cfg
+			},
+			func(out *protocol.Outcome) bool {
+				rival := adversarytest.FramingRival(m, 0)
+				return !out.Evicted[rival] && out.Fines[0] > 0
+			}},
+		{"adversary/crash-processing", "crash",
+			func() protocol.Config {
+				cfg := base
+				cfg.Faults = adversarytest.CrashPlan(seed, 0, victim)
+				return cfg
+			},
+			func(out *protocol.Outcome) bool {
+				return len(out.Evictions) == 1 && out.Evictions[0].Proc == victim
+			}},
+		{"adversary/crash-plus-failover", "crash+failover",
+			func() protocol.Config {
+				cfg := base
+				cfg.Standby = true
+				cfg.FailoverIn = obs.PhaseProcessing
+				cfg.Faults = adversarytest.CrashPlan(seed, 0, victim)
+				return cfg
+			},
+			func(out *protocol.Outcome) bool {
+				return referee.VerifyEntries(out.Transcript) == nil
+			}},
+	}
+
+	for _, tc := range cases {
+		cfg := tc.cfg()
+		var last *protocol.Outcome
+		c, err := measure(func() error {
+			o, err := protocol.Run(cfg)
+			if err == nil {
+				last = o
+			}
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", tc.name, err)
+		}
+		ac := adversaryCase{
+			Name: tc.name, Tier: tc.tier, M: m,
+			NsPerOp: c.NsPerOp, Iterations: c.Iterations,
+			Completed: last.Completed,
+		}
+		for _, ev := range last.Evictions {
+			ac.Evicted = append(ac.Evicted, ev.Proc)
+		}
+		honestFined := false
+		for i, fine := range last.Fines {
+			if fine > 0 {
+				ac.Fined = append(ac.Fined, last.Procs[i])
+				if len(cfg.Behaviors) == 0 || !cfg.Behaviors[i].FrameRival {
+					honestFined = true
+				}
+			}
+		}
+		ac.OK = last.Completed && !honestFined && tc.ok(last)
+		if !ac.OK {
+			report.MeetsTarget = false
+		}
+		report.Cases = append(report.Cases, ac)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("dls-bench: wrote %d adversary cases to %s (meets_target=%v)\n",
+		len(report.Cases), path, report.MeetsTarget)
+	return nil
+}

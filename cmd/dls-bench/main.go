@@ -14,6 +14,7 @@
 //	dls-bench -multiload    # benchmark amortized bidding → BENCH_MULTILOAD.json
 //	dls-bench -hotpath      # benchmark the envelope hot path → BENCH_HOTPATH.json
 //	dls-bench -pipeline     # pipelined packing vs FIFO sweep → BENCH_PIPELINE.json
+//	dls-bench -adversary    # Byzantine adversary tiers → BENCH_ADVERSARY.json
 //	dls-bench -trace        # canned faulty multiload run → TRACE.json (chrome://tracing)
 package main
 
@@ -38,6 +39,7 @@ func main() {
 	multiloadBench := flag.Bool("multiload", false, "benchmark amortized multi-load bidding and write BENCH_MULTILOAD.json (honors -o)")
 	hotpathBench := flag.Bool("hotpath", false, "benchmark batch verification and the zero-alloc envelope hot path and write BENCH_HOTPATH.json (honors -o)")
 	pipelineBench := flag.Bool("pipeline", false, "benchmark pipelined cross-job packing against the FIFO runner and write BENCH_PIPELINE.json (honors -o)")
+	adversaryBench := flag.Bool("adversary", false, "drive the Byzantine adversary tiers and write BENCH_ADVERSARY.json (honors -o)")
 	traceBench := flag.Bool("trace", false, "run a canned faulty multiload session and write a Chrome trace to TRACE.json (honors -o)")
 	flag.Parse()
 
@@ -91,6 +93,17 @@ func main() {
 			path = *outPath
 		}
 		if err := runPipelineBench(*seed, path); err != nil {
+			fmt.Fprintf(os.Stderr, "dls-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *adversaryBench {
+		path := "BENCH_ADVERSARY.json"
+		if *outPath != "" {
+			path = *outPath
+		}
+		if err := runAdversaryBench(*seed, path); err != nil {
 			fmt.Fprintf(os.Stderr, "dls-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -298,6 +298,20 @@ func RunProtocol(cfg ProtocolConfig) (*ProtocolOutcome, error) { return protocol
 // reliable bus of the paper.
 type FaultPlan = bus.FaultPlan
 
+// PairFault is a targeted fault on one directed link (FaultPlan.Pairs):
+// an adversary severing or degrading chosen sender→receiver paths
+// rather than the whole bus. Eviction under targeted loss demands
+// corroboration from ⌈m/2⌉ distinct witnesses; below that threshold the
+// referee relays the missing bid and payments stay bit-identical to the
+// fault-free run (see README "Byzantine adversaries" and DESIGN.md §15).
+type PairFault = bus.PairFault
+
+// Crash schedules a processor death mid-run (FaultPlan.Crashes): the
+// victim bids, is allocated, then goes dark while computing. It is
+// evicted at the processing checkpoint and the remaining load
+// re-balances over the survivors per Theorem 2.2.
+type Crash = bus.Crash
+
 // RetryPolicy bounds the reliable-transport machinery the protocol runs
 // over a faulty bus: per-message attempt budget, capped exponential
 // backoff, per-phase deadline.

@@ -118,8 +118,8 @@ func TestFacadeProtocol(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	all := dlsbl.Experiments()
-	if len(all) != 30 {
-		t.Fatalf("%d experiments, want 30", len(all))
+	if len(all) != 31 {
+		t.Fatalf("%d experiments, want 31", len(all))
 	}
 	e, ok := dlsbl.ExperimentByID("E1")
 	if !ok {

@@ -1,0 +1,138 @@
+// Package adversarytest builds deterministic, seeded attacker models for
+// the Byzantine adversary tiers the protocol defends against, so every
+// test and benchmark drives the SAME reproducible adversaries instead of
+// hand-rolling fault plans:
+//
+//   - Tier 1, targeted message faults: per-pair drop/corrupt rules
+//     (SeverLinks, IsolatePair, RandomPairs) that degrade exactly the
+//     links an attacker controls while every other pair stays clean.
+//     The protocol answer is the witness-corroboration rule — an
+//     eviction needs ≥⌈m/2⌉ distinct witnesses, a lone report triggers
+//     a referee bid relay instead.
+//
+//   - Tier 2, framing: a strategic processor files a fabricated
+//     unreachability report against a rival (Framing). The rival is
+//     never evicted (one witness < threshold) and the maintained claim
+//     convicts the framer.
+//
+//   - Tier 3, fail-stop crashes: processors that die mid-computation
+//     (CrashPlan), answered by checkpointed re-allocation over the
+//     survivors with completed installments still credited.
+//
+// Everything is a plain value builder over bus.FaultPlan /
+// agent.Behavior — no test-framework dependency — so the same models
+// serve go tests, fuzz targets, the X19 experiment and dls-bench.
+package adversarytest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dlsbl/internal/agent"
+	"dlsbl/internal/bus"
+)
+
+// ProcID returns the canonical bus identity of the processor at config
+// index i ("P1" for 0), matching the protocol layer's naming.
+func ProcID(i int) string { return fmt.Sprintf("P%d", i+1) }
+
+// Framing returns an m-processor behavior slice in which the processor
+// at config index `attacker` runs the framing attack (agent.Framer: it
+// files an unreachability report against its next neighbour and
+// maintains the claim against the referee's verified bid relay); every
+// other processor is honest.
+func Framing(m, attacker int) []agent.Behavior {
+	bs := make([]agent.Behavior, m)
+	if attacker >= 0 && attacker < m {
+		bs[attacker] = agent.Framer
+	}
+	return bs
+}
+
+// FramingRival returns the config index of the processor a framer at
+// `attacker` accuses — its successor in index order among m processors,
+// matching the protocol's framing target.
+func FramingRival(m, attacker int) int { return (attacker + 1) % m }
+
+// SeverLinks severs the directed links from each listed sender to the
+// victim (Drop=1 pair rules): the strategic dropper's tool for making a
+// rival look unreachable to a chosen subset of the pool. The plan's
+// seed fixes every residual fault draw.
+func SeverLinks(seed int64, victim string, senders ...string) *bus.FaultPlan {
+	p := &bus.FaultPlan{Seed: seed}
+	for _, s := range senders {
+		p.Pairs = append(p.Pairs, bus.PairFault{From: s, To: victim, Drop: 1})
+	}
+	return p
+}
+
+// Blackhole severs the directed links from one sender to each listed
+// receiver (Drop=1 pair rules): the receivers all miss the sender's bid,
+// so each becomes a distinct corroborating witness against it. Black-
+// holing ≥ referee.CorroborationThreshold(m) receivers is the smallest
+// genuine outage that evicts the sender; fewer receivers stay below
+// threshold and the referee's bid relay heals the round.
+func Blackhole(seed int64, sender string, receivers ...string) *bus.FaultPlan {
+	p := &bus.FaultPlan{Seed: seed}
+	for _, r := range receivers {
+		p.Pairs = append(p.Pairs, bus.PairFault{From: sender, To: r, Drop: 1})
+	}
+	return p
+}
+
+// IsolatePair severs both directions between two processors — the
+// smallest genuine partition: each sees the other as missing, neither
+// side can reach the corroboration threshold on its own, and the
+// referee's bid relay heals the round.
+func IsolatePair(seed int64, a, b string) *bus.FaultPlan {
+	return &bus.FaultPlan{Seed: seed, Pairs: []bus.PairFault{
+		{From: a, To: b, Drop: 1},
+		{From: b, To: a, Drop: 1},
+	}}
+}
+
+// RandomPairs draws n distinct directed links among m processors from a
+// PRNG seeded with seed and applies the given drop probability to each —
+// the randomized tier-1 adversary behind the property tests. The same
+// (seed, m, n, drop) always yields the same plan.
+func RandomPairs(seed int64, m, n int, drop float64) *bus.FaultPlan {
+	rng := rand.New(rand.NewSource(seed))
+	p := &bus.FaultPlan{Seed: seed}
+	seen := make(map[[2]int]bool, n)
+	for len(p.Pairs) < n && len(seen) < m*(m-1) {
+		from := rng.Intn(m)
+		to := rng.Intn(m)
+		if from == to || seen[[2]int{from, to}] {
+			continue
+		}
+		seen[[2]int{from, to}] = true
+		p.Pairs = append(p.Pairs, bus.PairFault{From: ProcID(from), To: ProcID(to), Drop: drop})
+	}
+	return p
+}
+
+// CrashPlan fail-stops the listed processors at the start of the
+// Processing Load phase of the given 1-based installment (0 fires on
+// the first round that reaches the phase).
+func CrashPlan(seed int64, installment int, procs ...string) *bus.FaultPlan {
+	p := &bus.FaultPlan{Seed: seed}
+	for _, id := range procs {
+		p.Crashes = append(p.Crashes, bus.Crash{Proc: id, Installment: installment})
+	}
+	return p
+}
+
+// Merge folds the Pairs and Crashes of the later plans into the first
+// (returning it), so composite adversaries — a dropper AND a crash, say
+// — build from the primitive builders. The first plan's scalar fields
+// (Seed, global probabilities) win.
+func Merge(base *bus.FaultPlan, more ...*bus.FaultPlan) *bus.FaultPlan {
+	for _, p := range more {
+		if p == nil {
+			continue
+		}
+		base.Pairs = append(base.Pairs, p.Pairs...)
+		base.Crashes = append(base.Crashes, p.Crashes...)
+	}
+	return base
+}

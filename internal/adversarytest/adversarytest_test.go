@@ -1,0 +1,107 @@
+package adversarytest
+
+import (
+	"reflect"
+	"testing"
+
+	"dlsbl/internal/bus"
+)
+
+func TestRandomPairsDeterministic(t *testing.T) {
+	a := RandomPairs(42, 6, 8, 0.5)
+	b := RandomPairs(42, 6, 8, 0.5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different plans:\n%+v\n%+v", a, b)
+	}
+	if len(a.Pairs) != 8 {
+		t.Fatalf("drew %d pairs, want 8", len(a.Pairs))
+	}
+	seen := make(map[[2]string]bool)
+	for _, p := range a.Pairs {
+		if p.From == p.To {
+			t.Errorf("self-link %s→%s", p.From, p.To)
+		}
+		key := [2]string{p.From, p.To}
+		if seen[key] {
+			t.Errorf("duplicate link %s→%s", p.From, p.To)
+		}
+		seen[key] = true
+		if p.Drop != 0.5 {
+			t.Errorf("link %s→%s drop = %v, want 0.5", p.From, p.To, p.Drop)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	if c := RandomPairs(43, 6, 8, 0.5); reflect.DeepEqual(a.Pairs, c.Pairs) {
+		t.Error("different seeds drew identical plans")
+	}
+	// Requesting more links than exist saturates instead of spinning.
+	if full := RandomPairs(1, 3, 100, 1); len(full.Pairs) != 6 {
+		t.Errorf("m=3 has 6 directed links, drew %d", len(full.Pairs))
+	}
+}
+
+func TestBuildersShapeValidPlans(t *testing.T) {
+	for name, plan := range map[string]*bus.FaultPlan{
+		"sever":     SeverLinks(1, "P3", "P1", "P2"),
+		"blackhole": Blackhole(1, "P3", "P1", "P2"),
+		"isolate":   IsolatePair(1, "P1", "P4"),
+		"crash":     CrashPlan(1, 2, "P2", "P4"),
+	} {
+		if err := plan.Validate(); err != nil {
+			t.Errorf("%s plan invalid: %v", name, err)
+		}
+	}
+	sever := SeverLinks(1, "P3", "P1", "P2")
+	for _, p := range sever.Pairs {
+		if p.To != "P3" || p.Drop != 1 {
+			t.Errorf("sever pair %+v, want →P3 with Drop=1", p)
+		}
+	}
+	bh := Blackhole(1, "P3", "P1", "P2")
+	for _, p := range bh.Pairs {
+		if p.From != "P3" || p.Drop != 1 {
+			t.Errorf("blackhole pair %+v, want P3→ with Drop=1", p)
+		}
+	}
+	iso := IsolatePair(1, "P1", "P4")
+	if len(iso.Pairs) != 2 || iso.Pairs[0].From != "P1" || iso.Pairs[1].From != "P4" {
+		t.Errorf("isolate pairs = %+v, want both directions", iso.Pairs)
+	}
+	cp := CrashPlan(1, 2, "P2", "P4")
+	if len(cp.Crashes) != 2 || cp.Crashes[0] != (bus.Crash{Proc: "P2", Installment: 2}) {
+		t.Errorf("crash plan = %+v", cp.Crashes)
+	}
+}
+
+func TestMergeComposesPlans(t *testing.T) {
+	got := Merge(Blackhole(7, "P3", "P1"), CrashPlan(9, 1, "P2"), nil)
+	if got.Seed != 7 {
+		t.Errorf("merged seed = %d, want the base's 7", got.Seed)
+	}
+	if len(got.Pairs) != 1 || len(got.Crashes) != 1 {
+		t.Errorf("merged plan = %+v", got)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("merged plan invalid: %v", err)
+	}
+}
+
+func TestFramingHelpers(t *testing.T) {
+	bs := Framing(5, 2)
+	if len(bs) != 5 {
+		t.Fatalf("len = %d", len(bs))
+	}
+	for i, b := range bs {
+		if (i == 2) != b.FrameRival {
+			t.Errorf("seat %d FrameRival = %v", i, b.FrameRival)
+		}
+	}
+	if FramingRival(5, 2) != 3 || FramingRival(5, 4) != 0 {
+		t.Error("FramingRival must be the successor mod m")
+	}
+	if ProcID(0) != "P1" || ProcID(11) != "P12" {
+		t.Errorf("ProcID naming broken: %s, %s", ProcID(0), ProcID(11))
+	}
+}

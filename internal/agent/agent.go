@@ -44,6 +44,15 @@ type Behavior struct {
 	// without evidence (offense (v): unsubstantiated claims).
 	FalseEquivocationReport bool
 
+	// FrameRival files an unreachability report against the next
+	// processor during the Bidding phase and MAINTAINS the claim even
+	// after the referee relays the rival's verified bid — the framing
+	// attack against the eviction rule. Alone it can never reach the
+	// ⌈m/2⌉ corroboration threshold, so the rival stays in and the
+	// maintained claim convicts the framer (offense (v) again: an
+	// unsubstantiated claim, held against proof).
+	FrameRival bool
+
 	// MisallocateExtraBlocks only matters when this processor is the load
 	// originator: it ships this many extra blocks (positive) or withholds
 	// this many (negative) from the first other processor (offense (ii)).
@@ -112,7 +121,8 @@ func (b Behavior) Normalize() Behavior {
 // protocol deviation — it is a lie the mechanism absorbs, not an offense).
 func (b Behavior) Deviant() bool {
 	n := b.Normalize()
-	return n.Equivocate || n.FalseEquivocationReport || n.MisallocateExtraBlocks != 0 ||
+	return n.Equivocate || n.FalseEquivocationReport || n.FrameRival ||
+		n.MisallocateExtraBlocks != 0 ||
 		n.RefuseMediation || n.TamperBlocks || n.FalseShortageClaim || n.FalseExcessClaim ||
 		n.WrongPaymentFactor != 1 || n.EquivocatePayments || n.TamperBidVectorEntry
 }
@@ -125,6 +135,7 @@ var (
 	SlowExecution = Behavior{Name: "slack-1.5x", SlackFactor: 1.5}
 	Equivocator   = Behavior{Name: "equivocator", Equivocate: true}
 	FalseAccuser  = Behavior{Name: "false-accuser", FalseEquivocationReport: true}
+	Framer        = Behavior{Name: "framer", FrameRival: true}
 	OverShipper   = Behavior{Name: "overship-originator", MisallocateExtraBlocks: 3}
 	ShortShipper  = Behavior{Name: "shortship-originator", MisallocateExtraBlocks: -3}
 	BlockTamperer = Behavior{Name: "block-tamperer", MisallocateExtraBlocks: -3, TamperBlocks: true}
@@ -139,7 +150,7 @@ var (
 // DeviantCatalog lists every finable behavior, used by the compliance
 // experiments (E8/E9).
 var DeviantCatalog = []Behavior{
-	Equivocator, FalseAccuser, OverShipper, ShortShipper, BlockTamperer,
+	Equivocator, FalseAccuser, Framer, OverShipper, ShortShipper, BlockTamperer,
 	Refuser, FalseClaimant, ExcessClaimer, PaymentCheat, PaymentLiar, VectorTamper,
 }
 

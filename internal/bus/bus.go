@@ -86,6 +86,11 @@ type Bus struct {
 	stats  Stats
 	port   *sim.Resource
 	faults *faultState
+	// dead holds endpoints blackholed mid-run by MarkUnresponsive — the
+	// fail-stopped processors of a crash-recovery round and the killed
+	// primary referee of a failover. Checked before the fault pipeline so
+	// it works on a reliable bus too; nil until the first mark.
+	dead   map[string]bool
 	nonce  uint64
 	tracer obs.Tracer
 }
@@ -178,6 +183,11 @@ func (b *Bus) NextNonce() uint64 {
 // deliver appends one delivery to an inbox, running the fault pipeline
 // when a plan is active. Caller holds the mutex.
 func (b *Bus) deliver(to string, msg Message) {
+	if b.dead != nil && (b.dead[msg.From] || b.dead[to]) {
+		b.stats.Dropped++
+		b.event(obs.EvDrop, msg, to)
+		return
+	}
 	fs := b.faults
 	if fs == nil || !fs.plan.active() {
 		b.inboxes[to] = append(b.inboxes[to], msg)
@@ -192,12 +202,26 @@ func (b *Bus) deliver(to string, msg Message) {
 		return
 	}
 	p := fs.plan
+	corrupted := false
+	if pr, ok := fs.pairRule(msg.From, to); ok {
+		if pr.Drop > 0 && fs.rng.Float64() < pr.Drop {
+			b.stats.Dropped++
+			b.event(obs.EvDrop, msg, to)
+			return
+		}
+		if pr.Corrupt > 0 && fs.rng.Float64() < pr.Corrupt {
+			msg = corruptEnvelope(msg)
+			corrupted = true
+			b.stats.Corrupted++
+			b.event(obs.EvCorrupt, msg, to)
+		}
+	}
 	if p.Drop > 0 && fs.rng.Float64() < p.Drop {
 		b.stats.Dropped++
 		b.event(obs.EvDrop, msg, to)
 		return
 	}
-	if p.Corrupt > 0 && fs.rng.Float64() < p.Corrupt {
+	if !corrupted && p.Corrupt > 0 && fs.rng.Float64() < p.Corrupt {
 		msg = corruptEnvelope(msg)
 		b.stats.Corrupted++
 		b.event(obs.EvCorrupt, msg, to)
@@ -329,19 +353,55 @@ func (b *Bus) Stats() Stats {
 	return b.stats
 }
 
+// MarkUnresponsive blackholes an endpoint's control-plane traffic in
+// both directions from this point on — the mid-run analogue of listing
+// it in FaultPlan.Unresponsive. The protocol layer calls it when a
+// Crash spec fires (the fail-stopped processor) and on referee failover
+// (the killed primary). Works on a reliable bus too; subsequent
+// deliveries to or from the endpoint count as drops.
+func (b *Bus) MarkUnresponsive(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.dead == nil {
+		b.dead = make(map[string]bool, 1)
+	}
+	b.dead[id] = true
+}
+
 // ReserveTransfer books the one-port data plane for shipping a load
 // fraction: duration frac·z (plus uniform jitter in [0, JitterMax) under a
 // FaultPlan), starting no earlier than `earliest`. It returns the
 // transfer's [start, end) in virtual time.
 func (b *Bus) ReserveTransfer(earliest, frac float64) (start, end float64, err error) {
+	return b.ReserveTransferTo(earliest, frac, "")
+}
+
+// ReserveTransferTo is ReserveTransfer for a transfer terminating at a
+// named endpoint: targeted PairFault rules with a Jitter stretch the
+// transfer by an extra uniform [0, Jitter) on top of the plan's global
+// JitterMax, modeling a degraded link to that one receiver. An empty
+// receiver (or a plan without matching pair rules) reduces exactly to
+// ReserveTransfer.
+func (b *Bus) ReserveTransferTo(earliest, frac float64, to string) (start, end float64, err error) {
 	if frac < 0 {
 		return 0, 0, fmt.Errorf("bus: negative fraction %v", frac)
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	dur := frac * b.z
-	if fs := b.faults; fs != nil && fs.plan.JitterMax > 0 && frac > 0 {
-		dur += fs.rng.Float64() * fs.plan.JitterMax
+	if fs := b.faults; fs != nil && frac > 0 {
+		if fs.plan.JitterMax > 0 {
+			dur += fs.rng.Float64() * fs.plan.JitterMax
+		}
+		if to != "" && fs.pairs != nil {
+			// The data plane's sender is the load originator; pair jitter
+			// keys on the destination link alone so plans need not name it.
+			for _, pr := range fs.plan.Pairs {
+				if pr.To == to && pr.Jitter > 0 {
+					dur += fs.rng.Float64() * pr.Jitter
+				}
+			}
+		}
 	}
 	return b.port.Reserve(earliest, dur)
 }

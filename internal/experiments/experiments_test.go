@@ -13,8 +13,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 30 {
-		t.Fatalf("registry has %d experiments, want 30 (E1…E12 + X1…X18)", len(all))
+	if len(all) != 31 {
+		t.Fatalf("registry has %d experiments, want 31 (E1…E12 + X1…X19)", len(all))
 	}
 	for k := 0; k < 12; k++ {
 		want := "E" + strconv.Itoa(k+1)
@@ -22,7 +22,7 @@ func TestRegistryComplete(t *testing.T) {
 			t.Errorf("position %d: id %s, want %s", k, all[k].ID, want)
 		}
 	}
-	for k := 0; k < 18; k++ {
+	for k := 0; k < 19; k++ {
 		want := "X" + strconv.Itoa(k+1)
 		if all[12+k].ID != want {
 			t.Errorf("position %d: id %s, want %s", 12+k, all[12+k].ID, want)

@@ -55,6 +55,12 @@ const (
 	// Pipelined scheduler (internal/pipeline).
 	EvInstallment = "installment" // a sub-round served one installment of a pipelined load
 	EvPacked      = "packed"      // a batch of jobs was packed into one shared bus schedule
+
+	// Byzantine adversary tiers (internal/protocol, internal/referee).
+	EvWitnessReport     = "witness_report"     // a witness reported a peer's bid unreachable
+	EvFramingConviction = "framing_conviction" // a witness maintained its claim after a verified relay and was fined
+	EvCheckpointResume  = "checkpoint_resume"  // survivors re-solved the instance after a mid-computation crash
+	EvRefereeFailover   = "referee_failover"   // the standby referee was promoted mid-round
 )
 
 // Phase names used for spans. Initialization covers setup (identities,

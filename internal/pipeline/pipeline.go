@@ -27,7 +27,9 @@ import (
 	"errors"
 	"fmt"
 
+	"dlsbl/internal/agent"
 	"dlsbl/internal/dlt"
+	"dlsbl/internal/obs"
 	"dlsbl/internal/protocol"
 )
 
@@ -67,9 +69,10 @@ func RunLoad(s *protocol.BidSession, ld Load) (*protocol.Outcome, error) {
 		return nil, fmt.Errorf("pipeline: %w", err)
 	}
 	n := s.NextRound()
+	job := ld.Job
 	outs := make([]*protocol.Outcome, 0, ld.Rounds)
 	for k, f := range fracs {
-		out, err := s.RunSub(ld.Job, n, k+1, ld.Rounds, f, ld.Policy)
+		out, err := s.RunSub(job, n, k+1, ld.Rounds, f, ld.Policy)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: installment %d/%d: %w", k+1, ld.Rounds, err)
 		}
@@ -77,8 +80,50 @@ func RunLoad(s *protocol.BidSession, ld Load) (*protocol.Outcome, error) {
 		if !out.Completed {
 			break
 		}
+		// Checkpointed crash recovery across installments: a processor that
+		// crashed mid-computation is dead for the rest of the load — the
+		// survivors carry the remaining installments while the completed
+		// ones (already metered and paid via the telescoping sub-round
+		// payments) stay credited.
+		job = dropCrashed(job, out)
 	}
 	return aggregate(outs, ld.Policy)
+}
+
+// dropCrashed returns the job the NEXT installment should run: processors
+// the given installment evicted during Processing Load become abstainers
+// (they cannot bid, receive load, or be paid again), and their crash
+// specs leave the fault plan (a dead processor cannot crash twice, and
+// the sub-round's setup rejects plans naming non-participants).
+func dropCrashed(job protocol.JobConfig, out *protocol.Outcome) protocol.JobConfig {
+	crashed := make(map[string]bool)
+	for _, ev := range out.Evictions {
+		if ev.Phase == obs.PhaseProcessing {
+			crashed[ev.Proc] = true
+		}
+	}
+	if len(crashed) == 0 {
+		return job
+	}
+	behaviors := make([]agent.Behavior, len(out.Procs))
+	copy(behaviors, job.Behaviors)
+	for i, p := range out.Procs {
+		if crashed[p] {
+			behaviors[i] = agent.Behavior{Name: "crashed", Abstain: true}
+		}
+	}
+	job.Behaviors = behaviors
+	if job.Faults != nil && len(job.Faults.Crashes) > 0 {
+		plan := *job.Faults
+		plan.Crashes = nil
+		for _, c := range job.Faults.Crashes {
+			if !crashed[c.Proc] {
+				plan.Crashes = append(plan.Crashes, c)
+			}
+		}
+		job.Faults = &plan
+	}
+	return job
 }
 
 // aggregate folds per-installment outcomes into one load-level outcome.

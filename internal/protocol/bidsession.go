@@ -115,6 +115,9 @@ func (r *run) reuseBidding(c *bidCache) error {
 	} else {
 		r.ref.BindRounds(r.roundID, r.bidEpoch)
 	}
+	if err := r.armStandby(); err != nil {
+		return err
+	}
 	r.recordInstallment()
 	r.outcome.FineMagnitude = c.fine
 	c.served++
@@ -236,7 +239,7 @@ type spliceOp struct {
 func spliceDelta(old, new []bidProfile) (spliceOp, bool) {
 	clean := func(ps []bidProfile) bool {
 		for _, p := range ps {
-			if p.present && (p.hasSecond || p.accuses) {
+			if p.present && (p.hasSecond || p.accuses || p.frames) {
 				return false
 			}
 		}
@@ -434,6 +437,9 @@ func (r *run) spliceBidding(c *bidCache, sp spliceOp) (*bidCache, error) {
 	if err := r.ref.BindRoundsSpliced(r.roundID, r.bidEpoch, epochs); err != nil {
 		return nil, err
 	}
+	if err := r.armStandby(); err != nil {
+		return nil, err
+	}
 	r.recordInstallment()
 	r.epochs = epochs
 	r.outcome.FineMagnitude = fine
@@ -479,6 +485,10 @@ type JobConfig struct {
 	// Faults and Retry configure the link layer for this job.
 	Faults *bus.FaultPlan
 	Retry  RetryPolicy
+	// FailoverIn kills the primary referee at the start of the named phase
+	// of this job's round and promotes the standby (Config.FailoverIn);
+	// requires the session to have been founded with Standby set.
+	FailoverIn string
 	// Tracer receives this round's span and event records (see
 	// Config.Tracer); per-job because trace ownership follows the load,
 	// not the pool.
@@ -499,6 +509,22 @@ type bidProfile struct {
 	hasSecond bool
 	second    float64
 	accuses   bool
+	// frames marks a member that files a fabricated unreachability report
+	// during Bidding. Framer rounds never serve from (or splice onto) the
+	// cache: the framing attempt — and its conviction — belongs to every
+	// round the framer actually runs a Bidding phase in.
+	frames bool
+}
+
+// profileFrames reports whether any present member frames a rival this
+// round; such rounds always run the full bid exchange.
+func profileFrames(ps []bidProfile) bool {
+	for _, p := range ps {
+		if p.present && p.frames {
+			return true
+		}
+	}
+	return false
 }
 
 // SessionStats counts what a BidSession did and saved.
@@ -566,8 +592,8 @@ type BidSession struct {
 // zero here. A nil cfg.Keys gets a fresh keyring — the ring is what lets a
 // reuse round's fresh PKI registry verify envelopes signed rounds ago.
 func NewBidSession(cfg Config) (*BidSession, error) {
-	if cfg.Behaviors != nil || cfg.Faults != nil || cfg.NBlocks != 0 || cfg.BlockSize != 0 || cfg.Seed != 0 || (cfg.Retry != RetryPolicy{}) || cfg.Tracer != nil || cfg.LoadFrac != 0 {
-		return nil, errors.New("protocol: per-job fields (Behaviors, Seed, NBlocks, BlockSize, Faults, Retry, Tracer, LoadFrac) belong in JobConfig, not the session Config")
+	if cfg.Behaviors != nil || cfg.Faults != nil || cfg.NBlocks != 0 || cfg.BlockSize != 0 || cfg.Seed != 0 || (cfg.Retry != RetryPolicy{}) || cfg.Tracer != nil || cfg.LoadFrac != 0 || cfg.FailoverIn != "" {
+		return nil, errors.New("protocol: per-job fields (Behaviors, Seed, NBlocks, BlockSize, Faults, Retry, Tracer, LoadFrac, FailoverIn) belong in JobConfig, not the session Config")
 	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -664,7 +690,7 @@ func (s *BidSession) serve(job JobConfig, rr RoundRef, inst, instOf int, frac fl
 		rb.inst, rb.instOf, rb.policy = inst, instOf, policy
 	}
 
-	if s.cache != nil && profilesEqual(prof, s.cacheProfile) {
+	if s.cache != nil && profilesEqual(prof, s.cacheProfile) && !profileFrames(prof) {
 		rb.epoch = s.cache.epoch
 		out, _, err := executeRound(cfg, rb, s.cache, nil)
 		if err != nil {
@@ -726,19 +752,21 @@ func (s *BidSession) serve(job JobConfig, rr RoundRef, inst, instOf int, frac fl
 // the job's load-specific fields, with departed members forced to Abstain.
 func (s *BidSession) roundConfig(job JobConfig) Config {
 	cfg := Config{
-		Network:   s.base.Network,
-		Z:         s.base.Z,
-		TrueW:     append([]float64(nil), s.trueW...),
-		Fine:      s.base.Fine,
-		NBlocks:   job.NBlocks,
-		BlockSize: job.BlockSize,
-		Seed:      job.Seed,
-		Faults:    job.Faults,
-		Retry:     job.Retry,
-		Keys:      s.base.Keys,
-		Tracer:    job.Tracer,
-		Codec:     s.base.Codec,
-		Memo:      s.base.Memo,
+		Network:    s.base.Network,
+		Z:          s.base.Z,
+		TrueW:      append([]float64(nil), s.trueW...),
+		Fine:       s.base.Fine,
+		NBlocks:    job.NBlocks,
+		BlockSize:  job.BlockSize,
+		Seed:       job.Seed,
+		Faults:     job.Faults,
+		Retry:      job.Retry,
+		Keys:       s.base.Keys,
+		Tracer:     job.Tracer,
+		Codec:      s.base.Codec,
+		Memo:       s.base.Memo,
+		Standby:    s.base.Standby,
+		FailoverIn: job.FailoverIn,
 	}
 	behaviors := make([]agent.Behavior, len(s.trueW))
 	for i := range behaviors {
@@ -767,7 +795,7 @@ func profileFor(cfg Config) []bidProfile {
 		if b.Abstain {
 			continue
 		}
-		p := bidProfile{present: true, bid: b.BidFactor * w, accuses: b.FalseEquivocationReport}
+		p := bidProfile{present: true, bid: b.BidFactor * w, accuses: b.FalseEquivocationReport, frames: b.FrameRival}
 		if b.Equivocate {
 			p.hasSecond = true
 			p.second = p.bid * b.EquivocationFactor

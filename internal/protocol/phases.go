@@ -1,7 +1,9 @@
 package protocol
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"dlsbl/internal/bus"
 	"dlsbl/internal/core"
@@ -19,9 +21,13 @@ import (
 // (possibly faulty) bus: every logical bid message is retransmitted under
 // its original nonce with capped exponential backoff until each receiver
 // holds a verified copy or the retry budget runs out. It returns the
-// per-receiver verified deliveries and the set of unreachable
-// participants (participant index → reason).
-func (r *run) bidExchange() (received [][]bus.Message, firstEnvs []sig.Envelope, unreachable map[int]string, err error) {
+// per-receiver verified deliveries, each sender's primary (agreed) bid
+// envelope and nonce, and — per receiver — the sorted participant indices
+// of the senders whose primary bid that receiver still lacks after the
+// budget. Deciding who is actually unreachable is the caller's job: under
+// the witness-corroboration rule a residual missing pair alone evicts
+// nobody (see healMissingBids).
+func (r *run) bidExchange() (received [][]bus.Message, firstEnvs []sig.Envelope, missing [][]int, primaryNonces []uint64, err error) {
 	type logical struct {
 		sender  int // participant index
 		env     sig.Envelope
@@ -30,26 +36,28 @@ func (r *run) bidExchange() (received [][]bus.Message, firstEnvs []sig.Envelope,
 	}
 	var msgs []logical
 	firstEnvs = make([]sig.Envelope, r.m)
+	primaryNonces = make([]uint64, r.m)
 	for i, a := range r.agents {
 		env, err := r.seal(a.Key, referee.KindBid, referee.BidPayload{Proc: a.ID, Bid: a.Bid(), Round: r.roundID})
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		firstEnvs[i] = env
 		nonce, err := r.net.BroadcastTagged(a.ID, referee.KindBid, env, 1, 0)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
+		primaryNonces[i] = nonce
 		msgs = append(msgs, logical{sender: i, env: env, nonce: nonce, primary: true})
 		if second, ok := a.SecondBid(); ok {
 			// Equivocators broadcast a second, contradictory bid.
 			env2, err := r.seal(a.Key, referee.KindBid, referee.BidPayload{Proc: a.ID, Bid: second, Round: r.roundID})
 			if err != nil {
-				return nil, nil, nil, err
+				return nil, nil, nil, nil, err
 			}
 			nonce2, err := r.net.BroadcastTagged(a.ID, referee.KindBid, env2, 1, 0)
 			if err != nil {
-				return nil, nil, nil, err
+				return nil, nil, nil, nil, err
 			}
 			msgs = append(msgs, logical{sender: i, env: env2, nonce: nonce2, primary: false})
 		}
@@ -78,7 +86,7 @@ func (r *run) bidExchange() (received [][]bus.Message, firstEnvs []sig.Envelope,
 	for attempt := 1; ; attempt++ {
 		for ri, a := range r.agents {
 			if err := r.xp.pull(a.ID); err != nil {
-				return nil, nil, nil, err
+				return nil, nil, nil, nil, err
 			}
 			for _, lm := range msgs {
 				if _, wanted := need[ri][lm.nonce]; !wanted {
@@ -110,7 +118,7 @@ func (r *run) bidExchange() (received [][]bus.Message, firstEnvs []sig.Envelope,
 					continue
 				}
 				if _, err := r.net.SendTagged(r.agents[lm.sender].ID, a.ID, referee.KindBid, lm.env, 1, lm.nonce); err != nil {
-					return nil, nil, nil, err
+					return nil, nil, nil, nil, err
 				}
 				r.xp.stats.Retransmits++
 				r.xp.event(obs.Event{Kind: obs.EvRetransmit, From: r.agents[lm.sender].ID, To: a.ID, Msg: referee.KindBid})
@@ -118,59 +126,241 @@ func (r *run) bidExchange() (received [][]bus.Message, firstEnvs []sig.Envelope,
 		}
 	}
 
-	// Unreachability: a participant is evicted when, after the budget,
-	// (a) no receiver holds its primary bid (dead sender), (b) it holds
-	// nobody's primary bid (dead receiver), or (c) it is the sender of a
-	// residual undelivered primary pair among otherwise-live parties.
+	missing = make([][]int, r.m)
 	if outstanding() == 0 {
-		return received, firstEnvs, nil, nil
+		return received, firstEnvs, missing, primaryNonces, nil
 	}
-	unreachable = make(map[int]string)
-	sendFail := make([]int, r.m) // receivers missing i's primary bid
-	recvFail := make([]int, r.m) // primary bids receiver i is missing
 	for ri := range need {
 		for _, mi := range need[ri] {
-			if !msgs[mi].primary {
-				continue
+			if msgs[mi].primary {
+				missing[ri] = append(missing[ri], msgs[mi].sender)
 			}
-			sendFail[msgs[mi].sender]++
-			recvFail[ri]++
+		}
+		sort.Ints(missing[ri])
+	}
+	return received, firstEnvs, missing, primaryNonces, nil
+}
+
+// witnessReport is one unreachability allegation in pre-eviction
+// participant space: witness claims it never received accused's primary
+// bid. genuine marks allegations backed by an actually missing delivery
+// (as opposed to a framer's fabricated one).
+type witnessReport struct {
+	witness, accused int
+	genuine          bool
+}
+
+// relayTask is one below-threshold report the referee mediated with a bid
+// relay; phaseBidding adjudicates it once the referee exists.
+type relayTask struct {
+	witness, accused int // pre-eviction participant indices
+	report           sig.Envelope
+	evidence         referee.WitnessEvidence
+}
+
+// healMissingBids turns the residual missing primary-bid pairs of the
+// exchange into evictions and mediated witness reports:
+//
+//   - a sender nobody can reach, or a receiver that heard nobody, is
+//     unreachable outright (no witnesses needed — the whole pool agrees);
+//   - an accused reported missing by ≥ ⌈m/2⌉ DISTINCT witnesses
+//     (referee.CorroborationThreshold over the pre-eviction count) is
+//     evicted: corroboration at that scale cannot be manufactured by a
+//     single strategic processor;
+//   - every below-threshold report triggers a bid relay instead: the
+//     witness files a signed WitnessReportPayload with the referee, the
+//     referee fetches the accused's primary bid envelope from any holder
+//     and relays the verified copy to the witness, healing a genuine
+//     targeted loss. The report is adjudicated later (JudgeWitnessReport):
+//     a witness that maintains its claim against the verified relay — the
+//     framing attack — is convicted.
+//
+// It returns the eviction set (participant index → reason) and the relay
+// tasks to adjudicate, and appends relayed bids to the received rows of
+// genuinely missing witnesses.
+func (r *run) healMissingBids(received [][]bus.Message, missing [][]int, primaryNonces []uint64) (map[int]string, []relayTask, error) {
+	unreachable := make(map[int]string)
+	m0 := r.m
+	anyMissing := false
+	for ri := range missing {
+		if len(missing[ri]) > 0 {
+			anyMissing = true
+		}
+	}
+	framers := false
+	for _, a := range r.agents {
+		if a.Behavior.FrameRival {
+			framers = true
+		}
+	}
+	if !anyMissing && !framers {
+		return unreachable, nil, nil
+	}
+
+	// Wholesale failures first: they need no corroboration machinery.
+	sendFail := make([]int, m0) // receivers missing i's primary bid
+	for ri := range missing {
+		for _, s := range missing[ri] {
+			sendFail[s]++
 		}
 	}
 	for i := range r.agents {
 		switch {
-		case sendFail[i] == r.m-1:
-			unreachable[i] = fmt.Sprintf("bid undeliverable to all %d peers within the retry budget", r.m-1)
-		case recvFail[i] == r.m-1:
-			unreachable[i] = fmt.Sprintf("received none of %d peer bids within the retry budget", r.m-1)
+		case sendFail[i] == m0-1:
+			unreachable[i] = fmt.Sprintf("bid undeliverable to all %d peers within the retry budget", m0-1)
+		case len(missing[i]) == m0-1:
+			unreachable[i] = fmt.Sprintf("received none of %d peer bids within the retry budget", m0-1)
 		}
 	}
-	for ri := range need {
-		for _, mi := range need[ri] {
-			s := msgs[mi].sender
-			if !msgs[mi].primary {
-				continue
-			}
-			if _, gone := unreachable[s]; gone {
-				continue
-			}
-			if _, gone := unreachable[ri]; gone {
-				continue
-			}
-			unreachable[s] = fmt.Sprintf("bid undeliverable to %s within the retry budget", r.agents[ri].ID)
+
+	// Witness reports: every genuinely missing pair among live parties,
+	// plus each framer's fabricated allegation against its rival.
+	thresh := referee.CorroborationThreshold(m0)
+	var reports []witnessReport
+	reportedBy := make(map[int]map[int]bool) // accused → distinct witnesses
+	addReport := func(w, a int, genuine bool) {
+		if _, gone := unreachable[w]; gone {
+			return
+		}
+		if _, gone := unreachable[a]; gone {
+			return
+		}
+		if reportedBy[a] == nil {
+			reportedBy[a] = make(map[int]bool)
+		}
+		if reportedBy[a][w] {
+			return
+		}
+		reportedBy[a][w] = true
+		reports = append(reports, witnessReport{witness: w, accused: a, genuine: genuine})
+	}
+	for ri := range missing {
+		for _, s := range missing[ri] {
+			addReport(ri, s, true)
 		}
 	}
-	return received, firstEnvs, unreachable, nil
+	for i, a := range r.agents {
+		if a.Behavior.FrameRival {
+			addReport(i, (i+1)%m0, false)
+		}
+	}
+
+	// Corroborated unreachability: ≥ ⌈m/2⌉ distinct witnesses agree.
+	for a := 0; a < m0; a++ {
+		if ws := reportedBy[a]; len(ws) >= thresh {
+			unreachable[a] = fmt.Sprintf("unreachable: %d of %d witnesses corroborate (threshold %d)",
+				len(ws), m0-1, thresh)
+		}
+	}
+
+	// Below-threshold reports: file with the referee and mediate by relay.
+	var tasks []relayTask
+	holderEnv := make(map[int]sig.Envelope) // accused → primary bid from a holder
+	for _, rep := range reports {
+		if _, gone := unreachable[rep.witness]; gone {
+			continue
+		}
+		if _, gone := unreachable[rep.accused]; gone {
+			continue
+		}
+		w, a := r.agents[rep.witness], r.agents[rep.accused]
+		env, err := r.seal(w.Key, referee.KindWitnessReport,
+			referee.WitnessReportPayload{Witness: w.ID, Accused: a.ID, Round: r.roundID})
+		if err != nil {
+			return nil, nil, err
+		}
+		if r.tracer != nil {
+			r.tracer.Event(obs.Event{
+				Kind: obs.EvWitnessReport, From: w.ID, To: a.ID, Msg: referee.KindWitnessReport,
+				Round:  r.roundID,
+				Detail: fmt.Sprintf("%d of %d witnesses, threshold %d", len(reportedBy[rep.accused]), m0-1, thresh),
+			})
+		}
+		if _, err := r.xp.sendReliable(w.ID, r.refAddr, referee.KindWitnessReport, env, 1); err != nil {
+			if errors.Is(err, ErrUnreachable) {
+				unreachable[rep.witness] = "unreachable while filing a witness report"
+				continue
+			}
+			return nil, nil, err
+		}
+		ev := referee.WitnessEvidence{
+			Corroborating: len(reportedBy[rep.accused]),
+			Witnesses:     m0 - 1,
+			Threshold:     thresh,
+		}
+		// The referee obtains the accused's primary bid from the first
+		// reachable holder (once per accused; later reports reuse it).
+		bidEnv, have := holderEnv[rep.accused]
+		if !have {
+			for hi := range r.agents {
+				if hi == rep.accused {
+					continue
+				}
+				if _, gone := unreachable[hi]; gone {
+					continue
+				}
+				var held *sig.Envelope
+				for mi := range received[hi] {
+					if received[hi][mi].From == a.ID && received[hi][mi].Nonce == primaryNonces[rep.accused] {
+						held = &received[hi][mi].Env
+						break
+					}
+				}
+				if held == nil {
+					continue
+				}
+				if _, err := r.xp.sendReliable(r.agents[hi].ID, r.refAddr, referee.KindBid, *held, 1); err != nil {
+					if errors.Is(err, ErrUnreachable) {
+						continue
+					}
+					return nil, nil, err
+				}
+				bidEnv, have = *held, true
+				holderEnv[rep.accused] = bidEnv
+				break
+			}
+		}
+		if !have {
+			// Not a dead sender, yet no holder could produce the bid: the
+			// accused's bid is unobtainable after all.
+			unreachable[rep.accused] = "bid unobtainable from any holder during witness mediation"
+			continue
+		}
+		ev.RelayDelivered = true
+		relayed, err := r.xp.sendReliable(r.refAddr, w.ID, referee.KindBid, bidEnv, 1)
+		if err != nil {
+			if errors.Is(err, ErrUnreachable) {
+				unreachable[rep.witness] = "unreachable during the referee's bid relay"
+				continue
+			}
+			return nil, nil, err
+		}
+		if rep.genuine {
+			// The relay heals the loss: the witness now holds the verified
+			// bid and the round proceeds with no eviction.
+			received[rep.witness] = append(received[rep.witness], relayed)
+		}
+		// A framer maintains its fabricated claim against its rival even
+		// while holding the relayed proof; an honest witness withdraws.
+		ev.ClaimMaintained = w.Behavior.FrameRival && rep.accused == (rep.witness+1)%m0
+		tasks = append(tasks, relayTask{witness: rep.witness, accused: rep.accused, report: env, evidence: ev})
+	}
+	return unreachable, tasks, nil
 }
 
 // phaseBidding performs the all-to-all broadcast of signed bids, collects
-// and cross-verifies them, evicts unreachable processors (survivors
-// continue on the reduced bid vector), and lets processors inform the
-// referee about equivocation. Returns true when a verdict terminated the
-// protocol.
+// and cross-verifies them, adjudicates unreachability through the
+// witness-corroboration rule (corroborated accused are evicted, framers
+// are convicted, genuine targeted losses are healed by a referee bid
+// relay), and lets processors inform the referee about equivocation.
+// Returns true when a verdict terminated the protocol.
 func (r *run) phaseBidding() (bool, error) {
 	r.xp.beginPhase()
-	received, firstEnvs, unreachable, err := r.bidExchange()
+	received, firstEnvs, missing, primaryNonces, err := r.bidExchange()
+	if err != nil {
+		return false, err
+	}
+	unreachable, tasks, err := r.healMissingBids(received, missing, primaryNonces)
 	if err != nil {
 		return false, err
 	}
@@ -274,12 +464,48 @@ func (r *run) phaseBidding() (bool, error) {
 	r.ref.UseVerifier(r.ver)
 	// A round that runs its own Bidding phase IS its bids' epoch.
 	r.ref.BindRounds(r.roundID, r.bidEpoch)
+	if err := r.armStandby(); err != nil {
+		return false, err
+	}
 	r.recordInstallment()
 	r.outcome.FineMagnitude = fine
 	// Evictions are availability failures, not offenses: they enter the
 	// audit transcript (action "eviction") but carry no fine.
 	for _, ev := range evictedNow {
 		r.ref.RecordEviction(ev.Proc, ev.Phase, ev.Reason)
+	}
+
+	// Adjudicate the mediated witness reports. A maintained claim against
+	// the verified relay is a convictable framing attempt; the fine never
+	// terminates the round — the framer's bid is bound and the honest
+	// majority proceeds.
+	for _, t := range tasks {
+		if _, gone := unreachable[t.witness]; gone {
+			continue
+		}
+		if _, gone := unreachable[t.accused]; gone {
+			continue
+		}
+		v, err := r.ref.JudgeWitnessReport(t.report, t.evidence)
+		if err != nil {
+			return false, err
+		}
+		r.record(v)
+		if !v.Clean() {
+			if err := r.ref.Settle(v, nil); err != nil {
+				return false, err
+			}
+			if r.tracer != nil {
+				for _, g := range v.Guilty {
+					r.tracer.Event(obs.Event{
+						Kind: obs.EvFramingConviction, From: g, Round: r.roundID, Detail: v.Reason,
+					})
+				}
+			}
+		}
+		if v.Terminates {
+			return true, nil
+		}
 	}
 
 	// Unfounded accusations fire first if a false accuser exists: it
@@ -320,7 +546,7 @@ func (r *run) phaseBidding() (bool, error) {
 		ev := evidence[j]
 		// The report travels over the bus to the referee: two envelopes,
 		// delivered reliably (retransmitted under one nonce if faulty).
-		if _, err := r.xp.sendReliable(accuser, referee.Account, "dls/equivocation-report", ev[0], 2); err != nil {
+		if _, err := r.xp.sendReliable(accuser, r.refAddr, "dls/equivocation-report", ev[0], 2); err != nil {
 			return false, err
 		}
 		v, err := r.ref.JudgeEquivocation(accuser, ev[0], ev[1])
@@ -412,6 +638,9 @@ func (r *run) workDoneAt(deliveryOrder []int, upTo int) map[string]float64 {
 // and adjudicates misallocation claims. Returns true on termination.
 func (r *run) phaseAllocating() (bool, error) {
 	r.xp.beginPhase()
+	if err := r.failover(obs.PhaseAllocating); err != nil {
+		return false, err
+	}
 	var err error
 	r.alloc, err = r.allocate(r.bids)
 	if err != nil {
@@ -476,10 +705,10 @@ func (r *run) phaseAllocating() (bool, error) {
 			if err != nil {
 				return false, err
 			}
-			if _, err := r.xp.sendReliable(a.ID, referee.Account, referee.KindBidVector, claimVec, r.m); err != nil {
+			if _, err := r.xp.sendReliable(a.ID, r.refAddr, referee.KindBidVector, claimVec, r.m); err != nil {
 				return false, err
 			}
-			if _, err := r.xp.sendReliable(orig.ID, referee.Account, referee.KindBidVector, origVec, r.m); err != nil {
+			if _, err := r.xp.sendReliable(orig.ID, r.refAddr, referee.KindBidVector, origVec, r.m); err != nil {
 				return false, err
 			}
 			v, err := r.ref.JudgeAllocationClaim(a.ID, orig.ID, claimVec, origVec, delivered, r.recomputeCounts)
@@ -505,10 +734,10 @@ func (r *run) phaseAllocating() (bool, error) {
 			if err != nil {
 				return false, err
 			}
-			if _, err := r.xp.sendReliable(a.ID, referee.Account, referee.KindBidVector, claimVec, r.m); err != nil {
+			if _, err := r.xp.sendReliable(a.ID, r.refAddr, referee.KindBidVector, claimVec, r.m); err != nil {
 				return false, err
 			}
-			if _, err := r.xp.sendReliable(orig.ID, referee.Account, referee.KindBidVector, origVec, r.m); err != nil {
+			if _, err := r.xp.sendReliable(orig.ID, r.refAddr, referee.KindBidVector, origVec, r.m); err != nil {
 				return false, err
 			}
 			v, err := r.ref.JudgeAllocationClaim(a.ID, orig.ID, claimVec, origVec, delivered, r.recomputeCounts)
@@ -534,10 +763,10 @@ func (r *run) phaseAllocating() (bool, error) {
 			if err != nil {
 				return false, err
 			}
-			if _, err := r.xp.sendReliable(a.ID, referee.Account, referee.KindBidVector, claimVec, r.m); err != nil {
+			if _, err := r.xp.sendReliable(a.ID, r.refAddr, referee.KindBidVector, claimVec, r.m); err != nil {
 				return false, err
 			}
-			if _, err := r.xp.sendReliable(orig.ID, referee.Account, referee.KindBidVector, origVec, r.m); err != nil {
+			if _, err := r.xp.sendReliable(orig.ID, r.refAddr, referee.KindBidVector, origVec, r.m); err != nil {
 				return false, err
 			}
 			v, err := r.ref.JudgeAllocationClaim(a.ID, orig.ID, claimVec, origVec, delivered, r.recomputeCounts)
@@ -586,6 +815,58 @@ func (r *run) phaseAllocating() (bool, error) {
 // (φ_1,…,φ_m).
 func (r *run) phaseProcessing() error {
 	r.xp.beginPhase()
+	if err := r.failover(obs.PhaseProcessing); err != nil {
+		return err
+	}
+	// Mid-run crash recovery (Theorem 2.2): a processor that dies at the
+	// start of this phase's computation is evicted, the survivors re-solve
+	// the allocation over the remaining pool, and the round proceeds — on
+	// an installment schedule only the current and later installments are
+	// re-planned, so work already metered stays credited through the
+	// telescoping per-installment payments.
+	if p := r.cfg.Faults; p != nil && len(p.Crashes) > 0 {
+		inst := r.inst
+		if inst == 0 {
+			inst = 1 // whole-load rounds count as installment 1
+		}
+		evict := make(map[int]string)
+		for _, id := range p.CrashAt(inst) {
+			for i, proc := range r.procs {
+				if proc == id {
+					evict[i] = fmt.Sprintf("crashed at the start of Processing Load (installment %d)", inst)
+				}
+			}
+		}
+		if len(evict) > 0 {
+			if fb, ok := r.net.(*bus.Bus); ok {
+				for i := range evict {
+					fb.MarkUnresponsive(r.procs[i])
+				}
+			}
+			mark := len(r.outcome.Evictions)
+			if err := r.applyEvictions(evict, obs.PhaseProcessing); err != nil {
+				return err
+			}
+			for _, ev := range r.outcome.Evictions[mark:] {
+				if _, err := r.ref.Evict(ev.Proc, ev.Phase, ev.Reason); err != nil {
+					return err
+				}
+			}
+			var err error
+			if r.alloc, err = r.allocate(r.bids); err != nil {
+				return err
+			}
+			if r.assigns, err = workload.Partition(r.alloc, r.nBlocks); err != nil {
+				return err
+			}
+			if r.tracer != nil {
+				r.tracer.Event(obs.Event{
+					Kind: obs.EvCheckpointResume, Round: r.roundID,
+					Detail: fmt.Sprintf("%d survivors re-solved the allocation after crash eviction", r.m),
+				})
+			}
+		}
+	}
 	exec := make([]float64, r.m)
 	phi := make([]float64, r.m)
 	work := make([]float64, r.m)
@@ -612,8 +893,8 @@ func (r *run) phaseProcessing() error {
 	// through the simulator on a bus carrying the same plan.
 	var tl dlt.Timeline
 	var err error
-	if p := r.cfg.Faults; p != nil && p.JitterMax > 0 {
-		tl, err = SimulateTimelineFaults(r.cfg.Network, r.cfg.Z, r.alloc, exec, p)
+	if p := r.cfg.Faults; p != nil && p.DataPlaneActive() {
+		tl, err = SimulateTimelineFaultsNamed(r.cfg.Network, r.cfg.Z, r.alloc, exec, p, r.procs)
 	} else {
 		realized := dlt.Instance{Network: r.cfg.Network, Z: r.cfg.Z, W: exec}
 		tl, err = dlt.Schedule(realized, r.alloc)
@@ -641,7 +922,7 @@ func (r *run) phaseProcessing() error {
 	if err != nil {
 		return err
 	}
-	missing, err := r.xp.broadcastReliable(referee.Account, referee.KindMeters, env, r.m, r.procs)
+	missing, err := r.xp.broadcastReliable(r.refAddr, referee.KindMeters, env, r.m, r.procs)
 	if err != nil {
 		return err
 	}
@@ -659,6 +940,9 @@ func (r *run) phaseProcessing() error {
 // the payment infrastructure.
 func (r *run) phasePayments() error {
 	r.xp.beginPhase()
+	if err := r.failover(obs.PhasePayments); err != nil {
+		return err
+	}
 	// w̃_j = φ_j / α_j; a processor with no load reveals nothing, so its
 	// bid stands in (its compensation and valuation are zero anyway).
 	derived := make([]float64, r.m)
@@ -700,7 +984,7 @@ func (r *run) phasePayments() error {
 		if err != nil {
 			return err
 		}
-		if _, err := r.xp.sendReliable(a.ID, referee.Account, referee.KindPayment, env, r.m); err != nil {
+		if _, err := r.xp.sendReliable(a.ID, r.refAddr, referee.KindPayment, env, r.m); err != nil {
 			return err
 		}
 		subs[a.ID] = []sig.Envelope{env}
@@ -711,7 +995,7 @@ func (r *run) phasePayments() error {
 			if err != nil {
 				return err
 			}
-			if _, err := r.xp.sendReliable(a.ID, referee.Account, referee.KindPayment, env2, r.m); err != nil {
+			if _, err := r.xp.sendReliable(a.ID, r.refAddr, referee.KindPayment, env2, r.m); err != nil {
 				return err
 			}
 			subs[a.ID] = append(subs[a.ID], env2)

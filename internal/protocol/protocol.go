@@ -127,6 +127,22 @@ type Config struct {
 	// bit-identical cached envelopes. Share one memo across the rounds of
 	// a session or pool; nil keeps the legacy per-envelope verification.
 	Memo *sig.VerifyMemo
+	// Standby arms a standby referee: a replica endpoint
+	// (referee.StandbyAccount) attaches to the bus, the primary referee
+	// streams every audit append, meter reading, eviction and installment
+	// binding to it over the reliable transport, and the standby verifies
+	// the stream against the incremental hash chain. The replication is
+	// observation only — verdicts, payments and the primary's transcript
+	// are bit-identical with Standby on or off — until FailoverIn promotes
+	// the standby mid-round.
+	Standby bool
+	// FailoverIn, when non-empty, kills the primary referee at the start
+	// of the named phase (obs.PhaseAllocating, obs.PhaseProcessing or
+	// obs.PhasePayments) and promotes the standby: the promoted referee
+	// adjudicates the rest of the round from the replicated state, with
+	// verdicts and payments bit-identical to an uninterrupted primary's.
+	// Requires Standby.
+	FailoverIn string
 }
 
 func (c *Config) validate() error {
@@ -164,6 +180,14 @@ func (c *Config) validate() error {
 	}
 	if c.LoadFrac != 0 && (!(c.LoadFrac > 0) || c.LoadFrac > 1) {
 		return fmt.Errorf("protocol: load fraction %v outside (0,1]", c.LoadFrac)
+	}
+	switch c.FailoverIn {
+	case "", obs.PhaseAllocating, obs.PhaseProcessing, obs.PhasePayments:
+	default:
+		return fmt.Errorf("protocol: unknown failover phase %q", c.FailoverIn)
+	}
+	if c.FailoverIn != "" && !c.Standby {
+		return errors.New("protocol: FailoverIn requires Standby")
 	}
 	return nil
 }
@@ -298,6 +322,15 @@ type run struct {
 	ledger     *payment.Ledger
 	ref        *referee.Referee
 	refKey     *sig.KeyPair
+	// refAddr is the bus endpoint referee-bound traffic targets:
+	// referee.Account until a failover promotes the standby, then
+	// referee.StandbyAccount.
+	refAddr string
+	// standby / standbyKey exist when cfg.Standby armed replication;
+	// failedOver latches once the standby has been promoted.
+	standby    *referee.Standby
+	standbyKey *sig.KeyPair
+	failedOver bool
 	userKey    *sig.KeyPair
 	dataset    *workload.Dataset
 	mech       core.Mechanism
@@ -507,18 +540,19 @@ func setup(cfg Config) (*run, error) {
 	}
 	m := len(part)
 	r := &run{
-		cfg:     cfg,
-		fullM:   fullM,
-		part:    part,
-		m:       m,
-		keys:    make(map[string]*sig.KeyPair, m+2),
-		reg:     sig.NewRegistry(),
-		mech:    core.Mechanism{Network: cfg.Network, Z: cfg.Z},
-		engine:  core.NewPaymentEngine(cfg.Network, cfg.Z),
+		cfg:      cfg,
+		fullM:    fullM,
+		part:     part,
+		m:        m,
+		keys:     make(map[string]*sig.KeyPair, m+2),
+		reg:      sig.NewRegistry(),
+		mech:     core.Mechanism{Network: cfg.Network, Z: cfg.Z},
+		engine:   core.NewPaymentEngine(cfg.Network, cfg.Z),
 		outcome:  &Outcome{},
 		origIdx:  cfg.Network.Originator(m),
 		nBlocks:  cfg.NBlocks,
 		loadFrac: cfg.LoadFrac,
+		refAddr:  referee.Account,
 	}
 	if r.loadFrac == 0 {
 		r.loadFrac = 1
@@ -582,6 +616,17 @@ func setup(cfg Config) (*run, error) {
 		r.agents = append(r.agents, a)
 	}
 
+	// The standby key is generated LAST so that every earlier identity's
+	// deterministic key — and therefore every signed artifact and payment
+	// of the run — is bit-identical to a non-standby run's with the same
+	// Seed.
+	if cfg.Standby {
+		if r.standbyKey, err = newKey(referee.StandbyAccount); err != nil {
+			return nil, err
+		}
+		r.standby = referee.NewStandby()
+	}
+
 	r.initialPart = append([]int(nil), part...)
 
 	// Bus (reliable or fault-injected), transport, ledger, dataset.
@@ -594,6 +639,11 @@ func setup(cfg Config) (*run, error) {
 		for _, id := range cfg.Faults.Unresponsive {
 			if !known[id] {
 				return nil, fmt.Errorf("protocol: fault plan marks unknown processor %q unresponsive (have %v)", id, r.procs)
+			}
+		}
+		for _, c := range cfg.Faults.Crashes {
+			if !known[c.Proc] {
+				return nil, fmt.Errorf("protocol: fault plan crashes unknown processor %q (have %v)", c.Proc, r.procs)
 			}
 		}
 	}
@@ -612,7 +662,11 @@ func setup(cfg Config) (*run, error) {
 		r.ver = sig.NewBatchVerifier(r.reg, cfg.Memo)
 		r.xp.ver = r.ver
 	}
-	for _, id := range append(append([]string(nil), r.procs...), referee.Account) {
+	endpoints := append(append([]string(nil), r.procs...), referee.Account)
+	if cfg.Standby {
+		endpoints = append(endpoints, referee.StandbyAccount)
+	}
+	for _, id := range endpoints {
 		if err := r.net.Attach(id); err != nil {
 			return nil, err
 		}
@@ -758,6 +812,15 @@ func (r *run) applyEvictions(evict map[int]string, phase string) error {
 			})
 		}
 	}
+	// Per-participant series established by earlier phases shrink with the
+	// pool: an eviction after Bidding (a mid-computation crash) must keep
+	// bids, envelopes, epochs, allocation and assignments index-aligned
+	// with the survivors. dropEvicted is a no-op for not-yet-built slices.
+	r.bids = dropEvicted(r.bids, r.m, evict)
+	r.bidEnvs = dropEvicted(r.bidEnvs, r.m, evict)
+	r.epochs = dropEvicted(r.epochs, r.m, evict)
+	r.alloc = dlt.Allocation(dropEvicted([]float64(r.alloc), r.m, evict))
+	r.assigns = dropEvicted(r.assigns, r.m, evict)
 	part := r.part[:0]
 	procs := r.procs[:0]
 	agents := r.agents[:0]
@@ -772,6 +835,80 @@ func (r *run) applyEvictions(evict map[int]string, phase string) error {
 	r.part, r.procs, r.agents = part, procs, agents
 	r.m = len(part)
 	r.origIdx = r.cfg.Network.Originator(r.m)
+	return nil
+}
+
+// dropEvicted filters a per-participant slice down to the survivors. A
+// slice that is not m long (typically nil, not yet established by its
+// phase) passes through untouched.
+func dropEvicted[T any](s []T, m int, evict map[int]string) []T {
+	if len(s) != m {
+		return s
+	}
+	kept := s[:0]
+	for i := range s {
+		if _, gone := evict[i]; !gone {
+			kept = append(kept, s[i])
+		}
+	}
+	return kept
+}
+
+// armStandby attaches the standby referee to the freshly created primary:
+// the replication send seals each AuditReplicaPayload with the referee
+// key, ships it over the reliable transport to the standby endpoint, and
+// applies it to the standby's verified replica immediately. No-op when
+// the run has no standby.
+func (r *run) armStandby() error {
+	if r.standby == nil {
+		return nil
+	}
+	return r.ref.AttachStandby(func(p referee.AuditReplicaPayload) error {
+		env, err := r.seal(r.refKey, referee.KindAuditReplica, p)
+		if err != nil {
+			return err
+		}
+		m, err := r.xp.sendReliable(r.refAddr, referee.StandbyAccount, referee.KindAuditReplica, env, 1)
+		if err != nil {
+			return err
+		}
+		return r.standby.Apply(r.reg, m.Env)
+	})
+}
+
+// failover kills the primary referee and promotes the standby when the
+// run is configured to fail over at the start of the given phase. The
+// promoted referee adjudicates the rest of the round from the replicated
+// state; RecordFailover is the single deliberate transcript divergence
+// from an uninterrupted run.
+func (r *run) failover(phase string) error {
+	if r.standby == nil || r.failedOver || r.cfg.FailoverIn != phase || r.ref == nil {
+		return nil
+	}
+	if err := r.ref.ReplicationErr(); err != nil {
+		return fmt.Errorf("protocol: standby not promotable: %w", err)
+	}
+	if fb, ok := r.net.(*bus.Bus); ok {
+		fb.MarkUnresponsive(referee.Account)
+	}
+	promoted, err := r.standby.Promote(r.reg, r.ledger, r.mech)
+	if err != nil {
+		return err
+	}
+	promoted.UseVerifier(r.ver)
+	promoted.RecordFailover(referee.Account, referee.StandbyAccount)
+	r.ref = promoted
+	r.refKey = r.standbyKey
+	r.refAddr = referee.StandbyAccount
+	r.standby = nil
+	r.failedOver = true
+	if r.tracer != nil {
+		r.tracer.Event(obs.Event{
+			Kind: obs.EvRefereeFailover, From: referee.Account, To: referee.StandbyAccount,
+			Round:  r.roundID,
+			Detail: fmt.Sprintf("standby promoted at the start of the %s phase", phase),
+		})
+	}
 	return nil
 }
 

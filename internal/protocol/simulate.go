@@ -24,14 +24,28 @@ func SimulateTimeline(net dlt.Network, z float64, alloc dlt.Allocation, exec []f
 
 // SimulateTimelineFaults is SimulateTimeline over a bus carrying the
 // given FaultPlan. Control-plane faults are irrelevant here (the load
-// transfers use the data plane only); what matters is JitterMax, which
-// stretches each reserved transfer by seeded uniform jitter — the
-// event-driven realization of a congested shared medium. A nil plan
+// transfers use the data plane only); what matters is the data-plane
+// slice of the plan — JitterMax, which stretches each reserved transfer
+// by seeded uniform jitter, and per-pair Jitter rules when the
+// destinations are named (SimulateTimelineFaultsNamed). A nil plan
 // reproduces SimulateTimeline exactly.
 func SimulateTimelineFaults(net dlt.Network, z float64, alloc dlt.Allocation, exec []float64, plan *bus.FaultPlan) (dlt.Timeline, error) {
+	return SimulateTimelineFaultsNamed(net, z, alloc, exec, plan, nil)
+}
+
+// SimulateTimelineFaultsNamed is SimulateTimelineFaults with the
+// processors' bus identities supplied, so a plan's per-pair (targeted)
+// jitter rules can key each reserved transfer by its destination. procs,
+// when non-nil, must be index-aligned with alloc; nil procs reserves
+// untargeted transfers (global jitter only), reproducing
+// SimulateTimelineFaults exactly.
+func SimulateTimelineFaultsNamed(net dlt.Network, z float64, alloc dlt.Allocation, exec []float64, plan *bus.FaultPlan, procs []string) (dlt.Timeline, error) {
 	m := len(alloc)
 	if len(exec) != m {
 		return dlt.Timeline{}, fmt.Errorf("protocol: %d exec values for %d fractions", len(exec), m)
+	}
+	if procs != nil && len(procs) != m {
+		return dlt.Timeline{}, fmt.Errorf("protocol: %d processor names for %d fractions", len(procs), m)
 	}
 	if net != dlt.NCPFE && net != dlt.NCPNFE && net != dlt.CP {
 		return dlt.Timeline{}, fmt.Errorf("protocol: unknown network %v", net)
@@ -59,7 +73,11 @@ func SimulateTimelineFaults(net dlt.Network, z float64, alloc dlt.Allocation, ex
 			continue // the originator's fraction never crosses the bus
 		}
 		proc := i
-		start, end, err := plane.ReserveTransfer(0, alloc[proc])
+		to := ""
+		if procs != nil {
+			to = procs[proc]
+		}
+		start, end, err := plane.ReserveTransferTo(0, alloc[proc], to)
 		if err != nil {
 			return dlt.Timeline{}, err
 		}

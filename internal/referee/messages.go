@@ -12,11 +12,13 @@ import (
 
 // Message kinds, one per protocol artifact.
 const (
-	KindBid       = "dls/bid"        // Bidding phase broadcast
-	KindBidVector = "dls/bid-vector" // vector submitted to the referee on a claim
-	KindPayment   = "dls/payment"    // Computing Payments submission
-	KindMeters    = "dls/meters"     // referee's meter broadcast
-	KindClaim     = "dls/claim"      // misallocation claim
+	KindBid           = "dls/bid"            // Bidding phase broadcast
+	KindBidVector     = "dls/bid-vector"     // vector submitted to the referee on a claim
+	KindPayment       = "dls/payment"        // Computing Payments submission
+	KindMeters        = "dls/meters"         // referee's meter broadcast
+	KindClaim         = "dls/claim"          // misallocation claim
+	KindWitnessReport = "dls/witness-report" // unreachability report against a bidder
+	KindAuditReplica  = "dls/audit-replica"  // primary → standby audit-log replication
 )
 
 // BidPayload is the Bidding phase message S_Pi(b_i, P_i). Round, when
@@ -65,6 +67,21 @@ type ClaimPayload struct {
 	Expected  int    `json:"expected"`
 }
 
+// WitnessReportPayload is a signed unreachability report: Witness claims
+// it never received Accused's Bidding-phase broadcast within the retry
+// budget. Eviction for unreachability demands matching reports from
+// ≥⌈m/2⌉ DISTINCT witnesses (CorroborationThreshold), so one strategic
+// processor cannot frame a rival by filing alone — an uncorroborated
+// report triggers a bid relay through the referee instead, and a witness
+// that maintains its claim after the verified relay is itself convicted
+// (JudgeWitnessReport). Round binds the report to its session round like
+// every other signed artifact.
+type WitnessReportPayload struct {
+	Witness string `json:"witness"`
+	Accused string `json:"accused"`
+	Round   string `json:"round,omitempty"`
+}
+
 // ---- Binary hot-path codec -------------------------------------------------
 //
 // Each hot phase payload implements sig.BinaryAppender/BinaryDecoder: a
@@ -79,6 +96,7 @@ const (
 	tagBidVector = 'v'
 	tagPayment   = 'p'
 	tagMeters    = 'm'
+	tagWitness   = 'w'
 )
 
 // AppendBinary implements sig.BinaryAppender.
@@ -155,5 +173,22 @@ func (p MetersPayload) AppendBinary(dst []byte) []byte {
 func (p *MetersPayload) DecodeBinary(src []byte) error {
 	r := sig.NewBinReader(src, tagMeters)
 	r.FloatsInto(&p.Phi)
+	return r.Close()
+}
+
+// AppendBinary implements sig.BinaryAppender.
+func (p WitnessReportPayload) AppendBinary(dst []byte) []byte {
+	dst = sig.AppendBinaryHeader(dst, tagWitness)
+	dst = sig.AppendString(dst, p.Witness)
+	dst = sig.AppendString(dst, p.Accused)
+	return sig.AppendString(dst, p.Round)
+}
+
+// DecodeBinary implements sig.BinaryDecoder.
+func (p *WitnessReportPayload) DecodeBinary(src []byte) error {
+	r := sig.NewBinReader(src, tagWitness)
+	r.StringInto(&p.Witness)
+	r.StringInto(&p.Accused)
+	r.StringInto(&p.Round)
 	return r.Close()
 }

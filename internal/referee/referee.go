@@ -76,6 +76,12 @@ type Referee struct {
 	// then uses the R-installment rule. Zero for whole-load rounds.
 	instRounds int
 	instPolicy dlt.RoundPolicy
+
+	// send, when non-nil, streams every state change (audit entries,
+	// meters, evictions, installment bindings) to a standby referee; see
+	// AttachStandby. replErr latches the first replication failure.
+	send    func(AuditReplicaPayload) error
+	replErr error
 }
 
 // New creates a referee for the given participant list (in processor
@@ -175,12 +181,33 @@ func (r *Referee) isEquivocation(a, b sig.Envelope) bool {
 	return sig.IsEquivocation(r.reg, a, b)
 }
 
+// replicate streams one state change to the attached standby, latching
+// the first failure (surfaced by ReplicationErr and at promotion time).
+func (r *Referee) replicate(p AuditReplicaPayload) {
+	if r.send == nil {
+		return
+	}
+	if err := r.send(p); err != nil && r.replErr == nil {
+		r.replErr = err
+	}
+}
+
+// appendAudit seals one transcript entry and mirrors it to the standby.
+// Every audit append in this package funnels through here (or through a
+// sibling that attaches extra replica state), so an attached standby
+// sees the full chain.
+func (r *Referee) appendAudit(action, phase string, guilty []string, detail string) AuditEntry {
+	e := r.audit.AppendRound(r.round, action, phase, guilty, detail)
+	r.replicate(AuditReplicaPayload{Entry: &e})
+	return e
+}
+
 // RecordBidSplice enters an incremental re-bid into the transcript: this
 // round spliced proc's freshly signed bid into the cached bid set, with
 // every other member's bid left in its original epoch. The entry keeps
 // the amortization auditable alongside RecordBidReuse's.
 func (r *Referee) RecordBidSplice(proc, kind, baseEpoch string) AuditEntry {
-	return r.audit.AppendRound(r.round, "bid-splice", "bidding", nil,
+	return r.appendAudit("bid-splice", "bidding", nil,
 		fmt.Sprintf("%s of %s spliced into bid set of epoch %s", kind, proc, baseEpoch))
 }
 
@@ -189,7 +216,7 @@ func (r *Referee) RecordBidSplice(proc, kind, baseEpoch string) AuditEntry {
 // entry makes the amortization auditable — a reviewer can check that the
 // member set never changed between the epoch entry and this one.
 func (r *Referee) RecordBidReuse(epoch string, sinceRebid int) AuditEntry {
-	return r.audit.AppendRound(r.round, "bid-reuse", "bidding", nil,
+	return r.appendAudit("bid-reuse", "bidding", nil,
 		fmt.Sprintf("serving round from bids of epoch %s (%d rounds since rebid)", epoch, sinceRebid))
 }
 
@@ -204,13 +231,15 @@ func (r *Referee) RecordBidReuse(epoch string, sinceRebid int) AuditEntry {
 // judged against the R-installment truth, not the single-round one.
 func (r *Referee) RecordInstallment(k, of int, frac float64, policy dlt.RoundPolicy) AuditEntry {
 	r.instRounds, r.instPolicy = of, policy
-	return r.audit.AppendRound(r.round, "installment", "bidding", nil,
+	e := r.audit.AppendRound(r.round, "installment", "bidding", nil,
 		fmt.Sprintf("installment %d/%d (%s) carrying load fraction %.9g", k, of, policy, frac))
+	r.replicate(AuditReplicaPayload{Entry: &e, Inst: &InstBinding{Rounds: of, Policy: policy}})
+	return e
 }
 
 // audited appends a verdict to the hash-chained transcript and returns it.
 func (r *Referee) audited(v Verdict) Verdict {
-	r.audit.AppendRound(r.round, "verdict", v.Phase, v.Guilty, v.Reason)
+	r.appendAudit("verdict", v.Phase, v.Guilty, v.Reason)
 	return v
 }
 
@@ -221,7 +250,47 @@ func (r *Referee) audited(v Verdict) Verdict {
 // entry exists so the decision is auditable after the fact, clearly
 // distinguished from the "verdict" entries that carry fines.
 func (r *Referee) RecordEviction(proc, phase, reason string) AuditEntry {
-	return r.audit.AppendRound(r.round, "eviction", phase, nil, fmt.Sprintf("%s evicted: %s", proc, reason))
+	return r.appendAudit("eviction", phase, nil, fmt.Sprintf("%s evicted: %s", proc, reason))
+}
+
+// Evict removes a participant mid-run — the crash-recovery path: a
+// processor that fail-stops after bidding (so the referee already holds
+// its binding) is cut from the adjudication state, and the eviction is
+// entered into the transcript like a bidding-phase one. Meters it may
+// have reported are discarded; payment adjudication proceeds over the
+// survivors, whose reduced instance stays optimal per Theorem 2.2.
+func (r *Referee) Evict(proc, phase, reason string) (AuditEntry, error) {
+	i, ok := r.index[proc]
+	if !ok {
+		return AuditEntry{}, fmt.Errorf("referee: cannot evict unknown processor %q", proc)
+	}
+	if len(r.procs) <= 2 {
+		return AuditEntry{}, fmt.Errorf("referee: evicting %s would leave fewer than two processors", proc)
+	}
+	r.procs = append(r.procs[:i], r.procs[i+1:]...)
+	if r.epochs != nil {
+		r.epochs = append(r.epochs[:i], r.epochs[i+1:]...)
+	}
+	r.index = make(map[string]int, len(r.procs))
+	for j, p := range r.procs {
+		r.index[p] = j
+	}
+	delete(r.meters, proc)
+	e := r.audit.AppendRound(r.round, "eviction", phase, nil, fmt.Sprintf("%s evicted: %s", proc, reason))
+	r.replicate(AuditReplicaPayload{Entry: &e, Evict: proc})
+	return e, nil
+}
+
+// RecordFailover enters a referee promotion into the transcript: the
+// primary at fromAccount became unreachable and this referee (rebuilt
+// from the replicated audit log by Standby.Promote) took over the round
+// at toAccount. The entry is the one deliberate transcript divergence
+// between a failed-over round and an uninterrupted one — verdicts and
+// payments stay bit-identical, and the entry records why the chains
+// differ.
+func (r *Referee) RecordFailover(fromAccount, toAccount string) AuditEntry {
+	return r.appendAudit("failover", "processing", nil,
+		fmt.Sprintf("standby %s promoted; primary %s unreachable", toAccount, fromAccount))
 }
 
 // Transcript returns a copy of the audit log entries; VerifyEntries
@@ -316,6 +385,90 @@ func (r *Referee) evidenceInEpoch(env sig.Envelope) bool {
 		epoch = r.epochFor(j)
 	}
 	return bp.Round == epoch
+}
+
+// CorroborationThreshold returns the number of distinct witnesses that
+// must report a bidder unreachable before the protocol may evict it:
+// ⌈m/2⌉ over the pre-eviction participant count m. With m ≥ 3 a single
+// strategic processor can never reach the threshold alone, so framing a
+// rival requires corrupting a majority of the pool — at which point the
+// "rival" really is partitioned from most of it.
+func CorroborationThreshold(m int) int { return (m + 1) / 2 }
+
+// WitnessEvidence is what the referee observed while handling one
+// unreachability report that stayed BELOW the corroboration threshold:
+// it fetched the accused's signed bid from a holder, relayed it to the
+// witness, and noted whether the witness kept claiming unreachability.
+type WitnessEvidence struct {
+	// Corroborating is the number of distinct witnesses that reported the
+	// same accused (including this one); Witnesses is the size of the
+	// witness pool (the accused's m−1 peers before any eviction) and
+	// Threshold is CorroborationThreshold of the pre-eviction count m.
+	Corroborating int
+	Witnesses     int
+	Threshold     int
+	// RelayDelivered: the referee's relay of the accused's verified bid
+	// reached the witness.
+	RelayDelivered bool
+	// ClaimMaintained: after the verified relay the witness still alleged
+	// it never received the bid — the framing attack.
+	ClaimMaintained bool
+}
+
+// JudgeWitnessReport adjudicates one signed unreachability report that
+// did not reach the corroboration threshold. The report itself is
+// entered into the transcript; then, mirroring MediateShortDelivery's
+// claimant logic: a witness that withdraws after the referee's verified
+// bid relay is clean (a genuine transient loss, now healed), while a
+// witness that MAINTAINS the claim is fined — the relay proves the bid
+// is obtainable, so persisting is a convictable framing attempt. The
+// fine does not terminate the round: the framer's own bid is still
+// bound and the honest majority proceeds.
+func (r *Referee) JudgeWitnessReport(report sig.Envelope, ev WitnessEvidence) (Verdict, error) {
+	var wp WitnessReportPayload
+	if err := r.open(&report, &wp); err != nil {
+		return Verdict{}, fmt.Errorf("referee: witness report rejected: %w", err)
+	}
+	if wp.Witness != report.Sender {
+		return Verdict{}, fmt.Errorf("referee: witness report names %q but was sent by %q", wp.Witness, report.Sender)
+	}
+	if _, ok := r.index[wp.Witness]; !ok {
+		return Verdict{}, fmt.Errorf("referee: unknown witness %q", wp.Witness)
+	}
+	if _, ok := r.index[wp.Accused]; !ok {
+		return Verdict{}, fmt.Errorf("referee: witness report accuses non-participant %q", wp.Accused)
+	}
+	if wp.Witness == wp.Accused {
+		return Verdict{}, fmt.Errorf("referee: %s filed a witness report against itself", wp.Witness)
+	}
+	if wp.Round != r.round {
+		return Verdict{}, fmt.Errorf("referee: witness report carries round %q, current round is %q (stale-round replay?)",
+			wp.Round, r.round)
+	}
+	r.appendAudit("witness-report", "bidding", nil,
+		fmt.Sprintf("%s reports %s unreachable (%d of %d witnesses, threshold %d)",
+			wp.Witness, wp.Accused, ev.Corroborating, ev.Witnesses, ev.Threshold))
+	switch {
+	case !ev.RelayDelivered:
+		return r.audited(Verdict{
+			Phase: "bidding",
+			Reason: fmt.Sprintf("bid relay of %s's bid to %s undeliverable; report unadjudicable",
+				wp.Accused, wp.Witness),
+		}), nil
+	case ev.ClaimMaintained:
+		return r.audited(Verdict{
+			Phase:  "bidding",
+			Guilty: []string{wp.Witness},
+			Reason: fmt.Sprintf("%s maintained its unreachability claim against %s after a verified bid relay (%d of %d witnesses below threshold %d: framing attempt)",
+				wp.Witness, wp.Accused, ev.Corroborating, ev.Witnesses, ev.Threshold),
+		}), nil
+	default:
+		return r.audited(Verdict{
+			Phase: "bidding",
+			Reason: fmt.Sprintf("%s withdrew its report against %s after the verified bid relay",
+				wp.Witness, wp.Accused),
+		}), nil
+	}
 }
 
 // ---- Allocating Load phase ---------------------------------------------
@@ -498,7 +651,10 @@ func (r *Referee) RecordMeter(proc string, phi float64) error {
 		return fmt.Errorf("referee: invalid meter reading %v for %s", phi, proc)
 	}
 	r.meters[proc] = phi
-	r.audit.AppendRound(r.round, "meter", "processing", nil, fmt.Sprintf("%s reported φ=%.9g", proc, phi))
+	e := r.audit.AppendRound(r.round, "meter", "processing", nil, fmt.Sprintf("%s reported φ=%.9g", proc, phi))
+	// The entry's rendered detail rounds φ; the replica carries the exact
+	// bits so a promoted standby recomputes payments bit-identically.
+	r.replicate(AuditReplicaPayload{Entry: &e, Meter: &MeterReading{Proc: proc, Phi: phi}})
 	return nil
 }
 
@@ -701,7 +857,7 @@ func (r *Referee) Settle(v Verdict, workDone map[string]float64) error {
 			return err
 		}
 	}
-	r.audit.AppendRound(r.round, "settlement", v.Phase, v.Guilty,
+	r.appendAudit("settlement", v.Phase, v.Guilty,
 		fmt.Sprintf("collected %.6g, work compensation %.6g, share %.6g to each of %d non-deviants", collected, paidWork, share, nonDeviating))
 	return nil
 }
