@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-service vet doccheck net-smoke ci serve bench-smoke bench-payments bench-faults bench-multiload bench-hotpath bench-pipeline bench-adversary bench-obs faults-soak fuzz-smoke fuzz-short cover clean
+.PHONY: all build test race race-service vet doccheck net-smoke net-trace trend ci serve bench-smoke bench-payments bench-faults bench-multiload bench-hotpath bench-pipeline bench-adversary bench-obs faults-soak fuzz-smoke fuzz-short cover clean
 
 all: build test
 
@@ -39,6 +39,15 @@ doccheck:
 net-smoke:
 	$(GO) test -run=TestNetSmokeMultiProcess -v -count=1 ./internal/netbus/
 
+# The distributed-telemetry deployment check: the same 3-process
+# loopback round, run with per-node telemetry enabled and dls-serve
+# -net-trace, must produce one merged Chrome trace spanning all three
+# OS processes (clock-aligned tracks, round-attributed datagram events)
+# while the traced socket run's payments stay bit-identical to the
+# untraced simulated-bus run.
+net-trace:
+	$(GO) test -run=TestNetTraceMultiProcess -v -count=1 ./internal/netbus/
+
 # The full gate a change must pass before merging: build, vet, the
 # doc-comment lint, the race-enabled test suite (which includes the
 # service load test and the protocol transport under -race), the
@@ -47,9 +56,10 @@ net-smoke:
 # regression check), the pipelined-packing benchmark (which asserts the
 # 1.3x-over-FIFO throughput target at batch depth >= 4), and the
 # Byzantine adversary gate (targeted faults, framing, crashes and
-# referee failover must all end with honest survivors paid), and the
-# multi-process loopback smoke.
-ci: build vet doccheck race cover fuzz-short bench-hotpath bench-pipeline bench-adversary net-smoke
+# referee failover must all end with honest survivors paid), the
+# multi-process loopback smoke, and the distributed-telemetry trace
+# smoke (merged 3-process Chrome trace with payment parity intact).
+ci: build vet doccheck race cover fuzz-short bench-hotpath bench-pipeline bench-adversary net-smoke net-trace
 
 # Statement-coverage gate. The floor is set just under the measured
 # suite-wide figure so a change that lands untested code fails loudly;
@@ -132,6 +142,13 @@ bench-adversary:
 	$(GO) run ./cmd/dls-bench -adversary
 	@grep -q '"meets_target": true' BENCH_ADVERSARY.json || \
 		{ echo "BENCH_ADVERSARY.json failed the adversary gate"; exit 1; }
+
+# Fold every BENCH_*.json sibling report into TREND.json — the flat
+# metric-point trajectory document dashboards diff across commits. Run
+# the bench modes you care about first; the trend covers whatever
+# reports exist and fails only when there are none.
+trend:
+	$(GO) run ./cmd/dls-bench -trend
 
 # One iteration of every benchmark — catches bit-rot in the bench
 # harness without paying for real measurements.

@@ -16,6 +16,7 @@
 //	dls-bench -pipeline     # pipelined packing vs FIFO sweep → BENCH_PIPELINE.json
 //	dls-bench -adversary    # Byzantine adversary tiers → BENCH_ADVERSARY.json
 //	dls-bench -trace        # canned faulty multiload run → TRACE.json (chrome://tracing)
+//	dls-bench -trend        # fold every BENCH_*.json into one trajectory report → TREND.json
 package main
 
 import (
@@ -41,6 +42,8 @@ func main() {
 	pipelineBench := flag.Bool("pipeline", false, "benchmark pipelined cross-job packing against the FIFO runner and write BENCH_PIPELINE.json (honors -o)")
 	adversaryBench := flag.Bool("adversary", false, "drive the Byzantine adversary tiers and write BENCH_ADVERSARY.json (honors -o)")
 	traceBench := flag.Bool("trace", false, "run a canned faulty multiload session and write a Chrome trace to TRACE.json (honors -o)")
+	trend := flag.Bool("trend", false, "fold every BENCH_*.json in -trend-dir into one trajectory report, TREND.json (honors -o)")
+	trendDir := flag.String("trend-dir", ".", "directory scanned for BENCH_*.json by -trend")
 	flag.Parse()
 
 	if *jsonBench {
@@ -115,6 +118,17 @@ func main() {
 			path = *outPath
 		}
 		if err := runTraceBench(*seed, path); err != nil {
+			fmt.Fprintf(os.Stderr, "dls-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *trend {
+		path := "TREND.json"
+		if *outPath != "" {
+			path = *outPath
+		}
+		if err := runTrend(*trendDir, path); err != nil {
 			fmt.Fprintf(os.Stderr, "dls-bench: %v\n", err)
 			os.Exit(1)
 		}

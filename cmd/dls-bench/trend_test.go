@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name, body string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTrendFoldsBenchReports(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, "BENCH_ALPHA.json", `{
+		"tool": "dls-bench -alpha", "seed": 7, "meets_target": true,
+		"cases": [
+			{"name": "reuse", "m": 16, "ns_per_op": 1200.5, "allocs": 0},
+			{"name": "cold", "policy": "equal", "ns_per_op": 4800}
+		]}`)
+	writeBench(t, dir, "BENCH_BETA.json", `{
+		"tool": "dls-bench -beta", "payments_identical": false,
+		"cases": [{"name": "soak", "p99_ms": 4.2}]}`)
+
+	out := filepath.Join(dir, "TREND.json")
+	if err := runTrend(dir, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report trendReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("TREND.json is not valid JSON: %v", err)
+	}
+	if len(report.Suites) != 2 {
+		t.Fatalf("folded %d suites, want 2", len(report.Suites))
+	}
+	alpha := report.Suites[0]
+	if alpha.File != "BENCH_ALPHA.json" || alpha.Tool != "dls-bench -alpha" || alpha.Seed != 7 {
+		t.Fatalf("alpha suite header = %+v", alpha)
+	}
+	if !alpha.Gates["meets_target"] {
+		t.Fatalf("alpha gates = %v, want meets_target lifted", alpha.Gates)
+	}
+	// Label keys (m, policy) identify; numeric leaves measure.
+	want := map[string]float64{
+		"reuse{m=16}/ns_per_op":        1200.5,
+		"reuse{m=16}/allocs":           0,
+		"cold{policy=equal}/ns_per_op": 4800,
+	}
+	got := map[string]float64{}
+	for _, p := range alpha.Metrics {
+		got[p.Case+"/"+p.Metric] = p.Value
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("metric %q = %v, want %v (all: %v)", k, got[k], v, got)
+		}
+	}
+	if report.Metrics != len(alpha.Metrics)+len(report.Suites[1].Metrics) {
+		t.Fatalf("metrics_total %d does not sum the suites", report.Metrics)
+	}
+	// One false gate anywhere turns the top-level verdict off.
+	if report.GatesOK {
+		t.Fatal("gates_ok true despite payments_identical=false in beta")
+	}
+}
+
+func TestRunTrendNoReports(t *testing.T) {
+	dir := t.TempDir()
+	if err := runTrend(dir, filepath.Join(dir, "TREND.json")); err == nil {
+		t.Fatal("zero BENCH_*.json files should be an error")
+	}
+}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// The -trend mode folds every BENCH_*.json sibling report into one
+// machine-readable trajectory document, TREND.json. Each bench mode
+// writes its own file with its own case schema; the trend report
+// normalizes them into flat metric points (suite, case label, metric
+// name, value) so a dashboard — or a later dls-bench run diffing two
+// TREND.json files — can track the whole performance surface without
+// knowing any per-suite schema. Gate booleans (meets_target,
+// payments_identical) are lifted to the top so a single grep answers
+// "is every bench gate green".
+
+// trendMetric is one numeric measurement lifted out of a bench case.
+type trendMetric struct {
+	Case   string  `json:"case"`
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+}
+
+// trendSuite summarizes one BENCH_*.json file.
+type trendSuite struct {
+	File    string          `json:"file"`
+	Tool    string          `json:"tool,omitempty"`
+	Seed    int64           `json:"seed,omitempty"`
+	Cases   int             `json:"cases"`
+	Gates   map[string]bool `json:"gates,omitempty"`
+	Metrics []trendMetric   `json:"metrics"`
+}
+
+// trendReport is the TREND.json document.
+type trendReport struct {
+	Tool       string       `json:"tool"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Suites     []trendSuite `json:"suites"`
+	Metrics    int          `json:"metrics_total"`
+	GatesOK    bool         `json:"gates_ok"`
+}
+
+// trendLabelKeys are the case fields that identify a case rather than
+// measure it; they join the case's name into its label, in this order.
+var trendLabelKeys = []string{"tier", "policy", "m", "k", "d", "r", "drop", "duplicate"}
+
+// caseLabel renders a stable label like "mechanism/Run{m=16}" from a
+// case object's identifying fields.
+func caseLabel(c map[string]any) string {
+	name, _ := c["name"].(string)
+	var parts []string
+	for _, k := range trendLabelKeys {
+		v, ok := c[k]
+		if !ok {
+			continue
+		}
+		switch x := v.(type) {
+		case string:
+			parts = append(parts, fmt.Sprintf("%s=%s", k, x))
+		case float64:
+			parts = append(parts, fmt.Sprintf("%s=%g", k, x))
+		case bool:
+			parts = append(parts, fmt.Sprintf("%s=%t", k, x))
+		}
+	}
+	if len(parts) == 0 {
+		return name
+	}
+	return name + "{" + strings.Join(parts, ",") + "}"
+}
+
+// isLabelKey reports whether k identifies a case instead of measuring it.
+func isLabelKey(k string) bool {
+	if k == "name" {
+		return true
+	}
+	for _, lk := range trendLabelKeys {
+		if k == lk {
+			return true
+		}
+	}
+	return false
+}
+
+// trendSuiteFrom flattens one parsed BENCH_*.json document.
+func trendSuiteFrom(file string, doc map[string]any) trendSuite {
+	s := trendSuite{File: filepath.Base(file)}
+	if t, ok := doc["tool"].(string); ok {
+		s.Tool = t
+	}
+	if v, ok := doc["seed"].(float64); ok {
+		s.Seed = int64(v)
+	}
+	// Top-level booleans are gates (meets_target, payments_identical, …).
+	for k, v := range doc {
+		if b, ok := v.(bool); ok {
+			if s.Gates == nil {
+				s.Gates = make(map[string]bool)
+			}
+			s.Gates[k] = b
+		}
+	}
+	cases, _ := doc["cases"].([]any)
+	s.Cases = len(cases)
+	for _, raw := range cases {
+		c, ok := raw.(map[string]any)
+		if !ok {
+			continue
+		}
+		label := caseLabel(c)
+		keys := make([]string, 0, len(c))
+		for k := range c {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if isLabelKey(k) {
+				continue
+			}
+			if v, ok := c[k].(float64); ok {
+				s.Metrics = append(s.Metrics, trendMetric{Case: label, Metric: k, Value: v})
+			}
+		}
+	}
+	return s
+}
+
+// runTrend reads every BENCH_*.json in dir and writes the folded
+// trajectory report to path. A missing bench file is not an error — the
+// trend covers whatever reports exist — but zero reports is.
+func runTrend(dir, path string) error {
+	files, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return fmt.Errorf("trend: no BENCH_*.json files in %s (run the bench modes first, e.g. make bench-json)", dir)
+	}
+	report := trendReport{
+		Tool:       "dls-bench -trend",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GatesOK:    true,
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("trend: parsing %s: %w", f, err)
+		}
+		s := trendSuiteFrom(f, doc)
+		for _, ok := range s.Gates {
+			if !ok {
+				report.GatesOK = false
+			}
+		}
+		report.Metrics += len(s.Metrics)
+		report.Suites = append(report.Suites, s)
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("trend: %d suites, %d metric points, gates_ok=%t → %s\n",
+		len(report.Suites), report.Metrics, report.GatesOK, path)
+	return nil
+}

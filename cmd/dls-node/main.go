@@ -18,6 +18,17 @@
 //	  "w2":    {"addr": "127.0.0.1:9002", "endpoints": ["P3", "P4"]}
 //	}}
 //
+// Observability (all optional, see docs/DEPLOY.md):
+//
+//	-trace FILE     stream datagram-plane obs events as NDJSON to FILE
+//	                ("-" for stderr) as they happen
+//	-telemetry N    buffer up to N trace records in memory and serve them
+//	                to the driver's FtTelemetry drains (wire v2); the
+//	                driver stitches them into one cross-process trace
+//	-metrics-addr A serve GET /metrics on A in Prometheus text format
+//	                (node_* counters: datagrams, resends, decode
+//	                failures, mailbox depth)
+//
 // Once the socket is bound the process prints a single "ready" line on
 // stdout (machine-readable, used by the smoke test and deploy scripts):
 //
@@ -31,17 +42,23 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
 	"dlsbl/internal/netbus"
+	"dlsbl/internal/obs"
 )
 
 func main() {
 	configPath := flag.String("config", "", "peer-table JSON file (required)")
 	nodeName := flag.String("node", "", "this process's node name in the peer table (required)")
+	tracePath := flag.String("trace", "", "stream obs events as NDJSON to this file (\"-\" for stderr)")
+	telemetryCap := flag.Int("telemetry", 0, "buffer up to N trace records for driver-pulled telemetry drains (0 disables)")
+	metricsAddr := flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text format) on this address")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -59,6 +76,35 @@ func main() {
 	node, err := netbus.ListenNode(cfg, *nodeName)
 	if err != nil {
 		fail(err)
+	}
+
+	if *telemetryCap > 0 {
+		node.EnableTelemetry(*telemetryCap)
+	}
+	var traceFile *os.File
+	if *tracePath != "" {
+		traceFile = os.Stderr
+		if *tracePath != "-" {
+			traceFile, err = os.Create(*tracePath)
+			if err != nil {
+				fail(err)
+			}
+		}
+		node.SetTracer(obs.NewStream(traceFile))
+	}
+	var metricsLn net.Listener
+	if *metricsAddr != "" {
+		metricsLn, err = net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fail(err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			w.WriteHeader(http.StatusOK)
+			_ = node.WriteNodePrometheus(w)
+		})
+		go func() { _ = http.Serve(metricsLn, mux) }()
 	}
 
 	// The ready line is the startup contract: once printed, the socket
@@ -80,7 +126,13 @@ func main() {
 		node.Close()
 		<-errc
 	}
+	if metricsLn != nil {
+		metricsLn.Close()
+	}
+	if traceFile != nil && traceFile != os.Stderr {
+		traceFile.Close()
+	}
 	st := node.Stats()
-	fmt.Fprintf(os.Stderr, "dls-node %s: enqueued=%d dedup_hits=%d drains=%d bad_frames=%d\n",
-		*nodeName, st.Enqueued, st.DedupHits, st.Drains, st.BadFrames)
+	fmt.Fprintf(os.Stderr, "dls-node %s: enqueued=%d dedup_hits=%d drains=%d bad_frames=%d datagrams_in=%d datagrams_out=%d\n",
+		*nodeName, st.Enqueued, st.DedupHits, st.Drains, st.BadFrames, st.DatagramsIn, st.DatagramsOut)
 }

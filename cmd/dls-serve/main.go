@@ -35,6 +35,13 @@
 // simulated bus with the same seed and keyring. It prints a JSON report
 // with the payments and a parity verdict and exits non-zero if the two
 // runs differ anywhere. See docs/DEPLOY.md for a loopback walkthrough.
+//
+// -net-trace FILE additionally records the driver's obs stream during
+// the socket round, pulls each worker node's telemetry buffer over the
+// wire afterwards (the nodes must run with -telemetry), and writes one
+// clock-aligned Chrome trace with a track group per OS process to FILE
+// — while the parity check against the untraced simulated run still
+// holds, pinning the nil-parity contract across process boundaries.
 package main
 
 import (
@@ -70,6 +77,7 @@ func main() {
 	netW := flag.String("net-w", "1,1.5,2,2.5", "net-round: comma-separated true w_i work parameters")
 	netZ := flag.Float64("net-z", 0.2, "net-round: per-unit bus transfer time z")
 	netSeed := flag.Int64("net-seed", 7, "net-round: deterministic RNG seed")
+	netTrace := flag.String("net-trace", "", "net-round: write a merged cross-process Chrome trace to this file (nodes must run with -telemetry)")
 	flag.Parse()
 
 	if *netRound {
@@ -80,6 +88,7 @@ func main() {
 			w:       *netW,
 			z:       *netZ,
 			seed:    *netSeed,
+			trace:   *netTrace,
 		}))
 	}
 

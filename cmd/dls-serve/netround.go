@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"dlsbl/internal/dlt"
 	"dlsbl/internal/netbus"
+	"dlsbl/internal/obs"
 	"dlsbl/internal/protocol"
 	"dlsbl/internal/sig"
 )
@@ -24,6 +26,12 @@ type netRoundOpts struct {
 	w       string
 	z       float64
 	seed    int64
+	// trace, when non-empty, is the path the merged cross-process Chrome
+	// trace is written to: the driver records its own obs stream, pulls
+	// each worker node's telemetry buffer after the round (FtTelemetry
+	// drains; the nodes must run with -telemetry), aligns the per-process
+	// clocks and stitches one trace with a track group per OS process.
+	trace string
 }
 
 // netRoundReport is the JSON document net-round prints on stdout.
@@ -38,6 +46,13 @@ type netRoundReport struct {
 	Dropped   int       `json:"dropped"`
 	Parity    string    `json:"parity"`
 	Diverged  []string  `json:"diverged,omitempty"`
+
+	// Trace telemetry (-net-trace only): where the merged Chrome trace
+	// landed, how many OS processes contributed tracks, and how many
+	// records each contributed (driver first, then nodes sorted by name).
+	TraceFile     string         `json:"trace_file,omitempty"`
+	TraceRecords  map[string]int `json:"trace_records,omitempty"`
+	TraceStitched int            `json:"trace_stitched,omitempty"`
 }
 
 // runNetRound executes one full protocol round twice — over the real
@@ -94,16 +109,66 @@ func runNetRound(o netRoundOpts) int {
 		Keys:    keys,
 	}
 
+	// Both runs share one round identity so the netbus stamps it into
+	// every frame (workers attribute datagrams to it in their telemetry)
+	// and the two referee transcripts stay comparable byte for byte.
+	roundID := fmt.Sprintf("net%d:r1", o.seed)
 	simCfg := base
-	simOut, err := protocol.Run(simCfg)
+	simOut, err := protocol.RunRound(simCfg, roundID)
 	if err != nil {
 		return fail(fmt.Errorf("simulated-bus run: %w", err))
 	}
 	netCfg := base
 	netCfg.Medium = medium
-	netOut, err := protocol.Run(netCfg)
+	// The simulated reference run stays untraced: the acceptance bar for
+	// tracing is the nil-parity contract — attaching a recorder to the
+	// socket run must leave its payments bit-identical to the untraced
+	// simulated run.
+	var rec *obs.Recorder
+	if o.trace != "" {
+		rec = obs.NewRecorder()
+		netCfg.Tracer = rec
+	}
+	netOut, err := protocol.RunRound(netCfg, roundID)
 	if err != nil {
 		return fail(fmt.Errorf("netbus run: %w", err))
+	}
+
+	var procs []obs.ProcessTrace
+	traceRecords := map[string]int{}
+	if rec != nil {
+		// Driver first: its recorder holds both sides' stitching brackets
+		// and serves as the merged trace's reference clock.
+		procs = append(procs, obs.ProcessTrace{Process: o.node, Records: rec.Records()})
+		var names []string
+		for name := range cfg.Nodes {
+			if name != o.node {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			recs, err := medium.CollectTelemetry(name)
+			if err != nil {
+				return fail(fmt.Errorf("collecting telemetry from %q: %w", name, err))
+			}
+			if len(recs) == 0 {
+				// An unarmed node answers telemetry requests with an empty
+				// stream; a worker that just served a round has records.
+				return fail(fmt.Errorf("node %q returned no telemetry (is it running with -telemetry?)", name))
+			}
+			procs = append(procs, obs.ProcessTrace{Process: name, Records: recs})
+		}
+		for _, p := range procs {
+			traceRecords[p.Process] = len(p.Records)
+		}
+		merged, err := obs.MergeChromeTrace(procs)
+		if err != nil {
+			return fail(err)
+		}
+		if err := os.WriteFile(o.trace, merged, 0o644); err != nil {
+			return fail(err)
+		}
 	}
 
 	var diverged []string
@@ -128,6 +193,11 @@ func runNetRound(o netRoundOpts) int {
 		Makespan:  netOut.Makespan,
 		Dropped:   medium.Stats().Dropped,
 		Parity:    "ok",
+	}
+	if rec != nil {
+		report.TraceFile = o.trace
+		report.TraceRecords = traceRecords
+		report.TraceStitched = len(procs)
 	}
 	if len(diverged) > 0 {
 		report.Parity = "FAIL"

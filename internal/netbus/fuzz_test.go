@@ -31,7 +31,14 @@ func FuzzWireFrame(f *testing.F) {
 	f.Add(AppendDrainRspFrame(nil, 4, "w1", "P1", []SeqMsg{{Seq: 1, Msg: msg}}, true))
 	f.Add(AppendControlFrame(nil, FtPing, 5, "drv"))
 	f.Add(AppendControlFrame(nil, FtPong, 5, "w1"))
+	f.Add(AppendMsgFrameTrace(nil, 7, "drv", "P1", msg, "s1:r1", "s1:r1", 42))
+	f.Add(AppendTelemetryFrame(nil, 8, "drv", 17))
+	f.Add(AppendTelemetryRspFrame(nil, 9, "w1",
+		[][]byte{[]byte(`{"type":"event","name":"net_rx"}`)}, true))
 	valid := AppendMsgFrame(nil, 6, "drv", "P1", msg)
+	legacy := append([]byte(nil), valid...)
+	legacy[4] = VersionLegacy
+	f.Add(legacy)                         // v1 frame: must still parse
 	f.Add(valid[:headerFixed-1])          // truncated header
 	f.Add(valid[:len(valid)-3])           // truncated body
 	f.Add(append(valid[:4:4], 0xFF))      // bad version
@@ -45,14 +52,25 @@ func FuzzWireFrame(f *testing.F) {
 		// Accepted header: body decoders must be total too, and the
 		// decode→encode round trip must reproduce the datagram bit for
 		// bit (uvarints are already minimal by construction here — the
-		// fixpoint catches any second encoding sneaking in).
+		// fixpoint catches any second encoding sneaking in). The Append*
+		// helpers emit the current version; a decoded legacy frame differs
+		// only in its version byte, so the re-encode patches it back.
+		sameVersion := func(re []byte) []byte {
+			re[4] = fr.Version
+			return re
+		}
 		switch fr.Type {
 		case FtMsg:
 			dest, m, err := DecodeMsgBody(fr.Body)
 			if err != nil {
 				return
 			}
-			re := AppendMsgFrame(nil, fr.Nonce, fr.Node, dest, m)
+			var re []byte
+			if fr.Flags&FlagTrace != 0 {
+				re = AppendMsgFrameTrace(nil, fr.Nonce, fr.Node, dest, m, fr.Round, fr.Epoch, fr.Origin)
+			} else {
+				re = sameVersion(AppendMsgFrame(nil, fr.Nonce, fr.Node, dest, m))
+			}
 			if !bytes.Equal(re, data) {
 				t.Fatalf("msg frame not a fixpoint:\n in  %x\n out %x", data, re)
 			}
@@ -61,7 +79,7 @@ func FuzzWireFrame(f *testing.F) {
 			if err != nil {
 				return
 			}
-			re := AppendDrainFrame(nil, fr.Nonce, fr.Node, ep, ack)
+			re := sameVersion(AppendDrainFrame(nil, fr.Nonce, fr.Node, ep, ack))
 			if !bytes.Equal(re, data) {
 				t.Fatalf("drain frame not a fixpoint:\n in  %x\n out %x", data, re)
 			}
@@ -70,13 +88,31 @@ func FuzzWireFrame(f *testing.F) {
 			if err != nil {
 				return
 			}
-			re := AppendDrainRspFrame(nil, fr.Nonce, fr.Node, ep, batch, fr.Flags&FlagMore != 0)
+			re := sameVersion(AppendDrainRspFrame(nil, fr.Nonce, fr.Node, ep, batch, fr.Flags&FlagMore != 0))
 			if !bytes.Equal(re, data) {
 				t.Fatalf("drain rsp not a fixpoint:\n in  %x\n out %x", data, re)
 			}
+		case FtTelemetry:
+			ack, err := DecodeTelemetryBody(fr.Body)
+			if err != nil {
+				return
+			}
+			re := AppendTelemetryFrame(nil, fr.Nonce, fr.Node, ack)
+			if !bytes.Equal(re, data) {
+				t.Fatalf("telemetry frame not a fixpoint:\n in  %x\n out %x", data, re)
+			}
+		case FtTelemetryRsp:
+			lines, err := DecodeTelemetryRspBody(fr.Body)
+			if err != nil {
+				return
+			}
+			re := AppendTelemetryRspFrame(nil, fr.Nonce, fr.Node, lines, fr.Flags&FlagMore != 0)
+			if !bytes.Equal(re, data) {
+				t.Fatalf("telemetry rsp not a fixpoint:\n in  %x\n out %x", data, re)
+			}
 		case FtAck, FtPing, FtPong:
 			if len(fr.Body) == 0 {
-				re := AppendControlFrame(nil, fr.Type, fr.Nonce, fr.Node)
+				re := sameVersion(AppendControlFrame(nil, fr.Type, fr.Nonce, fr.Node))
 				if fr.Flags == 0 && !bytes.Equal(re, data) {
 					t.Fatalf("control frame not a fixpoint:\n in  %x\n out %x", data, re)
 				}

@@ -3,6 +3,7 @@ package netbus
 import (
 	cryptorand "crypto/rand"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -69,10 +70,28 @@ type Medium struct {
 	nonce    uint64 // logical protocol nonce counter
 
 	stats  bus.Stats
+	net    NetStats
 	tracer obs.Tracer
+
+	// round/epoch is the trace context stamped into outgoing message
+	// frames (FlagTrace); empty round disables the extension.
+	round string
+	epoch string
+
+	telAck map[string]uint64 // per node: highest telemetry record seq consumed
 
 	rbuf []byte // receive buffer, reused across requests
 	wbuf []byte // send buffer, reused across frames
+}
+
+// NetStats counts the driver side's socket traffic, one level below
+// bus.Stats: datagrams (not protocol messages), frame resends and
+// datagrams that failed frame decoding. All monotonic.
+type NetStats struct {
+	DatagramsOut   int // datagrams written to the socket, resends included
+	DatagramsIn    int // datagrams read from the socket, stale replies included
+	Resends        int // retransmissions after an ack deadline
+	DecodeFailures int // received datagrams DecodeFrame rejected
 }
 
 // Dial opens the driver side of the netbus as the named node of the
@@ -104,6 +123,7 @@ func Dial(cfg *Config, local string, opts Options) (*Medium, error) {
 		attached: make(map[string]bool),
 		local:    make(map[string][]bus.Message),
 		ackSeq:   make(map[string]uint64),
+		telAck:   make(map[string]uint64),
 		rbuf:     make([]byte, MaxFrame+1),
 	}
 	// Frame nonces are salted with a random session id so a fresh
@@ -153,6 +173,35 @@ func (m *Medium) event(kind, from, to, msg string) {
 	if m.tracer != nil {
 		m.tracer.Event(obs.Event{Kind: kind, From: from, To: to, Msg: msg})
 	}
+}
+
+// netEvent emits one datagram-scoped event carrying the frame nonce as
+// its Origin (the clock-stitching key) and the current round context.
+// Caller holds the mutex.
+func (m *Medium) netEvent(kind, from, to, msg string, origin uint64) {
+	if m.tracer != nil {
+		m.tracer.Event(obs.Event{Kind: kind, From: from, To: to, Msg: msg, Round: m.round, Origin: origin})
+	}
+}
+
+// SetRoundContext installs the trace context stamped into every
+// subsequent outgoing message frame: round is the session-salted round
+// ID, epoch the round its bid set was signed in. An empty round
+// disables the extension (frames revert to the untraced encoding, which
+// is byte-compatible with legacy receivers). The protocol calls this at
+// round boundaries via a type assertion, so media without the method —
+// the simulated bus — are untouched.
+func (m *Medium) SetRoundContext(round, epoch string) {
+	m.mu.Lock()
+	m.round, m.epoch = round, epoch
+	m.mu.Unlock()
+}
+
+// NetStats returns a snapshot of the datagram-level counters.
+func (m *Medium) NetStats() NetStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.net
 }
 
 // Attach registers an endpoint. The endpoint must exist in the peer
@@ -222,6 +271,10 @@ func (m *Medium) request(addr *net.UDPAddr, frame []byte, nonce uint64, want byt
 		if _, err := m.conn.WriteToUDP(frame, addr); err != nil {
 			return Frame{}, attempt, fmt.Errorf("netbus: send to %s: %w", addr, err)
 		}
+		m.net.DatagramsOut++
+		if attempt > 1 {
+			m.net.Resends++
+		}
 		deadline := time.Now().Add(m.opts.AckTimeout)
 		for {
 			if err := m.conn.SetReadDeadline(deadline); err != nil {
@@ -234,9 +287,18 @@ func (m *Medium) request(addr *net.UDPAddr, frame []byte, nonce uint64, want byt
 				}
 				break // deadline: resend
 			}
+			m.net.DatagramsIn++
 			f, derr := DecodeFrame(m.rbuf[:sz])
-			if derr != nil || f.Nonce != nonce || f.Type != want {
-				continue // stale or malformed reply; keep waiting
+			if derr != nil {
+				m.net.DecodeFailures++
+				if m.tracer != nil {
+					m.tracer.Event(obs.Event{Kind: obs.EvDecodeFail, From: m.name,
+						Round: m.round, Detail: derr.Error(), Origin: nonce})
+				}
+				continue // malformed reply; keep waiting
+			}
+			if f.Nonce != nonce || f.Type != want {
+				continue // stale reply; keep waiting
 			}
 			return f, attempt, nil
 		}
@@ -259,7 +321,15 @@ func (m *Medium) deliver(to string, msg bus.Message) {
 		return
 	}
 	nonce := m.nextFrameNonce()
-	m.wbuf = AppendMsgFrame(m.wbuf[:0], nonce, m.name, to, msg)
+	if m.round != "" {
+		// Traced delivery: the round context rides the frame header, the
+		// logical nonce as origin ties the datagram to the protocol
+		// message it carries.
+		m.wbuf = AppendMsgFrameTrace(m.wbuf[:0], nonce, m.name, to, msg, m.round, m.epoch, msg.Nonce)
+	} else {
+		m.wbuf = AppendMsgFrame(m.wbuf[:0], nonce, m.name, to, msg)
+	}
+	m.netEvent(obs.EvNetTx, msg.From, to, msg.Kind, nonce)
 	_, attempts, err := m.request(m.addrs[owner], m.wbuf, nonce, FtAck)
 	if attempts > 1 {
 		for i := 1; i < attempts; i++ {
@@ -271,6 +341,7 @@ func (m *Medium) deliver(to string, msg bus.Message) {
 		m.event(obs.EvDrop, msg.From, to, msg.Kind)
 		return
 	}
+	m.netEvent(obs.EvNetRx, msg.From, to, msg.Kind, nonce)
 	m.stats.Deliveries++
 	m.stats.DeliveredUnits += msg.Size
 	m.event(obs.EvDeliver, msg.From, to, msg.Kind)
@@ -359,10 +430,12 @@ func (m *Medium) Drain(id string) ([]bus.Message, error) {
 	for {
 		nonce := m.nextFrameNonce()
 		m.wbuf = AppendDrainFrame(m.wbuf[:0], nonce, m.name, id, m.ackSeq[id])
+		m.netEvent(obs.EvNetTx, id, owner, "drain", nonce)
 		rsp, _, err := m.request(m.addrs[owner], m.wbuf, nonce, FtDrainRsp)
 		if err != nil {
 			return out, nil // silence; the retry layer above recovers
 		}
+		m.netEvent(obs.EvNetRx, id, owner, "drain", nonce)
 		endpoint, batch, derr := DecodeDrainRspBody(rsp.Body)
 		if derr != nil || endpoint != id {
 			return out, nil
@@ -398,6 +471,50 @@ func (m *Medium) Ping(node string) error {
 	m.wbuf = AppendControlFrame(m.wbuf[:0], FtPing, nonce, m.name)
 	_, _, err := m.request(addr, m.wbuf, nonce, FtPong)
 	return err
+}
+
+// CollectTelemetry drains the named node's buffered trace records (see
+// Node.EnableTelemetry), cumulatively acknowledging what earlier calls
+// consumed, looping while the node reports more than fits one datagram.
+// A node with telemetry disabled yields an empty batch. Collection
+// follows the driver-originates-everything traffic shape — nodes never
+// dial out, so this is how per-process traces reach the stitcher.
+func (m *Medium) CollectTelemetry(node string) ([]obs.Record, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	addr, ok := m.addrs[node]
+	if !ok {
+		if node == m.name {
+			return nil, nil // the driver's own records are already local
+		}
+		return nil, fmt.Errorf("netbus: node %q not in peer table", node)
+	}
+	var out []obs.Record
+	for {
+		nonce := m.nextFrameNonce()
+		m.wbuf = AppendTelemetryFrame(m.wbuf[:0], nonce, m.name, m.telAck[node])
+		rsp, _, err := m.request(addr, m.wbuf, nonce, FtTelemetryRsp)
+		if err != nil {
+			return out, fmt.Errorf("netbus: telemetry from %q: %w", node, err)
+		}
+		lines, derr := DecodeTelemetryRspBody(rsp.Body)
+		if derr != nil {
+			return out, fmt.Errorf("netbus: telemetry from %q: %w", node, derr)
+		}
+		for _, line := range lines {
+			var rec obs.Record
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return out, fmt.Errorf("netbus: telemetry record from %q: %w", node, err)
+			}
+			if uint64(rec.Seq) > m.telAck[node] {
+				m.telAck[node] = uint64(rec.Seq)
+			}
+			out = append(out, rec)
+		}
+		if rsp.Flags&FlagMore == 0 {
+			return out, nil
+		}
+	}
 }
 
 // The netbus driver is a bus.Medium.

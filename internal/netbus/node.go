@@ -1,10 +1,13 @@
 package netbus
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+
+	"dlsbl/internal/obs"
 )
 
 // NodeStats counts what a mailbox node did; read them with Node.Stats.
@@ -19,6 +22,10 @@ type NodeStats struct {
 	// BadFrames counts datagrams rejected as malformed (wrong magic or
 	// version, truncation, oversize, unknown endpoint, unparsable body).
 	BadFrames uint64
+	// DatagramsIn counts datagrams received, malformed ones included.
+	DatagramsIn uint64
+	// DatagramsOut counts reply datagrams written.
+	DatagramsOut uint64
 }
 
 // seenCap bounds the per-node resend-dedup window. Entries are evicted
@@ -54,7 +61,54 @@ type Node struct {
 	seenFIFO []seenKey
 	stats    NodeStats
 
+	// rec is the bounded telemetry buffer served by FtTelemetry; extra is
+	// an additional operator-installed tracer (e.g. an NDJSON stream);
+	// tracer fans events out to whichever of the two are live.
+	rec    *obs.Recorder
+	extra  obs.Tracer
+	tracer obs.Tracer
+
 	closed chan struct{}
+}
+
+// SetTracer installs an additional tracer next to the telemetry buffer
+// — dls-node's -trace flag streams NDJSON through one. Nil removes it.
+func (n *Node) SetTracer(t obs.Tracer) {
+	n.mu.Lock()
+	n.extra = t
+	n.tracer = obs.Multi(n.rec, n.extra)
+	n.mu.Unlock()
+}
+
+// EnableTelemetry switches on the node's telemetry buffer: datagram
+// events (net_rx/net_tx/decode_fail, round-attributed when the frame
+// carried trace context) are retained in a capped recorder the driver
+// drains via FtTelemetry. cap bounds the buffer (oldest evicted first,
+// with a "truncated" marker); cap <= 0 selects an unbounded buffer.
+func (n *Node) EnableTelemetry(cap int) {
+	n.mu.Lock()
+	n.rec = obs.NewRecorderCap(cap)
+	n.tracer = obs.Multi(n.rec, n.extra)
+	n.mu.Unlock()
+}
+
+// event emits one node-side datagram event. Caller holds the mutex.
+func (n *Node) event(e obs.Event) {
+	if n.tracer != nil {
+		n.tracer.Event(e)
+	}
+}
+
+// MailboxDepth returns the total number of undrained messages across
+// the node's mailboxes — the backlog gauge on the metrics surface.
+func (n *Node) MailboxDepth() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	depth := 0
+	for _, box := range n.boxes {
+		depth += len(box.queue)
+	}
+	return depth
 }
 
 // ListenNode binds the named node's UDP socket per the peer table and
@@ -133,6 +187,12 @@ func (n *Node) Serve() error {
 			return fmt.Errorf("netbus: node %q receive: %w", n.name, err)
 		}
 		out = n.handle(out[:0], buf[:sz])
+		n.mu.Lock()
+		n.stats.DatagramsIn++
+		if len(out) > 0 {
+			n.stats.DatagramsOut++
+		}
+		n.mu.Unlock()
 		if len(out) > 0 {
 			// Best-effort reply; a lost reply is re-asked by the driver.
 			_, _ = n.conn.WriteToUDP(out, src)
@@ -147,6 +207,7 @@ func (n *Node) handle(out, datagram []byte) []byte {
 	if err != nil {
 		n.mu.Lock()
 		n.stats.BadFrames++
+		n.event(obs.Event{Kind: obs.EvDecodeFail, From: n.name, Detail: err.Error()})
 		n.mu.Unlock()
 		return out // malformed datagrams are dropped silently, never answered
 	}
@@ -157,6 +218,8 @@ func (n *Node) handle(out, datagram []byte) []byte {
 		return n.handleMsg(out, f)
 	case FtDrain:
 		return n.handleDrain(out, f)
+	case FtTelemetry:
+		return n.handleTelemetry(out, f)
 	default:
 		// Acks, pongs and drain responses are driver-bound; a node
 		// receiving one ignores it.
@@ -185,6 +248,8 @@ func (n *Node) handleMsg(out []byte, f Frame) []byte {
 		// The driver resent because our ack was lost; ack again without
 		// enqueueing a duplicate.
 		n.stats.DedupHits++
+		n.event(obs.Event{Kind: obs.EvDedupHit, From: m.From, To: dest, Msg: m.Kind,
+			Round: f.Round, Origin: f.Nonce})
 		return AppendControlFrame(out, FtAck, f.Nonce, n.name)
 	}
 	if len(n.seenFIFO) >= seenCap {
@@ -196,7 +261,15 @@ func (n *Node) handleMsg(out []byte, f Frame) []byte {
 	box.nextSeq++
 	box.queue = append(box.queue, SeqMsg{Seq: box.nextSeq, Msg: m})
 	n.stats.Enqueued++
-	return AppendControlFrame(out, FtAck, f.Nonce, n.name)
+	// The frame nonce as origin matches this receive against the
+	// driver's net_tx/net_rx bracket for the same exchange; the round
+	// context, when the frame carried one, attributes it to a round.
+	n.event(obs.Event{Kind: obs.EvNetRx, From: m.From, To: dest, Msg: m.Kind,
+		Round: f.Round, Origin: f.Nonce})
+	out = AppendControlFrame(out, FtAck, f.Nonce, n.name)
+	n.event(obs.Event{Kind: obs.EvNetTx, From: n.name, To: f.Node, Msg: "ack",
+		Round: f.Round, Origin: f.Nonce})
+	return out
 }
 
 // handleDrain prunes acknowledged mail and returns what remains, cut to
@@ -243,5 +316,50 @@ func (n *Node) handleDrain(out []byte, f Frame) []byte {
 		used += sz
 	}
 	n.stats.Drains++
-	return AppendDrainRspFrame(out, f.Nonce, n.name, endpoint, batch, more)
+	n.event(obs.Event{Kind: obs.EvNetRx, From: f.Node, To: endpoint, Msg: "drain", Origin: f.Nonce})
+	out = AppendDrainRspFrame(out, f.Nonce, n.name, endpoint, batch, more)
+	n.event(obs.Event{Kind: obs.EvNetTx, From: n.name, To: f.Node, Msg: "drain_rsp", Origin: f.Nonce})
+	return out
+}
+
+// handleTelemetry prunes acknowledged trace records and returns what
+// remains as NDJSON lines, cut to fit one datagram (FlagMore marks a
+// truncated batch). A node without telemetry enabled answers with an
+// empty batch — the collector cannot tell silence from "nothing
+// buffered", which is fine: both mean no records.
+func (n *Node) handleTelemetry(out []byte, f Frame) []byte {
+	ackSeq, err := DecodeTelemetryBody(f.Body)
+	if err != nil {
+		n.mu.Lock()
+		n.stats.BadFrames++
+		n.mu.Unlock()
+		return out
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.rec == nil {
+		return AppendTelemetryRspFrame(out, f.Nonce, n.name, nil, false)
+	}
+	// Cumulative ack, mirroring mail drains: acknowledged records are
+	// pruned, the rest re-served — a lost response is re-asked.
+	n.rec.Prune(int(ackSeq))
+	recs := n.rec.RecordsSince(int(ackSeq))
+	budget := MaxFrame - 256 // header + count headroom
+	var lines [][]byte
+	used := 0
+	more := false
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			continue // a record that cannot marshal is unshippable; skip it
+		}
+		sz := len(line) + 8
+		if used+sz > budget {
+			more = true
+			break
+		}
+		lines = append(lines, line)
+		used += sz
+	}
+	return AppendTelemetryRspFrame(out, f.Nonce, n.name, lines, more)
 }

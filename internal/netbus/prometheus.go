@@ -1,0 +1,77 @@
+package netbus
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteNodePrometheus renders a node's counters in Prometheus text
+// exposition format 0.0.4 — the body of dls-node's -metrics-addr
+// endpoint. The node_* namespace is deliberately separate from the
+// service's dlsbl_* families: these are per-process datagram-plane
+// counters, scraped per node, while dlsbl_* aggregates protocol-plane
+// state at the driver.
+func (n *Node) WriteNodePrometheus(w io.Writer) error {
+	st := n.Stats()
+
+	n.mu.Lock()
+	type boxDepth struct {
+		endpoint string
+		depth    int
+	}
+	depths := make([]boxDepth, 0, len(n.boxes))
+	for ep, box := range n.boxes {
+		depths = append(depths, boxDepth{endpoint: ep, depth: len(box.queue)})
+	}
+	telemetryRecords, telemetryDropped := 0, 0
+	if n.rec != nil {
+		telemetryRecords = len(n.rec.RecordsSince(-1))
+		telemetryDropped = n.rec.Dropped()
+	}
+	name := n.name
+	n.mu.Unlock()
+	sort.Slice(depths, func(i, j int) bool { return depths[i].endpoint < depths[j].endpoint })
+
+	b := &strings.Builder{}
+	family := func(metric, help, typ string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", metric, help, metric, typ)
+	}
+	sample := func(metric, labels string, v float64) {
+		if labels != "" {
+			fmt.Fprintf(b, "%s{%s} %g\n", metric, labels, v)
+		} else {
+			fmt.Fprintf(b, "%s %g\n", metric, v)
+		}
+	}
+
+	family("node_datagrams_in_total", "Datagrams received by this node, malformed ones included.", "counter")
+	sample("node_datagrams_in_total", "", float64(st.DatagramsIn))
+	family("node_datagrams_out_total", "Reply datagrams written by this node.", "counter")
+	sample("node_datagrams_out_total", "", float64(st.DatagramsOut))
+	family("node_resends_total", "Resent message frames recognized by frame-nonce dedup (the driver's ack was lost).", "counter")
+	sample("node_resends_total", "", float64(st.DedupHits))
+	family("node_decode_failures_total", "Datagrams rejected as malformed (bad magic/version, truncation, oversize, unknown endpoint).", "counter")
+	sample("node_decode_failures_total", "", float64(st.BadFrames))
+	family("node_enqueued_total", "Messages accepted into a mailbox.", "counter")
+	sample("node_enqueued_total", "", float64(st.Enqueued))
+	family("node_drains_total", "Drain requests answered.", "counter")
+	sample("node_drains_total", "", float64(st.Drains))
+
+	family("node_mailbox_depth", "Undrained messages queued per hosted endpoint.", "gauge")
+	for _, d := range depths {
+		sample("node_mailbox_depth", fmt.Sprintf("endpoint=%q", d.endpoint), float64(d.depth))
+	}
+
+	family("node_telemetry_records", "Trace records buffered awaiting a telemetry drain.", "gauge")
+	sample("node_telemetry_records", "", float64(telemetryRecords))
+	family("node_telemetry_dropped_total", "Trace records evicted by the telemetry buffer's cap.", "counter")
+	sample("node_telemetry_dropped_total", "", float64(telemetryDropped))
+
+	family("node_info", "Node identity; the value is always 1.", "gauge")
+	sample("node_info", fmt.Sprintf("node=%q", name), 1)
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}

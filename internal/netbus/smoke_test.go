@@ -1,17 +1,10 @@
 package netbus_test
 
 import (
-	"bufio"
 	"encoding/json"
-	"fmt"
-	"net"
-	"os"
 	"os/exec"
 	"path/filepath"
-	"strings"
-	"syscall"
 	"testing"
-	"time"
 )
 
 // TestNetSmokeMultiProcess is the deployment acceptance check behind
@@ -25,75 +18,10 @@ func TestNetSmokeMultiProcess(t *testing.T) {
 		t.Skip("multi-process smoke skipped in -short mode")
 	}
 	requireUDP(t)
-	goTool, err := exec.LookPath("go")
-	if err != nil {
-		t.Skipf("go tool unavailable: %v", err)
-	}
-	root, err := filepath.Abs("../..")
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	dir := t.TempDir()
-	for _, cmdName := range []string{"dls-node", "dls-serve"} {
-		build := exec.Command(goTool, "build", "-o", filepath.Join(dir, cmdName), "./cmd/"+cmdName)
-		build.Dir = root
-		if out, err := build.CombinedOutput(); err != nil {
-			t.Fatalf("building %s: %v\n%s", cmdName, err, out)
-		}
-	}
-
-	// Preallocate three free loopback ports. The close→rebind window is
-	// a benign race on loopback; the ports were free a moment ago.
-	ports := make([]int, 3)
-	for i := range ports {
-		c, err := net.ListenPacket("udp", "127.0.0.1:0")
-		if err != nil {
-			t.Fatal(err)
-		}
-		ports[i] = c.LocalAddr().(*net.UDPAddr).Port
-		c.Close()
-	}
-	peers := fmt.Sprintf(`{"nodes": {
-		"serve": {"addr": "127.0.0.1:%d", "endpoints": ["referee"]},
-		"w1":    {"addr": "127.0.0.1:%d", "endpoints": ["P1", "P2"]},
-		"w2":    {"addr": "127.0.0.1:%d", "endpoints": ["P3", "P4"]}
-	}}`, ports[0], ports[1], ports[2])
-	cfgPath := filepath.Join(dir, "peers.json")
-	if err := os.WriteFile(cfgPath, []byte(peers), 0o644); err != nil {
-		t.Fatal(err)
-	}
-
-	// Boot the two worker processes and wait for their ready lines.
+	dir := buildNetBinaries(t)
+	cfgPath := writeLoopbackPeers(t, dir)
 	for _, name := range []string{"w1", "w2"} {
-		node := exec.Command(filepath.Join(dir, "dls-node"), "-config", cfgPath, "-node", name)
-		stdout, err := node.StdoutPipe()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := node.Start(); err != nil {
-			t.Fatalf("starting dls-node %s: %v", name, err)
-		}
-		t.Cleanup(func() {
-			node.Process.Signal(syscall.SIGTERM)
-			node.Wait()
-		})
-		ready := make(chan string, 1)
-		go func() {
-			sc := bufio.NewScanner(stdout)
-			if sc.Scan() {
-				ready <- sc.Text()
-			}
-			close(ready)
-		}()
-		select {
-		case line := <-ready:
-			if !strings.HasPrefix(line, "ready node="+name) {
-				t.Fatalf("dls-node %s startup line %q, want ready node=%s ...", name, line, name)
-			}
-		case <-time.After(10 * time.Second):
-			t.Fatalf("dls-node %s never printed its ready line", name)
-		}
+		startWorker(t, dir, cfgPath, name)
 	}
 
 	serve := exec.Command(filepath.Join(dir, "dls-serve"),

@@ -1,0 +1,204 @@
+package netbus_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildNetBinaries compiles dls-node and dls-serve into a temp dir and
+// returns it; it skips the test where the go tool is unavailable.
+func buildNetBinaries(t *testing.T) string {
+	t.Helper()
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool unavailable: %v", err)
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, cmdName := range []string{"dls-node", "dls-serve"} {
+		build := exec.Command(goTool, "build", "-o", filepath.Join(dir, cmdName), "./cmd/"+cmdName)
+		build.Dir = root
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", cmdName, err, out)
+		}
+	}
+	return dir
+}
+
+// writeLoopbackPeers allocates three free loopback ports and writes the
+// standard 1-driver + 2-worker peers.json into dir.
+//
+// The close→rebind window is a benign race on loopback; the ports were
+// free a moment ago.
+func writeLoopbackPeers(t *testing.T, dir string) string {
+	t.Helper()
+	ports := make([]int, 3)
+	for i := range ports {
+		c, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ports[i] = c.LocalAddr().(*net.UDPAddr).Port
+		c.Close()
+	}
+	peers := fmt.Sprintf(`{"nodes": {
+		"serve": {"addr": "127.0.0.1:%d", "endpoints": ["referee"]},
+		"w1":    {"addr": "127.0.0.1:%d", "endpoints": ["P1", "P2"]},
+		"w2":    {"addr": "127.0.0.1:%d", "endpoints": ["P3", "P4"]}
+	}}`, ports[0], ports[1], ports[2])
+	cfgPath := filepath.Join(dir, "peers.json")
+	if err := os.WriteFile(cfgPath, []byte(peers), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath
+}
+
+// startWorker boots one dls-node process with the given extra flags and
+// blocks until it prints its ready line. Teardown rides the test cleanup.
+func startWorker(t *testing.T, dir, cfgPath, name string, extra ...string) {
+	t.Helper()
+	args := append([]string{"-config", cfgPath, "-node", name}, extra...)
+	node := exec.Command(filepath.Join(dir, "dls-node"), args...)
+	stdout, err := node.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(); err != nil {
+		t.Fatalf("starting dls-node %s: %v", name, err)
+	}
+	t.Cleanup(func() {
+		node.Process.Signal(syscall.SIGTERM)
+		node.Wait()
+	})
+	ready := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		if sc.Scan() {
+			ready <- sc.Text()
+		}
+		close(ready)
+	}()
+	select {
+	case line := <-ready:
+		if !strings.HasPrefix(line, "ready node="+name) {
+			t.Fatalf("dls-node %s startup line %q, want ready node=%s ...", name, line, name)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("dls-node %s never printed its ready line", name)
+	}
+}
+
+// TestNetTraceMultiProcess is the acceptance check behind `make
+// net-trace`: a 3-OS-process loopback round run with per-node telemetry
+// enabled must yield (a) the same bit-identical payment parity the
+// untraced smoke asserts — tracing must not perturb the mechanism — and
+// (b) one merged Chrome trace whose tracks span all three processes on
+// a single aligned clock, with round-attributed datagram events.
+func TestNetTraceMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process trace smoke skipped in -short mode")
+	}
+	requireUDP(t)
+	dir := buildNetBinaries(t)
+	cfgPath := writeLoopbackPeers(t, dir)
+	for _, name := range []string{"w1", "w2"} {
+		startWorker(t, dir, cfgPath, name, "-telemetry", "65536")
+	}
+
+	tracePath := filepath.Join(dir, "trace.json")
+	serve := exec.Command(filepath.Join(dir, "dls-serve"),
+		"-net-round", "-net-config", cfgPath, "-net-seed", "7", "-net-trace", tracePath)
+	out, err := serve.Output()
+	if err != nil {
+		t.Fatalf("dls-serve -net-round -net-trace: %v\nstdout: %s", err, out)
+	}
+	var report struct {
+		Parity        string         `json:"parity"`
+		Diverged      []string       `json:"diverged"`
+		TraceFile     string         `json:"trace_file"`
+		TraceRecords  map[string]int `json:"trace_records"`
+		TraceStitched int            `json:"trace_stitched"`
+	}
+	if err := json.Unmarshal(out, &report); err != nil {
+		t.Fatalf("parsing report %q: %v", out, err)
+	}
+	if report.Parity != "ok" {
+		t.Errorf("parity = %q (diverged: %v), want ok — tracing must not perturb payments",
+			report.Parity, report.Diverged)
+	}
+	if report.TraceStitched != 3 {
+		t.Errorf("trace_stitched = %d, want 3 processes", report.TraceStitched)
+	}
+	for _, proc := range []string{"serve", "w1", "w2"} {
+		if report.TraceRecords[proc] == 0 {
+			t.Errorf("process %s contributed no telemetry records: %v", proc, report.TraceRecords)
+		}
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("merged trace missing: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TS   float64        `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	names := map[int]string{}
+	rounds, datagrams := 0, 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "process_name" && ev.Ph == "M" {
+			names[ev.PID], _ = ev.Args["name"].(string)
+			continue
+		}
+		if ev.Ph == "M" {
+			continue
+		}
+		if ev.TS < 0 {
+			t.Fatalf("event %q (pid %d) has negative merged timestamp %v", ev.Name, ev.PID, ev.TS)
+		}
+		if ev.Name == "net_tx" || ev.Name == "net_rx" {
+			datagrams++
+			if r, ok := ev.Args["round"].(string); ok && r != "" {
+				rounds++
+			}
+		}
+	}
+	if len(names) != 3 {
+		t.Fatalf("merged trace has %d process tracks (%v), want 3", len(names), names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, proc := range []string{"serve", "w1", "w2"} {
+		if !seen[proc] {
+			t.Errorf("no track named %q in merged trace: %v", proc, names)
+		}
+	}
+	if datagrams == 0 {
+		t.Error("merged trace carries no datagram (net_tx/net_rx) events")
+	}
+	if rounds == 0 {
+		t.Error("no datagram event carries a round attribution")
+	}
+}

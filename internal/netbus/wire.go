@@ -14,13 +14,16 @@ import (
 //
 //	offset size field
 //	0      4    magic "DLSB"
-//	4      1    wire version (0x01)
+//	4      1    wire version (0x02; 0x01 accepted)
 //	5      1    frame type
-//	6      1    flags (FlagMore on drain responses)
+//	6      1    flags (FlagMore on drain/telemetry responses,
+//	            FlagTrace on v2 messages)
 //	7      1    reserved, must be 0
 //	8      4    length: total frame size in bytes, big-endian uint32
 //	12     8    frame nonce, big-endian uint64
 //	20     …    sender node name: uvarint length + UTF-8 bytes
+//	…      …    trace context, only when FlagTrace is set: round ID
+//	            string, epoch string, origin uvarint
 //	…      …    type-specific body
 //
 // The frame nonce correlates requests with replies (a reply echoes the
@@ -35,11 +38,20 @@ import (
 // Magic opens every netbus frame.
 const Magic = "DLSB"
 
-// Version is the wire version this implementation speaks. Receivers
-// reject every other value — there is no negotiation on a datagram
-// medium; mixed-version deployments must upgrade nodes first (see
-// docs/WIRE.md §versioning).
-const Version = 1
+// Version is the wire version this implementation emits. Version 2
+// added the optional trace-context extension (FlagTrace on FtMsg:
+// round ID, bid epoch and origin sequence ride the header, so every
+// datagram is attributable to a protocol round at every hop) and the
+// telemetry drain frames (FtTelemetry/FtTelemetryRsp). Receivers also
+// accept VersionLegacy frames unchanged — a v1 sender interoperates —
+// but reject everything else; there is no negotiation on a datagram
+// medium (see docs/WIRE.md §versioning).
+const Version = 2
+
+// VersionLegacy is the pre-telemetry wire version receivers still
+// accept. Legacy frames carry no trace context and may not use the
+// telemetry frame types.
+const VersionLegacy = 1
 
 // MaxFrame bounds a frame (and thus a datagram) in bytes. It sits under
 // the 65,507-byte UDP payload ceiling with room for kernel headroom;
@@ -71,11 +83,28 @@ const (
 	FtPing
 	// FtPong answers a ping; the nonce echoes the ping's. Empty body.
 	FtPong
+	// FtTelemetry (v2) asks the node for its buffered trace records.
+	// Body: a cumulative-ack record sequence number (uvarint): the node
+	// prunes everything at or below it and returns what remains.
+	FtTelemetry
+	// FtTelemetryRsp (v2) returns buffered trace records as NDJSON
+	// lines. Body: count uvarint, then count × bytes (one obs.Record
+	// JSON document each), ascending by record seq. FlagMore is set
+	// when the batch was cut to fit MaxFrame.
+	FtTelemetryRsp
 )
 
-// FlagMore marks a drain response that was truncated to fit MaxFrame:
-// more messages remain queued and the drainer should ask again.
+// FlagMore marks a drain or telemetry response that was truncated to
+// fit MaxFrame: more entries remain queued and the drainer should ask
+// again.
 const FlagMore = byte(1 << 0)
+
+// FlagTrace (v2) marks an FtMsg frame carrying the trace-context
+// extension: round ID (string), bid epoch (string) and origin sequence
+// (uvarint) follow the sender node name, before the body. Nodes echo
+// the context into their telemetry events, which is what makes every
+// hop of a datagram attributable to a protocol round.
+const FlagTrace = byte(1 << 1)
 
 // Frame decode errors. ErrWire is the root every specific error wraps,
 // so callers can reject any malformed datagram with one errors.Is.
@@ -87,38 +116,90 @@ var (
 	ErrOversize   = fmt.Errorf("%w: frame exceeds MaxFrame", ErrWire)
 )
 
-// Frame is one parsed datagram: the fixed header plus the raw,
-// type-specific body. Body aliases the datagram buffer — callers that
-// retain a Frame past the next socket read must copy it.
+// Frame is one parsed datagram: the fixed header, the optional v2
+// trace context, plus the raw, type-specific body. Body aliases the
+// datagram buffer — callers that retain a Frame past the next socket
+// read must copy it.
 type Frame struct {
-	Type  byte
-	Flags byte
-	Nonce uint64
-	Node  string // sending node's name from the peer table
-	Body  []byte
+	Version byte
+	Type    byte
+	Flags   byte
+	Nonce   uint64
+	Node    string // sending node's name from the peer table
+	// Round, Epoch and Origin are the trace context (FlagTrace on
+	// FtMsg): the protocol round the datagram belongs to, the epoch its
+	// bid set was signed in, and the origin sequence (the logical
+	// message nonce at the originating driver). All zero on frames
+	// without the extension.
+	Round  string
+	Epoch  string
+	Origin uint64
+	Body   []byte
 }
 
 // AppendFrame appends a complete frame (header + body) to dst and
 // returns the extended slice. The length field is computed from the
 // final size.
 func AppendFrame(dst []byte, typ, flags byte, nonce uint64, node string, body []byte) []byte {
+	return appendFrameV(dst, Version, typ, flags, nonce, node, "", "", 0, body)
+}
+
+// appendFrameV is the version-explicit encoder behind every Append*
+// helper: the fuzzed decode→encode fixpoint re-encodes legacy (v1)
+// frames with their original version byte, and trace-context frames
+// with their extension block.
+func appendFrameV(dst []byte, version, typ, flags byte, nonce uint64, node, round, epoch string, origin uint64, body []byte) []byte {
 	start := len(dst)
 	dst = append(dst, Magic...)
-	dst = append(dst, Version, typ, flags, 0)
+	dst = append(dst, version, typ, flags, 0)
 	dst = append(dst, 0, 0, 0, 0) // length backpatched below
 	var n [8]byte
 	binary.BigEndian.PutUint64(n[:], nonce)
 	dst = append(dst, n[:]...)
 	dst = binary.AppendUvarint(dst, uint64(len(node)))
 	dst = append(dst, node...)
+	if flags&FlagTrace != 0 {
+		dst = sig.AppendString(dst, round)
+		dst = sig.AppendString(dst, epoch)
+		dst = sig.AppendUvarint(dst, origin)
+	}
 	dst = append(dst, body...)
 	binary.BigEndian.PutUint32(dst[start+8:start+12], uint32(len(dst)-start))
 	return dst
 }
 
+// maxType returns the highest frame type a wire version defines.
+func maxType(version byte) byte {
+	if version == VersionLegacy {
+		return FtPong
+	}
+	return FtTelemetryRsp
+}
+
+// checkFlags validates the flag byte against the version's rules: v1
+// allows only FlagMore on FtDrainRsp; v2 additionally allows FlagMore
+// on FtTelemetryRsp and FlagTrace on FtMsg.
+func checkFlags(version, typ, flags byte) error {
+	allowed := byte(0)
+	switch {
+	case typ == FtDrainRsp:
+		allowed = FlagMore
+	case version >= Version && typ == FtTelemetryRsp:
+		allowed = FlagMore
+	case version >= Version && typ == FtMsg:
+		allowed = FlagTrace
+	}
+	if flags&^allowed != 0 {
+		return fmt.Errorf("%w: unknown flag bits %#x on frame type %d (version %d)", ErrWire, flags, typ, version)
+	}
+	return nil
+}
+
 // DecodeFrame parses one datagram. It rejects wrong magic, unknown
 // versions, unknown frame types, length/datagram mismatches (truncation
-// either way) and frames above MaxFrame. The returned Body aliases data.
+// either way) and frames above MaxFrame. Legacy (v1) frames are
+// accepted under their original, stricter rules — old frames still
+// parse. The returned Body aliases data.
 func DecodeFrame(data []byte) (Frame, error) {
 	if len(data) < headerFixed {
 		return Frame{}, fmt.Errorf("%w: %d bytes, header needs %d", ErrTruncated, len(data), headerFixed)
@@ -126,16 +207,17 @@ func DecodeFrame(data []byte) (Frame, error) {
 	if string(data[:4]) != Magic {
 		return Frame{}, ErrBadMagic
 	}
-	if data[4] != Version {
-		return Frame{}, fmt.Errorf("%w: got %d, speak %d", ErrBadVersion, data[4], Version)
+	version := data[4]
+	if version != Version && version != VersionLegacy {
+		return Frame{}, fmt.Errorf("%w: got %d, speak %d (and accept legacy %d)", ErrBadVersion, version, Version, VersionLegacy)
 	}
 	typ := data[5]
-	if typ < FtMsg || typ > FtPong {
-		return Frame{}, fmt.Errorf("%w: unknown frame type %d", ErrWire, typ)
+	if typ < FtMsg || typ > maxType(version) {
+		return Frame{}, fmt.Errorf("%w: unknown frame type %d for version %d", ErrWire, typ, version)
 	}
 	flags := data[6]
-	if flags&^FlagMore != 0 || (flags != 0 && typ != FtDrainRsp) {
-		return Frame{}, fmt.Errorf("%w: unknown flag bits %#x on frame type %d", ErrWire, flags, typ)
+	if err := checkFlags(version, typ, flags); err != nil {
+		return Frame{}, err
 	}
 	if data[7] != 0 {
 		return Frame{}, fmt.Errorf("%w: nonzero reserved byte", ErrWire)
@@ -151,17 +233,23 @@ func DecodeFrame(data []byte) (Frame, error) {
 		return Frame{}, fmt.Errorf("%w: %d trailing bytes past declared length", ErrWire, uint64(len(data))-uint64(length))
 	}
 	r := wireReader{buf: data, off: headerFixed}
-	node := r.str()
+	f := Frame{
+		Version: version,
+		Type:    typ,
+		Flags:   flags,
+		Nonce:   binary.BigEndian.Uint64(data[12:20]),
+	}
+	f.Node = r.str()
+	if flags&FlagTrace != 0 {
+		f.Round = r.str()
+		f.Epoch = r.str()
+		f.Origin = r.uvarint()
+	}
 	if r.err != nil {
 		return Frame{}, r.err
 	}
-	return Frame{
-		Type:  typ,
-		Flags: flags,
-		Nonce: binary.BigEndian.Uint64(data[12:20]),
-		Node:  node,
-		Body:  data[r.off:],
-	}, nil
+	f.Body = data[r.off:]
+	return f, nil
 }
 
 // wireReader is a bounds-checked cursor over frame bodies. Unlike
@@ -342,4 +430,62 @@ func DecodeDrainRspBody(body []byte) (endpoint string, batch []SeqMsg, err error
 // FtPong) under the given nonce.
 func AppendControlFrame(dst []byte, typ byte, nonce uint64, node string) []byte {
 	return AppendFrame(dst, typ, 0, nonce, node, nil)
+}
+
+// AppendMsgFrameTrace frames one mailbox delivery (FtMsg) carrying the
+// v2 trace-context extension: the protocol round, bid epoch and origin
+// sequence ride the header under FlagTrace, so the receiving node can
+// attribute the datagram to a round without opening the sealed body.
+func AppendMsgFrameTrace(dst []byte, nonce uint64, node, dest string, m bus.Message, round, epoch string, origin uint64) []byte {
+	body := sig.AppendString(nil, dest)
+	body = appendMessage(body, m)
+	return appendFrameV(dst, Version, FtMsg, FlagTrace, nonce, node, round, epoch, origin, body)
+}
+
+// AppendTelemetryFrame frames a telemetry drain request (FtTelemetry),
+// cumulatively acknowledging every buffered record sequence number at
+// or below ackSeq.
+func AppendTelemetryFrame(dst []byte, nonce uint64, node string, ackSeq uint64) []byte {
+	body := sig.AppendUvarint(nil, ackSeq)
+	return AppendFrame(dst, FtTelemetry, 0, nonce, node, body)
+}
+
+// DecodeTelemetryBody parses an FtTelemetry body.
+func DecodeTelemetryBody(body []byte) (ackSeq uint64, err error) {
+	r := wireReader{buf: body}
+	ackSeq = r.uvarint()
+	return ackSeq, r.done()
+}
+
+// AppendTelemetryRspFrame frames a telemetry response (FtTelemetryRsp)
+// carrying buffered trace records as NDJSON line bytes; more marks a
+// batch truncated to fit MaxFrame.
+func AppendTelemetryRspFrame(dst []byte, nonce uint64, node string, lines [][]byte, more bool) []byte {
+	body := sig.AppendUvarint(nil, uint64(len(lines)))
+	for _, l := range lines {
+		body = sig.AppendUvarint(body, uint64(len(l)))
+		body = append(body, l...)
+	}
+	var flags byte
+	if more {
+		flags |= FlagMore
+	}
+	return AppendFrame(dst, FtTelemetryRsp, flags, nonce, node, body)
+}
+
+// DecodeTelemetryRspBody parses an FtTelemetryRsp body into the record
+// lines, each one obs.Record JSON document.
+func DecodeTelemetryRspBody(body []byte) (lines [][]byte, err error) {
+	r := wireReader{buf: body}
+	n := r.uvarint()
+	if n > uint64(r.rest()) { // every line takes ≥ 1 byte; cheap bound
+		return nil, fmt.Errorf("%w: telemetry batch count %d", ErrWire, n)
+	}
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		lines = append(lines, r.bytes())
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return lines, nil
 }

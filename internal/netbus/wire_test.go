@@ -71,9 +71,88 @@ func TestDrainRspRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTraceFrameRoundTrip pins the v2 trace-context extension: round,
+// epoch and origin survive framing, and the body decodes exactly as an
+// untraced message does.
+func TestTraceFrameRoundTrip(t *testing.T) {
+	msg := sampleMsg(t)
+	frame := AppendMsgFrameTrace(nil, 0xBEEF, "w1", "P2", msg, "sdeadbeef:r3", "sdeadbeef:r3", 99)
+	f, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if f.Version != Version || f.Flags&FlagTrace == 0 {
+		t.Errorf("trace frame header: %+v", f)
+	}
+	if f.Round != "sdeadbeef:r3" || f.Epoch != "sdeadbeef:r3" || f.Origin != 99 {
+		t.Errorf("trace context mangled: round=%q epoch=%q origin=%d", f.Round, f.Epoch, f.Origin)
+	}
+	dest, got, err := DecodeMsgBody(f.Body)
+	if err != nil {
+		t.Fatalf("body: %v", err)
+	}
+	if dest != "P2" || got.Nonce != msg.Nonce || !got.Env.Equal(msg.Env) {
+		t.Errorf("traced message round-trip: dest=%q got=%+v", dest, got)
+	}
+}
+
+// TestLegacyFrameAccepted pins backward compatibility: a version-1
+// datagram (the pre-telemetry wire) still parses, with its original
+// version surfaced and no trace context.
+func TestLegacyFrameAccepted(t *testing.T) {
+	msg := sampleMsg(t)
+	frame := AppendMsgFrame(nil, 0xABCD, "w1", "P2", msg)
+	frame[4] = VersionLegacy
+	f, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatalf("legacy frame rejected: %v", err)
+	}
+	if f.Version != VersionLegacy || f.Round != "" || f.Origin != 0 {
+		t.Errorf("legacy frame header: %+v", f)
+	}
+	if _, _, err := DecodeMsgBody(f.Body); err != nil {
+		t.Errorf("legacy body: %v", err)
+	}
+}
+
+// TestTelemetryRoundTrip pins the v2 telemetry drain pair.
+func TestTelemetryRoundTrip(t *testing.T) {
+	req, err := DecodeFrame(AppendTelemetryFrame(nil, 11, "drv", 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Type != FtTelemetry {
+		t.Fatalf("request type %d", req.Type)
+	}
+	ack, err := DecodeTelemetryBody(req.Body)
+	if err != nil || ack != 40 {
+		t.Fatalf("ackSeq = %d, err %v, want 40", ack, err)
+	}
+	lines := [][]byte{
+		[]byte(`{"type":"event","name":"net_rx","seq":41}`),
+		[]byte(`{"type":"event","name":"net_tx","seq":42}`),
+	}
+	rsp, err := DecodeFrame(AppendTelemetryRspFrame(nil, 11, "w1", lines, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsp.Type != FtTelemetryRsp || rsp.Flags&FlagMore == 0 {
+		t.Fatalf("response header: %+v", rsp)
+	}
+	got, err := DecodeTelemetryRspBody(rsp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || string(got[0]) != string(lines[0]) || string(got[1]) != string(lines[1]) {
+		t.Errorf("telemetry lines round-trip: %q", got)
+	}
+}
+
 // TestMalformedFrames pins every rejection class the receiver owes the
 // wire: truncation (header and declared-length), oversize, bad magic,
-// unknown version, unknown type, trailing garbage.
+// unknown version, unknown type, trailing garbage — plus the v2 rules
+// (telemetry types and the trace flag do not exist in version 1, and
+// the trace flag belongs to messages only).
 func TestMalformedFrames(t *testing.T) {
 	valid := AppendMsgFrame(nil, 1, "w1", "P1", sampleMsg(t))
 	mutate := func(f func(b []byte) []byte) []byte {
@@ -97,6 +176,19 @@ func TestMalformedFrames(t *testing.T) {
 			binary.BigEndian.PutUint32(b[8:12], MaxFrame+1)
 			return b
 		}), ErrOversize},
+		{"v1 telemetry type", mutate(func(b []byte) []byte {
+			b[4], b[5] = VersionLegacy, FtTelemetry
+			return b
+		}), ErrWire},
+		{"v1 trace flag", mutate(func(b []byte) []byte {
+			b[4], b[6] = VersionLegacy, FlagTrace
+			return b
+		}), ErrWire},
+		{"trace flag on ping", func() []byte {
+			b := AppendControlFrame(nil, FtPing, 1, "drv")
+			b[6] = FlagTrace
+			return b
+		}(), ErrWire},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -12,39 +12,44 @@ import (
 	"dlsbl/internal/sig"
 )
 
-// goldenHexFromDoc extracts the contents of the single ```hex fence in
-// docs/WIRE.md — the normative golden frame.
-func goldenHexFromDoc(t *testing.T) []byte {
+// goldenHexFromDoc extracts the contents of every ```hex fence in
+// docs/WIRE.md, in document order — the normative golden frames (the
+// current-version example first, the legacy example second).
+func goldenHexFromDoc(t *testing.T) [][]byte {
 	t.Helper()
 	raw, err := os.ReadFile("../../docs/WIRE.md")
 	if err != nil {
 		t.Fatalf("reading the wire spec: %v", err)
 	}
 	doc := string(raw)
-	i := strings.Index(doc, "```hex\n")
-	if i < 0 {
-		t.Fatal("docs/WIRE.md has no ```hex fence — the golden example is gone")
+	var frames [][]byte
+	for {
+		i := strings.Index(doc, "```hex\n")
+		if i < 0 {
+			break
+		}
+		doc = doc[i+len("```hex\n"):]
+		j := strings.Index(doc, "```")
+		if j < 0 {
+			t.Fatal("docs/WIRE.md: unterminated ```hex fence")
+		}
+		compact := strings.NewReplacer("\n", "", " ", "", "\t", "").Replace(doc[:j])
+		frame, err := hex.DecodeString(compact)
+		if err != nil {
+			t.Fatalf("docs/WIRE.md golden hex does not decode: %v", err)
+		}
+		frames = append(frames, frame)
+		doc = doc[j:]
 	}
-	rest := doc[i+len("```hex\n"):]
-	j := strings.Index(rest, "```")
-	if j < 0 {
-		t.Fatal("docs/WIRE.md: unterminated ```hex fence")
+	if len(frames) == 0 {
+		t.Fatal("docs/WIRE.md has no ```hex fence — the golden examples are gone")
 	}
-	compact := strings.NewReplacer("\n", "", " ", "", "\t", "").Replace(rest[:j])
-	frame, err := hex.DecodeString(compact)
-	if err != nil {
-		t.Fatalf("docs/WIRE.md golden hex does not decode: %v", err)
-	}
-	return frame
+	return frames
 }
 
-// TestWireGoldenBytes keeps docs/WIRE.md honest: the golden frame
-// embedded in the spec must be byte-identical to what the encoder
-// produces for the documented inputs, and must decode back to them.
-func TestWireGoldenBytes(t *testing.T) {
-	golden := goldenHexFromDoc(t)
-
-	// Reproduce the documented construction.
+// goldenMsg reproduces the documented message construction.
+func goldenMsg(t *testing.T) bus.Message {
+	t.Helper()
 	k, err := sig.GenerateKeyPair("P1", sig.DeterministicSource(42))
 	if err != nil {
 		t.Fatal(err)
@@ -53,22 +58,67 @@ func TestWireGoldenBytes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	msg := bus.Message{From: "P1", To: "*", Kind: "dls/bid", Size: 1, Nonce: 7, Env: env}
-	frame := netbus.AppendMsgFrame(nil, 0xC0FFEE, "w1", "P1", msg)
+	return bus.Message{From: "P1", To: "*", Kind: "dls/bid", Size: 1, Nonce: 7, Env: env}
+}
 
-	if !bytes.Equal(frame, golden) {
-		t.Fatalf("docs/WIRE.md golden frame drifted from the encoder:\n doc  %x\n code %x", golden, frame)
+// TestWireGoldenBytes keeps docs/WIRE.md honest: the version-2 golden
+// frame embedded in the spec must be byte-identical to what the encoder
+// produces for the documented inputs and must decode back to them, and
+// the legacy version-1 golden must still decode on today's receiver —
+// the backward-compatibility promise, pinned in bytes.
+func TestWireGoldenBytes(t *testing.T) {
+	goldens := goldenHexFromDoc(t)
+	if len(goldens) != 2 {
+		t.Fatalf("docs/WIRE.md has %d ```hex fences, want 2 (current + legacy)", len(goldens))
 	}
+	msg := goldenMsg(t)
 
-	// And the documented frame decodes to the documented fields.
-	f, err := netbus.DecodeFrame(golden)
-	if err != nil {
-		t.Fatalf("golden frame does not decode: %v", err)
-	}
-	if f.Type != netbus.FtMsg || f.Nonce != 0xC0FFEE || f.Node != "w1" {
-		t.Errorf("golden header %+v, want FtMsg nonce=0xC0FFEE node=w1", f)
-	}
-	dest, m, err := netbus.DecodeMsgBody(f.Body)
+	t.Run("v2 traced", func(t *testing.T) {
+		golden := goldens[0]
+		frame := netbus.AppendMsgFrameTrace(nil, 0xC0FFEE, "w1", "P1", msg, "s1:r1", "s1:r1", 7)
+		if !bytes.Equal(frame, golden) {
+			t.Fatalf("docs/WIRE.md golden frame drifted from the encoder:\n doc  %x\n code %x", golden, frame)
+		}
+		f, err := netbus.DecodeFrame(golden)
+		if err != nil {
+			t.Fatalf("golden frame does not decode: %v", err)
+		}
+		if f.Version != netbus.Version || f.Type != netbus.FtMsg || f.Nonce != 0xC0FFEE || f.Node != "w1" {
+			t.Errorf("golden header %+v, want v2 FtMsg nonce=0xC0FFEE node=w1", f)
+		}
+		if f.Round != "s1:r1" || f.Epoch != "s1:r1" || f.Origin != 7 {
+			t.Errorf("golden trace context: round=%q epoch=%q origin=%d", f.Round, f.Epoch, f.Origin)
+		}
+		checkGoldenBody(t, f.Body)
+	})
+
+	t.Run("v1 legacy", func(t *testing.T) {
+		golden := goldens[1]
+		// The legacy frame is the untraced encoding with version byte 0x01.
+		frame := netbus.AppendMsgFrame(nil, 0xC0FFEE, "w1", "P1", msg)
+		frame[4] = netbus.VersionLegacy
+		if !bytes.Equal(frame, golden) {
+			t.Fatalf("docs/WIRE.md legacy golden drifted:\n doc  %x\n code %x", golden, frame)
+		}
+		f, err := netbus.DecodeFrame(golden)
+		if err != nil {
+			t.Fatalf("legacy golden no longer decodes — backward compatibility broken: %v", err)
+		}
+		if f.Version != netbus.VersionLegacy || f.Type != netbus.FtMsg || f.Nonce != 0xC0FFEE || f.Node != "w1" {
+			t.Errorf("legacy header %+v, want v1 FtMsg nonce=0xC0FFEE node=w1", f)
+		}
+		if f.Round != "" || f.Epoch != "" || f.Origin != 0 {
+			t.Errorf("legacy frame grew trace context: %+v", f)
+		}
+		checkGoldenBody(t, f.Body)
+	})
+}
+
+// checkGoldenBody pins the documented body fields, shared by both
+// goldens (the trace context does not alter the body encoding).
+func checkGoldenBody(t *testing.T, body []byte) {
+	t.Helper()
+	dest, m, err := netbus.DecodeMsgBody(body)
 	if err != nil {
 		t.Fatal(err)
 	}

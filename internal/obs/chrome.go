@@ -123,6 +123,16 @@ func ChromeTrace(recs []Record) ([]byte, error) {
 				Name: rec.Name, Cat: "event", Ph: "i", S: "t",
 				TS: rec.TS, PID: chromePID, TID: tidFor(endpoint), Args: args,
 			})
+		case "truncated":
+			// The capped-recorder marker: render as an instant on the
+			// protocol track so the viewer shows where the gap is.
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: "truncated", Cat: "event", Ph: "i", S: "t",
+				TS: rec.TS, PID: chromePID, TID: 0,
+				Args: map[string]any{"detail": rec.Detail},
+			})
+		case "clock":
+			// Clock-alignment metadata from the stitcher; nothing to draw.
 		default:
 			return nil, fmt.Errorf("obs: unknown record type %q (seq %d)", rec.Type, rec.Seq)
 		}

@@ -61,6 +61,19 @@ const (
 	EvFramingConviction = "framing_conviction" // a witness maintained its claim after a verified relay and was fined
 	EvCheckpointResume  = "checkpoint_resume"  // survivors re-solved the instance after a mid-computation crash
 	EvRefereeFailover   = "referee_failover"   // the standby referee was promoted mid-round
+
+	// Netbus datagram layer (internal/netbus). Origin carries the frame
+	// nonce so the same exchange is matchable across the driver's and the
+	// node's traces (the clock-stitching key).
+	EvNetTx      = "net_tx"      // a datagram left this process
+	EvNetRx      = "net_rx"      // a datagram was received and accepted
+	EvDecodeFail = "decode_fail" // a received datagram failed frame decoding
+
+	// Economic sentinels (internal/protocol → Sentinel).
+	EvPayment     = "payment"      // one processor's settled payment: Values = [Q, C, B] (load-fraction scaled)
+	EvInvoice     = "invoice"      // the round's invoice total billed to the user: Values = [total]
+	EvLoadSettled = "load_settled" // a pipelined load's aggregate payment across installments: Values = [total]
+	EvEvidence    = "evidence"     // the referee received a signed, verifiable piece of evidence
 )
 
 // Phase names used for spans. Initialization covers setup (identities,
@@ -85,6 +98,15 @@ type Event struct {
 	Msg    string
 	Round  string
 	Detail string
+	// Origin is the netbus frame nonce of the datagram this event
+	// describes (zero when the event is not datagram-scoped). The same
+	// exchange carries the same Origin in the driver's and the owning
+	// node's traces, which is what lets the stitcher align their clocks.
+	Origin uint64
+	// Values carries the event's numeric payload — e.g. [Q, C, B] on a
+	// payment event — so sentinels can check arithmetic invariants
+	// without parsing Detail strings.
+	Values []float64
 }
 
 // Tracer receives span and event records. Implementations must be safe
@@ -107,21 +129,28 @@ type Tracer interface {
 
 // Record is one serialized trace record — the NDJSON line format and the
 // input to the Chrome trace-event exporter. Type is "begin" or "end" for
-// phase spans and "event" for point events; TS is microseconds of wall
-// time since the recorder's first record, non-decreasing across the
-// record stream.
+// phase spans, "event" for point events, and "truncated" for the marker
+// a capped recorder prepends when older records were dropped; TS is
+// microseconds of wall time since the recorder's first record,
+// non-decreasing across the record stream. Wall is the absolute wall
+// clock (Unix microseconds) at emission — meaningless inside one
+// process's trace, but the raw material the cross-process stitcher's
+// clock alignment works from.
 type Record struct {
-	Seq    int     `json:"seq"`
-	TS     float64 `json:"ts_us"`
-	Type   string  `json:"type"`
-	Name   string  `json:"name"`
-	Phase  string  `json:"phase,omitempty"`
-	Round  string  `json:"round,omitempty"`
-	Epoch  string  `json:"epoch,omitempty"`
-	From   string  `json:"from,omitempty"`
-	To     string  `json:"to,omitempty"`
-	Msg    string  `json:"msg,omitempty"`
-	Detail string  `json:"detail,omitempty"`
+	Seq    int       `json:"seq"`
+	TS     float64   `json:"ts_us"`
+	Wall   float64   `json:"wall_us,omitempty"`
+	Type   string    `json:"type"`
+	Name   string    `json:"name"`
+	Phase  string    `json:"phase,omitempty"`
+	Round  string    `json:"round,omitempty"`
+	Epoch  string    `json:"epoch,omitempty"`
+	From   string    `json:"from,omitempty"`
+	To     string    `json:"to,omitempty"`
+	Msg    string    `json:"msg,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+	Origin uint64    `json:"origin,omitempty"`
+	Values []float64 `json:"values,omitempty"`
 }
 
 // Recorder is the standard Tracer: it timestamps and sequences records,
@@ -137,6 +166,8 @@ type Recorder struct {
 	seq     int
 	recs    []Record
 	keep    bool
+	cap     int // retained-record ceiling; 0 = unbounded
+	dropped int // records the cap evicted, reported by the truncated marker
 	sink    *json.Encoder
 	sinkErr error
 
@@ -153,6 +184,19 @@ type spanFrame struct {
 // NewRecorder returns a Recorder that retains every record in memory for
 // export via Records, WriteNDJSON or WriteChromeTrace.
 func NewRecorder() *Recorder { return &Recorder{keep: true} }
+
+// NewRecorderCap returns a retaining Recorder that keeps at most n
+// records, evicting the oldest first (a ring). When anything was
+// evicted, Records prepends a single "truncated" marker record carrying
+// the drop count — a leaked long-lived recorder degrades to a bounded
+// window instead of growing without limit. n <= 0 selects an unbounded
+// recorder, identical to NewRecorder.
+func NewRecorderCap(n int) *Recorder {
+	if n <= 0 {
+		return NewRecorder()
+	}
+	return &Recorder{keep: true, cap: n}
+}
 
 // NewStream returns a Recorder that writes each record to w as one
 // NDJSON line at emission time and retains nothing. Write errors are
@@ -190,7 +234,13 @@ func (r *Recorder) emit(rec Record) {
 	rec.Seq = r.seq
 	r.seq++
 	rec.TS = r.now()
+	rec.Wall = float64(time.Now().UnixMicro())
 	if r.keep {
+		if r.cap > 0 && len(r.recs) >= r.cap {
+			evict := len(r.recs) - r.cap + 1
+			r.dropped += evict
+			r.recs = append(r.recs[:0], r.recs[evict:]...)
+		}
 		r.recs = append(r.recs, rec)
 	}
 	if r.sink != nil && r.sinkErr == nil {
@@ -235,6 +285,8 @@ func (r *Recorder) Event(e Event) {
 		Msg:    e.Msg,
 		Round:  e.Round,
 		Detail: e.Detail,
+		Origin: e.Origin,
+		Values: e.Values,
 	}
 	if n := len(r.stack); n > 0 {
 		top := r.stack[n-1]
@@ -247,11 +299,63 @@ func (r *Recorder) Event(e Event) {
 }
 
 // Records returns a copy of the retained records (empty for streaming
-// recorders).
+// recorders). A capped recorder that evicted records prepends one
+// "truncated" marker record carrying the drop count, timed at the oldest
+// surviving record so the gap renders where it happened.
 func (r *Recorder) Records() []Record {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]Record(nil), r.recs...)
+	if r.dropped == 0 {
+		return append([]Record(nil), r.recs...)
+	}
+	out := make([]Record, 0, len(r.recs)+1)
+	marker := Record{
+		Type:   "truncated",
+		Name:   "truncated",
+		Detail: fmt.Sprintf("%d older records dropped by the %d-record cap", r.dropped, r.cap),
+	}
+	if len(r.recs) > 0 {
+		marker.Seq = r.recs[0].Seq - 1
+		marker.TS = r.recs[0].TS
+		marker.Wall = r.recs[0].Wall
+	}
+	return append(append(out, marker), r.recs...)
+}
+
+// Dropped reports how many records a capped recorder has evicted.
+func (r *Recorder) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// RecordsSince returns the retained records with Seq strictly above seq
+// — the cumulative-ack drain a telemetry collector uses, so re-asked
+// drains are idempotent and already-shipped records are skipped.
+func (r *Recorder) RecordsSince(seq int) []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := len(r.recs)
+	for i > 0 && r.recs[i-1].Seq > seq {
+		i--
+	}
+	return append([]Record(nil), r.recs[i:]...)
+}
+
+// Prune discards retained records with Seq at or below seq — the
+// collector acknowledged them, so a bounded node-side buffer stays
+// small between telemetry drains. Pruned records do not count as
+// dropped: they were delivered, not lost.
+func (r *Recorder) Prune(seq int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keep := r.recs[:0]
+	for _, rec := range r.recs {
+		if rec.Seq > seq {
+			keep = append(keep, rec)
+		}
+	}
+	r.recs = keep
 }
 
 // WriteNDJSON writes the retained records to w, one JSON object per

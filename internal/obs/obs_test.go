@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -86,7 +87,7 @@ func TestNDJSONRoundTrip(t *testing.T) {
 		t.Fatalf("round-tripped %d records, want %d", len(back), len(want))
 	}
 	for i := range back {
-		if back[i] != want[i] {
+		if !reflect.DeepEqual(back[i], want[i]) {
 			t.Errorf("record %d changed in round trip:\n got %+v\nwant %+v", i, back[i], want[i])
 		}
 	}

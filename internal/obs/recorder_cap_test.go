@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func eventN(r *Recorder, n int) {
+	for i := 0; i < n; i++ {
+		r.Event(Event{Kind: EvDeliver, From: "P1", To: "P2", Msg: "dls/bid"})
+	}
+}
+
+func TestRecorderCapBoundsMemory(t *testing.T) {
+	r := NewRecorderCap(10)
+	eventN(r, 25)
+	recs := r.Records()
+	// 10 survivors plus the truncated marker.
+	if len(recs) != 11 {
+		t.Fatalf("capped recorder returned %d records, want 11", len(recs))
+	}
+	if recs[0].Type != "truncated" {
+		t.Fatalf("first record is %q, want the truncated marker", recs[0].Type)
+	}
+	if !strings.Contains(recs[0].Detail, "15") {
+		t.Fatalf("marker detail %q does not carry the drop count 15", recs[0].Detail)
+	}
+	if r.Dropped() != 15 {
+		t.Fatalf("Dropped() = %d, want 15", r.Dropped())
+	}
+	// Survivors are the newest records, in order.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq != 14+i {
+			t.Fatalf("survivor %d has seq %d, want %d", i, recs[i].Seq, 14+i)
+		}
+	}
+}
+
+func TestRecorderCapNoMarkerBelowCap(t *testing.T) {
+	r := NewRecorderCap(10)
+	eventN(r, 10)
+	recs := r.Records()
+	if len(recs) != 10 || recs[0].Type == "truncated" {
+		t.Fatalf("un-evicted capped recorder returned %d records (first %q), want 10 plain records",
+			len(recs), recs[0].Type)
+	}
+}
+
+func TestRecorderCapZeroIsUnbounded(t *testing.T) {
+	r := NewRecorderCap(0)
+	eventN(r, 500)
+	if got := len(r.Records()); got != 500 {
+		t.Fatalf("cap 0 retained %d records, want all 500", got)
+	}
+}
+
+func TestRecordsSinceAndPrune(t *testing.T) {
+	r := NewRecorderCap(100)
+	eventN(r, 8)
+	since := r.RecordsSince(4)
+	if len(since) != 3 || since[0].Seq != 5 {
+		t.Fatalf("RecordsSince(4) = %d records starting at seq %d, want 3 starting at 5",
+			len(since), since[0].Seq)
+	}
+	// Re-asking is idempotent.
+	if again := r.RecordsSince(4); len(again) != 3 {
+		t.Fatalf("second RecordsSince(4) = %d records, want 3", len(again))
+	}
+	r.Prune(4)
+	if got := len(r.RecordsSince(-1)); got != 3 {
+		t.Fatalf("after Prune(4), %d records remain, want 3", got)
+	}
+	// Pruned records were delivered, not lost: no truncated marker.
+	if recs := r.Records(); len(recs) != 3 || recs[0].Type == "truncated" {
+		t.Fatalf("Prune produced a truncated marker: %+v", recs[0])
+	}
+}
+
+func TestCappedChromeTraceRendersMarker(t *testing.T) {
+	r := NewRecorderCap(5)
+	r.BeginPhase(PhaseBidding, "s1:r1", "s1:r1")
+	eventN(r, 10)
+	r.EndPhase(PhaseBidding)
+	var b strings.Builder
+	if err := r.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "truncated") {
+		t.Fatal("Chrome export of a truncated recorder does not render the marker")
+	}
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// honestRound feeds s one arithmetically consistent round: three payments
+// whose Q splits into C+B exactly and one invoice billing their sum.
+func honestRound(s *Sentinel, round string) {
+	s.Event(Event{Kind: EvPayment, From: "P1", Round: round, Values: []float64{2.5, 2.0, 0.5}})
+	s.Event(Event{Kind: EvPayment, From: "P2", Round: round, Values: []float64{1.25, 1.0, 0.25}})
+	s.Event(Event{Kind: EvPayment, From: "P3", Round: round, Values: []float64{0.75, 0.5, 0.25}})
+	s.Event(Event{Kind: EvInvoice, From: "user", Round: round, Values: []float64{4.5}})
+}
+
+func wantViolation(t *testing.T, s *Sentinel, substr string) {
+	t.Helper()
+	v := s.Violations()
+	if len(v) == 0 {
+		t.Fatalf("sentinel stayed clear, want a violation mentioning %q", substr)
+	}
+	for _, msg := range v {
+		if strings.Contains(msg, substr) {
+			return
+		}
+	}
+	t.Fatalf("no violation mentions %q; got %q", substr, v)
+}
+
+func TestSentinelClearOnHonestStream(t *testing.T) {
+	s := NewSentinel()
+	honestRound(s, "s1:r1")
+	honestRound(s, "s1:r2")
+	// An evidenced conviction and a properly witnessed eviction are
+	// legitimate adversary outcomes, not violations.
+	s.Event(Event{Kind: EvEvidence, From: "P1", To: "referee", Round: "s1:r2"})
+	s.Event(Event{Kind: EvConviction, From: "P1", Round: "s1:r2", Detail: "overbid"})
+	s.Event(Event{Kind: EvWitnessReport, From: "P1", To: "P3", Round: "s1:r2"})
+	s.Event(Event{Kind: EvWitnessReport, From: "P2", To: "P3", Round: "s1:r2"})
+	s.Event(Event{Kind: EvEviction, From: "P3", Round: "s1:r2",
+		Detail: "unreachable: 2 of 3 witnesses corroborate (threshold 2)"})
+	if !s.Ok() {
+		t.Fatalf("honest stream latched violations: %q", s.Violations())
+	}
+}
+
+func TestSentinelPaymentShape(t *testing.T) {
+	s := NewSentinel()
+	// Q != C + B by far more than tolerance.
+	s.Event(Event{Kind: EvPayment, From: "P1", Round: "s1:r1", Values: []float64{5, 2, 2}})
+	wantViolation(t, s, "payment shape")
+
+	s = NewSentinel()
+	s.Event(Event{Kind: EvPayment, From: "P1", Round: "s1:r1", Values: []float64{5, 2}})
+	wantViolation(t, s, "values")
+}
+
+func TestSentinelPaymentConservation(t *testing.T) {
+	s := NewSentinel()
+	s.Event(Event{Kind: EvPayment, From: "P1", Round: "s1:r1", Values: []float64{2, 2, 0}})
+	s.Event(Event{Kind: EvPayment, From: "P2", Round: "s1:r1", Values: []float64{3, 3, 0}})
+	s.Event(Event{Kind: EvInvoice, From: "user", Round: "s1:r1", Values: []float64{6}})
+	wantViolation(t, s, "conservation")
+}
+
+func TestSentinelPaymentAccumulatorResetsPerInvoice(t *testing.T) {
+	// Two standalone runs share the empty round ID under a pool sentinel;
+	// the second run's invoice must not be checked against the first
+	// run's payments.
+	s := NewSentinel()
+	s.Event(Event{Kind: EvPayment, From: "P1", Values: []float64{2, 2, 0}})
+	s.Event(Event{Kind: EvInvoice, From: "user", Values: []float64{2}})
+	s.Event(Event{Kind: EvPayment, From: "P1", Values: []float64{3, 3, 0}})
+	s.Event(Event{Kind: EvInvoice, From: "user", Values: []float64{3}})
+	if !s.Ok() {
+		t.Fatalf("back-to-back runs latched violations: %q", s.Violations())
+	}
+}
+
+func TestSentinelTelescopingInstallments(t *testing.T) {
+	breakOne := func(settled float64) *Sentinel {
+		s := NewSentinel()
+		s.Event(Event{Kind: EvInvoice, From: "user", Round: "s1:r1.i1", Values: []float64{2}})
+		s.Event(Event{Kind: EvInvoice, From: "user", Round: "s1:r1.i2", Values: []float64{3}})
+		s.Event(Event{Kind: EvLoadSettled, From: "user", Round: "s1:r1", Values: []float64{settled}})
+		return s
+	}
+	if s := breakOne(5); !s.Ok() {
+		t.Fatalf("telescoping load latched violations: %q", s.Violations())
+	}
+	wantViolation(t, breakOne(6), "telescope")
+}
+
+func TestSentinelEvictionNeedsWitnesses(t *testing.T) {
+	s := NewSentinel()
+	// One witness short of the cited threshold.
+	s.Event(Event{Kind: EvWitnessReport, From: "P1", To: "P3", Round: "s1:r1"})
+	s.Event(Event{Kind: EvEviction, From: "P3", Round: "s1:r1",
+		Detail: "unreachable: 2 of 3 witnesses corroborate (threshold 2)"})
+	wantViolation(t, s, "witness_report")
+
+	// Non-corroboration evictions (crashes, wholesale failures) carry
+	// other reasons and need no witnesses.
+	s = NewSentinel()
+	s.Event(Event{Kind: EvEviction, From: "P3", Round: "s1:r1",
+		Detail: "crashed at 40% of its assignment"})
+	if !s.Ok() {
+		t.Fatalf("crash eviction latched violations: %q", s.Violations())
+	}
+}
+
+func TestSentinelConvictionNeedsEvidence(t *testing.T) {
+	s := NewSentinel()
+	s.Event(Event{Kind: EvConviction, From: "P2", Round: "s1:r1", Detail: "overbid"})
+	wantViolation(t, s, "signed-evidence")
+
+	// A witness report counts as evidence too (it is sealed and verified).
+	s = NewSentinel()
+	s.Event(Event{Kind: EvWitnessReport, From: "P1", To: "P2", Round: "s1:r1"})
+	s.Event(Event{Kind: EvConviction, From: "P2", Round: "s1:r1", Detail: "framing"})
+	if !s.Ok() {
+		t.Fatalf("evidenced conviction latched violations: %q", s.Violations())
+	}
+}
+
+func TestSentinelLatchesAndResets(t *testing.T) {
+	s := NewSentinel()
+	s.Event(Event{Kind: EvPayment, From: "P1", Round: "s1:r1", Values: []float64{5, 2, 2}})
+	if s.Ok() {
+		t.Fatal("violation did not latch")
+	}
+	// Later healthy rounds do not clear a latched violation.
+	honestRound(s, "s1:r2")
+	if s.Ok() || len(s.Violations()) != 1 {
+		t.Fatalf("latch changed: ok=%t violations=%q", s.Ok(), s.Violations())
+	}
+	s.Reset()
+	if !s.Ok() {
+		t.Fatalf("Reset left violations: %q", s.Violations())
+	}
+	honestRound(s, "s1:r3")
+	if !s.Ok() {
+		t.Fatalf("post-Reset honest round latched: %q", s.Violations())
+	}
+}
+
+func TestSentinelBoundsRoundState(t *testing.T) {
+	s := NewSentinel()
+	for i := 0; i < sentinelMaxRounds+100; i++ {
+		s.Event(Event{Kind: EvPayment, From: "P1",
+			Round:  "s1:r" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26)),
+			Values: []float64{1, 1, 0}})
+	}
+	s.mu.Lock()
+	n := len(s.rounds)
+	s.mu.Unlock()
+	if n > sentinelMaxRounds {
+		t.Fatalf("retained %d rounds, cap is %d", n, sentinelMaxRounds)
+	}
+}
+
+// A Sentinel must be attachable next to any recorder without disturbing
+// it (the Multi composition the service uses).
+func TestSentinelComposesUnderMulti(t *testing.T) {
+	s := NewSentinel()
+	rec := NewRecorder()
+	tr := Multi(rec, s)
+	tr.BeginPhase(PhasePayments, "s1:r1", "s1:r1")
+	tr.Event(Event{Kind: EvPayment, From: "P1", Round: "s1:r1", Values: []float64{1, 2, 3}})
+	tr.EndPhase(PhasePayments)
+	if s.Ok() {
+		t.Fatal("sentinel behind Multi missed the broken payment")
+	}
+	if got := len(rec.Records()); got != 3 {
+		t.Fatalf("recorder behind Multi kept %d records, want 3", got)
+	}
+}

@@ -87,7 +87,24 @@ func RunLoad(s *protocol.BidSession, ld Load) (*protocol.Outcome, error) {
 		// payments) stay credited.
 		job = dropCrashed(job, out)
 	}
-	return aggregate(outs, ld.Policy)
+	agg, err := aggregate(outs, ld.Policy)
+	if err != nil {
+		return nil, err
+	}
+	if ld.Job.Tracer != nil {
+		// The load-level settlement closes the telescoping-payments
+		// invariant: the sentinel checks this total against the sum of the
+		// installment invoices recorded under "<load round>.iK".
+		total := 0.0
+		for _, p := range agg.Payments {
+			total += p
+		}
+		ld.Job.Tracer.Event(obs.Event{
+			Kind: obs.EvLoadSettled, From: protocol.UserID, Round: agg.RoundID,
+			Values: []float64{total},
+		})
+	}
+	return agg, nil
 }
 
 // dropCrashed returns the job the NEXT installment should run: processors

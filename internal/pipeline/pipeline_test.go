@@ -7,6 +7,7 @@ import (
 
 	"dlsbl/internal/agent"
 	"dlsbl/internal/dlt"
+	"dlsbl/internal/obs"
 	"dlsbl/internal/protocol"
 	"dlsbl/internal/referee"
 )
@@ -191,5 +192,33 @@ func TestRunLoadRejectsNFE(t *testing.T) {
 	}
 	if _, err := RunLoad(s, Load{Job: protocol.JobConfig{Seed: 1}, Rounds: 2}); err == nil {
 		t.Fatal("NCP-NFE multi-installment load accepted")
+	}
+}
+
+// TestRunLoadSentinelTelescoping attaches an economic-invariant sentinel
+// to a pipelined load: the installment invoices must telescope to the
+// load-level settlement the aggregate reports, and per-installment
+// payment conservation must hold — live, on the event stream, not just
+// in the aggregated outcome.
+func TestRunLoadSentinelTelescoping(t *testing.T) {
+	w := []float64{3, 2, 4, 5}
+	for _, rounds := range []int{2, 4} {
+		s := newSession(t, w...)
+		sentinel := obs.NewSentinel()
+		job := protocol.JobConfig{Seed: 11, NBlocks: 64, Tracer: sentinel}
+		if _, err := s.Run(job); err != nil {
+			t.Fatal(err)
+		}
+		agg, err := RunLoad(s, Load{Job: job, Rounds: rounds, Policy: dlt.EqualRounds})
+		if err != nil {
+			t.Fatalf("R=%d: %v", rounds, err)
+		}
+		if !agg.Completed {
+			t.Fatalf("R=%d: load did not complete", rounds)
+		}
+		if !sentinel.Ok() {
+			t.Fatalf("R=%d: sentinel latched on a correct pipelined load: %q",
+				rounds, sentinel.Violations())
+		}
 	}
 }

@@ -143,8 +143,12 @@ func TestCorroboratedEvictionThreshold(t *testing.T) {
 				t.Errorf("survivor P%d unpaid: %v", i+1, out.Payments[i])
 			}
 		}
-		// Corroborated evictions never reach the relay loop: no
-		// witness_report events, and no framer-style conviction either.
+		// Corroborated evictions never reach the relay loop, so the tally
+		// emits one witness_report per corroborating witness (exactly the
+		// threshold here) — and no framer-style conviction either.
+		if got := len(recordKinds(rec, obs.EvWitnessReport)); got != 2 {
+			t.Errorf("%d witness_report events, want threshold 2", got)
+		}
 		if got := len(recordKinds(rec, obs.EvFramingConviction)); got != 0 {
 			t.Errorf("%d framing_conviction events on a genuine outage", got)
 		}

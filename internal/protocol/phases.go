@@ -247,9 +247,29 @@ func (r *run) healMissingBids(received [][]bus.Message, missing [][]int, primary
 
 	// Corroborated unreachability: ≥ ⌈m/2⌉ distinct witnesses agree.
 	for a := 0; a < m0; a++ {
-		if ws := reportedBy[a]; len(ws) >= thresh {
-			unreachable[a] = fmt.Sprintf("unreachable: %d of %d witnesses corroborate (threshold %d)",
-				len(ws), m0-1, thresh)
+		ws := reportedBy[a]
+		if len(ws) < thresh {
+			continue
+		}
+		unreachable[a] = fmt.Sprintf("unreachable: %d of %d witnesses corroborate (threshold %d)",
+			len(ws), m0-1, thresh)
+		if r.tracer != nil {
+			// Corroborated reports never reach the per-report relay loop
+			// below (the accused is already gone), so the tally is the only
+			// place the transcript can show each witness — and the sentinel
+			// demands threshold-many before the eviction event.
+			wits := make([]int, 0, len(ws))
+			for w := range ws {
+				wits = append(wits, w)
+			}
+			sort.Ints(wits)
+			for _, w := range wits {
+				r.tracer.Event(obs.Event{
+					Kind: obs.EvWitnessReport, From: r.agents[w].ID, To: r.agents[a].ID,
+					Msg: referee.KindWitnessReport, Round: r.roundID,
+					Detail: fmt.Sprintf("%d of %d witnesses, threshold %d", len(ws), m0-1, thresh),
+				})
+			}
 		}
 	}
 
@@ -486,6 +506,7 @@ func (r *run) phaseBidding() (bool, error) {
 		if _, gone := unreachable[t.accused]; gone {
 			continue
 		}
+		r.evidence(r.agents[t.witness].ID, referee.KindWitnessReport)
 		v, err := r.ref.JudgeWitnessReport(t.report, t.evidence)
 		if err != nil {
 			return false, err
@@ -516,6 +537,7 @@ func (r *run) phaseBidding() (bool, error) {
 		}
 		victim := r.agents[(i+1)%r.m]
 		// The "evidence" is the victim's single legitimate bid twice.
+		r.evidence(a.ID, "dls/equivocation-report")
 		v, err := r.ref.JudgeEquivocation(a.ID, firstEnvs[(i+1)%r.m], firstEnvs[(i+1)%r.m])
 		if err != nil {
 			return false, err
@@ -549,6 +571,7 @@ func (r *run) phaseBidding() (bool, error) {
 		if _, err := r.xp.sendReliable(accuser, r.refAddr, "dls/equivocation-report", ev[0], 2); err != nil {
 			return false, err
 		}
+		r.evidence(accuser, "dls/equivocation-report")
 		v, err := r.ref.JudgeEquivocation(accuser, ev[0], ev[1])
 		if err != nil {
 			return false, err
@@ -681,6 +704,7 @@ func (r *run) phaseAllocating() (bool, error) {
 		case a.Behavior.FalseShortageClaim && delivered == expected:
 			// Unfounded shortage claim: mediation completes a verified
 			// delivery, the claimant persists, the claimant is fined.
+			r.evidence(a.ID, "dls/short-delivery-claim")
 			v, err := r.ref.MediateShortDelivery(a.ID, orig.ID, referee.ShortDeliveryEvidence{ClaimantStillClaims: true})
 			if err != nil {
 				return false, err
@@ -711,6 +735,7 @@ func (r *run) phaseAllocating() (bool, error) {
 			if _, err := r.xp.sendReliable(orig.ID, r.refAddr, referee.KindBidVector, origVec, r.m); err != nil {
 				return false, err
 			}
+			r.evidence(a.ID, referee.KindBidVector)
 			v, err := r.ref.JudgeAllocationClaim(a.ID, orig.ID, claimVec, origVec, delivered, r.recomputeCounts)
 			if err != nil {
 				return false, err
@@ -740,6 +765,7 @@ func (r *run) phaseAllocating() (bool, error) {
 			if _, err := r.xp.sendReliable(orig.ID, r.refAddr, referee.KindBidVector, origVec, r.m); err != nil {
 				return false, err
 			}
+			r.evidence(a.ID, referee.KindBidVector)
 			v, err := r.ref.JudgeAllocationClaim(a.ID, orig.ID, claimVec, origVec, delivered, r.recomputeCounts)
 			if err != nil {
 				return false, err
@@ -769,6 +795,7 @@ func (r *run) phaseAllocating() (bool, error) {
 			if _, err := r.xp.sendReliable(orig.ID, r.refAddr, referee.KindBidVector, origVec, r.m); err != nil {
 				return false, err
 			}
+			r.evidence(a.ID, referee.KindBidVector)
 			v, err := r.ref.JudgeAllocationClaim(a.ID, orig.ID, claimVec, origVec, delivered, r.recomputeCounts)
 			if err != nil {
 				return false, err
@@ -788,6 +815,7 @@ func (r *run) phaseAllocating() (bool, error) {
 				OriginatorRefused: orig.Behavior.RefuseMediation,
 				IntegrityFailed:   orig.Behavior.TamperBlocks,
 			}
+			r.evidence(a.ID, "dls/short-delivery-claim")
 			v, err := r.ref.MediateShortDelivery(a.ID, orig.ID, ev)
 			if err != nil {
 				return false, err
@@ -987,6 +1015,9 @@ func (r *run) phasePayments() error {
 		if _, err := r.xp.sendReliable(a.ID, r.refAddr, referee.KindPayment, env, r.m); err != nil {
 			return err
 		}
+		// A sealed payment vector the referee can verify is signed
+		// evidence — the sentinel requires some before any conviction.
+		r.evidence(a.ID, referee.KindPayment)
 		subs[a.ID] = []sig.Envelope{env}
 		if a.Behavior.EquivocatePayments {
 			q2 := append([]float64(nil), q...)
@@ -1031,5 +1062,23 @@ func (r *run) phasePayments() error {
 	}
 	r.outcome.Invoice = inv
 	r.outcome.Payments = paid
+	if r.tracer != nil {
+		// Economic sentinel events: one payment event per processor with
+		// the Definition 3.1 decomposition Q = C + B (load-fraction
+		// scaled, like the invoice lines), then the invoice total — the
+		// stream a Sentinel checks payment shape and conservation on.
+		total := 0.0
+		for i, p := range r.procs {
+			r.tracer.Event(obs.Event{
+				Kind: obs.EvPayment, From: p, Round: r.roundID,
+				Values: []float64{paid[i], out.Compensation[i] * r.loadFrac, out.Bonus[i] * r.loadFrac},
+			})
+			total += paid[i]
+		}
+		r.tracer.Event(obs.Event{
+			Kind: obs.EvInvoice, From: UserID, Round: r.roundID,
+			Values: []float64{total},
+		})
+	}
 	return nil
 }

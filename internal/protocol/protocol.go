@@ -418,6 +418,18 @@ func Run(cfg Config) (*Outcome, error) {
 	return out, err
 }
 
+// RunRound is Run with an explicit round identity. Sessions mint their
+// own round IDs; a standalone round normally runs anonymously, which
+// leaves trace-context-bearing media (the netbus) nothing to stamp into
+// frames. Deployment drivers that want datagrams attributed to the
+// round pass one here. The ID is observational — two runs differing
+// only in it settle identically — but it must match across runs whose
+// transcripts are compared for parity.
+func RunRound(cfg Config, round string) (*Outcome, error) {
+	out, _, err := executeRound(cfg, roundBinding{round: round}, nil, nil)
+	return out, err
+}
+
 // executeRound executes one protocol round. With a nil cache it runs the
 // full five phases and, when Bidding completes cleanly, captures the
 // verified bid set into a fresh bidCache for reuse. With a non-nil cache
@@ -452,6 +464,14 @@ func executeRound(cfg Config, rb roundBinding, cache *bidCache, splice *spliceOp
 	}
 	r.roundID, r.bidEpoch = rb.round, rb.epoch
 	r.inst, r.instOf, r.policy = rb.inst, rb.instOf, rb.policy
+	// Media that carry a trace context on the wire (the netbus) get this
+	// round's identity stamped into outgoing frames; the simulated bus
+	// has no such method and is untouched. Independent of the local
+	// tracer: remote nodes attribute datagrams to rounds even when the
+	// driver itself records nothing.
+	if rc, ok := r.net.(interface{ SetRoundContext(round, epoch string) }); ok {
+		rc.SetRoundContext(rb.round, rb.epoch)
+	}
 	if tr != nil {
 		r.tracer = tr
 		r.net.SetTracer(tr)
@@ -925,6 +945,20 @@ func (r *run) recordInstallment() {
 			Kind:   obs.EvInstallment,
 			Round:  r.roundID,
 			Detail: fmt.Sprintf("installment %d/%d carrying load fraction %.9g", r.inst, r.instOf, r.loadFrac),
+		})
+	}
+}
+
+// evidence traces one signed, referee-verified submission — the
+// material grounding whatever verdict the subsequent judgment returns.
+// The economic sentinel's conviction invariant keys on these events: a
+// conviction with no preceding evidence event in its round means the
+// stream (or the implementation) convicted without adjudicating
+// anything verifiable.
+func (r *run) evidence(from, kind string) {
+	if r.tracer != nil {
+		r.tracer.Event(obs.Event{
+			Kind: obs.EvEvidence, From: from, To: r.refAddr, Msg: kind, Round: r.roundID,
 		})
 	}
 }

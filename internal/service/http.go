@@ -26,14 +26,22 @@ type Submission struct {
 //	POST /v1/jobs         submit a batch (Submission body) → NDJSON stream
 //	GET  /metrics         counters + latency quantiles (MetricsSnapshot);
 //	                      ?format=prometheus selects text exposition 0.0.4
-//	GET  /healthz         liveness probe
+//	GET  /healthz         liveness + invariant probe: 200 while every
+//	                      pool's economic-invariant sentinel is clear,
+//	                      503 with the latched violations otherwise
 //
 // Error statuses: 400 malformed body or unknown behavior/artifact name,
 // 404 unknown pool, 429 queue full (backpressure — retry later),
-// 503 shutting down.
+// 503 shutting down or sentinel violation latched.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if bad := s.sentinelViolations(); len(bad) > 0 {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "sentinel_violation", "violations": bad,
+			})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {

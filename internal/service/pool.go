@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"dlsbl/internal/dlt"
+	"dlsbl/internal/obs"
 	"dlsbl/internal/session"
 	"dlsbl/internal/sig"
 )
@@ -57,6 +58,11 @@ type Pool struct {
 	// phase-duration quantiles and bus-event counters accumulate across
 	// the pool's lifetime (see poolObs).
 	obs *poolObs
+	// sentinel watches every round's event stream for economic-invariant
+	// violations (payment shape, conservation, telescoping installments,
+	// witnessed evictions, evidenced convictions) and latches the first
+	// breach for /metrics and /healthz. See obs.Sentinel.
+	sentinel *obs.Sentinel
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -147,6 +153,7 @@ func newPool(spec PoolSpec) (*Pool, error) {
 		sess:      sess,
 		procNames: procNames,
 		obs:       newPoolObs(),
+		sentinel:  obs.NewSentinel(),
 		state:     state,
 	}
 	p.cond = sync.NewCond(&p.mu)
@@ -208,6 +215,12 @@ type PoolSnapshot struct {
 	VerifyMemoHits int64 `json:"verify_memo_hits,omitempty"`
 	VerifyMemoSize int   `json:"verify_memo_size,omitempty"`
 
+	// SentinelViolations lists the economic-invariant breaches the pool's
+	// sentinel has latched (oldest first); empty on a healthy pool. Any
+	// entry here flips /healthz to 503 — an invariant violation means a
+	// bug or tampering, never legitimate adversary behavior.
+	SentinelViolations []string `json:"sentinel_violations,omitempty"`
+
 	// Traffic totals the pool's control-plane bus traffic across rounds
 	// (session.TrafficStats semantics: Deliveries is the Θ(m²) term).
 	Traffic session.TrafficStats `json:"traffic"`
@@ -253,6 +266,7 @@ func (p *Pool) Snapshot() PoolSnapshot {
 		PackedJobs:           p.packedJobs,
 		VerifyMemoHits:       ms.Hits,
 		VerifyMemoSize:       ms.Size,
+		SentinelViolations:   p.sentinel.Violations(),
 		Traffic:              p.state.Traffic,
 		PhaseMS:              phase,
 		BusEvents:            events,

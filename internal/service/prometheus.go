@@ -96,6 +96,11 @@ func WritePrometheus(w io.Writer, snap MetricsSnapshot) error {
 		sample("dlsbl_pool_packed_jobs_total", fmt.Sprintf("pool=%q", p.Name), float64(p.PackedJobs))
 	}
 
+	family("dlsbl_pool_sentinel_violations", "Economic-invariant violations the pool's sentinel has latched; any nonzero value is an incident, not adversary noise.", "gauge")
+	for _, p := range snap.Pools {
+		sample("dlsbl_pool_sentinel_violations", fmt.Sprintf("pool=%q", p.Name), float64(len(p.SentinelViolations)))
+	}
+
 	family("dlsbl_pool_phase_ms", "Per-phase wall-clock duration quantiles over a pool's recent rounds.", "gauge")
 	for _, p := range snap.Pools {
 		for _, phase := range sortedKeys(p.PhaseMS) {

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dlsbl/internal/obs"
+)
+
+// TestSentinelSurfacesThroughService pins the alerting path: a latched
+// pool sentinel must show up in the pool snapshot, the Prometheus
+// exposition, and flip /healthz to 503 — and a healthy server must not
+// trip any of the three.
+func TestSentinelSurfacesThroughService(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	defer srv.Close()
+	p, err := srv.CreatePool(PoolSpec{Name: "alpha", Network: "ncp-fe", TrueW: []float64{1, 1.5, 2, 2.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthy /healthz = %d, want 200", code)
+	}
+	if got := srv.sentinelViolations(); len(got) != 0 {
+		t.Fatalf("healthy server reports violations: %v", got)
+	}
+	if snap := p.Snapshot(); len(snap.SentinelViolations) != 0 {
+		t.Fatalf("healthy pool snapshot carries violations: %v", snap.SentinelViolations)
+	}
+
+	// A malformed payment event is exactly what a protocol bug (or a
+	// tampered telemetry stream) would feed the pool's sentinel.
+	p.sentinel.Event(obs.Event{Kind: obs.EvPayment, From: "P1", Round: "s1:r1",
+		Values: []float64{5, 2, 2}})
+
+	if snap := p.Snapshot(); len(snap.SentinelViolations) == 0 {
+		t.Fatal("latched violation missing from the pool snapshot")
+	}
+	bad := srv.sentinelViolations()
+	if len(bad["alpha"]) == 0 {
+		t.Fatalf("sentinelViolations() = %v, want an entry for pool alpha", bad)
+	}
+
+	code, body := get("/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz with latched sentinel = %d, want 503", code)
+	}
+	var health struct {
+		Status     string              `json:"status"`
+		Violations map[string][]string `json:"violations"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("parsing healthz body %q: %v", body, err)
+	}
+	if health.Status != "sentinel_violation" || len(health.Violations["alpha"]) == 0 {
+		t.Fatalf("healthz body %q, want sentinel_violation with pool alpha detail", body)
+	}
+
+	_, prom := get("/metrics?format=prometheus")
+	if !strings.Contains(prom, `dlsbl_pool_sentinel_violations{pool="alpha"} 1`) {
+		t.Fatalf("prometheus exposition lacks the sentinel gauge:\n%s", prom)
+	}
+}

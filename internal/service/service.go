@@ -347,10 +347,10 @@ func (s *Server) runTask(p *Pool, t *Task) {
 	job, err := t.spec.toJob()
 	if err == nil {
 		var rec *obs.Recorder
-		job.Tracer = p.obs
+		job.Tracer = obs.Multi(p.obs, p.sentinel)
 		if t.artifacts[ArtifactTrace] {
 			rec = obs.NewRecorder()
-			job.Tracer = obs.Multi(p.obs, rec)
+			job.Tracer = obs.Multi(p.obs, p.sentinel, rec)
 		}
 		if job.Installments > 1 {
 			p.inFlight.Store(int64(job.Installments))
@@ -392,6 +392,25 @@ func (s *Server) runTask(p *Pool, t *Task) {
 
 // Queued returns the number of admitted jobs not yet picked up.
 func (s *Server) Queued() int { return int(s.queued.Load()) }
+
+// sentinelViolations collects the latched economic-invariant breaches
+// across pools, keyed by pool name. Empty means every sentinel is clear
+// and /healthz reports 200.
+func (s *Server) sentinelViolations() map[string][]string {
+	s.mu.Lock()
+	pools := make([]*Pool, 0, len(s.pools))
+	for _, p := range s.pools {
+		pools = append(pools, p)
+	}
+	s.mu.Unlock()
+	out := make(map[string][]string)
+	for _, p := range pools {
+		if v := p.sentinel.Violations(); len(v) > 0 {
+			out[p.Name()] = v
+		}
+	}
+	return out
+}
 
 // Close drains the service: new submissions are refused, every queued and
 // in-flight job still completes (their Tasks resolve), and Close returns
